@@ -1,0 +1,1 @@
+bench/exp_cqa.ml: Cash_budget Cqa Dart_constraints Dart_datagen Dart_numeric Dart_rand Dart_repair List Printf Prng Quarterly Report

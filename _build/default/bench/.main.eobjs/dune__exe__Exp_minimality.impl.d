@@ -1,0 +1,1 @@
+bench/exp_minimality.ml: Baseline Cash_budget Dart_datagen Dart_rand Dart_repair List Printf Prng Repair Report Solver

@@ -1,0 +1,1 @@
+bench/exp_pipeline.ml: Budget_scenario Cash_budget Dart Dart_datagen Dart_ocr Dart_rand Dart_relational Dart_repair Database Doc_render List Pipeline Printf Prng Report Solver Tuple Update Validation

@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Cash_budget Dart_constraints Dart_datagen Dart_rand Dart_repair Ground List Prng Repair Report Solver

@@ -1,0 +1,1 @@
+bench/exp_validation.ml: Array Cash_budget Dart_datagen Dart_rand Dart_relational Dart_repair Database List Printf Prng Report Validation

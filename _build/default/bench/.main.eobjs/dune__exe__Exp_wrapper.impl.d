@@ -1,0 +1,1 @@
+bench/exp_wrapper.ml: Array Budget_scenario Cash_budget Dart Dart_datagen Dart_ocr Dart_rand Dart_textdict Dart_wrapper Dictionary Doc_render Extractor List Matcher Option Printf Prng Report String

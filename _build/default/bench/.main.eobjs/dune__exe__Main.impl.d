@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_cqa Exp_minimality Exp_pipeline Exp_running_example Exp_scaling Exp_validation Exp_wrapper List Micro Printf Report String Sys

@@ -1,0 +1,1 @@
+bench/report.ml: List Printf String Sys

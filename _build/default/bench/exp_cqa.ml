@@ -1,0 +1,92 @@
+(* E10 (extension) — consistent query answering: how much of a corrupted
+   document can be trusted *without* any operator intervention?
+
+   For each error count we corrupt generated budgets and classify every
+   constrained cell by its consistent answer: Certain (every card-minimal
+   repair agrees — includes silently-repairable corrupted cells),
+   Untouched (no violated component), or Range (repairs disagree: this is
+   precisely where the paper's validation interface is needed).
+
+   This quantifies the division of labour between the unsupervised
+   repairing module and the human operator. *)
+
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+let trials = 10
+
+let run_config ~errors =
+  let certain = ref 0 and untouched = ref 0 and range = ref 0 in
+  let silently_repaired = ref 0 and total = ref 0 in
+  for seed = 1 to trials do
+    let prng = Prng.create (seed * 1013 + errors) in
+    let truth = Cash_budget.generate ~years:2 prng in
+    let corrupted, _ = Cash_budget.corrupt ~errors prng truth in
+    try
+      List.iter
+        (fun (cell, answer) ->
+          incr total;
+          match answer with
+          | Cqa.Untouched -> incr untouched
+          | Cqa.Range _ -> incr range
+          | Cqa.Certain v ->
+            incr certain;
+            let current = Dart_constraints.Ground.db_valuation corrupted cell in
+            if not (Dart_numeric.Rat.equal v current) then incr silently_repaired)
+        (Cqa.all_answers corrupted Cash_budget.constraints)
+    with Invalid_argument _ | Cqa.Too_many_supports -> ()
+  done;
+  let pct n = if !total = 0 then "-" else Report.pct (float_of_int n /. float_of_int !total) in
+  [ string_of_int errors; string_of_int !total;
+    pct !untouched; pct !certain; string_of_int !silently_repaired; pct !range ]
+
+(* Same sweep on the two-dimensional quarterly scenario, where the period
+   and annual constraint families triangulate errors. *)
+let run_quarterly ~errors =
+  let certain = ref 0 and untouched = ref 0 and range = ref 0 in
+  let silently_repaired = ref 0 and total = ref 0 in
+  for seed = 1 to trials do
+    let prng = Prng.create (seed * 733 + errors) in
+    let truth = Quarterly.generate ~years:1 prng in
+    let corrupted, _ = Quarterly.corrupt ~errors prng truth in
+    try
+      List.iter
+        (fun (cell, answer) ->
+          incr total;
+          match answer with
+          | Cqa.Untouched -> incr untouched
+          | Cqa.Range _ -> incr range
+          | Cqa.Certain v ->
+            incr certain;
+            let current = Dart_constraints.Ground.db_valuation corrupted cell in
+            if not (Dart_numeric.Rat.equal v current) then incr silently_repaired)
+        (Cqa.all_answers corrupted Quarterly.constraints)
+    with Invalid_argument _ | Cqa.Too_many_supports -> ()
+  done;
+  let pct n = if !total = 0 then "-" else Report.pct (float_of_int n /. float_of_int !total) in
+  [ string_of_int errors; string_of_int !total;
+    pct !untouched; pct !certain; string_of_int !silently_repaired; pct !range ]
+
+let run () =
+  let rows = List.map (fun errors -> run_config ~errors) [ 1; 2; 4 ] in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E10 (ext)  Consistent query answers on corrupted budgets (%d x 2-year docs)"
+         trials)
+    ~header:
+      [ "errors"; "cells"; "untouched"; "certain"; "silently repaired"; "needs operator" ]
+    rows;
+  let rows = List.map (fun errors -> run_quarterly ~errors) [ 1; 2 ] in
+  Report.table
+    ~title:"E10b (ext)  Same sweep, two-dimensional quarterly rollups (triangulation)"
+    ~header:
+      [ "errors"; "cells"; "untouched"; "certain"; "silently repaired"; "needs operator" ]
+    rows;
+  Report.note
+    "  extension beyond the paper (after its reference [16]): a cell needs the\n\
+    \  operator only when card-minimal repairs disagree on it.  expected shape:\n\
+    \  in the flat cash budget the operator-needed fraction grows with errors;\n\
+    \  in the quarterly scenario the orthogonal constraint families triangulate\n\
+    \  single errors, so nearly every cell stays certain (self-repair)."

@@ -1,0 +1,66 @@
+(* E5 — card-minimality: the repair produced by the MILP translation must
+   have the same cardinality as exhaustive subset search (the ground-truth
+   minimality oracle on small instances), while the greedy baseline may
+   over-repair.  This quantifies why the paper translates to MILP instead
+   of using a cheap heuristic. *)
+
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+let trials = 20
+
+let cardinality_of = function
+  | Solver.Repaired (rho, _) -> Repair.cardinality rho
+  | Solver.Consistent -> 0
+  | _ -> -1
+
+let run_config ~errors =
+  let milp_total = ref 0 and exh_total = ref 0 and greedy_total = ref 0 in
+  let milp_eq_exh = ref 0 and greedy_worse = ref 0 and usable = ref 0 in
+  for seed = 1 to trials do
+    let prng = Prng.create (seed * 104729 + errors) in
+    let truth = Cash_budget.generate ~years:1 prng in
+    let corrupted, _ = Cash_budget.corrupt ~errors prng truth in
+    let milp = cardinality_of (Solver.card_minimal corrupted Cash_budget.constraints) in
+    let exh =
+      match Baseline.exhaustive ~max_card:4 corrupted Cash_budget.constraints with
+      | Some rho -> Repair.cardinality rho
+      | None -> -1
+    in
+    let greedy =
+      match Baseline.greedy corrupted Cash_budget.constraints with
+      | Some rho -> Repair.cardinality rho
+      | None -> -1
+    in
+    if milp >= 0 && exh >= 0 then begin
+      incr usable;
+      milp_total := !milp_total + milp;
+      exh_total := !exh_total + exh;
+      if milp = exh then incr milp_eq_exh;
+      if greedy >= 0 then begin
+        greedy_total := !greedy_total + greedy;
+        if greedy > milp then incr greedy_worse
+      end
+    end
+  done;
+  let avg t = Report.f2 (float_of_int t /. float_of_int (max 1 !usable)) in
+  [ string_of_int errors;
+    avg !milp_total; avg !exh_total; avg !greedy_total;
+    Printf.sprintf "%d/%d" !milp_eq_exh !usable;
+    Printf.sprintf "%d/%d" !greedy_worse !usable ]
+
+let run () =
+  let rows = List.map (fun errors -> run_config ~errors) [ 1; 2; 3 ] in
+  Report.table
+    ~title:
+      (Printf.sprintf "E5  Card-minimality: MILP vs exhaustive vs greedy (%d trials/row)"
+         trials)
+    ~header:
+      [ "errors"; "avg |rho| MILP"; "avg |rho| exhaustive"; "avg |rho| greedy";
+        "MILP = exhaustive"; "greedy over-repairs" ]
+    rows;
+  Report.note
+    "  paper (Sec. 5): any solution of S*(AC) is a card-minimal repair.\n\
+    \  expected shape: MILP matches the exhaustive optimum on every instance;\n\
+    \  the greedy baseline sometimes needs strictly more updates."

@@ -1,0 +1,73 @@
+(* E8 — end-to-end pipeline effectiveness (the Figure 2 data flow under an
+   OCR noise sweep): how many documents come out fully correct without any
+   repairing, with unsupervised card-minimal repair, and with the
+   supervised validation loop — plus the operator effort saved. *)
+
+open Dart
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+let docs = 15
+let years = 3
+
+let run_rate rate =
+  let scenario = Budget_scenario.scenario in
+  let ok_raw = ref 0 and ok_unsup = ref 0 and ok_sup = ref 0 in
+  let examined = ref 0 and cells = ref 0 and skipped_docs = ref 0 in
+  for seed = 1 to docs do
+    let prng = Prng.create (seed * 613 + int_of_float (rate *. 1000.0)) in
+    let truth = Cash_budget.generate ~years prng in
+    let clean_acq = Pipeline.acquire scenario (fst (Doc_render.cash_budget_html truth)) in
+    let channel =
+      { Dart_ocr.Noise.numeric_rate = rate; string_rate = rate; char_rate = 0.1 }
+    in
+    let noisy_html, _ = Doc_render.cash_budget_html ~channel ~prng truth in
+    let acq = Pipeline.acquire scenario noisy_html in
+    if Database.cardinality acq.Pipeline.db <> Database.cardinality clean_acq.Pipeline.db
+    then incr skipped_docs (* rows lost to unreadable labels: re-acquisition *)
+    else begin
+      let truth_db = clean_acq.Pipeline.db in
+      let equal_to_truth db =
+        List.for_all2 Tuple.equal_values
+          (Database.all_tuples truth_db) (Database.all_tuples db)
+      in
+      if equal_to_truth acq.Pipeline.db then incr ok_raw;
+      (match Pipeline.repair scenario acq.Pipeline.db with
+       | Solver.Repaired (rho, _) ->
+         if equal_to_truth (Update.apply acq.Pipeline.db rho) then incr ok_unsup
+       | Solver.Consistent -> if equal_to_truth acq.Pipeline.db then incr ok_unsup
+       | _ -> ());
+      let operator = Validation.oracle ~truth:truth_db in
+      let outcome = Pipeline.validate scenario ~operator acq.Pipeline.db in
+      if outcome.Validation.converged && equal_to_truth outcome.Validation.final_db then
+        incr ok_sup;
+      examined := !examined + outcome.Validation.examined;
+      cells := !cells + Database.cardinality acq.Pipeline.db
+    end
+  done;
+  let usable = docs - !skipped_docs in
+  [ Report.pct rate;
+    Printf.sprintf "%d/%d" usable docs;
+    Printf.sprintf "%d/%d" !ok_raw usable;
+    Printf.sprintf "%d/%d" !ok_unsup usable;
+    Printf.sprintf "%d/%d" !ok_sup usable;
+    (if !cells = 0 then "-" else Report.pct (1.0 -. float_of_int !examined /. float_of_int !cells)) ]
+
+let run () =
+  let rows = List.map run_rate [ 0.02; 0.05; 0.1; 0.2 ] in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E8  End-to-end pipeline under OCR noise (%d documents x %d years)" docs years)
+    ~header:
+      [ "noise rate"; "fully extracted"; "correct w/o repair"; "correct unsupervised";
+        "correct supervised"; "operator effort saved" ]
+    rows;
+  Report.note
+    "  paper: unsupervised acquisition is not error-free; DART's supervised\n\
+    \  repairing recovers the source values while the operator examines only\n\
+    \  the suggested updates.  expected shape: 'correct w/o repair' collapses\n\
+    \  as noise grows; 'correct supervised' stays near 100% of extractable\n\
+    \  documents; effort saved remains large."

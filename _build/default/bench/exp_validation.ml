@@ -1,0 +1,67 @@
+(* E4 — the §7 claim: "DART effectively supports the acquisition of balance
+   data, providing the correct repair of wrongly acquired data in a few
+   iterations in most cases."
+
+   We corrupt generated cash budgets with k numeric OCR errors, run the
+   validation loop with the ground-truth oracle operator, and report the
+   distribution of loop iterations, the operator effort, and how often the
+   exact source document is recovered. *)
+
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+let trials = 25
+
+let run_config ~years ~errors =
+  let iteration_counts = Array.make 12 0 in
+  let recovered = ref 0 and converged = ref 0 in
+  let examined_total = ref 0 in
+  for seed = 1 to trials do
+    let prng = Prng.create (seed * 7919 + years * 101 + errors) in
+    let truth = Cash_budget.generate ~years prng in
+    let corrupted, _ = Cash_budget.corrupt ~errors prng truth in
+    let operator = Validation.oracle ~truth in
+    let outcome = Validation.run ~operator corrupted Cash_budget.constraints in
+    if outcome.Validation.converged then incr converged;
+    let it = min outcome.Validation.iterations 11 in
+    iteration_counts.(it) <- iteration_counts.(it) + 1;
+    examined_total := !examined_total + outcome.Validation.examined;
+    if Database.equal_contents outcome.Validation.final_db truth then incr recovered
+  done;
+  let median =
+    let rec go i acc =
+      if acc * 2 >= trials then i else go (i + 1) (acc + iteration_counts.(i + 1))
+    in
+    go 0 iteration_counts.(0)
+  in
+  let maxit =
+    let rec go i = if i = 0 || iteration_counts.(i) > 0 then i else go (i - 1) in
+    go 11
+  in
+  [ string_of_int years; string_of_int errors;
+    Printf.sprintf "%d/%d" !converged trials;
+    string_of_int median; string_of_int maxit;
+    Report.f2 (float_of_int !examined_total /. float_of_int trials);
+    Printf.sprintf "%d/%d" !recovered trials ]
+
+let run () =
+  let rows =
+    List.concat_map
+      (fun years -> List.map (fun errors -> run_config ~years ~errors) [ 1; 2; 4 ])
+      [ 2; 4; 8 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "E4  Validation-loop convergence, oracle operator (%d trials per row)" trials)
+    ~header:
+      [ "years"; "errors"; "converged"; "median iters"; "max iters"; "avg examined";
+        "truth recovered" ]
+    rows;
+  Report.note
+    "  paper (Sec. 7): 'correct repair ... in a few iterations in most cases'.\n\
+    \  expected shape: median iterations stays small (1-3) and the truth is\n\
+    \  recovered in the vast majority of runs; operator examines far fewer\n\
+    \  values than the document contains (10 cells/year)."

@@ -1,0 +1,110 @@
+(* E3 — wrapper extraction (§6.2, Example 13, Figure 7):
+
+   - the multi-row year cell binds the year to every adjacent document row;
+   - the misspelled label "bgnning cesh" is bound to "beginning cash" with
+     a sub-100% cell score (the paper displays 90%);
+   - the whole Figure 1 document is extracted without loss.
+
+   E7 — lexical repair accuracy of the dictionary under increasing OCR
+   character noise. *)
+
+open Dart
+open Dart_wrapper
+open Dart_textdict
+open Dart_datagen
+open Dart_rand
+
+let replace_first ~needle ~replacement hay =
+  let nlen = String.length needle and hlen = String.length hay in
+  let rec find i =
+    if i + nlen > hlen then None
+    else if String.sub hay i nlen = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> hay
+  | Some i -> String.sub hay 0 i ^ replacement ^ String.sub hay (i + nlen) (hlen - i - nlen)
+
+let run_e3 () =
+  let meta = Budget_scenario.metadata in
+  let html, _ = Doc_render.cash_budget_html (Cash_budget.figure1 ()) in
+  let html = replace_first ~needle:"beginning cash" ~replacement:"bgnning cesh" html in
+  let result = Extractor.extract meta html in
+  let year_rows =
+    List.length
+      (List.filter
+         (fun inst ->
+           match Matcher.bound_by_headline inst "Year" with
+           | "2003" | "2004" -> true
+           | _ -> false)
+         result.Extractor.instances)
+  in
+  (* Find the repaired instance and its Subsection cell score. *)
+  let repaired_score =
+    List.fold_left
+      (fun acc inst ->
+        Array.fold_left
+          (fun acc (c : Matcher.instance_cell) ->
+            if c.Matcher.raw = "bgnning cesh" then Some c.Matcher.cell_score else acc)
+          acc inst.Matcher.cells)
+      None result.Extractor.instances
+  in
+  let repaired_binding =
+    List.fold_left
+      (fun acc inst ->
+        Array.fold_left
+          (fun acc (c : Matcher.instance_cell) ->
+            if c.Matcher.raw = "bgnning cesh" then Some c.Matcher.bound else acc)
+          acc inst.Matcher.cells)
+      None result.Extractor.instances
+  in
+  Report.table ~title:"E3  Wrapper on Figure 1 + Example 13 corruption"
+    ~header:[ "quantity"; "paper"; "measured" ]
+    [ [ "rows extracted"; "20 (all)"; string_of_int (List.length result.Extractor.instances) ];
+      [ "rows with year bound via multi-row cell"; "20";
+        string_of_int year_rows ];
+      [ "binding of 'bgnning cesh'"; "beginning cash";
+        Option.value ~default:"<none>" repaired_binding ];
+      [ "cell score of the near-match"; "90% (Fig. 7b)";
+        (match repaired_score with
+         | Some s -> Printf.sprintf "%.0f%%" (100.0 *. s)
+         | None -> "<none>") ];
+      [ "mean row score"; "< 1 only on the corrupted row";
+        Report.f3 (Extractor.mean_score result) ] ]
+
+let run_e7 () =
+  let lexicon = Cash_budget.subsections @ Cash_budget.sections in
+  let dict = Dictionary.create lexicon in
+  let trials = 400 in
+  let rows =
+    List.map
+      (fun char_rate ->
+        let prng = Prng.create (int_of_float (char_rate *. 1000.0) + 7) in
+        let successes = ref 0 and corrupted_cnt = ref 0 in
+        for i = 0 to trials - 1 do
+          let word = List.nth lexicon (i mod List.length lexicon) in
+          let noisy = Dart_ocr.Noise.corrupt_string ~char_rate prng word in
+          if noisy <> word then begin
+            incr corrupted_cnt;
+            if Dictionary.repair dict noisy = word then incr successes
+          end
+        done;
+        let acc =
+          if !corrupted_cnt = 0 then 1.0
+          else float_of_int !successes /. float_of_int !corrupted_cnt
+        in
+        [ Report.pct char_rate; string_of_int !corrupted_cnt; Report.pct acc ])
+      [ 0.05; 0.1; 0.2; 0.3; 0.4 ]
+  in
+  Report.table
+    ~title:"E7  Lexical repair accuracy vs OCR character noise (400 draws/row)"
+    ~header:[ "char error rate"; "corrupted labels"; "repaired to source" ]
+    rows;
+  Report.note
+    "  paper: spelling errors on non-numerical strings are corrected against\n\
+    \  the scenario dictionary (Example 13); expected shape: accuracy degrades\n\
+    \  gracefully, staying high for realistic (<20%) character error rates."
+
+let run () =
+  run_e3 ();
+  run_e7 ()

@@ -1,0 +1,35 @@
+(* Benchmark harness: regenerates every experiment in EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            run all experiments (E1-E9)
+     dune exec bench/main.exe -- e4 e6   run a subset
+     dune exec bench/main.exe -- micro   run the bechamel micro-benchmarks *)
+
+let experiments =
+  [ ("e1", Exp_running_example.run);
+    ("e3", Exp_wrapper.run);
+    ("e4", Exp_validation.run);
+    ("e5", Exp_minimality.run);
+    ("e6", Exp_scaling.run);
+    ("e8", Exp_pipeline.run);
+    ("e9", Exp_ablations.run);
+    ("e10", Exp_cqa.run);
+    ("micro", Micro.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> List.map String.lowercase_ascii args
+    | _ -> [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10" ] (* micro is opt-in *)
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some run ->
+        let _, elapsed = Report.time run in
+        Printf.printf "  [%s done in %.1fs]\n%!" id elapsed
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" id
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested

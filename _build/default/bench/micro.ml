@@ -1,0 +1,93 @@
+(* B1-B5 — bechamel micro-benchmarks of the computational kernels:
+   simplex solve, constraint grounding, MILP repair, wrapper row matching,
+   edit distance, bignat division. *)
+
+open Bechamel
+open Toolkit
+
+let simplex_test =
+  let open Dart_lp in
+  let module P = Lp_problem.Make (Field_rat) in
+  let module S = Simplex.Make (Field_rat) in
+  let fi = Field_rat.of_int in
+  let build () =
+    let p = P.create () in
+    let xs = Array.init 12 (fun _ -> P.add_var ~lower:Field_rat.zero p) in
+    Array.iteri
+      (fun i _ ->
+        P.add_constraint p
+          [ (fi 1, xs.(i)); (fi 2, xs.((i + 1) mod 12)); (fi 1, xs.((i + 5) mod 12)) ]
+          Lp_problem.Le (fi (20 + i)))
+      xs;
+    P.set_objective ~minimize:false p (Array.to_list (Array.map (fun x -> (fi 1, x)) xs));
+    p
+  in
+  let p = build () in
+  Test.make ~name:"simplex: 12 vars, 12 rows (exact rat)"
+    (Staged.stage (fun () -> ignore (S.solve p)))
+
+let grounding_test =
+  let open Dart_datagen in
+  let db = Cash_budget.generate ~years:8 (Dart_rand.Prng.create 3) in
+  Test.make ~name:"grounding: 8-year budget, 3 constraints"
+    (Staged.stage (fun () ->
+         ignore (Dart_constraints.Ground.of_constraints db Cash_budget.constraints)))
+
+let repair_test =
+  let open Dart_datagen in
+  let prng = Dart_rand.Prng.create 11 in
+  let truth = Cash_budget.generate ~years:2 prng in
+  let corrupted, _ = Cash_budget.corrupt ~errors:1 prng truth in
+  Test.make ~name:"card-minimal repair: 2 years, 1 error"
+    (Staged.stage (fun () ->
+         ignore (Dart_repair.Solver.card_minimal corrupted Cash_budget.constraints)))
+
+let wrapper_test =
+  let meta = Dart.Budget_scenario.metadata in
+  Test.make ~name:"wrapper: match one noisy row"
+    (Staged.stage (fun () ->
+         ignore
+           (Dart_wrapper.Matcher.best_instance meta
+              [ "2003"; "Receipts"; "bgnning cesh"; "20" ])))
+
+let edit_distance_test =
+  Test.make ~name:"damerau-levenshtein: 19-char labels"
+    (Staged.stage (fun () ->
+         ignore
+           (Dart_textdict.Edit_distance.damerau_levenshtein "total cash receipts"
+              "totol cish receits")))
+
+let bignat_test =
+  let open Dart_numeric in
+  let a = Bignat.pow (Bignat.of_int 1234567) 40 in
+  let b = Bignat.pow (Bignat.of_int 7654321) 19 in
+  Test.make ~name:"bignat divmod: 280-bit / 130-bit"
+    (Staged.stage (fun () -> ignore (Bignat.divmod a b)))
+
+let tests =
+  Test.make_grouped ~name:"dart"
+    [ simplex_test; grounding_test; repair_test; wrapper_test; edit_distance_test;
+      bignat_test ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\n== B1-B5  Micro-benchmarks (bechamel, monotonic clock) ==\n";
+  Hashtbl.iter
+    (fun label per_instance ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-45s <no estimate>\n" name)
+        per_instance;
+      ignore label)
+    results

@@ -1,0 +1,50 @@
+(* Fixed-width table rendering for the experiment reports. *)
+
+let hline widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-'); print_string "+") widths;
+  print_newline ()
+
+let row widths cells =
+  print_string "|";
+  List.iter2
+    (fun w c ->
+      let c = if String.length c > w then String.sub c 0 w else c in
+      Printf.printf " %-*s |" w c)
+    widths cells;
+  print_newline ()
+
+(* Print a table with automatic column widths. *)
+let table ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length (List.nth header i))
+          rows)
+  in
+  hline widths;
+  row widths header;
+  hline widths;
+  List.iter (row widths) rows;
+  hline widths
+
+let kv ~title pairs =
+  Printf.printf "\n== %s ==\n" title;
+  let w = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "  %-*s : %s\n" w k v) pairs
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let ms seconds = Printf.sprintf "%.2f ms" (1000.0 *. seconds)
+
+(* CPU-time a thunk. *)
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let note text = Printf.printf "%s\n" text

@@ -1,0 +1,262 @@
+(* The DART command-line interface.
+
+   Subcommands mirror the architecture of Figure 2:
+
+     dart-cli gen      generate a (possibly OCR-corrupted) input document
+     dart-cli extract  acquisition + extraction: document -> CSV database
+     dart-cli check    inconsistency detection against the constraints
+     dart-cli repair   one-shot card-minimal repair (prints the updates)
+     dart-cli run      the supervised pipeline with an interactive operator
+
+   Scenarios: cash-budget (the paper's running example), balance-sheet,
+   catalog, quarterly. *)
+
+open Cmdliner
+open Dart
+open Dart_relational
+open Dart_constraints
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type scenario_kind = Cash_budget_s | Balance_sheet_s | Catalog_s | Quarterly_s
+
+let scenario_of = function
+  | Cash_budget_s -> Budget_scenario.scenario
+  | Balance_sheet_s -> Balance_scenario.scenario
+  | Catalog_s -> Catalog_scenario.scenario
+  | Quarterly_s -> Quarterly_scenario.scenario
+
+let scenario_arg =
+  let parse = function
+    | "cash-budget" -> Ok Cash_budget_s
+    | "balance-sheet" -> Ok Balance_sheet_s
+    | "catalog" -> Ok Catalog_s
+    | "quarterly" -> Ok Quarterly_s
+    | s -> Error (`Msg (Printf.sprintf "unknown scenario %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+       | Cash_budget_s -> "cash-budget"
+       | Balance_sheet_s -> "balance-sheet"
+       | Catalog_s -> "catalog"
+       | Quarterly_s -> "quarterly")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Cash_budget_s
+    & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Scenario metadata to use: cash-budget, balance-sheet, catalog or quarterly.")
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Input document (HTML/CSV/TSV/fixed-width text).")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let acquire_from kind path =
+  let scenario = scenario_of kind in
+  let text = read_file path in
+  let format = Convert.format_of_filename path in
+  (scenario, Pipeline.acquire scenario ~format text)
+
+let relation_of_kind = function
+  | Cash_budget_s -> Cash_budget.relation_name
+  | Balance_sheet_s -> Balance_sheet.relation_name
+  | Catalog_s -> Catalog.relation_name
+  | Quarterly_s -> Quarterly.relation_name
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let years =
+    Arg.(value & opt int 2 & info [ "years" ] ~docv:"N" ~doc:"Years to generate.")
+  in
+  let seed = Arg.(value & opt int 2006 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let noise =
+    Arg.(
+      value & opt float 0.0
+      & info [ "noise" ] ~docv:"P" ~doc:"OCR corruption rate per cell (0 disables).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Output file (default stdout).")
+  in
+  let run kind years seed noise out =
+    let prng = Prng.create seed in
+    let channel =
+      if noise > 0.0 then
+        Some { Dart_ocr.Noise.numeric_rate = noise; string_rate = noise; char_rate = 0.12 }
+      else None
+    in
+    let html =
+      match kind with
+      | Cash_budget_s ->
+        let db = Cash_budget.generate ~years prng in
+        fst (Doc_render.cash_budget_html ?channel ?prng:(Option.map (fun _ -> prng) channel) db)
+      | Balance_sheet_s ->
+        let db = Balance_sheet.generate ~years prng in
+        fst (Balance_sheet.to_html ?channel ?prng:(Option.map (fun _ -> prng) channel) db)
+      | Catalog_s ->
+        let db = Catalog.generate prng in
+        Catalog.to_html ?channel ?prng:(Option.map (fun _ -> prng) channel) db
+      | Quarterly_s ->
+        let db = Quarterly.generate ~years prng in
+        Quarterly.to_html ?channel ?prng:(Option.map (fun _ -> prng) channel) db
+    in
+    match out with
+    | None -> print_string html
+    | Some path ->
+      let oc = open_out path in
+      output_string oc html;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic input document (optionally OCR-corrupted).")
+    Term.(const run $ scenario_arg $ years $ seed $ noise $ out)
+
+(* ------------------------------------------------------------------ *)
+(* extract                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let extract_cmd =
+  let run kind path =
+    let _scenario, acq = acquire_from kind path in
+    let matched = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.instances in
+    let total = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.reports in
+    Printf.eprintf "extracted %d/%d rows (mean score %.3f)\n" matched total
+      (Dart_wrapper.Extractor.mean_score acq.Pipeline.extraction);
+    print_string (Csv.of_relation acq.Pipeline.db (relation_of_kind kind))
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Acquire a document and dump the extracted relation as CSV.")
+    Term.(const run $ scenario_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run kind path =
+    let scenario, acq = acquire_from kind path in
+    match Violation_report.of_constraints acq.Pipeline.db scenario.Scenario.constraints with
+    | [] ->
+      Printf.printf "consistent: all %d constraints satisfied\n"
+        (List.length scenario.Scenario.constraints)
+    | entries ->
+      Format.printf "%a" Violation_report.pp (Violation_report.by_severity entries);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Detect inconsistencies w.r.t. the scenario's constraints.")
+    Term.(const run $ scenario_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* repair                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let repair_cmd =
+  let run kind path =
+    let scenario, acq = acquire_from kind path in
+    match Pipeline.repair scenario acq.Pipeline.db with
+    | Solver.Consistent -> print_endline "already consistent; no repair needed"
+    | Solver.Repaired (rho, stats) ->
+      Printf.printf "card-minimal repair: %d update(s) [%d components, %d nodes]\n"
+        (Repair.cardinality rho) stats.Solver.components stats.Solver.nodes;
+      let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
+      List.iter
+        (fun u -> Format.printf "  %a@." (Update.pp acq.Pipeline.db) u)
+        (Solver.display_order rows rho)
+    | Solver.No_repair _ -> print_endline "no repair exists"; exit 1
+    | Solver.Node_budget_exceeded _ -> print_endline "search truncated"; exit 1
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Propose a card-minimal repair for an inconsistent document.")
+    Term.(const run $ scenario_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export-milp                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let run kind path =
+    let scenario, acq = acquire_from kind path in
+    let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
+    let enc = Encode.build acq.Pipeline.db rows in
+    let module Io = Dart_lp.Lp_io.Make (Dart_lp.Field_rat) in
+    print_string (Io.to_string enc.Encode.problem)
+  in
+  Cmd.v
+    (Cmd.info "export-milp"
+       ~doc:"Print the S*(AC) MILP instance of a document in CPLEX LP format.")
+    Term.(const run $ scenario_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run (interactive validation loop)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let interactive_operator ~db:_ : Validation.operator =
+ fun ~cell:(_, attr) ~tuple ~suggested ->
+  Format.printf "@.suggested update on %a@.  %s := %s   [a]ccept / [o]verride? %!"
+    Tuple.pp tuple attr (Value.to_string suggested);
+  let rec ask () =
+    match String.lowercase_ascii (String.trim (read_line ())) with
+    | "a" | "accept" | "" -> Validation.Accept
+    | "o" | "override" ->
+      Format.printf "  actual value: %!";
+      (match int_of_string_opt (String.trim (read_line ())) with
+       | Some n -> Validation.Override (Value.Int n)
+       | None ->
+         Format.printf "  not an integer, try again: %!";
+         ask ())
+    | _ ->
+      Format.printf "  please answer a or o: %!";
+      ask ()
+  in
+  (try ask () with End_of_file -> Validation.Accept)
+
+let run_cmd =
+  let auto =
+    Arg.(
+      value & flag
+      & info [ "auto" ] ~doc:"Accept every suggested update without prompting.")
+  in
+  let run kind path auto =
+    let scenario, acq = acquire_from kind path in
+    let operator : Validation.operator =
+      if auto then fun ~cell:_ ~tuple:_ ~suggested:_ -> Validation.Accept
+      else interactive_operator ~db:acq.Pipeline.db
+    in
+    let outcome = Pipeline.validate scenario ~operator acq.Pipeline.db in
+    Printf.printf "\nconverged=%b iterations=%d updates-examined=%d\n"
+      outcome.Validation.converged outcome.Validation.iterations outcome.Validation.examined;
+    print_string (Csv.of_relation outcome.Validation.final_db (relation_of_kind kind))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Full supervised pipeline: acquire, repair, validate interactively, print CSV.")
+    Term.(const run $ scenario_arg $ input_arg $ auto)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "dart-cli" ~version:"1.0.0"
+       ~doc:"DART: data acquisition and repairing tool (EDBT 2006 reproduction).")
+    [ gen_cmd; extract_cmd; check_cmd; repair_cmd; export_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/balance_acquisition.ml: Balance_scenario Balance_sheet Dart Dart_datagen Dart_ocr Dart_rand Dart_relational Dart_repair Dart_wrapper Database Format List Pipeline Prng Tuple Validation

@@ -1,0 +1,1 @@
+examples/balance_acquisition.mli:

@@ -1,0 +1,1 @@
+examples/catalog_web.ml: Catalog Catalog_scenario Dart Dart_datagen Dart_rand Dart_relational Dart_repair Database Format List Pipeline Prng Repair Solver Tuple Validation

@@ -1,0 +1,1 @@
+examples/catalog_web.mli:

@@ -1,0 +1,1 @@
+examples/cqa_reliability.ml: Cash_budget Cqa Dart_datagen Dart_numeric Dart_relational Dart_repair Database Format List Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/cqa_reliability.mli:

@@ -1,0 +1,1 @@
+examples/custom_constraints.ml: Agg_constraint Aggregate Attr_expr Dart_constraints Dart_numeric Dart_relational Dart_repair Database Format Formula List Rat Repair Schema Solver Steady Update Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agg_constraint Cash_budget Dart_constraints Dart_datagen Dart_relational Dart_repair Format List Repair Solver Update

@@ -1,0 +1,95 @@
+(* Using the DART library on your own schema: define a relational schema,
+   write steady aggregate constraints against it, check steadiness, and
+   repair a hand-made inconsistent instance.
+
+   The domain here is expense reports: each report has line items and a
+   declared total per trip; a per-department ceiling gives an inequality
+   constraint (aggregate constraints are more general than equalities).
+
+   Run with:  dune exec examples/custom_constraints.exe *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_repair
+
+let relation = "Expense"
+
+let expense_schema =
+  Schema.make_relation relation
+    [| ("Trip", Value.String_dom); ("Item", Value.String_dom);
+       ("Kind", Value.String_dom); ("Amount", Value.Int_dom) |]
+
+let schema = Schema.make [ expense_schema ] [ (relation, "Amount") ]
+
+(* chi(trip, kind) = SELECT sum(Amount) FROM Expense
+                     WHERE Trip = trip AND Kind = kind *)
+let chi =
+  Aggregate.make ~name:"chi" ~rel:relation ~arity:2 ~expr:(Attr_expr.Attr "Amount")
+    ~where:(Formula.conj [ Formula.attr_eq_param "Trip" 0; Formula.attr_eq_param "Kind" 1 ])
+
+let sval s = Value.String s
+
+(* For every trip: sum of line items equals the declared total. *)
+let line_total =
+  Agg_constraint.make ~name:"line-total" ~nvars:1
+    ~body:[ { Agg_constraint.rel = relation;
+              args = [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Anon;
+                        Agg_constraint.Anon |] } ]
+    ~apps:
+      [ { Agg_constraint.coeff = Rat.one; fn = chi;
+          actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "line") |] };
+        { Agg_constraint.coeff = Rat.minus_one; fn = chi;
+          actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "total") |] } ]
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+(* Every trip's total is at most 1500 (an inequality constraint). *)
+let ceiling =
+  Agg_constraint.make ~name:"ceiling" ~nvars:1
+    ~body:[ { Agg_constraint.rel = relation;
+              args = [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Anon;
+                        Agg_constraint.Anon |] } ]
+    ~apps:
+      [ { Agg_constraint.coeff = Rat.one; fn = chi;
+          actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "total") |] } ]
+    ~op:Agg_constraint.Le ~bound:(Rat.of_int 1500)
+
+let constraints = [ line_total; ceiling ]
+
+let () =
+  (* Both constraints are steady: the repair problem is an ILP. *)
+  List.iter
+    (fun k ->
+      Format.printf "constraint %-12s steady: %b@." k.Agg_constraint.name
+        (Steady.is_steady schema k))
+    constraints;
+
+  (* An inconsistent instance: the declared total (1200) does not match the
+     line items (350 + 95 + 410 = 855), and a second trip busts the
+     ceiling. *)
+  let db = Database.create schema in
+  let row db (trip, item, kind, amount) =
+    Database.insert_row db relation [| sval trip; sval item; sval kind; Value.Int amount |]
+  in
+  let db =
+    List.fold_left row db
+      [ ("berlin", "flight", "line", 350); ("berlin", "hotel", "line", 95);
+        ("berlin", "meals", "line", 410); ("berlin", "declared", "total", 1200);
+        ("tokyo", "flight", "line", 900); ("tokyo", "hotel", "line", 700);
+        ("tokyo", "declared", "total", 1600) ]
+  in
+  List.iter
+    (fun k ->
+      Format.printf "%s violated on %d ground instance(s)@." k.Agg_constraint.name
+        (List.length (Agg_constraint.violations db k)))
+    constraints;
+
+  match Solver.card_minimal db constraints with
+  | Solver.Repaired (rho, _) ->
+    Format.printf "@.card-minimal repair (%d updates):@.  %a@."
+      (Repair.cardinality rho) (Repair.pp db) rho;
+    Format.printf "consistent after repair: %b@."
+      (Agg_constraint.holds_all (Update.apply db rho) constraints)
+  | Solver.Consistent -> Format.printf "already consistent@."
+  | Solver.No_repair _ | Solver.Node_budget_exceeded _ ->
+    Format.printf "no repair found@."

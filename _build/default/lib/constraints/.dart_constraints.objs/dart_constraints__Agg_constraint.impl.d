@@ -1,0 +1,1 @@
+lib/constraints/agg_constraint.ml: Aggregate Array Dart_numeric Dart_relational Database Format Hashtbl List Option Printf Rat String Tuple Value

@@ -1,0 +1,1 @@
+lib/constraints/agg_constraint.mli: Aggregate Dart_numeric Dart_relational Database Format Rat Value

@@ -1,0 +1,1 @@
+lib/constraints/aggregate.ml: Array Attr_expr Dart_numeric Dart_relational Database Format Formula List Printf Rat Schema Value

@@ -1,0 +1,1 @@
+lib/constraints/aggregate.mli: Attr_expr Dart_numeric Dart_relational Database Format Formula Rat Tuple Value

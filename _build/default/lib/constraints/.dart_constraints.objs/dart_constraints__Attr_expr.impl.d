@@ -1,0 +1,1 @@
+lib/constraints/attr_expr.ml: Dart_numeric Dart_relational Format List Rat Tuple Value

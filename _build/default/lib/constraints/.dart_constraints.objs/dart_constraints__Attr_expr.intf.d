@@ -1,0 +1,1 @@
+lib/constraints/attr_expr.mli: Dart_numeric Dart_relational Format Rat Schema Tuple

@@ -1,0 +1,1 @@
+lib/constraints/ground.ml: Agg_constraint Aggregate Array Attr_expr Dart_numeric Dart_relational Database Format Hashtbl List Rat Schema Steady String Tuple Value

@@ -1,0 +1,1 @@
+lib/constraints/ground.mli: Agg_constraint Dart_numeric Dart_relational Database Format Rat Tuple Value

@@ -1,0 +1,1 @@
+lib/constraints/steady.ml: Agg_constraint Aggregate Array Dart_relational Hashtbl List Printf Schema String

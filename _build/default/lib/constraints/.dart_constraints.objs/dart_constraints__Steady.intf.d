@@ -1,0 +1,1 @@
+lib/constraints/steady.mli: Agg_constraint Dart_relational Schema

@@ -1,0 +1,1 @@
+lib/constraints/violation_report.ml: Agg_constraint Dart_numeric Dart_relational Format Ground List Rat Value

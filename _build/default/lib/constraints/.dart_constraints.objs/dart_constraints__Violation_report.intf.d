@@ -1,0 +1,1 @@
+lib/constraints/violation_report.mli: Agg_constraint Dart_numeric Dart_relational Database Format Rat Value

@@ -1,0 +1,55 @@
+(** Aggregation functions (paper §3.1):
+
+    χ(x₁, …, xₖ) = SELECT sum(e) FROM R WHERE α(x₁, …, xₖ)
+
+    [where] is a {!Dart_relational.Formula.t} whose [Param i] refers to the
+    i-th {e formal} parameter of the function; constraints instantiate the
+    formals with variables or constants (see {!Agg_constraint}). *)
+
+open Dart_numeric
+open Dart_relational
+
+type t = {
+  name : string;
+  rel : string;            (** the relation R the sum ranges over *)
+  expr : Attr_expr.t;      (** the summed attribute expression e *)
+  arity : int;             (** number of formal parameters *)
+  where : Formula.t;       (** α, over [Param 0 .. arity-1] *)
+}
+
+let make ~name ~rel ~arity ~expr ~where =
+  List.iter
+    (fun i ->
+      if i < 0 || i >= arity then
+        invalid_arg (Printf.sprintf "Aggregate.make %s: Param %d out of arity %d" name i arity))
+    (Formula.params where);
+  { name; rel; expr; arity; where }
+
+(** Tuples of [db] involved in the application (the paper's T_χ) under the
+    given actual-parameter values. *)
+let involved_tuples db t (actuals : Value.t array) =
+  if Array.length actuals <> t.arity then
+    invalid_arg (Printf.sprintf "Aggregate.involved_tuples %s: arity mismatch" t.name);
+  let env = Array.map (fun v -> Some v) actuals in
+  let rs = Schema.relation (Database.schema db) t.rel in
+  List.filter (fun tu -> Formula.eval rs env tu t.where) (Database.tuples_of db t.rel)
+
+(** Evaluate the aggregation-sum on the current database state. *)
+let eval db t actuals =
+  let rs = Schema.relation (Database.schema db) t.rel in
+  List.fold_left
+    (fun acc tu -> Rat.add acc (Attr_expr.eval rs tu t.expr))
+    Rat.zero (involved_tuples db t actuals)
+
+(** The attribute set W(χ) of the steadiness test: attributes named in the
+    WHERE clause (they all belong to [t.rel]).  The contribution of
+    variables appearing in the WHERE clause is computed by
+    {!Steady.check}, which knows the constraint body. *)
+let where_attrs t = List.map (fun a -> (t.rel, a)) (Formula.attrs t.where)
+
+(** Formal parameter positions referenced by the WHERE clause. *)
+let where_params t = List.sort_uniq compare (Formula.params t.where)
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%d) = SELECT sum(%a) FROM %s WHERE %a" t.name t.arity
+    Attr_expr.pp t.expr t.rel Formula.pp t.where

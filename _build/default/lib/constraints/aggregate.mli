@@ -1,0 +1,37 @@
+(** Aggregation functions (paper §3.1):
+
+    χ(x₁, …, xₖ) = SELECT sum(e) FROM R WHERE α(x₁, …, xₖ)
+
+    [Param i] inside [where] refers to the i-th formal parameter;
+    constraints instantiate the formals with variables or constants. *)
+
+open Dart_numeric
+open Dart_relational
+
+type t = {
+  name : string;
+  rel : string;
+  expr : Attr_expr.t;
+  arity : int;
+  where : Formula.t;
+}
+
+val make :
+  name:string -> rel:string -> arity:int -> expr:Attr_expr.t -> where:Formula.t -> t
+(** @raise Invalid_argument if [where] references a parameter ≥ [arity]. *)
+
+val involved_tuples : Database.t -> t -> Value.t array -> Tuple.t list
+(** The paper's T_χ under given actual parameters.
+    @raise Invalid_argument on arity mismatch. *)
+
+val eval : Database.t -> t -> Value.t array -> Rat.t
+(** The aggregation sum on the current database state. *)
+
+val where_attrs : t -> (string * string) list
+(** Attributes named in the WHERE clause, tagged with the relation. *)
+
+val where_params : t -> int list
+(** Formal parameter positions the WHERE clause references (sorted,
+    deduplicated). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Attribute expressions on a relation (paper §3.1):
+
+    {ul
+    {- a numerical constant is an attribute expression;}
+    {- each attribute Aᵢ is an attribute expression;}
+    {- e₁ ± e₂ and c × e are attribute expressions.}}
+
+    Evaluated per tuple, an attribute expression is affine in the tuple's
+    measure attributes — which is what lets a steady constraint become a
+    linear inequality over the z-variables. *)
+
+open Dart_numeric
+open Dart_relational
+
+type t =
+  | Const of Rat.t
+  | Attr of string
+  | Add of t * t
+  | Sub of t * t
+  | Scale of Rat.t * t
+
+let const_int n = Const (Rat.of_int n)
+
+(** Attribute names referenced by the expression. *)
+let rec attrs = function
+  | Const _ -> []
+  | Attr a -> [ a ]
+  | Add (e1, e2) | Sub (e1, e2) -> attrs e1 @ attrs e2
+  | Scale (_, e) -> attrs e
+
+(** Fully numeric evaluation on a tuple.
+    @raise Invalid_argument if a referenced attribute holds a string. *)
+let rec eval schema tuple = function
+  | Const c -> c
+  | Attr a -> Value.to_rat (Tuple.value_by_name schema tuple a)
+  | Add (e1, e2) -> Rat.add (eval schema tuple e1) (eval schema tuple e2)
+  | Sub (e1, e2) -> Rat.sub (eval schema tuple e1) (eval schema tuple e2)
+  | Scale (c, e) -> Rat.mul c (eval schema tuple e)
+
+(** Affine view of the expression on a given tuple: a list of
+    [(coefficient, attribute)] terms — one per {e measure} attribute
+    occurrence — plus a rational constant collecting everything whose value
+    cannot change under repair.  [is_measure a] decides which attributes are
+    repairable. *)
+let linearize schema ~is_measure tuple expr =
+  let rec go = function
+    | Const c -> ([], c)
+    | Attr a ->
+      if is_measure a then ([ (Rat.one, a) ], Rat.zero)
+      else ([], Value.to_rat (Tuple.value_by_name schema tuple a))
+    | Add (e1, e2) ->
+      let t1, c1 = go e1 and t2, c2 = go e2 in
+      (t1 @ t2, Rat.add c1 c2)
+    | Sub (e1, e2) ->
+      let t1, c1 = go e1 and t2, c2 = go e2 in
+      (t1 @ List.map (fun (c, a) -> (Rat.neg c, a)) t2, Rat.sub c1 c2)
+    | Scale (k, e) ->
+      let t, c = go e in
+      (List.map (fun (c', a) -> (Rat.mul k c', a)) t, Rat.mul k c)
+  in
+  go expr
+
+let rec pp fmt = function
+  | Const c -> Rat.pp fmt c
+  | Attr a -> Format.pp_print_string fmt a
+  | Add (e1, e2) -> Format.fprintf fmt "(%a + %a)" pp e1 pp e2
+  | Sub (e1, e2) -> Format.fprintf fmt "(%a - %a)" pp e1 pp e2
+  | Scale (c, e) -> Format.fprintf fmt "%a*(%a)" Rat.pp c pp e

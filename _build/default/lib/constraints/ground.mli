@@ -1,0 +1,50 @@
+(** Grounding steady aggregate constraints into linear inequalities — the
+    system S(AC) of paper §5.
+
+    Variables of the ground system are the database's repairable cells
+    ⟨tuple, measure attribute⟩; for steady constraints the involved-tuple
+    sets T_χ are fixed, so the translation is sound.  Trivially-true
+    constant rows (e.g. a section with no items, grounding to 0 = 0) are
+    dropped; violated constant rows are kept — they witness
+    irreparability. *)
+
+open Dart_numeric
+open Dart_relational
+
+type cell = Tuple.id * string
+(** A repairable database cell. *)
+
+type row = {
+  origin : string;               (** constraint name + substitution *)
+  terms : (Rat.t * cell) list;   (** combined coefficients, no zeros *)
+  op : Agg_constraint.op;
+  rhs : Rat.t;
+}
+
+val of_constraint : Database.t -> Agg_constraint.t -> row list
+(** Ground one constraint over the instance.
+    @raise Steady.Not_steady if the constraint is not steady. *)
+
+val of_constraints : Database.t -> Agg_constraint.t list -> row list
+(** The full system S(AC). *)
+
+val cells : row list -> cell list
+(** Cells mentioned by a system, in first-appearance order — the variables
+    z₁…z_N of §5. *)
+
+val row_satisfied : (cell -> Rat.t) -> row -> bool
+(** Evaluate a row under a cell valuation. *)
+
+val db_valuation : Database.t -> cell -> Rat.t
+(** Valuation reading current database values.
+    @raise Not_found for a cell whose tuple no longer exists. *)
+
+val trivially_true : row -> bool
+
+val combine_terms : (Rat.t * cell) list -> (Rat.t * cell) list
+(** Sum duplicate-cell coefficients, dropping zeros; order of first
+    appearance is preserved. *)
+
+val string_of_theta : Value.t option array -> string
+
+val pp : Format.formatter -> row -> unit

@@ -1,0 +1,92 @@
+(** The steadiness test (paper Definition 6).
+
+    An aggregate constraint κ is {e steady} when
+    (𝒜(κ) ∪ 𝒥(κ)) ∩ M_D = ∅, where
+
+    {ul
+    {- 𝒜(κ) = ∪ᵢ W(χᵢ), and W(χᵢ) is the union of the attributes appearing
+       in χᵢ's WHERE clause and the attributes corresponding to variables
+       appearing in that WHERE clause;}
+    {- 𝒥(κ) contains the attributes corresponding to variables shared by
+       two atoms of the body φ.}}
+
+    If this syntactic property holds, the set T_χ of tuples involved in an
+    aggregation cannot change when measure values are repaired, so the
+    constraint grounds to a fixed system of linear inequalities (see
+    {!Ground}). *)
+
+open Dart_relational
+
+type attr_ref = string * string (* relation, attribute *)
+
+(* Attributes corresponding to variable [x] across the body atoms: A_j of
+   every atom position j holding Var x (paper's "A corresponds to x_j"). *)
+let attrs_of_var schema body x =
+  List.concat_map
+    (fun (a : Agg_constraint.atom) ->
+      let rs = Schema.relation schema a.rel in
+      let acc = ref [] in
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | Agg_constraint.Var y when y = x -> acc := (a.rel, Schema.attr_name rs i) :: !acc
+          | _ -> ())
+        a.args;
+      List.rev !acc)
+    body
+
+(** 𝒜(κ): see module doc. *)
+let a_set schema (k : Agg_constraint.t) : attr_ref list =
+  List.concat_map
+    (fun (app : Agg_constraint.application) ->
+      let direct = Aggregate.where_attrs app.fn in
+      let via_vars =
+        List.concat_map
+          (fun formal ->
+            match app.actuals.(formal) with
+            | Agg_constraint.AVar x -> attrs_of_var schema k.body x
+            | Agg_constraint.ACst _ -> [])
+          (Aggregate.where_params app.fn)
+      in
+      direct @ via_vars)
+    k.apps
+
+(** 𝒥(κ): attributes of variables occurring in at least two body atoms. *)
+let j_set schema (k : Agg_constraint.t) : attr_ref list =
+  let occurrences = Array.make (max 1 k.nvars) 0 in
+  List.iter
+    (fun (a : Agg_constraint.atom) ->
+      (* A variable counts once per atom occurrence, even if repeated. *)
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (function
+          | Agg_constraint.Var x when not (Hashtbl.mem seen x) ->
+            Hashtbl.add seen x ();
+            occurrences.(x) <- occurrences.(x) + 1
+          | _ -> ())
+        a.args)
+    k.body;
+  let shared = ref [] in
+  Array.iteri (fun x n -> if n >= 2 then shared := x :: !shared) occurrences;
+  List.concat_map (fun x -> attrs_of_var schema k.body x) !shared
+
+(** Attributes violating steadiness: measure attributes inside 𝒜(κ) ∪ 𝒥(κ).
+    Empty result = the constraint is steady. *)
+let offending schema (k : Agg_constraint.t) : attr_ref list =
+  List.sort_uniq compare
+    (List.filter
+       (fun (r, a) -> Schema.is_measure schema ~rel:r ~attr:a)
+       (a_set schema k @ j_set schema k))
+
+let is_steady schema k = offending schema k = []
+
+exception Not_steady of string
+
+(** Assert steadiness. @raise Not_steady naming the offending attributes. *)
+let ensure schema k =
+  match offending schema k with
+  | [] -> ()
+  | off ->
+    let attrs = String.concat ", " (List.map (fun (r, a) -> r ^ "." ^ a) off) in
+    raise (Not_steady (Printf.sprintf "constraint %s is not steady: measure attribute(s) %s \
+                                       occur in A(k) or J(k)" k.name attrs))

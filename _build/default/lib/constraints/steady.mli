@@ -1,0 +1,31 @@
+(** The steadiness test (paper Definition 6).
+
+    κ is steady iff (𝒜(κ) ∪ 𝒥(κ)) ∩ M_D = ∅: no measure attribute occurs in
+    any aggregation WHERE clause (directly or through a constraint
+    variable), nor as a join variable of the body.  Steady constraints
+    ground to a fixed linear system; non-steady ones do not (changing a
+    measure value could change which tuples an aggregation ranges over). *)
+
+open Dart_relational
+
+type attr_ref = string * string
+(** (relation, attribute) *)
+
+val a_set : Schema.t -> Agg_constraint.t -> attr_ref list
+(** 𝒜(κ) = ∪ᵢ W(χᵢ), with duplicates. *)
+
+val j_set : Schema.t -> Agg_constraint.t -> attr_ref list
+(** 𝒥(κ): attributes of variables shared by two body atoms. *)
+
+val offending : Schema.t -> Agg_constraint.t -> attr_ref list
+(** Measure attributes inside 𝒜(κ) ∪ 𝒥(κ); empty = steady. *)
+
+val is_steady : Schema.t -> Agg_constraint.t -> bool
+
+exception Not_steady of string
+
+val ensure : Schema.t -> Agg_constraint.t -> unit
+(** @raise Not_steady naming the offending attributes. *)
+
+val attrs_of_var : Schema.t -> Agg_constraint.atom list -> int -> attr_ref list
+(** Attributes corresponding to a constraint variable across body atoms. *)

@@ -1,0 +1,1 @@
+lib/core/balance_scenario.ml: Balance_sheet Dart_datagen Dart_wrapper Db_gen Metadata Scenario

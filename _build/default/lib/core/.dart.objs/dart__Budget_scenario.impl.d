@@ -1,0 +1,1 @@
+lib/core/budget_scenario.ml: Cash_budget Dart_datagen Dart_wrapper Db_gen List Metadata Scenario

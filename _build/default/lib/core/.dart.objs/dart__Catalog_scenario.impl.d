@@ -1,0 +1,1 @@
+lib/core/catalog_scenario.ml: Catalog Dart_datagen Dart_wrapper Db_gen List Metadata Scenario

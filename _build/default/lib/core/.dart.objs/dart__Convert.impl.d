@@ -1,0 +1,1 @@
+lib/core/convert.ml: Buffer Csv Dart_html Dart_relational Filename List String Table

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Agg_constraint Convert Dart_constraints Dart_relational Dart_repair Dart_wrapper Database Db_gen Extractor List Scenario Solver Validation

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Agg_constraint Convert Dart_constraints Dart_relational Dart_repair Dart_wrapper Database Db_gen Extractor Scenario Solver Validation Value

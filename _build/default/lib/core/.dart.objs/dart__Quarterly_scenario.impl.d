@@ -1,0 +1,1 @@
+lib/core/quarterly_scenario.ml: Dart_datagen Dart_wrapper Db_gen Metadata Quarterly Scenario

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Agg_constraint Dart_constraints Dart_relational Dart_wrapper Db_gen Metadata Schema

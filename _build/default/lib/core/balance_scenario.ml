@@ -1,0 +1,29 @@
+(** Scenario for full balance-sheet documents (deep aggregation tree):
+    BalanceSheet(Year, Item, Value) under the seven tree + identity
+    constraints of {!Dart_datagen.Balance_sheet}. *)
+
+open Dart_wrapper
+open Dart_datagen
+
+let domains = [ ("Item", Balance_sheet.items_in_order) ]
+
+let row_pattern =
+  { Metadata.pattern_name = "balance-row";
+    cells =
+      [| { Metadata.headline = "Year"; domain = Metadata.Std_integer; specializes = None };
+         { Metadata.headline = "Item"; domain = Metadata.Lexical "Item"; specializes = None };
+         { Metadata.headline = "Value"; domain = Metadata.Std_integer; specializes = None } |] }
+
+let metadata =
+  Metadata.make ~domains ~hierarchy:[] ~patterns:[ row_pattern ] ~classification:[] ()
+
+let mapping =
+  { Db_gen.relation = Balance_sheet.relation_name;
+    columns =
+      [ ("Year", Db_gen.From_cell "Year");
+        ("Item", Db_gen.From_cell "Item");
+        ("Value", Db_gen.From_cell "Value") ] }
+
+let scenario =
+  Scenario.make ~name:"balance-sheet" ~metadata ~mapping ~schema:Balance_sheet.schema
+    ~constraints:Balance_sheet.constraints

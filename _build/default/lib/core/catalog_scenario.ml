@@ -1,0 +1,39 @@
+(** Scenario for web product catalogs: Catalog(Category, Product, Kind,
+    Amount); Kind is derived from classification information (item /
+    subtotal / total), mirroring how the paper derives Type from
+    Subsection. *)
+
+open Dart_wrapper
+open Dart_datagen
+
+let domains =
+  [ ("Category", "all" :: Catalog.categories);
+    ("Product", Catalog.all_products @ [ "subtotal"; "grand total" ]) ]
+
+let classification =
+  List.map (fun p -> (p, "item")) Catalog.all_products
+  @ [ ("subtotal", "subtotal"); ("grand total", "total") ]
+
+let row_pattern =
+  { Metadata.pattern_name = "catalog-row";
+    cells =
+      [| { Metadata.headline = "Category"; domain = Metadata.Lexical "Category";
+           specializes = None };
+         { Metadata.headline = "Product"; domain = Metadata.Lexical "Product";
+           specializes = None };
+         { Metadata.headline = "Amount"; domain = Metadata.Std_integer; specializes = None } |] }
+
+let metadata =
+  Metadata.make ~domains ~hierarchy:[] ~patterns:[ row_pattern ] ~classification ()
+
+let mapping =
+  { Db_gen.relation = Catalog.relation_name;
+    columns =
+      [ ("Category", Db_gen.From_cell "Category");
+        ("Product", Db_gen.From_cell "Product");
+        ("Kind", Db_gen.Classified "Product");
+        ("Amount", Db_gen.From_cell "Amount") ] }
+
+let scenario =
+  Scenario.make ~name:"catalog" ~metadata ~mapping ~schema:Catalog.schema
+    ~constraints:Catalog.constraints

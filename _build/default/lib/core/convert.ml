@@ -1,0 +1,72 @@
+(** Format conversion — the acquisition module's front end (paper §6.1).
+
+    The real system converts PDF/MSWord/RTF (and OCR'd paper) into HTML
+    before extraction; in this reproduction the non-HTML formats are simple
+    text-based table formats, converted into the same HTML the wrapper
+    consumes.  The point preserved is architectural: everything downstream
+    of the converter only ever sees HTML. *)
+
+open Dart_html
+open Dart_relational
+
+type format =
+  | Html         (** passed through unchanged *)
+  | Csv          (** comma-separated values, first-class quoting *)
+  | Tsv          (** tab-separated values *)
+  | Fixed_width  (** columns separated by runs of 2+ spaces *)
+
+let table_of_rows rows =
+  Table.to_html
+    (List.map (fun row -> List.map (fun text -> Table.render_cell text) row) rows)
+
+let split_fixed_width line =
+  (* Split on 2+ consecutive spaces. *)
+  let fields = ref [] and buf = Buffer.create 16 in
+  let len = String.length line in
+  let flush () =
+    let f = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if f <> "" then fields := f :: !fields
+  in
+  let rec go i =
+    if i >= len then flush ()
+    else if i + 1 < len && line.[i] = ' ' && line.[i + 1] = ' ' then begin
+      flush ();
+      let rec skip j = if j < len && line.[j] = ' ' then skip (j + 1) else j in
+      go (skip i)
+    end
+    else begin
+      Buffer.add_char buf line.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  List.rev !fields
+
+let lines text =
+  String.split_on_char '\n' text
+  |> List.map (fun l -> if String.length l > 0 && l.[String.length l - 1] = '\r'
+                then String.sub l 0 (String.length l - 1) else l)
+  |> List.filter (fun l -> String.trim l <> "")
+
+(** Convert a document in the given format to HTML. *)
+let to_html format text =
+  match format with
+  | Html -> text
+  | Csv ->
+    let rows = Csv.decode text in
+    "<html><body>\n" ^ table_of_rows rows ^ "</body></html>\n"
+  | Tsv ->
+    let rows = List.map (String.split_on_char '\t') (lines text) in
+    "<html><body>\n" ^ table_of_rows rows ^ "</body></html>\n"
+  | Fixed_width ->
+    let rows = List.map split_fixed_width (lines text) in
+    "<html><body>\n" ^ table_of_rows rows ^ "</body></html>\n"
+
+(** Guess the format from a file extension. *)
+let format_of_filename name =
+  match String.lowercase_ascii (Filename.extension name) with
+  | ".html" | ".htm" -> Html
+  | ".csv" -> Csv
+  | ".tsv" -> Tsv
+  | _ -> Fixed_width

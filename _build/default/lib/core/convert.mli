@@ -1,0 +1,14 @@
+(** Format conversion — the acquisition module's front end (paper §6.1).
+    Everything downstream of the converter only ever sees HTML. *)
+
+type format =
+  | Html
+  | Csv
+  | Tsv
+  | Fixed_width  (** columns separated by runs of two or more spaces *)
+
+val to_html : format -> string -> string
+
+val format_of_filename : string -> format
+(** Guess from the file extension; unknown extensions are treated as
+    fixed-width text. *)

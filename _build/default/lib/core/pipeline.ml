@@ -1,0 +1,61 @@
+(** The end-to-end DART data flow (paper Figure 2):
+
+    input document → (format conversion) → HTML → wrapper → row pattern
+    instances → database generator → database instance D → inconsistency
+    detection → MILP repair → operator validation → consistent database.
+
+    Each stage is exposed separately so examples and benches can observe
+    intermediate results; {!process} runs the whole flow. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_repair
+open Dart_wrapper
+
+type acquisition = {
+  html : string;                    (** document after format conversion *)
+  extraction : Extractor.result;    (** wrapper output incl. per-row reports *)
+  generation : Db_gen.report;       (** database generator output *)
+  db : Database.t;                  (** the acquired instance D *)
+}
+
+(** Acquisition + extraction module: document in, database out. *)
+let acquire scenario ?(format = Convert.Html) (text : string) : acquisition =
+  let html = Convert.to_html format text in
+  let extraction = Extractor.extract scenario.Scenario.metadata html in
+  let generation =
+    Db_gen.generate scenario.Scenario.metadata scenario.Scenario.mapping
+      extraction.Extractor.instances
+      (Database.create scenario.Scenario.schema)
+  in
+  { html; extraction; generation; db = generation.Db_gen.db }
+
+(** Inconsistency detection: the constraints violated by D, with the ground
+    substitutions that witness each violation. *)
+let detect scenario db =
+  List.filter_map
+    (fun k ->
+      match Agg_constraint.violations db k with
+      | [] -> None
+      | thetas -> Some (k, thetas))
+    scenario.Scenario.constraints
+
+let consistent scenario db = detect scenario db = []
+
+(** One-shot repair (no operator): the card-minimal repair of D. *)
+let repair scenario db = Solver.card_minimal db scenario.Scenario.constraints
+
+(** Supervised repairing: the full §6.3 validation loop. *)
+let validate scenario ?batch ?max_iterations ~operator db =
+  Validation.run ?batch ?max_iterations ~operator db scenario.Scenario.constraints
+
+type outcome = {
+  acquisition : acquisition;
+  validation : Validation.outcome;
+}
+
+(** The complete pipeline on one document. *)
+let process scenario ?format ?batch ?max_iterations ~operator text : outcome =
+  let acquisition = acquire scenario ?format text in
+  let validation = validate scenario ?batch ?max_iterations ~operator acquisition.db in
+  { acquisition; validation }

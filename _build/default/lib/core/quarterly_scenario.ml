@@ -1,0 +1,33 @@
+(** Scenario for quarterly revenue statements with two-dimensional rollups:
+    Quarterly(Year, Period, Item, Value) under the period-total and
+    annual-rollup constraint families of {!Dart_datagen.Quarterly}. *)
+
+open Dart_wrapper
+open Dart_datagen
+
+let domains =
+  [ ("Period", Quarterly.periods); ("Item", Quarterly.items) ]
+
+let row_pattern =
+  { Metadata.pattern_name = "quarterly-row";
+    cells =
+      [| { Metadata.headline = "Year"; domain = Metadata.Std_integer; specializes = None };
+         { Metadata.headline = "Period"; domain = Metadata.Lexical "Period";
+           specializes = None };
+         { Metadata.headline = "Item"; domain = Metadata.Lexical "Item"; specializes = None };
+         { Metadata.headline = "Value"; domain = Metadata.Std_integer; specializes = None } |] }
+
+let metadata =
+  Metadata.make ~domains ~hierarchy:[] ~patterns:[ row_pattern ] ~classification:[] ()
+
+let mapping =
+  { Db_gen.relation = Quarterly.relation_name;
+    columns =
+      [ ("Year", Db_gen.From_cell "Year");
+        ("Period", Db_gen.From_cell "Period");
+        ("Item", Db_gen.From_cell "Item");
+        ("Value", Db_gen.From_cell "Value") ] }
+
+let scenario =
+  Scenario.make ~name:"quarterly" ~metadata ~mapping ~schema:Quarterly.schema
+    ~constraints:Quarterly.constraints

@@ -1,0 +1,22 @@
+(** A DART scenario bundles everything the acquisition designer provides
+    (paper §2, Figure 2): the extraction metadata driving the wrapper, the
+    database schema and relational mapping, and the steady aggregate
+    constraints driving the repairing module. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_wrapper
+
+type t = {
+  name : string;
+  metadata : Metadata.t;       (** domain descriptions, row patterns, … *)
+  mapping : Db_gen.mapping;    (** row pattern instances → relation *)
+  schema : Schema.t;           (** includes the measure attributes M_D *)
+  constraints : Agg_constraint.t list; (** steady aggregate constraints *)
+}
+
+let make ~name ~metadata ~mapping ~schema ~constraints =
+  (* The repairing module requires steadiness; fail at scenario-build time
+     rather than mid-pipeline. *)
+  List.iter (Steady.ensure schema) constraints;
+  { name; metadata; mapping; schema; constraints }

@@ -1,0 +1,21 @@
+(** A DART scenario: everything the acquisition designer provides (paper
+    §2, Figure 2) — extraction metadata, schema + relational mapping, and
+    the steady aggregate constraints. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_wrapper
+
+type t = {
+  name : string;
+  metadata : Metadata.t;
+  mapping : Db_gen.mapping;
+  schema : Schema.t;
+  constraints : Agg_constraint.t list;
+}
+
+val make :
+  name:string -> metadata:Metadata.t -> mapping:Db_gen.mapping ->
+  schema:Schema.t -> constraints:Agg_constraint.t list -> t
+(** @raise Steady.Not_steady at scenario-build time if any constraint is
+    not steady — the repairing module requires steadiness. *)

@@ -1,0 +1,1 @@
+lib/datagen/balance_sheet.mli: Agg_constraint Dart_constraints Dart_ocr Dart_rand Dart_relational Database Prng Schema Tuple

@@ -1,0 +1,1 @@
+lib/datagen/cash_budget.ml: Agg_constraint Aggregate Array Attr_expr Dart_constraints Dart_numeric Dart_ocr Dart_rand Dart_relational Database Formula List Prng Rat Schema Tuple Value

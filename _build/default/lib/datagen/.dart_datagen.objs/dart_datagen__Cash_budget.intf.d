@@ -1,0 +1,1 @@
+lib/datagen/cash_budget.mli: Agg_constraint Aggregate Dart_constraints Dart_rand Dart_relational Database Prng Schema Tuple

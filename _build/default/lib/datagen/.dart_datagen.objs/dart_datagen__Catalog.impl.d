@@ -1,0 +1,1 @@
+lib/datagen/catalog.ml: Agg_constraint Aggregate Array Attr_expr Buffer Dart_constraints Dart_html Dart_numeric Dart_ocr Dart_rand Dart_relational Database Formula List Prng Rat Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/datagen/catalog.mli: Agg_constraint Aggregate Dart_constraints Dart_ocr Dart_rand Dart_relational Database Prng Schema Tuple

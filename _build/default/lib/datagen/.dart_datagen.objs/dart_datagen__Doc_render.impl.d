@@ -1,0 +1,1 @@
+lib/datagen/doc_render.ml: Buffer Cash_budget Dart_html Dart_ocr Dart_relational Database List Table Tuple Value

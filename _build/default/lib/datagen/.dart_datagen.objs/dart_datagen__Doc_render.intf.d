@@ -1,0 +1,1 @@
+lib/datagen/doc_render.mli: Dart_ocr Dart_rand Dart_relational Database Prng

@@ -1,0 +1,186 @@
+(** A second, richer scenario: full balance sheets with a multi-level
+    aggregation tree (the "balance analysis" context of the paper's intro).
+
+    Schema: BalanceSheet(Year, Item, Value).  The item hierarchy is
+
+    {v
+      total assets        = current assets + fixed assets
+      current assets      = cash + accounts receivable + inventory
+      fixed assets        = equipment + buildings
+      total liabilities   = current liabilities + long-term debt
+      current liabilities = accounts payable + accrued expenses
+      equity              = common stock + retained earnings
+      total assets        = total liabilities + equity     (balance identity)
+    v}
+
+    Unlike the flat cash budget, errors here propagate through {e two}
+    levels of aggregation plus a cross-tree identity, producing harder MILP
+    instances (more coupled rows per connected component). *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+let relation_name = "BalanceSheet"
+
+let relation_schema =
+  Schema.make_relation relation_name
+    [| ("Year", Value.Int_dom); ("Item", Value.String_dom); ("Value", Value.Int_dom) |]
+
+let schema = Schema.make [ relation_schema ] [ (relation_name, "Value") ]
+
+(** Aggregation tree: (parent item, children items). *)
+let tree =
+  [ ("total assets", [ "current assets"; "fixed assets" ]);
+    ("current assets", [ "cash"; "accounts receivable"; "inventory" ]);
+    ("fixed assets", [ "equipment"; "buildings" ]);
+    ("total liabilities", [ "current liabilities"; "long-term debt" ]);
+    ("current liabilities", [ "accounts payable"; "accrued expenses" ]);
+    ("equity", [ "common stock"; "retained earnings" ]) ]
+
+(** The cross-tree identity: total assets = total liabilities + equity. *)
+let identity = ("total assets", [ "total liabilities"; "equity" ])
+
+let internal_items = List.map fst tree
+let leaf_items =
+  List.concat_map snd tree
+  |> List.filter (fun i -> not (List.mem i internal_items))
+
+(** All items in document order: parents precede their children. *)
+let items_in_order =
+  let rec expand item =
+    item
+    :: (match List.assoc_opt item tree with
+        | Some children -> List.concat_map expand children
+        | None -> [])
+  in
+  expand "total assets" @ expand "total liabilities" @ expand "equity"
+
+let chi =
+  Aggregate.make ~name:"bs" ~rel:relation_name ~arity:2 ~expr:(Attr_expr.Attr "Value")
+    ~where:(Formula.conj [ Formula.attr_eq_param "Year" 0; Formula.attr_eq_param "Item" 1 ])
+
+let sum_constraint ~name parent children =
+  Agg_constraint.make ~name ~nvars:1
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args = [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Anon |] } ]
+    ~apps:
+      ({ Agg_constraint.coeff = Rat.one; fn = chi;
+         actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (Value.String parent) |] }
+       :: List.map
+            (fun child ->
+              { Agg_constraint.coeff = Rat.minus_one; fn = chi;
+                actuals =
+                  [| Agg_constraint.AVar 0; Agg_constraint.ACst (Value.String child) |] })
+            children)
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+let constraints =
+  List.mapi (fun i (p, cs) -> sum_constraint ~name:(Printf.sprintf "bs%d-%s" i p) p cs) tree
+  @ [ sum_constraint ~name:"bs-identity" (fst identity) (snd identity) ]
+
+let insert_year db ~year values =
+  List.fold_left
+    (fun db (item, v) ->
+      Database.insert_row db relation_name
+        [| Value.Int year; Value.String item; Value.Int v |])
+    db values
+
+(** Generate one consistent year: leaves random, internal nodes computed,
+    retained earnings balancing the identity. *)
+let year_values prng =
+  let leaf _ = Prng.int_range prng 10 500 in
+  let values = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace values i (leaf i)) leaf_items;
+  let rec total item =
+    match List.assoc_opt item tree with
+    | Some children -> List.fold_left (fun acc c -> acc + total c) 0 children
+    | None -> Hashtbl.find values item
+  in
+  (* Balance: retained earnings = total assets - long-term debt
+     - current liabilities - common stock. *)
+  let assets = total "total assets" in
+  let liabilities = total "total liabilities" in
+  let re = assets - liabilities - Hashtbl.find values "common stock" in
+  Hashtbl.replace values "retained earnings" re;
+  List.map (fun item -> (item, total item)) items_in_order
+
+let generate ?(start_year = 2000) ~years prng =
+  let db = ref (Database.create schema) in
+  for y = start_year to start_year + years - 1 do
+    db := insert_year !db ~year:y (year_values prng)
+  done;
+  !db
+
+(** Corrupt [errors] distinct Value cells (OCR digit noise). *)
+let corrupt ~errors prng db =
+  let tuples = Database.tuples_of db relation_name in
+  let n = List.length tuples in
+  if errors > n then invalid_arg "Balance_sheet.corrupt: more errors than cells";
+  let victims = Prng.sample_indices prng ~n ~k:errors in
+  let arr = Array.of_list tuples in
+  List.fold_left
+    (fun (db, log) i ->
+      let tu = arr.(i) in
+      match Tuple.value_by_name relation_schema tu "Value" with
+      | Value.Int v ->
+        let v' = Dart_ocr.Noise.corrupt_int prng v in
+        (Database.update_value db (Tuple.id tu) "Value" (Value.Int v'),
+         (Tuple.id tu, v, v') :: log)
+      | Value.Real _ | Value.String _ -> (db, log))
+    (db, []) victims
+
+(** Render as an HTML document: one 3-column table per year with a
+    multi-row year cell. *)
+let to_html ?channel ?prng db =
+  let log_hits = ref 0 in
+  let send text =
+    match channel, prng with
+    | Some ch, Some prng ->
+      let t, hit = Dart_ocr.Noise.transmit ch prng text in
+      if hit then incr log_hits;
+      t
+    | _ -> text
+  in
+  let years =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun tu ->
+           match Tuple.value_by_name relation_schema tu "Year" with
+           | Value.Int y -> Some y
+           | _ -> None)
+         (Database.tuples_of db relation_name))
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "<html><body>\n";
+  List.iter
+    (fun year ->
+      let items =
+        List.filter_map
+          (fun tu ->
+            match Tuple.values tu with
+            | [| Value.Int y; Value.String item; Value.Int v |] when y = year ->
+              Some (item, v)
+            | _ -> None)
+          (Database.tuples_of db relation_name)
+      in
+      let rows =
+        List.mapi
+          (fun i (item, v) ->
+            let base =
+              [ Dart_html.Table.render_cell (send item);
+                Dart_html.Table.render_cell (send (string_of_int v)) ]
+            in
+            if i = 0 then
+              Dart_html.Table.render_cell ~rowspan:(List.length items)
+                (send (string_of_int year))
+              :: base
+            else base)
+          items
+      in
+      Buffer.add_string buf (Dart_html.Table.to_html rows))
+    years;
+  Buffer.add_string buf "</body></html>\n";
+  (Buffer.contents buf, !log_hits)

@@ -1,0 +1,40 @@
+(** Full balance sheets with a multi-level aggregation tree — the richer
+    second scenario (see module implementation for the item hierarchy).
+    Errors propagate through two levels of aggregation plus the
+    assets = liabilities + equity identity. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+val relation_name : string
+val relation_schema : Schema.relation_schema
+val schema : Schema.t
+
+val tree : (string * string list) list
+(** (parent item, children). *)
+
+val identity : string * string list
+(** total assets = total liabilities + equity. *)
+
+val internal_items : string list
+val leaf_items : string list
+val items_in_order : string list
+(** Document order: parents precede children. *)
+
+val constraints : Agg_constraint.t list
+(** One per tree node plus the balance identity (all steady). *)
+
+val generate : ?start_year:int -> years:int -> Prng.t -> Database.t
+(** Consistent sheets: random leaves, computed internal nodes, retained
+    earnings balancing the identity. *)
+
+val corrupt :
+  errors:int -> Prng.t -> Database.t -> Database.t * (Tuple.id * int * int) list
+(** OCR digit noise on Value cells.
+    @raise Invalid_argument if [errors] exceeds the number of cells. *)
+
+val to_html :
+  ?channel:Dart_ocr.Noise.channel -> ?prng:Prng.t -> Database.t -> string * int
+(** One 3-column table per year with a multi-row year cell; returns the
+    HTML and the number of cells the channel corrupted. *)

@@ -1,0 +1,193 @@
+(** The paper's running scenario: multi-year cash budgets.
+
+    Provides the CashBudget(Year, Section, Subsection, Type, Value) schema
+    of Example 2, the literal Figure 1 / Figure 3 instances, the three
+    steady aggregate constraints of Examples 3–4, and a generator of
+    consistent n-year budgets for the scaled experiments. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+let relation_name = "CashBudget"
+
+let relation_schema =
+  Schema.make_relation relation_name
+    [| ("Year", Value.Int_dom);
+       ("Section", Value.String_dom);
+       ("Subsection", Value.String_dom);
+       ("Type", Value.String_dom);
+       ("Value", Value.Int_dom) |]
+
+let schema = Schema.make [ relation_schema ] [ (relation_name, "Value") ]
+
+(** Row structure of one budget year, in document order:
+    (section, subsection, item type). *)
+let layout =
+  [ ("Receipts", "beginning cash", "drv");
+    ("Receipts", "cash sales", "det");
+    ("Receipts", "receivables", "det");
+    ("Receipts", "total cash receipts", "aggr");
+    ("Disbursements", "payment of accounts", "det");
+    ("Disbursements", "capital expenditure", "det");
+    ("Disbursements", "long-term financing", "det");
+    ("Disbursements", "total disbursements", "aggr");
+    ("Balance", "net cash inflow", "drv");
+    ("Balance", "ending cash balance", "drv") ]
+
+let sections = [ "Receipts"; "Disbursements"; "Balance" ]
+let subsections = List.map (fun (_, s, _) -> s) layout
+
+(** Classification information (§6.2): item type implied by the subsection. *)
+let type_of_subsection sub =
+  match List.find_opt (fun (_, s, _) -> s = sub) layout with
+  | Some (_, _, ty) -> ty
+  | None -> invalid_arg ("Cash_budget.type_of_subsection: unknown " ^ sub)
+
+let insert_year db ~year values =
+  List.fold_left2
+    (fun db (section, sub, ty) v ->
+      Database.insert_row db relation_name
+        [| Value.Int year; Value.String section; Value.String sub; Value.String ty;
+           Value.Int v |])
+    db layout values
+
+(** One consistent year of values given the free choices. *)
+let year_values ~beginning ~cash_sales ~receivables ~payments ~capital ~financing =
+  let total_receipts = cash_sales + receivables in
+  let total_disb = payments + capital + financing in
+  let net = total_receipts - total_disb in
+  let ending = beginning + net in
+  [ beginning; cash_sales; receivables; total_receipts; payments; capital; financing;
+    total_disb; net; ending ]
+
+(** The document of Figure 1 (ground truth: both years consistent). *)
+let figure1 () =
+  let db = Database.create schema in
+  let db =
+    insert_year db ~year:2003
+      (year_values ~beginning:20 ~cash_sales:100 ~receivables:120 ~payments:120 ~capital:0
+         ~financing:40)
+  in
+  insert_year db ~year:2004
+    (year_values ~beginning:80 ~cash_sales:100 ~receivables:100 ~payments:130 ~capital:40
+       ~financing:20)
+
+(** The acquired instance of Figure 3: total cash receipts 2003 read as 250
+    instead of 220. *)
+let figure3 () =
+  let db = Database.create schema in
+  let db =
+    insert_year db ~year:2003
+      [ 20; 100; 120; 250; 120; 0; 40; 160; 60; 80 ]
+  in
+  insert_year db ~year:2004
+    [ 80; 100; 100; 200; 130; 40; 20; 190; 10; 90 ]
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation functions χ₁, χ₂ (Example 2).                           *)
+(* ------------------------------------------------------------------ *)
+
+let chi1 =
+  Aggregate.make ~name:"chi1" ~rel:relation_name ~arity:3 ~expr:(Attr_expr.Attr "Value")
+    ~where:
+      (Formula.conj
+         [ Formula.attr_eq_param "Section" 0;
+           Formula.attr_eq_param "Year" 1;
+           Formula.attr_eq_param "Type" 2 ])
+
+let chi2 =
+  Aggregate.make ~name:"chi2" ~rel:relation_name ~arity:2 ~expr:(Attr_expr.Attr "Value")
+    ~where:(Formula.conj [ Formula.attr_eq_param "Year" 0; Formula.attr_eq_param "Subsection" 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Constraints 1–3 (Examples 3–4).                                     *)
+(* ------------------------------------------------------------------ *)
+
+let svalue s = Value.String s
+
+(* Variables: x0 = Year, x1 = Section. *)
+let constraint1 =
+  Agg_constraint.make ~name:"c1-section-totals" ~nvars:2
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args =
+            [| Agg_constraint.Var 0; Agg_constraint.Var 1; Agg_constraint.Anon;
+               Agg_constraint.Anon; Agg_constraint.Anon |] } ]
+    ~apps:
+      [ { Agg_constraint.coeff = Rat.one; fn = chi1;
+          actuals = [| Agg_constraint.AVar 1; Agg_constraint.AVar 0; Agg_constraint.ACst (svalue "det") |] };
+        { Agg_constraint.coeff = Rat.minus_one; fn = chi1;
+          actuals = [| Agg_constraint.AVar 1; Agg_constraint.AVar 0; Agg_constraint.ACst (svalue "aggr") |] } ]
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+(* Helper: constraint over chi2 with x0 = Year only. *)
+let chi2_combination ~name terms =
+  Agg_constraint.make ~name ~nvars:1
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args =
+            [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Anon;
+               Agg_constraint.Anon; Agg_constraint.Anon |] } ]
+    ~apps:
+      (List.map
+         (fun (c, sub) ->
+           { Agg_constraint.coeff = Rat.of_int c; fn = chi2;
+             actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (svalue sub) |] })
+         terms)
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+(* net cash inflow = total cash receipts - total disbursements *)
+let constraint2 =
+  chi2_combination ~name:"c2-net-inflow"
+    [ (1, "net cash inflow"); (-1, "total cash receipts"); (1, "total disbursements") ]
+
+(* ending cash balance = beginning cash + net cash inflow *)
+let constraint3 =
+  chi2_combination ~name:"c3-ending-balance"
+    [ (1, "ending cash balance"); (-1, "beginning cash"); (-1, "net cash inflow") ]
+
+let constraints = [ constraint1; constraint2; constraint3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaled generator                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate a consistent [years]-year budget.  Beginning cash of each year
+    chains from the previous year's ending balance, like a real ledger. *)
+let generate ?(start_year = 2000) ~years prng =
+  let db = ref (Database.create schema) in
+  let beginning = ref (Prng.int_range prng 10 100) in
+  for y = start_year to start_year + years - 1 do
+    let cash_sales = Prng.int_range prng 50 500 in
+    let receivables = Prng.int_range prng 20 300 in
+    let payments = Prng.int_range prng 40 400 in
+    let capital = Prng.int_range prng 0 150 in
+    let financing = Prng.int_range prng 0 100 in
+    let values =
+      year_values ~beginning:!beginning ~cash_sales ~receivables ~payments ~capital ~financing
+    in
+    db := insert_year !db ~year:y values;
+    beginning := List.nth values (List.length values - 1)
+  done;
+  !db
+
+(** Corrupt [errors] distinct Value cells with OCR digit noise; returns the
+    corrupted instance and the list of (tuple id, original, corrupted). *)
+let corrupt ~errors prng db =
+  let tuples = Database.tuples_of db relation_name in
+  let n = List.length tuples in
+  if errors > n then invalid_arg "Cash_budget.corrupt: more errors than cells";
+  let victims = Prng.sample_indices prng ~n ~k:errors in
+  let arr = Array.of_list tuples in
+  List.fold_left
+    (fun (db, log) i ->
+      let tu = arr.(i) in
+      match Tuple.value_by_name relation_schema tu "Value" with
+      | Value.Int v ->
+        let v' = Dart_ocr.Noise.corrupt_int prng v in
+        (Database.update_value db (Tuple.id tu) "Value" (Value.Int v'),
+         (Tuple.id tu, v, v') :: log)
+      | Value.Real _ | Value.String _ -> (db, log))
+    (db, []) victims

@@ -1,0 +1,64 @@
+(** The paper's running scenario: multi-year cash budgets.
+
+    CashBudget(Year, Section, Subsection, Type, Value) of Example 2, the
+    literal Figure 1 / Figure 3 instances, constraints 1–3 of Examples 3–4,
+    and a generator of consistent n-year budgets. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+val relation_name : string
+val relation_schema : Schema.relation_schema
+val schema : Schema.t
+
+val layout : (string * string * string) list
+(** One budget year in document order: (section, subsection, item type). *)
+
+val sections : string list
+val subsections : string list
+
+val type_of_subsection : string -> string
+(** Classification information: det / aggr / drv.
+    @raise Invalid_argument for unknown subsections. *)
+
+val figure1 : unit -> Database.t
+(** The consistent two-year document of Figure 1. *)
+
+val figure3 : unit -> Database.t
+(** The acquired instance of Figure 3: total cash receipts 2003 read as 250
+    instead of 220. *)
+
+val chi1 : Aggregate.t
+(** χ₁(section, year, type) of Example 2. *)
+
+val chi2 : Aggregate.t
+(** χ₂(year, subsection) of Example 2. *)
+
+val constraint1 : Agg_constraint.t
+(** Section totals (Example 3). *)
+
+val constraint2 : Agg_constraint.t
+(** Net cash inflow (Example 4). *)
+
+val constraint3 : Agg_constraint.t
+(** Ending cash balance (Example 4). *)
+
+val constraints : Agg_constraint.t list
+
+val year_values :
+  beginning:int -> cash_sales:int -> receivables:int -> payments:int ->
+  capital:int -> financing:int -> int list
+(** One consistent year's 10 values in {!layout} order. *)
+
+val insert_year : Database.t -> year:int -> int list -> Database.t
+
+val generate : ?start_year:int -> years:int -> Prng.t -> Database.t
+(** Consistent [years]-year budget; each year's beginning cash chains from
+    the previous ending balance. *)
+
+val corrupt :
+  errors:int -> Prng.t -> Database.t -> Database.t * (Tuple.id * int * int) list
+(** Apply OCR digit noise to [errors] distinct Value cells; returns the
+    corrupted instance and (tuple id, original, corrupted) log.
+    @raise Invalid_argument if [errors] exceeds the number of cells. *)

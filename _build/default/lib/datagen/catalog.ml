@@ -1,0 +1,171 @@
+(** Third scenario: web product catalogs with per-category subtotals — the
+    "web sites publishing product catalogs" application the paper's intro
+    names as the other natural home for tabular acquisition.
+
+    Schema: Catalog(Category, Product, Kind, Amount) with Kind ∈
+    {item, subtotal, total}.  Constraints: within each category the item
+    amounts sum to the category subtotal; the subtotals sum to the grand
+    total. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+let relation_name = "Catalog"
+
+let relation_schema =
+  Schema.make_relation relation_name
+    [| ("Category", Value.String_dom); ("Product", Value.String_dom);
+       ("Kind", Value.String_dom); ("Amount", Value.Int_dom) |]
+
+let schema = Schema.make [ relation_schema ] [ (relation_name, "Amount") ]
+
+let categories = [ "storage"; "networking"; "peripherals"; "components" ]
+
+let products_of = function
+  | "storage" -> [ "ssd 512gb"; "hdd 2tb"; "nvme 1tb" ]
+  | "networking" -> [ "router"; "switch 8p"; "access point" ]
+  | "peripherals" -> [ "keyboard"; "mouse"; "webcam"; "headset" ]
+  | "components" -> [ "cpu"; "gpu"; "ram 16gb"; "mainboard" ]
+  | c -> invalid_arg ("Catalog.products_of: unknown category " ^ c)
+
+let all_products = List.concat_map products_of categories
+
+let chi_kind =
+  (* sum of Amount for a (category, kind) pair *)
+  Aggregate.make ~name:"cat_kind" ~rel:relation_name ~arity:2 ~expr:(Attr_expr.Attr "Amount")
+    ~where:(Formula.conj [ Formula.attr_eq_param "Category" 0; Formula.attr_eq_param "Kind" 1 ])
+
+let chi_all_kind =
+  (* sum of Amount for a kind across the whole catalog *)
+  Aggregate.make ~name:"all_kind" ~rel:relation_name ~arity:1 ~expr:(Attr_expr.Attr "Amount")
+    ~where:(Formula.attr_eq_param "Kind" 0)
+
+let sval s = Value.String s
+
+(** Per category: sum(items) = subtotal. *)
+let subtotal_constraint =
+  Agg_constraint.make ~name:"cat-subtotal" ~nvars:1
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args =
+            [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Cst (sval "item");
+               Agg_constraint.Anon |] } ]
+    ~apps:
+      [ { Agg_constraint.coeff = Rat.one; fn = chi_kind;
+          actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "item") |] };
+        { Agg_constraint.coeff = Rat.minus_one; fn = chi_kind;
+          actuals = [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "subtotal") |] } ]
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+(** Globally: sum(subtotals) = grand total. *)
+let total_constraint =
+  Agg_constraint.make ~name:"grand-total" ~nvars:0 ~body:[]
+    ~apps:
+      [ { Agg_constraint.coeff = Rat.one; fn = chi_all_kind;
+          actuals = [| Agg_constraint.ACst (sval "subtotal") |] };
+        { Agg_constraint.coeff = Rat.minus_one; fn = chi_all_kind;
+          actuals = [| Agg_constraint.ACst (sval "total") |] } ]
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+let constraints = [ subtotal_constraint; total_constraint ]
+
+(** Generate a consistent catalog. *)
+let generate prng =
+  let db = ref (Database.create schema) in
+  let grand = ref 0 in
+  List.iter
+    (fun cat ->
+      let subtotal = ref 0 in
+      List.iter
+        (fun product ->
+          let amount = Prng.int_range prng 20 900 in
+          subtotal := !subtotal + amount;
+          db :=
+            Database.insert_row !db relation_name
+              [| sval cat; sval product; sval "item"; Value.Int amount |])
+        (products_of cat);
+      grand := !grand + !subtotal;
+      db :=
+        Database.insert_row !db relation_name
+          [| sval cat; sval "subtotal"; sval "subtotal"; Value.Int !subtotal |])
+    categories;
+  db :=
+    Database.insert_row !db relation_name
+      [| sval "all"; sval "grand total"; sval "total"; Value.Int !grand |];
+  !db
+
+(** Corrupt [errors] distinct Amount cells. *)
+let corrupt ~errors prng db =
+  let tuples = Database.tuples_of db relation_name in
+  let n = List.length tuples in
+  let victims = Prng.sample_indices prng ~n ~k:(min errors n) in
+  let arr = Array.of_list tuples in
+  List.fold_left
+    (fun (db, log) i ->
+      let tu = arr.(i) in
+      match Tuple.value_by_name relation_schema tu "Amount" with
+      | Value.Int v ->
+        let v' = Dart_ocr.Noise.corrupt_int prng v in
+        (Database.update_value db (Tuple.id tu) "Amount" (Value.Int v'),
+         (Tuple.id tu, v, v') :: log)
+      | Value.Real _ | Value.String _ -> (db, log))
+    (db, []) victims
+
+(** Render as the kind of HTML a web shop would publish: three columns
+    (category, product, amount), category cells spanning their item rows,
+    each block ending with its subtotal row.  The Kind attribute is {e not}
+    rendered — the wrapper derives it from classification information, like
+    the paper's Type attribute. *)
+let to_html ?channel ?prng db =
+  let send text =
+    match channel, prng with
+    | Some ch, Some p -> fst (Dart_ocr.Noise.transmit ch p text)
+    | _ -> text
+  in
+  let tuples = Database.tuples_of db relation_name in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "<html><body>\n";
+  let rows = ref [] in
+  List.iter
+    (fun cat ->
+      let block =
+        List.filter_map
+          (fun tu ->
+            match Tuple.values tu with
+            | [| Value.String c; Value.String p; Value.String _; Value.Int v |]
+              when c = cat ->
+              Some (p, v)
+            | _ -> None)
+          tuples
+      in
+      List.iteri
+        (fun i (p, v) ->
+          let base =
+            [ Dart_html.Table.render_cell (send p);
+              Dart_html.Table.render_cell (send (string_of_int v)) ]
+          in
+          let row =
+            if i = 0 then
+              Dart_html.Table.render_cell ~rowspan:(List.length block) (send cat) :: base
+            else base
+          in
+          rows := row :: !rows)
+        block)
+    categories;
+  (* Grand total as its own single-row block. *)
+  List.iter
+    (fun tu ->
+      match Tuple.values tu with
+      | [| Value.String "all"; Value.String p; Value.String _; Value.Int v |] ->
+        rows :=
+          [ Dart_html.Table.render_cell (send "all");
+            Dart_html.Table.render_cell (send p);
+            Dart_html.Table.render_cell (send (string_of_int v)) ]
+          :: !rows
+      | _ -> ())
+    tuples;
+  Buffer.add_string buf (Dart_html.Table.to_html (List.rev !rows));
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

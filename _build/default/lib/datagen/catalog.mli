@@ -1,0 +1,39 @@
+(** Web product catalogs with per-category subtotals — the paper intro's
+    other application context.  Catalog(Category, Product, Kind, Amount)
+    with Kind ∈ {{item, subtotal, total}} derived from classification
+    information by the wrapper. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+val relation_name : string
+val relation_schema : Schema.relation_schema
+val schema : Schema.t
+
+val categories : string list
+
+val products_of : string -> string list
+(** @raise Invalid_argument for unknown categories. *)
+
+val all_products : string list
+
+val chi_kind : Aggregate.t
+(** Sum of Amount per (category, kind). *)
+
+val chi_all_kind : Aggregate.t
+(** Sum of Amount per kind across the catalog. *)
+
+val subtotal_constraint : Agg_constraint.t
+val total_constraint : Agg_constraint.t
+val constraints : Agg_constraint.t list
+
+val generate : Prng.t -> Database.t
+(** A consistent catalog (items, per-category subtotals, grand total). *)
+
+val corrupt :
+  errors:int -> Prng.t -> Database.t -> Database.t * (Tuple.id * int * int) list
+
+val to_html : ?channel:Dart_ocr.Noise.channel -> ?prng:Prng.t -> Database.t -> string
+(** Three columns (category, product, amount); category cells span their
+    item rows; Kind is not rendered — the wrapper derives it. *)

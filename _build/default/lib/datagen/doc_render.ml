@@ -1,0 +1,113 @@
+(** Rendering database instances back into Figure-1-style HTML documents —
+    the synthetic stand-in for the paper's scanned balance sheets.
+
+    Each year becomes one table whose first column is a single multi-row
+    year cell (rowspan over all item rows) and whose second column groups
+    sections with rowspans — exactly the variable structure Example 13's
+    wrapper must cope with.  An OCR noise channel can be applied cell by
+    cell while rendering, yielding the corrupted acquired document plus a
+    ground-truth error log. *)
+
+open Dart_relational
+open Dart_html
+
+type corruption = {
+  year : int;
+  subsection : string;
+  kind : [ `Numeric | `Label ];
+  original : string;
+  corrupted : string;
+}
+
+(* Group an ordered association list by key, preserving order. *)
+let group_by_fst pairs =
+  List.rev
+    (List.fold_left
+       (fun acc (k, v) ->
+         match acc with
+         | (k', vs) :: rest when k' = k -> (k', v :: vs) :: rest
+         | _ -> (k, [ v ]) :: acc)
+       [] pairs)
+  |> List.map (fun (k, vs) -> (k, List.rev vs))
+
+(* Pass one cell text through the (optional) OCR channel, logging hits. *)
+let transmit ~channel ~prng ~log ~year ~subsection ~kind text =
+  match channel, prng with
+  | Some ch, Some prng ->
+    let text', corrupted = Dart_ocr.Noise.transmit ch prng text in
+    if corrupted then
+      log := { year; subsection; kind; original = text; corrupted = text' } :: !log;
+    text'
+  | _, _ -> text
+
+(** Items of one year in document order: (section, subsection, value). *)
+let year_items db year =
+  List.filter_map
+    (fun tu ->
+      match Tuple.values tu with
+      | [| Value.Int y; Value.String s; Value.String sub; Value.String _; Value.Int v |]
+        when y = year ->
+        Some (s, sub, v)
+      | _ -> None)
+    (Database.tuples_of db Cash_budget.relation_name)
+
+let years_of db =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun tu ->
+         match Tuple.value_by_name Cash_budget.relation_schema tu "Year" with
+         | Value.Int y -> Some y
+         | _ -> None)
+       (Database.tuples_of db Cash_budget.relation_name))
+
+(** Render one year as an HTML table (year cell spans all rows, each section
+    cell spans its items). *)
+let year_table ?channel ?prng ~log db year =
+  let items = year_items db year in
+  let sections = group_by_fst (List.map (fun (s, sub, v) -> (s, (sub, v))) items) in
+  let total_rows = List.length items in
+  let rows = ref [] in
+  let first_of_year = ref true in
+  List.iter
+    (fun (section, subs) ->
+      let first_of_section = ref true in
+      List.iter
+        (fun (sub, v) ->
+          let send kind text =
+            transmit ~channel ~prng ~log ~year ~subsection:sub ~kind text
+          in
+          let cells = ref [] in
+          if !first_of_year then begin
+            cells :=
+              [ Table.render_cell ~rowspan:total_rows (send `Numeric (string_of_int year)) ];
+            first_of_year := false
+          end;
+          if !first_of_section then begin
+            cells :=
+              !cells
+              @ [ Table.render_cell ~rowspan:(List.length subs) (send `Label section) ];
+            first_of_section := false
+          end;
+          cells :=
+            !cells
+            @ [ Table.render_cell (send `Label sub);
+                Table.render_cell (send `Numeric (string_of_int v)) ];
+          rows := !cells :: !rows)
+        subs)
+    sections;
+  Table.to_html (List.rev !rows)
+
+(** Render the whole cash-budget database as an HTML document, one table per
+    year.  With [channel] and [prng], cells pass through the OCR noise
+    channel; the returned log lists every corruption (most recent first). *)
+let cash_budget_html ?channel ?prng db : string * corruption list =
+  let log = ref [] in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<html><body>\n";
+  List.iter
+    (fun year ->
+      Buffer.add_string buf (year_table ?channel ?prng ~log db year);
+      Buffer.add_char buf '\n')
+    (years_of db);
+  Buffer.add_string buf "</body></html>\n";
+  (Buffer.contents buf, !log)

@@ -1,0 +1,25 @@
+(** Rendering cash-budget databases into Figure-1-style HTML documents,
+    optionally through the OCR noise channel. *)
+
+open Dart_relational
+open Dart_rand
+
+type corruption = {
+  year : int;
+  subsection : string;
+  kind : [ `Numeric | `Label ];
+  original : string;
+  corrupted : string;
+}
+
+val years_of : Database.t -> int list
+
+val year_items : Database.t -> int -> (string * string * int) list
+(** (section, subsection, value) of one year in document order. *)
+
+val cash_budget_html :
+  ?channel:Dart_ocr.Noise.channel -> ?prng:Prng.t -> Database.t ->
+  string * corruption list
+(** One table per year; the year cell spans all rows and section cells span
+    their items (the variable structure of Example 13).  Returns the HTML
+    and the corruption log (empty without a channel). *)

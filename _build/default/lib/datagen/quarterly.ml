@@ -1,0 +1,232 @@
+(** Fourth scenario: quarterly revenue statements with two-dimensional
+    rollups.
+
+    Schema: Quarterly(Year, Period, Item, Value), Period ∈ {q1..q4, fy}.
+    Two orthogonal constraint families:
+
+    {ul
+    {- per (year, period): the detail items sum to "total revenue";}
+    {- per (year, item): q1 + q2 + q3 + q4 = fy.}}
+
+    Every detail cell is covered by one constraint of each family, so a
+    single acquisition error is {e triangulated}: the violated
+    period-constraint and the violated item-constraint intersect in exactly
+    one cell, making the card-minimal repair unique — the double-entry
+    bookkeeping effect, and a stronger self-repair property than the
+    cash-budget scenario has. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_rand
+
+let relation_name = "Quarterly"
+
+let relation_schema =
+  Schema.make_relation relation_name
+    [| ("Year", Value.Int_dom); ("Period", Value.String_dom);
+       ("Item", Value.String_dom); ("Value", Value.Int_dom) |]
+
+let schema = Schema.make [ relation_schema ] [ (relation_name, "Value") ]
+
+let quarters = [ "q1"; "q2"; "q3"; "q4" ]
+let periods = quarters @ [ "fy" ]
+
+let detail_items = [ "product sales"; "services"; "licensing" ]
+let total_item = "total revenue"
+let items = detail_items @ [ total_item ]
+
+let sval s = Value.String s
+
+(** χ(year, period, item) = SELECT sum(Value) FROM Quarterly WHERE … *)
+let chi =
+  Aggregate.make ~name:"qrt" ~rel:relation_name ~arity:3 ~expr:(Attr_expr.Attr "Value")
+    ~where:
+      (Formula.conj
+         [ Formula.attr_eq_param "Year" 0;
+           Formula.attr_eq_param "Period" 1;
+           Formula.attr_eq_param "Item" 2 ])
+
+(* Per (year, period): Σ details − total = 0.  The body binds year (x0) and
+   period (x1) from any row of that period. *)
+let period_constraint =
+  Agg_constraint.make ~name:"q-period-total" ~nvars:2
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args =
+            [| Agg_constraint.Var 0; Agg_constraint.Var 1; Agg_constraint.Anon;
+               Agg_constraint.Anon |] } ]
+    ~apps:
+      (List.map
+         (fun item ->
+           { Agg_constraint.coeff = Rat.one; fn = chi;
+             actuals =
+               [| Agg_constraint.AVar 0; Agg_constraint.AVar 1;
+                  Agg_constraint.ACst (sval item) |] })
+         detail_items
+       @ [ { Agg_constraint.coeff = Rat.minus_one; fn = chi;
+             actuals =
+               [| Agg_constraint.AVar 0; Agg_constraint.AVar 1;
+                  Agg_constraint.ACst (sval total_item) |] } ])
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+(* Per (year, item): Σ quarters − fy = 0.  x0 = year, x1 = item. *)
+let annual_constraint =
+  Agg_constraint.make ~name:"q-annual-rollup" ~nvars:2
+    ~body:
+      [ { Agg_constraint.rel = relation_name;
+          args =
+            [| Agg_constraint.Var 0; Agg_constraint.Anon; Agg_constraint.Var 1;
+               Agg_constraint.Anon |] } ]
+    ~apps:
+      (List.map
+         (fun q ->
+           { Agg_constraint.coeff = Rat.one; fn = chi;
+             actuals =
+               [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval q);
+                  Agg_constraint.AVar 1 |] })
+         quarters
+       @ [ { Agg_constraint.coeff = Rat.minus_one; fn = chi;
+             actuals =
+               [| Agg_constraint.AVar 0; Agg_constraint.ACst (sval "fy");
+                  Agg_constraint.AVar 1 |] } ])
+    ~op:Agg_constraint.Eq ~bound:Rat.zero
+
+let constraints = [ period_constraint; annual_constraint ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let insert db ~year ~period ~item v =
+  Database.insert_row db relation_name
+    [| Value.Int year; sval period; sval item; Value.Int v |]
+
+(** One consistent year: random quarterly details; totals and fy computed.
+    Document order: q1..q4 blocks (details then total), then the fy
+    block. *)
+let insert_year db ~year prng =
+  let detail = Hashtbl.create 16 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun item -> Hashtbl.replace detail (q, item) (Prng.int_range prng 50 900))
+        detail_items)
+    quarters;
+  let db = ref db in
+  List.iter
+    (fun q ->
+      let total = ref 0 in
+      List.iter
+        (fun item ->
+          let v = Hashtbl.find detail (q, item) in
+          total := !total + v;
+          db := insert !db ~year ~period:q ~item v)
+        detail_items;
+      db := insert !db ~year ~period:q ~item:total_item !total)
+    quarters;
+  (* fy block *)
+  let fy_total = ref 0 in
+  List.iter
+    (fun item ->
+      let v = List.fold_left (fun acc q -> acc + Hashtbl.find detail (q, item)) 0 quarters in
+      fy_total := !fy_total + v;
+      db := insert !db ~year ~period:"fy" ~item v)
+    detail_items;
+  db := insert !db ~year ~period:"fy" ~item:total_item !fy_total;
+  !db
+
+let generate ?(start_year = 2000) ~years prng =
+  let db = ref (Database.create schema) in
+  for y = start_year to start_year + years - 1 do
+    db := insert_year !db ~year:y prng
+  done;
+  !db
+
+(** Corrupt [errors] distinct Value cells (OCR digit noise). *)
+let corrupt ~errors prng db =
+  let tuples = Database.tuples_of db relation_name in
+  let n = List.length tuples in
+  if errors > n then invalid_arg "Quarterly.corrupt: more errors than cells";
+  let victims = Prng.sample_indices prng ~n ~k:errors in
+  let arr = Array.of_list tuples in
+  List.fold_left
+    (fun (db, log) i ->
+      let tu = arr.(i) in
+      match Tuple.value_by_name relation_schema tu "Value" with
+      | Value.Int v ->
+        let v' = Dart_ocr.Noise.corrupt_int prng v in
+        (Database.update_value db (Tuple.id tu) "Value" (Value.Int v'),
+         (Tuple.id tu, v, v') :: log)
+      | Value.Real _ | Value.String _ -> (db, log))
+    (db, []) victims
+
+(** Render as HTML: one table per year, the year cell spanning everything,
+    period cells spanning their item blocks. *)
+let to_html ?channel ?prng db =
+  let send text =
+    match channel, prng with
+    | Some ch, Some p -> fst (Dart_ocr.Noise.transmit ch p text)
+    | _ -> text
+  in
+  let tuples = Database.tuples_of db relation_name in
+  let years =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun tu ->
+           match Tuple.value_by_name relation_schema tu "Year" with
+           | Value.Int y -> Some y
+           | _ -> None)
+         tuples)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<html><body>\n";
+  List.iter
+    (fun year ->
+      let rows = ref [] in
+      let first_of_year = ref true in
+      let year_rows = 4 * List.length periods in
+      List.iter
+        (fun period ->
+          let block =
+            List.filter_map
+              (fun tu ->
+                match Tuple.values tu with
+                | [| Value.Int y; Value.String p; Value.String item; Value.Int v |]
+                  when y = year && p = period ->
+                  Some (item, v)
+                | _ -> None)
+              tuples
+          in
+          let first_of_period = ref true in
+          List.iter
+            (fun (item, v) ->
+              let base =
+                [ Dart_html.Table.render_cell (send item);
+                  Dart_html.Table.render_cell (send (string_of_int v)) ]
+              in
+              let base =
+                if !first_of_period then begin
+                  first_of_period := false;
+                  Dart_html.Table.render_cell ~rowspan:(List.length block) (send period)
+                  :: base
+                end
+                else base
+              in
+              let row =
+                if !first_of_year then begin
+                  first_of_year := false;
+                  Dart_html.Table.render_cell ~rowspan:year_rows
+                    (send (string_of_int year))
+                  :: base
+                end
+                else base
+              in
+              rows := row :: !rows)
+            block)
+        periods;
+      Buffer.add_string buf (Dart_html.Table.to_html (List.rev !rows)))
+    years;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

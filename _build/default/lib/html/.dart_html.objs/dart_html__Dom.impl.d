@@ -1,0 +1,1 @@
+lib/html/dom.ml: Buffer Format List String Tokenizer

@@ -1,0 +1,1 @@
+lib/html/dom.mli: Format

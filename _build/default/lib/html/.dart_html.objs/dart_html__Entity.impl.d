@@ -1,0 +1,1 @@
+lib/html/entity.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/html/table.ml: Array Buffer Dom Entity List Option Printf String

@@ -1,0 +1,1 @@
+lib/html/tokenizer.ml: Buffer Entity List String

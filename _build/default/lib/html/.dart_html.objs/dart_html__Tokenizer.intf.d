@@ -1,0 +1,1 @@
+lib/html/tokenizer.mli:

@@ -1,0 +1,134 @@
+(** Tree construction over {!Tokenizer} output.
+
+    Implements the subset of the HTML5 implied-end-tag rules that matters
+    for tabular documents: [</td>], [</tr>], [</th>], [</li>], [</p>] may be
+    omitted, void elements ([br], [hr], [img], …) never nest children, and
+    stray end tags are ignored.  Unclosed elements are closed at EOF. *)
+
+type node =
+  | Element of { name : string; attrs : (string * string) list; children : node list }
+  | Text of string
+
+let void_elements =
+  [ "area"; "base"; "br"; "col"; "embed"; "hr"; "img"; "input"; "link"; "meta";
+    "param"; "source"; "track"; "wbr" ]
+
+(* Start of [name] implicitly closes an open [open_name]? *)
+let implies_close ~open_name ~name =
+  match name with
+  | "tr" -> List.mem open_name [ "tr"; "td"; "th" ]
+  | "td" | "th" -> List.mem open_name [ "td"; "th" ]
+  | "li" -> open_name = "li"
+  | "p" -> open_name = "p"
+  | "tbody" | "thead" | "tfoot" -> List.mem open_name [ "tr"; "td"; "th"; "tbody"; "thead"; "tfoot" ]
+  | "table" -> false (* nested tables are legitimate *)
+  | _ -> false
+
+type frame = { fname : string; fattrs : (string * string) list; mutable rev_children : node list }
+
+let parse (html : string) : node list =
+  let tokens = Tokenizer.tokenize html in
+  let stack : frame list ref = ref [] in
+  let roots : node list ref = ref [] in
+  let add_node n =
+    match !stack with
+    | [] -> roots := n :: !roots
+    | f :: _ -> f.rev_children <- n :: f.rev_children
+  in
+  let close_top () =
+    match !stack with
+    | [] -> ()
+    | f :: rest ->
+      stack := rest;
+      add_node (Element { name = f.fname; attrs = f.fattrs; children = List.rev f.rev_children })
+  in
+  let rec close_until name =
+    match !stack with
+    | [] -> ()
+    | f :: _ ->
+      if f.fname = name then close_top ()
+      else if List.exists (fun fr -> fr.fname = name) !stack then begin
+        close_top ();
+        close_until name
+      end
+      (* else: stray end tag, ignore *)
+  in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Tokenizer.Text t ->
+        if String.trim t <> "" then add_node (Text t)
+      | Tokenizer.End_tag name -> close_until name
+      | Tokenizer.Start_tag { name; attrs; self_closing } ->
+        let rec auto_close () =
+          match !stack with
+          | f :: _ when implies_close ~open_name:f.fname ~name ->
+            close_top ();
+            auto_close ()
+          | _ -> ()
+        in
+        auto_close ();
+        if self_closing || List.mem name void_elements then
+          add_node (Element { name; attrs; children = [] })
+        else stack := { fname = name; fattrs = attrs; rev_children = [] } :: !stack)
+    tokens;
+  while !stack <> [] do close_top () done;
+  List.rev !roots
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attr node name =
+  match node with
+  | Element { attrs; _ } -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let children = function Element { children; _ } -> children | Text _ -> []
+
+let name = function Element { name; _ } -> Some name | Text _ -> None
+
+(** Depth-first search for all elements with the given tag name. *)
+let find_all tag nodes =
+  let rec go acc node =
+    match node with
+    | Text _ -> acc
+    | Element { name; children; _ } ->
+      let acc = if name = tag then node :: acc else acc in
+      List.fold_left go acc children
+  in
+  List.rev (List.fold_left go [] nodes)
+
+(** Direct element children with the given tag name. *)
+let child_elements tag node =
+  List.filter (fun c -> name c = Some tag) (children node)
+
+(** Concatenated text content, whitespace-normalized. *)
+let text_content node =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text t -> Buffer.add_string buf t; Buffer.add_char buf ' '
+    | Element { children; _ } -> List.iter go children
+  in
+  go node;
+  (* squeeze runs of whitespace *)
+  let raw = Buffer.contents buf in
+  let out = Buffer.create (String.length raw) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then pending_space := true
+      else begin
+        if !pending_space && Buffer.length out > 0 then Buffer.add_char out ' ';
+        pending_space := false;
+        Buffer.add_char out c
+      end)
+    raw;
+  Buffer.contents out
+
+let rec pp fmt = function
+  | Text t -> Format.fprintf fmt "%S" t
+  | Element { name; children; _ } ->
+    Format.fprintf fmt "@[<hv 2>%s(%a)@]" name
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp)
+      children

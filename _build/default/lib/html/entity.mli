@@ -1,0 +1,13 @@
+(** HTML character-entity encoding/decoding (the subset occurring in
+    tabular data). *)
+
+val named : string -> string option
+(** Replacement for a named entity ([amp], [lt], …). *)
+
+val decode : string -> string
+(** Decode [&name;], [&#NN;], [&#xHH;]; unknown references stay verbatim;
+    non-ASCII code points become ["?"]. *)
+
+val encode : string -> string
+(** Escape ampersand, angle brackets and double quote for safe inclusion
+    in content and attributes. *)

@@ -1,0 +1,49 @@
+(** Table model with rowspan/colspan grid expansion.
+
+    A [<table>] becomes a logical grid in which a spanning cell's text is
+    visible at every (row, column) it covers — how the wrapper handles the
+    paper's "variable structure" tables (Example 13's multi-row year
+    cell). *)
+
+type cell = {
+  text : string;
+  rowspan : int;
+  colspan : int;
+  header : bool;
+}
+
+type t = {
+  raw_rows : cell list list;
+  grid : string option array array;
+  origin : (int * int) array array;
+}
+
+val of_node : Dom.node -> t
+(** Build from a [<table>] element (thead/tbody/tfoot traversed in document
+    order; nested tables are not descended into). *)
+
+val of_document : Dom.node list -> t list
+val of_html : string -> t list
+
+val num_rows : t -> int
+val num_cols : t -> int
+
+val cell_text : t -> row:int -> col:int -> string option
+(** Text visible at a logical position ([None] where no cell covers it or
+    out of bounds). *)
+
+val is_cell_origin : t -> row:int -> col:int -> bool
+(** Whether the covering cell starts at this position (vs. a spanning
+    continuation). *)
+
+val row_texts : t -> int -> string list
+(** One logical row as texts; continuations included, holes as [""]. *)
+
+(** {1 Rendering} *)
+
+type render_cell
+
+val render_cell : ?rowspan:int -> ?colspan:int -> ?header:bool -> string -> render_cell
+
+val to_html : ?attrs:string -> render_cell list list -> string
+(** Render spanning rows as an HTML table (content entity-encoded). *)

@@ -1,0 +1,146 @@
+(** HTML tokenizer.
+
+    A pragmatic tokenizer for the document fragments DART ingests: start and
+    end tags with quoted/unquoted attributes, text, comments, doctype, and
+    raw-text handling for [<script>]/[<style>].  It never fails: malformed
+    markup degrades to text, matching the error-tolerant spirit of browser
+    parsing that real-world wrappers must cope with. *)
+
+type token =
+  | Start_tag of { name : string; attrs : (string * string) list; self_closing : bool }
+  | End_tag of string
+  | Text of string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+  || c = '_' || c = ':'
+
+let lowercase = String.lowercase_ascii
+
+(** Tokenize a document.  Text tokens are entity-decoded; whitespace-only
+    text between tags is preserved (the tree builder drops it). *)
+let tokenize (s : string) : token list =
+  let len = String.length s in
+  let out = ref [] in
+  let emit tok = out := tok :: !out in
+  let text_buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      emit (Text (Entity.decode (Buffer.contents text_buf)));
+      Buffer.clear text_buf
+    end
+  in
+  let rec skip_space i = if i < len && is_space s.[i] then skip_space (i + 1) else i in
+  let read_name i =
+    let rec go j = if j < len && is_name_char s.[j] then go (j + 1) else j in
+    let j = go i in
+    (lowercase (String.sub s i (j - i)), j)
+  in
+  let read_attr_value i =
+    if i >= len then ("", i)
+    else if s.[i] = '"' || s.[i] = '\'' then begin
+      let quote = s.[i] in
+      match String.index_from_opt s (i + 1) quote with
+      | Some j -> (Entity.decode (String.sub s (i + 1) (j - i - 1)), j + 1)
+      | None -> (Entity.decode (String.sub s (i + 1) (len - i - 1)), len)
+    end
+    else begin
+      let rec go j = if j < len && not (is_space s.[j]) && s.[j] <> '>' then go (j + 1) else j in
+      let j = go i in
+      (Entity.decode (String.sub s i (j - i)), j)
+    end
+  in
+  let rec read_attrs i acc =
+    let i = skip_space i in
+    if i >= len then (List.rev acc, i, false)
+    else if s.[i] = '>' then (List.rev acc, i + 1, false)
+    else if s.[i] = '/' && i + 1 < len && s.[i + 1] = '>' then (List.rev acc, i + 2, true)
+    else begin
+      let name, i = read_name i in
+      if name = "" then (* garbage: skip one char to guarantee progress *)
+        read_attrs (i + 1) acc
+      else begin
+        let i = skip_space i in
+        if i < len && s.[i] = '=' then begin
+          let i = skip_space (i + 1) in
+          let v, i = read_attr_value i in
+          read_attrs i ((name, v) :: acc)
+        end
+        else read_attrs i ((name, "") :: acc)
+      end
+    end
+  in
+  (* Raw-text elements: consume everything until the matching end tag. *)
+  let find_raw_end i tag =
+    let target = "</" ^ tag in
+    let tlen = String.length target in
+    let rec go j =
+      if j + tlen > len then len
+      else if lowercase (String.sub s j tlen) = target then j
+      else go (j + 1)
+    in
+    go i
+  in
+  let rec loop i =
+    if i >= len then flush_text ()
+    else if s.[i] = '<' then begin
+      if i + 3 < len && String.sub s i 4 = "<!--" then begin
+        flush_text ();
+        (* comment *)
+        let rec find_end j =
+          if j + 2 >= len then len
+          else if String.sub s j 3 = "-->" then j + 3
+          else find_end (j + 1)
+        in
+        loop (find_end (i + 4))
+      end
+      else if i + 1 < len && s.[i + 1] = '!' then begin
+        flush_text ();
+        (* doctype or other declaration: skip to '>' *)
+        match String.index_from_opt s i '>' with
+        | Some j -> loop (j + 1)
+        | None -> flush_text ()
+      end
+      else if i + 1 < len && s.[i + 1] = '/' then begin
+        flush_text ();
+        let name, j = read_name (i + 2) in
+        (match String.index_from_opt s j '>' with
+         | Some k ->
+           if name <> "" then emit (End_tag name);
+           loop (k + 1)
+         | None -> flush_text ())
+      end
+      else begin
+        let name, j = read_name (i + 1) in
+        if name = "" then begin
+          (* '<' followed by non-name: literal text *)
+          Buffer.add_char text_buf '<';
+          loop (i + 1)
+        end
+        else begin
+          flush_text ();
+          let attrs, j, self_closing = read_attrs j [] in
+          emit (Start_tag { name; attrs; self_closing });
+          if (name = "script" || name = "style") && not self_closing then begin
+            let k = find_raw_end j name in
+            (* raw content dropped: scripts/styles carry no table data *)
+            if k >= len then loop len
+            else begin
+              emit (End_tag name);
+              match String.index_from_opt s k '>' with
+              | Some e -> loop (e + 1)
+              | None -> loop len
+            end
+          end
+          else loop j
+        end
+      end
+    end
+    else begin
+      Buffer.add_char text_buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  List.rev !out

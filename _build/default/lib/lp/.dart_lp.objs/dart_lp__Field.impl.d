@@ -1,0 +1,1 @@
+lib/lp/field.ml: Format

@@ -1,0 +1,1 @@
+lib/lp/field_float.ml: Float Format

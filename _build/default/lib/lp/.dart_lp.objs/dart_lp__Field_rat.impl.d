@@ -1,0 +1,1 @@
+lib/lp/field_rat.ml: Dart_numeric Rat

@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Array Buffer Field Float List Lp_problem Printf String

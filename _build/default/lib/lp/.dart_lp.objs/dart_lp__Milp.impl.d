@@ -1,0 +1,1 @@
+lib/lp/milp.ml: Array Field Lp_problem Simplex

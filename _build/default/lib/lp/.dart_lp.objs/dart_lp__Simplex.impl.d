@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Field List Lp_problem Option

@@ -1,0 +1,41 @@
+(** Ordered-field abstraction over which the simplex and branch & bound are
+    parameterized.
+
+    Two instances ship with DART: {!Field_rat} (exact rationals — the default
+    for repair computation, where feasibility of integer equalities must not
+    depend on a floating tolerance) and {!Field_float} (IEEE doubles with an
+    epsilon comparator — used for the scaling benchmarks and the E9
+    ablation). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+
+  val compare : t -> t -> int
+  (** Total order; instances may apply a tolerance (see {!Field_float}). *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+
+  val floor : t -> t
+  (** Greatest integral field element below, used for integer branching. *)
+
+  val ceil : t -> t
+
+  val is_integer : t -> bool
+  (** Whether the value is integral (up to the instance's tolerance). *)
+
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,39 @@
+(** IEEE-double instance of {!Field.S}.
+
+    Comparisons treat values closer than [eps = 1e-9] as equal, the usual
+    numerical-LP convention.  Fast but inexact: see DESIGN.md and the E9
+    ablation for why the repair path defaults to {!Field_rat} instead. *)
+
+type t = float
+
+let eps = 1e-9
+
+let zero = 0.
+let one = 1.
+let of_int = float_of_int
+
+let add = ( +. )
+let sub = ( -. )
+let mul = ( *. )
+let div = ( /. )
+let neg x = -.x
+let abs = Float.abs
+
+let compare a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
+let is_zero x = Float.abs x <= eps
+let equal a b = compare a b = 0
+
+let floor x =
+  (* Snap to the nearest integer first so that 2.9999999998 floors to 3. *)
+  let r = Float.round x in
+  if Float.abs (x -. r) <= eps then r else Float.floor x
+
+let ceil x =
+  let r = Float.round x in
+  if Float.abs (x -. r) <= eps then r else Float.ceil x
+
+let is_integer x = Float.abs (x -. Float.round x) <= eps
+
+let to_float x = x
+let to_string = string_of_float
+let pp fmt x = Format.pp_print_float fmt x

@@ -1,0 +1,28 @@
+(** Exact-rational instance of {!Field.S}, backed by {!Dart_numeric.Rat}. *)
+
+open Dart_numeric
+
+type t = Rat.t
+
+let zero = Rat.zero
+let one = Rat.one
+let of_int = Rat.of_int
+
+let add = Rat.add
+let sub = Rat.sub
+let mul = Rat.mul
+let div = Rat.div
+let neg = Rat.neg
+let abs = Rat.abs
+
+let compare = Rat.compare
+let is_zero = Rat.is_zero
+let equal = Rat.equal
+
+let floor x = Rat.of_bigint (Rat.floor x)
+let ceil x = Rat.of_bigint (Rat.ceil x)
+let is_integer = Rat.is_integer
+
+let to_float = Rat.to_float
+let to_string = Rat.to_string
+let pp = Rat.pp

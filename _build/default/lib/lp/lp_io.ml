@@ -1,0 +1,76 @@
+(** Export of LP/MILP problems in CPLEX LP textual format.
+
+    Lets DART's generated S*(AC) instances be inspected by hand or fed to
+    an external solver for cross-checking (the paper used LINDO; dumping
+    the instance is the portable equivalent). *)
+
+module Make (F : Field.S) = struct
+  module P = Lp_problem.Make (F)
+
+  let sanitize name =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+           || c = '_' then c
+        else '_')
+      name
+
+  let term_string names (c, v) =
+    let coeff = F.to_float c in
+    let name = sanitize names.(v) in
+    if coeff >= 0.0 then Printf.sprintf "+ %.12g %s" coeff name
+    else Printf.sprintf "- %.12g %s" (Float.abs coeff) name
+
+  let terms_string names terms =
+    match terms with
+    | [] -> "0 x_dummy_zero"
+    | _ -> String.concat " " (List.map (term_string names) terms)
+
+  (** Render a problem in CPLEX LP format. *)
+  let to_string (p : P.t) =
+    let names = P.var_names p in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (if P.minimize p then "Minimize\n" else "Maximize\n");
+    Buffer.add_string buf (" obj: " ^ terms_string names (P.objective p) ^ "\n");
+    Buffer.add_string buf "Subject To\n";
+    Array.iteri
+      (fun i (c : P.constr) ->
+        let label = if c.label = "" then Printf.sprintf "c%d" i else sanitize c.label in
+        let op =
+          match c.op with Lp_problem.Le -> "<=" | Lp_problem.Ge -> ">=" | Lp_problem.Eq -> "="
+        in
+        Buffer.add_string buf
+          (Printf.sprintf " %s: %s %s %.12g\n" label (terms_string names c.terms) op
+             (F.to_float c.rhs)))
+      (P.constraints p);
+    (* Bounds: CPLEX defaults are [0, +inf); declare free and bounded vars. *)
+    Buffer.add_string buf "Bounds\n";
+    let lowers = P.var_lowers p and uppers = P.var_uppers p in
+    for v = 0 to P.num_vars p - 1 do
+      let name = sanitize names.(v) in
+      match lowers.(v), uppers.(v) with
+      | None, None -> Buffer.add_string buf (Printf.sprintf " %s free\n" name)
+      | Some lo, None ->
+        if F.to_float lo <> 0.0 then
+          Buffer.add_string buf (Printf.sprintf " %s >= %.12g\n" name (F.to_float lo))
+      | None, Some hi ->
+        Buffer.add_string buf (Printf.sprintf " -inf <= %s <= %.12g\n" name (F.to_float hi))
+      | Some lo, Some hi ->
+        Buffer.add_string buf
+          (Printf.sprintf " %.12g <= %s <= %.12g\n" (F.to_float lo) name (F.to_float hi))
+    done;
+    (* Integrality section. *)
+    let integers = P.var_integers p in
+    let int_names =
+      List.filter_map
+        (fun v -> if integers.(v) then Some (sanitize names.(v)) else None)
+        (List.init (P.num_vars p) (fun v -> v))
+    in
+    if int_names <> [] then begin
+      Buffer.add_string buf "General\n ";
+      Buffer.add_string buf (String.concat " " int_names);
+      Buffer.add_char buf '\n'
+    end;
+    Buffer.add_string buf "End\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,129 @@
+(** Mixed-integer linear programming by branch & bound on the simplex
+    relaxation.
+
+    Nodes are explored depth-first; at each node the variable whose
+    relaxation value is most fractional (among those flagged integral) is
+    branched on, taking the branch nearest the fractional value first so
+    that incumbents appear early.  With [integral_objective:true] (the case
+    for DART's card-minimality objective, which is a sum of binaries) the
+    bound test is sharpened to [ceil(relaxation) >= incumbent]. *)
+
+module Make (F : Field.S) = struct
+  module P = Lp_problem.Make (F)
+  module S = Simplex.Make (F)
+
+  type status =
+    | Optimal      (** incumbent proved optimal *)
+    | Feasible     (** search truncated by the node limit; incumbent best-so-far *)
+    | Infeasible
+    | Unbounded
+
+  type outcome = {
+    status : status;
+    objective : F.t option;
+    assignment : F.t array option;
+    nodes_explored : int;
+  }
+
+  let max_compare a b = if F.compare a b >= 0 then a else b
+  let min_compare a b = if F.compare a b <= 0 then a else b
+
+  let solve ?(max_nodes = 1_000_000) ?(integral_objective = false) (p : P.t) : outcome =
+    let minimize = P.minimize p in
+    let integers = P.var_integers p in
+    let base_lo = P.var_lowers p and base_hi = P.var_uppers p in
+    let nvars = P.num_vars p in
+    (* Fresh problem with overridden bounds, sharing constraint structure. *)
+    let relax lo hi =
+      let q = P.create () in
+      let names = P.var_names p in
+      for v = 0 to nvars - 1 do
+        ignore (P.add_var ~name:names.(v) ?lower:lo.(v) ?upper:hi.(v) q)
+      done;
+      Array.iter (fun (c : P.constr) -> P.add_constraint ~label:c.label q c.terms c.op c.rhs)
+        (P.constraints p);
+      P.set_objective ~minimize q (P.objective p);
+      S.solve q
+    in
+    let incumbent = ref None in (* (objective, assignment) *)
+    let better_than_incumbent obj =
+      match !incumbent with
+      | None -> true
+      | Some (best, _) -> if minimize then F.compare obj best < 0 else F.compare obj best > 0
+    in
+    let bound_prunes obj =
+      match !incumbent with
+      | None -> false
+      | Some (best, _) ->
+        let obj = if integral_objective then (if minimize then F.ceil obj else F.floor obj) else obj in
+        if minimize then F.compare obj best >= 0 else F.compare obj best <= 0
+    in
+    let most_fractional assignment =
+      let best = ref None in (* (var, value, fractional distance to nearest int) *)
+      Array.iteri
+        (fun v is_int ->
+          if is_int && not (F.is_integer assignment.(v)) then begin
+            let x = assignment.(v) in
+            let fl = F.floor x in
+            let frac = F.sub x fl in
+            (* distance to nearest integer = min(frac, 1 - frac) *)
+            let d = min_compare frac (F.sub F.one frac) in
+            match !best with
+            | Some (_, _, bd) when F.compare d bd <= 0 -> ()
+            | _ -> best := Some (v, x, d)
+          end)
+        integers;
+      !best
+    in
+    let nodes = ref 0 in
+    let truncated = ref false in
+    let any_relaxation_unbounded = ref false in
+    let root_infeasible = ref false in
+    let rec explore lo hi depth =
+      if !nodes >= max_nodes then truncated := true
+      else begin
+        incr nodes;
+        match relax lo hi with
+        | S.Infeasible -> if depth = 0 then root_infeasible := true
+        | S.Unbounded ->
+          (* An unbounded relaxation at the root means the MILP itself may be
+             unbounded or infeasible; we report unbounded conservatively. *)
+          any_relaxation_unbounded := true
+        | S.Optimal { objective; assignment } ->
+          if not (bound_prunes objective) then begin
+            match most_fractional assignment with
+            | None ->
+              if better_than_incumbent objective then incumbent := Some (objective, assignment)
+            | Some (v, x, _) ->
+              let fl = F.floor x and ce = F.ceil x in
+              let down () =
+                let hi' = Array.copy hi in
+                hi' .(v) <- Some (match hi.(v) with None -> fl | Some h -> min_compare h fl);
+                explore lo hi' (depth + 1)
+              in
+              let up () =
+                let lo' = Array.copy lo in
+                lo' .(v) <- Some (match lo.(v) with None -> ce | Some l -> max_compare l ce);
+                explore lo' hi (depth + 1)
+              in
+              (* Explore the branch nearest the fractional value first. *)
+              let frac = F.sub x fl in
+              if F.compare frac (F.sub F.one frac) <= 0 then begin down (); up () end
+              else begin up (); down () end
+          end
+      end
+    in
+    explore (Array.copy base_lo) (Array.copy base_hi) 0;
+    match !incumbent with
+    | Some (objective, assignment) ->
+      { status = (if !truncated then Feasible else Optimal);
+        objective = Some objective; assignment = Some assignment;
+        nodes_explored = !nodes }
+    | None ->
+      let status =
+        if !any_relaxation_unbounded then Unbounded
+        else if !truncated then Feasible
+        else Infeasible
+      in
+      { status; objective = None; assignment = None; nodes_explored = !nodes }
+end

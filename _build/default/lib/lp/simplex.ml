@@ -1,0 +1,313 @@
+(** Two-phase primal simplex over an arbitrary ordered field.
+
+    The implementation is the classic dense full-tableau method with Bland's
+    anti-cycling rule.  General variable bounds are removed up front by
+    substitution (shifted, reflected or split into positive/negative parts),
+    inequality rows gain slack/surplus columns, and phase 1 introduces
+    artificial columns only for rows that lack a natural basic slack.
+
+    Performance is adequate for DART's repair MILPs (hundreds of rows); the
+    point of the functor is that instantiating with {!Field_rat} gives an
+    exact solver with no feasibility tolerance at all. *)
+
+module Make (F : Field.S) = struct
+  module P = Lp_problem.Make (F)
+
+  type result =
+    | Optimal of { objective : F.t; assignment : F.t array }
+    | Infeasible
+    | Unbounded
+
+  (* How an original variable is represented over the non-negative standard
+     variables. *)
+  type encoding =
+    | Shifted of int * F.t        (* x = u + lo *)
+    | Reflected of int * F.t      (* x = hi - u *)
+    | Split of int * int          (* x = u_pos - u_neg *)
+
+  type tableau = {
+    mutable rows : F.t array array; (* m rows, each of length ncols + 1 (rhs last) *)
+    mutable basis : int array;      (* basic variable of each row *)
+    obj : F.t array;                (* reduced-cost row, length ncols + 1 *)
+    ncols : int;
+    first_artificial : int;         (* columns >= this are artificial *)
+  }
+
+  let pivot t ~row ~col =
+    let r = t.rows.(row) in
+    let piv = r.(col) in
+    let n = t.ncols in
+    for j = 0 to n do
+      if not (F.is_zero r.(j)) then r.(j) <- F.div r.(j) piv
+    done;
+    r.(col) <- F.one;
+    let eliminate (other : F.t array) =
+      let factor = other.(col) in
+      if not (F.is_zero factor) then begin
+        for j = 0 to n do
+          if not (F.is_zero r.(j)) then other.(j) <- F.sub other.(j) (F.mul factor r.(j))
+        done;
+        other.(col) <- F.zero
+      end
+    in
+    Array.iteri (fun i other -> if i <> row then eliminate other) t.rows;
+    eliminate t.obj;
+    t.basis.(row) <- col
+
+  (* Bland's rule: entering = lowest-index column with negative reduced cost
+     (artificials are never allowed to re-enter once phase 1 is done). *)
+  let entering_column t ~allow_artificial =
+    let limit = if allow_artificial then t.ncols else t.first_artificial in
+    let rec go j =
+      if j >= limit then None
+      else if F.compare t.obj.(j) F.zero < 0 then Some j
+      else go (j + 1)
+    in
+    go 0
+
+  let leaving_row t ~col =
+    let m = Array.length t.rows in
+    let best = ref None in
+    for i = 0 to m - 1 do
+      let a = t.rows.(i).(col) in
+      if F.compare a F.zero > 0 then begin
+        let ratio = F.div t.rows.(i).(t.ncols) a in
+        match !best with
+        | None -> best := Some (i, ratio)
+        | Some (bi, bratio) ->
+          let c = F.compare ratio bratio in
+          (* Tie-break on the basic variable index (Bland). *)
+          if c < 0 || (c = 0 && t.basis.(i) < t.basis.(bi)) then best := Some (i, ratio)
+      end
+    done;
+    Option.map fst !best
+
+  type iterate_outcome = Finished | Unbounded_direction
+
+  let rec iterate t ~allow_artificial =
+    match entering_column t ~allow_artificial with
+    | None -> Finished
+    | Some col ->
+      (match leaving_row t ~col with
+       | None -> Unbounded_direction
+       | Some row ->
+         pivot t ~row ~col;
+         iterate t ~allow_artificial)
+
+  (* Install a cost vector into the reduced-cost row and re-eliminate the
+     basic columns so the row is expressed over nonbasic variables only. *)
+  let install_costs t (costs : F.t array) =
+    let n = t.ncols in
+    for j = 0 to n do t.obj.(j) <- F.zero done;
+    Array.iteri (fun j c -> t.obj.(j) <- c) costs;
+    Array.iteri
+      (fun i b ->
+        let factor = t.obj.(b) in
+        if not (F.is_zero factor) then begin
+          let r = t.rows.(i) in
+          for j = 0 to n do
+            if not (F.is_zero r.(j)) then t.obj.(j) <- F.sub t.obj.(j) (F.mul factor r.(j))
+          done;
+          t.obj.(b) <- F.zero
+        end)
+      t.basis
+
+  (* Current objective value: the rhs cell of the reduced-cost row holds -z. *)
+  let objective_value t = F.neg t.obj.(t.ncols)
+
+  let rec solve (p : P.t) : result =
+    let nvars = P.num_vars p in
+    let lowers = P.var_lowers p and uppers = P.var_uppers p in
+    let infeasible_bounds =
+      let rec go j =
+        j < nvars
+        && (match lowers.(j), uppers.(j) with
+            | Some lo, Some hi when F.compare hi lo < 0 -> true
+            | _ -> go (j + 1))
+      in
+      go 0
+    in
+    if infeasible_bounds then Infeasible
+    else solve_with_bounds p ~lowers ~uppers
+
+  and solve_with_bounds (p : P.t) ~lowers ~uppers : result =
+    let nvars = P.num_vars p in
+    (* --- 1. encode variables over non-negative standard variables ------- *)
+    let next = ref 0 in
+    let fresh () = let v = !next in incr next; v in
+    let extra_rows = ref [] in (* upper-bound rows u <= hi - lo *)
+    let encodings =
+      Array.init nvars (fun j ->
+          match lowers.(j), uppers.(j) with
+          | Some lo, Some hi ->
+            let u = fresh () in
+            extra_rows := (u, F.sub hi lo) :: !extra_rows;
+            Shifted (u, lo)
+          | Some lo, None -> Shifted (fresh (), lo)
+          | None, Some hi -> Reflected (fresh (), hi)
+          | None, None ->
+            let up = fresh () in
+            let un = fresh () in
+            Split (up, un))
+    in
+    let encode_terms terms =
+      (* Returns (std terms, rhs adjustment to subtract). *)
+      let adjust = ref F.zero in
+      let out = ref [] in
+      List.iter
+        (fun (c, v) ->
+          match encodings.(v) with
+          | Shifted (u, lo) ->
+            out := (c, u) :: !out;
+            adjust := F.add !adjust (F.mul c lo)
+          | Reflected (u, hi) ->
+            out := (F.neg c, u) :: !out;
+            adjust := F.add !adjust (F.mul c hi)
+          | Split (up, un) -> out := (c, up) :: (F.neg c, un) :: !out)
+        terms;
+      (!out, !adjust)
+    in
+    (* --- 2. build equality rows with slack columns ---------------------- *)
+    let constrs = P.constraints p in
+    let rows_spec = ref [] in (* (terms over std vars incl. slack, rhs) *)
+    let slack_cols = ref [] in
+    let add_row terms op rhs =
+      match op with
+      | Lp_problem.Eq -> rows_spec := (terms, rhs) :: !rows_spec
+      | Lp_problem.Le ->
+        let s = fresh () in
+        slack_cols := s :: !slack_cols;
+        rows_spec := ((F.one, s) :: terms, rhs) :: !rows_spec
+      | Lp_problem.Ge ->
+        let s = fresh () in
+        slack_cols := s :: !slack_cols;
+        rows_spec := ((F.neg F.one, s) :: terms, rhs) :: !rows_spec
+    in
+    Array.iter
+      (fun (c : P.constr) ->
+        let terms, adjust = encode_terms c.terms in
+        add_row terms c.op (F.sub c.rhs adjust))
+      constrs;
+    List.iter (fun (u, cap) -> add_row [ (F.one, u) ] Lp_problem.Le cap) !extra_rows;
+    let rows_spec = List.rev !rows_spec in
+    begin
+      let nstd = !next in
+      let m = List.length rows_spec in
+      (* --- 3. normalize rhs signs, pick basic columns, add artificials -- *)
+      let dense = Array.make_matrix m (nstd + 1) F.zero in
+      List.iteri
+        (fun i (terms, rhs) ->
+          List.iter (fun (c, v) -> dense.(i).(v) <- F.add dense.(i).(v) c) terms;
+          dense.(i).(nstd) <- rhs)
+        rows_spec;
+      Array.iter
+        (fun r ->
+          if F.compare r.(nstd) F.zero < 0 then
+            Array.iteri (fun j x -> r.(j) <- F.neg x) r)
+        dense;
+      (* A row can use its slack as the initial basic variable iff the slack
+         coefficient survived as +1 after sign normalization. *)
+      let slack_set = Array.make nstd false in
+      List.iter (fun s -> slack_set.(s) <- true) !slack_cols;
+      let basis0 = Array.make m (-1) in
+      let needs_artificial = ref [] in
+      Array.iteri
+        (fun i r ->
+          let found = ref (-1) in
+          for j = 0 to nstd - 1 do
+            if !found < 0 && slack_set.(j) && F.equal r.(j) F.one then begin
+              (* Must be the only row touching this slack (always true: each
+                 slack occurs in exactly one row). *)
+              found := j
+            end
+          done;
+          if !found >= 0 then basis0.(i) <- !found else needs_artificial := i :: !needs_artificial)
+        dense;
+      let nart = List.length !needs_artificial in
+      let ncols = nstd + nart in
+      let rows =
+        Array.mapi
+          (fun _ r ->
+            let nr = Array.make (ncols + 1) F.zero in
+            Array.blit r 0 nr 0 nstd;
+            nr.(ncols) <- r.(nstd);
+            nr)
+          dense
+      in
+      List.iteri
+        (fun k i ->
+          let col = nstd + k in
+          rows.(i).(col) <- F.one;
+          basis0.(i) <- col)
+        (List.rev !needs_artificial);
+      let t =
+        { rows; basis = basis0; obj = Array.make (ncols + 1) F.zero; ncols;
+          first_artificial = nstd }
+      in
+      (* --- 4. phase 1 ----------------------------------------------------- *)
+      let phase1_needed = nart > 0 in
+      let feasible =
+        if not phase1_needed then true
+        else begin
+          let costs = Array.make (ncols + 1) F.zero in
+          for j = nstd to ncols - 1 do costs.(j) <- F.one done;
+          install_costs t costs;
+          (match iterate t ~allow_artificial:true with
+           | Unbounded_direction ->
+             (* Phase-1 objective is bounded below by 0; cannot happen. *)
+             assert false
+           | Finished -> ());
+          F.is_zero (objective_value t)
+        end
+      in
+      if not feasible then Infeasible
+      else begin
+        (* Drive surviving artificials out of the basis (they sit at 0). *)
+        Array.iteri
+          (fun i b ->
+            if b >= nstd then begin
+              let r = t.rows.(i) in
+              let col = ref (-1) in
+              for j = 0 to nstd - 1 do
+                if !col < 0 && not (F.is_zero r.(j)) then col := j
+              done;
+              if !col >= 0 then pivot t ~row:i ~col:!col
+              (* else: redundant 0 = 0 row; the artificial stays basic at 0
+                 and can never become positive because it cannot re-enter
+                 elsewhere and its row rhs is 0. *)
+            end)
+          (Array.copy t.basis);
+        (* --- 5. phase 2 --------------------------------------------------- *)
+        let costs = Array.make (ncols + 1) F.zero in
+        let sense = if P.minimize p then F.one else F.neg F.one in
+        List.iter
+          (fun (c, v) ->
+            let c = F.mul sense c in
+            match encodings.(v) with
+            | Shifted (u, _) -> costs.(u) <- F.add costs.(u) c
+            | Reflected (u, _) -> costs.(u) <- F.sub costs.(u) c
+            | Split (up, un) ->
+              costs.(up) <- F.add costs.(up) c;
+              costs.(un) <- F.sub costs.(un) c)
+          (P.objective p);
+        install_costs t costs;
+        match iterate t ~allow_artificial:false with
+        | Unbounded_direction -> Unbounded
+        | Finished ->
+          (* --- 6. read the solution back -------------------------------- *)
+          let std = Array.make ncols F.zero in
+          Array.iteri (fun i b -> std.(b) <- t.rows.(i).(ncols)) t.basis;
+          let assignment =
+            Array.init nvars (fun j ->
+                match encodings.(j) with
+                | Shifted (u, lo) -> F.add std.(u) lo
+                | Reflected (u, hi) -> F.sub hi std.(u)
+                | Split (up, un) -> F.sub std.(up) std.(un))
+          in
+          (* Objective constant part comes from the variable substitutions:
+             recompute the true objective directly for robustness. *)
+          let objective = P.eval_terms (P.objective p) assignment in
+          Optimal { objective; assignment }
+      end
+    end
+end

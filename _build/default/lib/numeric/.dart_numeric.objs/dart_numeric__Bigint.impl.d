@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Bignat Format String

@@ -1,0 +1,1 @@
+lib/numeric/bigint.mli: Bignat Format

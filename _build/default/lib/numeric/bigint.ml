@@ -1,0 +1,111 @@
+(* Sign-magnitude representation; zero always has sign Pos so that equality
+   is structural on the normalized form. *)
+
+type sign = Pos | Neg
+
+type t = { sign : sign; mag : Bignat.t }
+
+let make sign mag = if Bignat.is_zero mag then { sign = Pos; mag } else { sign; mag }
+
+let zero = { sign = Pos; mag = Bignat.zero }
+let one = { sign = Pos; mag = Bignat.one }
+let minus_one = { sign = Neg; mag = Bignat.one }
+
+let of_bignat mag = { sign = Pos; mag }
+let abs_nat t = t.mag
+
+let of_int n =
+  if n >= 0 then { sign = Pos; mag = Bignat.of_int n }
+  else if n = min_int then
+    (* -min_int overflows; build as (max_int) + 1. *)
+    { sign = Neg; mag = Bignat.add (Bignat.of_int max_int) Bignat.one }
+  else { sign = Neg; mag = Bignat.of_int (-n) }
+
+let min_int_mag = Bignat.add (Bignat.of_int max_int) Bignat.one
+
+let to_int_opt t =
+  match Bignat.to_int_opt t.mag with
+  | None ->
+    (* |min_int| = max_int + 1 exceeds max_int but min_int itself fits. *)
+    if t.sign = Neg && Bignat.equal t.mag min_int_mag then Some min_int else None
+  | Some m -> Some (match t.sign with Pos -> m | Neg -> -m)
+
+let is_zero t = Bignat.is_zero t.mag
+
+let sign t = if is_zero t then 0 else match t.sign with Pos -> 1 | Neg -> -1
+
+let neg t = make (match t.sign with Pos -> Neg | Neg -> Pos) t.mag
+let abs t = { t with sign = Pos }
+
+let compare a b =
+  match a.sign, b.sign with
+  | Pos, Neg -> if is_zero a && is_zero b then 0 else 1
+  | Neg, Pos -> if is_zero a && is_zero b then 0 else -1
+  | Pos, Pos -> Bignat.compare a.mag b.mag
+  | Neg, Neg -> Bignat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  match a.sign, b.sign with
+  | Pos, Pos -> make Pos (Bignat.add a.mag b.mag)
+  | Neg, Neg -> make Neg (Bignat.add a.mag b.mag)
+  | Pos, Neg | Neg, Pos ->
+    let c = Bignat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (Bignat.sub a.mag b.mag)
+    else make b.sign (Bignat.sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  let sign = if a.sign = b.sign then Pos else Neg in
+  make sign (Bignat.mul a.mag b.mag)
+
+let ediv_rem a b =
+  if Bignat.is_zero b.mag then raise Division_by_zero;
+  let q, r = Bignat.divmod a.mag b.mag in
+  (* Adjust truncated magnitude division to Euclidean (r >= 0). *)
+  match a.sign with
+  | Pos -> (make b.sign q, of_bignat r)
+  | Neg ->
+    if Bignat.is_zero r then (make (if b.sign = Pos then Neg else Pos) q, zero)
+    else
+      let q' = Bignat.add q Bignat.one in
+      (make (if b.sign = Pos then Neg else Pos) q', of_bignat (Bignat.sub b.mag r))
+
+let div_exact a b =
+  let q, r = ediv_rem a b in
+  if not (is_zero r) then invalid_arg "Bigint.div_exact: inexact";
+  q
+
+let fdiv a b =
+  if sign b <= 0 then invalid_arg "Bigint.fdiv: divisor must be positive";
+  let q, _ = ediv_rem a b in
+  q
+
+let cdiv a b =
+  if sign b <= 0 then invalid_arg "Bigint.cdiv: divisor must be positive";
+  let q, r = ediv_rem a b in
+  if is_zero r then q else add q one
+
+let gcd a b = of_bignat (Bignat.gcd a.mag b.mag)
+
+let pow b e = make (if b.sign = Neg && e land 1 = 1 then Neg else Pos) (Bignat.pow b.mag e)
+
+let to_string t =
+  let s = Bignat.to_string t.mag in
+  if sign t < 0 then "-" ^ s else s
+
+let of_string s =
+  if s = "" then invalid_arg "Bigint.of_string: empty";
+  match s.[0] with
+  | '-' -> make Neg (Bignat.of_string (String.sub s 1 (String.length s - 1)))
+  | '+' -> make Pos (Bignat.of_string (String.sub s 1 (String.length s - 1)))
+  | _ -> make Pos (Bignat.of_string s)
+
+let to_float t =
+  let m = Bignat.to_float t.mag in
+  if sign t < 0 then -.m else m
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,52 @@
+(** Arbitrary-precision signed integers built on {!Bignat}. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Decimal string with optional leading ['-'] or ['+']. *)
+
+val to_string : t -> string
+
+val of_bignat : Bignat.t -> t
+val abs_nat : t -> Bignat.t
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div_exact : t -> t -> t
+(** [div_exact a b] is [a / b] when [b] divides [a] exactly.
+    @raise Invalid_argument when the division has a remainder.
+    @raise Division_by_zero when [b] is zero. *)
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: [(q, r)] with [a = q*b + r] and [0 <= r < |b|]. *)
+
+val fdiv : t -> t -> t
+(** Floor division: largest integer [q] with [q*b <= a] (for [b > 0]). *)
+
+val cdiv : t -> t -> t
+(** Ceiling division counterpart of {!fdiv} (for [b > 0]). *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd of absolute values. *)
+
+val pow : t -> int -> t
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+(* Little-endian base-2^31 digit arrays, normalized: no trailing zero digit,
+   zero is the empty array.  Base 2^31 keeps digit products within a 63-bit
+   native int (31 + 31 = 62 bits plus carry). *)
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let digit_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero n = Array.length n = 0
+
+(* Drop trailing zero digits (most significant side). *)
+let normalize (a : int array) : t =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do decr len done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc n = if n = 0 then acc else count (acc + 1) (n lsr base_bits) in
+    let ndigits = count 0 n in
+    let a = Array.make ndigits 0 in
+    let rec fill i n =
+      if n <> 0 then begin
+        a.(i) <- n land digit_mask;
+        fill (i + 1) (n lsr base_bits)
+      end in
+    fill 0 n;
+    a
+  end
+
+let to_int_opt n =
+  (* max_int has 62 bits: at most 3 digits (2 full + 1 partial). *)
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - n.(i)) lsr base_bits then None
+    else go (i - 1) ((acc lsl base_bits) lor n.(i))
+  in
+  if Array.length n > 3 then None else go (Array.length n - 1) 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land digit_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let d = a.(i) - db - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = ai * b.(j) + r.(i + j) + !carry in
+        r.(i + j) <- p land digit_mask;
+        carry := p lsr base_bits
+      done;
+      (* Propagate the final carry (it may itself exceed one digit). *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land digit_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let num_bits n =
+  let l = Array.length n in
+  if l = 0 then 0
+  else begin
+    let top = n.(l - 1) in
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    (l - 1) * base_bits + width 0 top
+  end
+
+let get_bit n i =
+  let d = i / base_bits and o = i mod base_bits in
+  if d >= Array.length n then 0 else (n.(d) lsr o) land 1
+
+let shift_left n k =
+  if is_zero n || k = 0 then n
+  else begin
+    let words = k / base_bits and bits = k mod base_bits in
+    let la = Array.length n in
+    let r = Array.make (la + words + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = n.(i) lsl bits in
+      r.(i + words) <- r.(i + words) lor (v land digit_mask);
+      r.(i + words + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+(* Divide by a single-digit divisor: the common fast path (decimal printing,
+   small denominators in rationals). *)
+let divmod_digit a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+(* Bit-by-bit long division for multi-digit divisors.  O(bits(a) * words(a));
+   adequate at the problem sizes the simplex produces, and simple enough to
+   be obviously correct. *)
+let divmod_long a b =
+  let nb = num_bits a in
+  let qwords = Array.length a in
+  let q = Array.make qwords 0 in
+  let r = ref zero in
+  for i = nb - 1 downto 0 do
+    r := shift_left !r 1;
+    if get_bit a i = 1 then r := add !r one;
+    if compare !r b >= 0 then begin
+      r := sub !r b;
+      q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    end
+  done;
+  (normalize q, !r)
+
+let divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if lb = 1 then begin
+    let q, r = divmod_digit a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_long a b
+
+let rec gcd a b =
+  if is_zero b then a
+  else begin
+    let _, r = divmod a b in
+    gcd b r
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let to_string n =
+  if is_zero n then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go n =
+      if not (is_zero n) then begin
+        let q, r = divmod_digit n 1_000_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go n;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty";
+  let acc = ref zero in
+  let ten9 = of_int 1_000_000_000 in
+  let len = String.length s in
+  let i = ref 0 in
+  while !i < len do
+    let chunk = min 9 (len - !i) in
+    let part = String.sub s !i chunk in
+    String.iter
+      (fun c -> if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit")
+      part;
+    let mult = if chunk = 9 then ten9 else of_int (int_of_float (10. ** float_of_int chunk)) in
+    acc := add (mul !acc mult) (of_int (int_of_string part));
+    i := !i + chunk
+  done;
+  !acc
+
+let to_float n =
+  let l = Array.length n in
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((acc *. float_of_int base) +. float_of_int n.(i))
+  in
+  go (l - 1) 0.

@@ -1,0 +1,53 @@
+(** Arbitrary-precision natural numbers.
+
+    Implemented from scratch (the container has no [zarith]); used as the
+    magnitude component of {!Bigint} and hence of the exact rationals driving
+    the exact-arithmetic simplex.  The representation is a little-endian
+    array of base-2{^31} digits with no leading zero digit. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] is the natural number [n].  @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+
+val of_string : string -> t
+(** Parse a decimal string of digits.  @raise Invalid_argument on bad input. *)
+
+val to_string : t -> string
+(** Decimal rendering without sign. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  @raise Invalid_argument if [a < b]. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b].
+    @raise Division_by_zero if [b] is zero. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; [gcd zero n = n]. *)
+
+val shift_left : t -> int -> t
+(** [shift_left n k] is [n * 2{^k}]. *)
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val pow : t -> int -> t
+(** [pow b e] is [b{^e}].  @raise Invalid_argument if [e < 0]. *)
+
+val to_float : t -> float
+(** Nearest-ish float; may overflow to [infinity] for huge values. *)

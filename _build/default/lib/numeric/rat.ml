@@ -1,0 +1,108 @@
+(* Invariant: den > 0 and gcd(|num|, den) = 1; zero is 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then Bigint.neg num, Bigint.neg den else num, den in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div_exact num g; den = Bigint.div_exact den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num t = t.num
+let den t = t.den
+
+let is_zero t = Bigint.is_zero t.num
+let sign t = Bigint.sign t.num
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if Bigint.sign t.num < 0 then { num = Bigint.neg t.den; den = Bigint.neg t.num }
+  else { num = t.den; den = t.num }
+
+let add a b =
+  make (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+
+let sub a b =
+  make (Bigint.sub (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)) (Bigint.mul a.den b.den)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b =
+  if is_zero b then raise Division_by_zero;
+  make (Bigint.mul a.num b.den) (Bigint.mul a.den b.num)
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t = Bigint.fdiv t.num t.den
+let ceil t = Bigint.cdiv t.num t.den
+
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = Bigint.of_string (String.sub s 0 i) in
+    let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       let negative = int_part <> "" && (int_part.[0] = '-') in
+       let whole = if int_part = "" || int_part = "-" || int_part = "+" then Bigint.zero
+         else Bigint.of_string int_part in
+       let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+       let fnum = if frac = "" then Bigint.zero else Bigint.of_string frac in
+       let fnum = if negative then Bigint.neg fnum else fnum in
+       add (of_bigint whole) (make fnum scale))
+
+let of_float_dyadic f =
+  if not (Float.is_finite f) then invalid_arg "Rat.of_float_dyadic: not finite";
+  let mant, exp = Float.frexp f in
+  (* mant * 2^53 is integral for finite floats. *)
+  let m = Int64.to_int (Int64.of_float (mant *. 9007199254740992.0)) in
+  let e = exp - 53 in
+  let mi = of_bigint (Bigint.of_int m) in
+  if e >= 0 then mul mi (of_bigint (Bigint.pow (Bigint.of_int 2) e))
+  else div mi (of_bigint (Bigint.pow (Bigint.of_int 2) (-e)))
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,79 @@
+(** Exact rational numbers (normalized fractions of {!Bigint}).
+
+    These drive the exact-arithmetic simplex used by the repairing module:
+    steady aggregate constraints in DART's domain are equalities over
+    integers, where floating-point feasibility tolerances can flip
+    card-minimality decisions. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized fraction [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_ints : int -> int -> t
+(** [of_ints num den] = [make (of_int num) (of_int den)]. *)
+
+val num : t -> Bigint.t
+(** Numerator of the normalized form (carries the sign). *)
+
+val den : t -> Bigint.t
+(** Denominator of the normalized form; always positive. *)
+
+val of_string : string -> t
+(** Accepts ["n"], ["-n"], ["n/d"] and decimal notation ["n.d"]. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> Bigint.t
+(** Largest integer not greater than the rational. *)
+
+val ceil : t -> Bigint.t
+
+val is_integer : t -> bool
+
+val of_float_dyadic : float -> t
+(** Exact conversion of a finite float (dyadic rational).
+    @raise Invalid_argument on nan/infinite input. *)
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Infix operators, for local [Rat.(...)] scopes. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

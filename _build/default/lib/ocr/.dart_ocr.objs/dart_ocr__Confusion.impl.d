@@ -1,0 +1,1 @@
+lib/ocr/confusion.ml: Char List

@@ -1,0 +1,1 @@
+lib/ocr/noise.ml: Array Buffer Bytes Confusion Dart_rand Prng String

@@ -1,0 +1,1 @@
+lib/ocr/noise.mli: Dart_rand Prng

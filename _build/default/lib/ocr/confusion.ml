@@ -1,0 +1,59 @@
+(** Symbol-confusion tables for the synthetic OCR channel.
+
+    The paper's acquisition phase digitizes paper documents through an OCR
+    tool; its error model (Example 1) is the mis-recognition of individual
+    symbols — digits inside numbers ("250" read for "220") and letters
+    inside labels ("bgnning cesh" for "beginning cash").  The confusion
+    sets below follow the classic visually-similar-glyph pairs reported in
+    OCR literature. *)
+
+(** Digits each digit is commonly mistaken for. *)
+let digit_confusions = function
+  | '0' -> [ '8'; '6'; '9' ]
+  | '1' -> [ '7'; '4' ]
+  | '2' -> [ '7'; '5' ]
+  | '3' -> [ '8'; '5' ]
+  | '4' -> [ '9'; '1' ]
+  | '5' -> [ '6'; '3'; '2' ]
+  | '6' -> [ '5'; '8'; '0' ]
+  | '7' -> [ '1'; '2' ]
+  | '8' -> [ '3'; '0'; '6' ]
+  | '9' -> [ '4'; '0' ]
+  | _ -> []
+
+(** Letters each lowercase letter is commonly mistaken for. *)
+let letter_confusions = function
+  | 'a' -> [ 'o'; 'e' ]
+  | 'b' -> [ 'h'; 'd' ]
+  | 'c' -> [ 'e'; 'o' ]
+  | 'd' -> [ 'b'; 'o' ]
+  | 'e' -> [ 'c'; 'o' ]
+  | 'f' -> [ 't' ]
+  | 'g' -> [ 'q'; 'y' ]
+  | 'h' -> [ 'b'; 'n' ]
+  | 'i' -> [ 'l'; 'j' ]
+  | 'j' -> [ 'i' ]
+  | 'k' -> [ 'x' ]
+  | 'l' -> [ 'i'; 't' ]
+  | 'm' -> [ 'n' ]
+  | 'n' -> [ 'm'; 'h'; 'r' ]
+  | 'o' -> [ 'a'; 'c'; 'e' ]
+  | 'p' -> [ 'q' ]
+  | 'q' -> [ 'g'; 'p' ]
+  | 'r' -> [ 'n' ]
+  | 's' -> [ 'z' ]
+  | 't' -> [ 'f'; 'l' ]
+  | 'u' -> [ 'v'; 'o' ]
+  | 'v' -> [ 'u'; 'y' ]
+  | 'w' -> [ 'v' ]
+  | 'x' -> [ 'k' ]
+  | 'y' -> [ 'v'; 'g' ]
+  | 'z' -> [ 's' ]
+  | _ -> []
+
+let confusions_for c =
+  if c >= '0' && c <= '9' then digit_confusions c
+  else if c >= 'a' && c <= 'z' then letter_confusions c
+  else if c >= 'A' && c <= 'Z' then
+    List.map Char.uppercase_ascii (letter_confusions (Char.lowercase_ascii c))
+  else []

@@ -1,0 +1,116 @@
+(** The synthetic OCR noise channel.
+
+    Models per-symbol recognition errors on the textual rendering of cell
+    contents: substitution by a visually similar glyph (the dominant error
+    mode), plus low-probability deletions, insertions and transpositions
+    for strings.  Numeric corruption always yields a {e different, valid}
+    number — mirroring the paper's setting where the acquired value parses
+    fine but is wrong. *)
+
+open Dart_rand
+
+type channel = {
+  numeric_rate : float;  (** probability a numeric cell is mis-recognized *)
+  string_rate : float;   (** probability a label cell is mis-recognized *)
+  char_rate : float;     (** per-character error probability inside a hit cell *)
+}
+
+let default_channel = { numeric_rate = 0.05; string_rate = 0.05; char_rate = 0.15 }
+
+(** Substitute one character by a confusable glyph, if any. *)
+let confuse_char prng c =
+  match Confusion.confusions_for c with
+  | [] -> c
+  | cs -> Prng.choose prng (Array.of_list cs)
+
+(** Corrupt the decimal rendering of an integer: substitute a random digit
+    (occasionally drop or duplicate one).  Guaranteed to return a value
+    different from the input.  Negative numbers keep their sign. *)
+let corrupt_int prng n =
+  let sign = if n < 0 then -1 else 1 in
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let attempt () =
+    let b = Bytes.of_string s in
+    let mode = Prng.int prng 10 in
+    if mode < 7 || len = 1 then begin
+      (* digit substitution *)
+      let i = Prng.int prng len in
+      Bytes.set b i (confuse_char prng (Bytes.get b i));
+      Bytes.to_string b
+    end
+    else if mode < 8 && len > 1 then
+      (* digit dropped *)
+      let i = Prng.int prng len in
+      String.sub s 0 i ^ String.sub s (i + 1) (len - i - 1)
+    else begin
+      (* digit duplicated (split/merge artifact) *)
+      let i = Prng.int prng len in
+      String.sub s 0 (i + 1) ^ String.make 1 s.[i] ^ String.sub s (i + 1) (len - i - 1)
+    end
+  in
+  let rec go tries =
+    if tries > 20 then n + sign (* pathological input; force a change *)
+    else
+      let s' = attempt () in
+      match int_of_string_opt s' with
+      | Some v when v <> abs n -> sign * v
+      | _ -> go (tries + 1)
+  in
+  go 0
+
+(** Corrupt a label: per-character substitutions at [char_rate], plus rare
+    deletions and adjacent transpositions.  May return the input unchanged
+    when every die roll misses. *)
+let corrupt_string ?(char_rate = 0.15) prng s =
+  let buf = Buffer.create (String.length s) in
+  let len = String.length s in
+  let i = ref 0 in
+  while !i < len do
+    let c = s.[!i] in
+    if Prng.bool prng char_rate then begin
+      let mode = Prng.int prng 10 in
+      if mode < 6 then Buffer.add_char buf (confuse_char prng c) (* substitute *)
+      else if mode < 8 then () (* delete *)
+      else if mode < 9 && !i + 1 < len then begin
+        (* transpose with next *)
+        Buffer.add_char buf s.[!i + 1];
+        Buffer.add_char buf c;
+        incr i
+      end
+      else begin
+        (* insert a stray copy *)
+        Buffer.add_char buf c;
+        Buffer.add_char buf c
+      end
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  Buffer.contents buf
+
+(** Like {!corrupt_string} but guaranteed to differ from the input. *)
+let corrupt_string_surely ?(char_rate = 0.3) prng s =
+  let rec go tries =
+    if tries > 20 then s ^ "~"
+    else
+      let s' = corrupt_string ~char_rate prng s in
+      if s' <> s then s' else go (tries + 1)
+  in
+  if String.length s = 0 then "~" else go 0
+
+(** Pass a cell's text through the channel.  Numeric-looking cells use the
+    numeric model; everything else the string model.  Returns the possibly
+    corrupted text and whether a corruption occurred. *)
+let transmit channel prng text =
+  match int_of_string_opt (String.trim text) with
+  | Some n ->
+    if Prng.bool prng channel.numeric_rate then
+      let n' = corrupt_int prng n in
+      (string_of_int n', n' <> n)
+    else (text, false)
+  | None ->
+    if Prng.bool prng channel.string_rate then
+      let t' = corrupt_string ~char_rate:channel.char_rate prng text in
+      (t', t' <> text)
+    else (text, false)

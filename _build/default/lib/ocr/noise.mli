@@ -1,0 +1,34 @@
+(** The synthetic OCR noise channel — the stand-in for the paper's
+    digitization path (paper documents → OCR → electronic form).
+
+    Models per-symbol recognition errors: substitution by a visually
+    similar glyph (dominant), plus low-probability deletions, insertions
+    and adjacent transpositions.  Numeric corruption always yields a
+    different, {e valid} number — the acquired value parses fine but is
+    wrong, exactly the paper's Example 1 error. *)
+
+open Dart_rand
+
+type channel = {
+  numeric_rate : float;
+  string_rate : float;
+  char_rate : float;
+}
+
+val default_channel : channel
+
+val confuse_char : Prng.t -> char -> char
+(** Substitute by a confusable glyph, or return unchanged if none exists. *)
+
+val corrupt_int : Prng.t -> int -> int
+(** Guaranteed to differ from the input; sign preserved. *)
+
+val corrupt_string : ?char_rate:float -> Prng.t -> string -> string
+(** Per-character noise; may return the input unchanged. *)
+
+val corrupt_string_surely : ?char_rate:float -> Prng.t -> string -> string
+(** Like {!corrupt_string} but guaranteed to differ. *)
+
+val transmit : channel -> Prng.t -> string -> string * bool
+(** Pass one cell text through the channel (numeric-looking cells use the
+    numeric model); returns the output and whether it was corrupted. *)

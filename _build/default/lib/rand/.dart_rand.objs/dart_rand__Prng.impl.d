@@ -1,0 +1,1 @@
+lib/rand/prng.ml: Array Int64

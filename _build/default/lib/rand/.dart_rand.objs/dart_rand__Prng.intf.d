@@ -1,0 +1,1 @@
+lib/rand/prng.mli:

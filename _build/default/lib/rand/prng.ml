@@ -1,0 +1,65 @@
+(** Deterministic splittable PRNG (splitmix64 core).
+
+    All randomized components of DART — workload generation, the OCR noise
+    channel, sampling in the benches — draw from explicit generator values
+    rather than global state, so every experiment is reproducible from its
+    seed alone. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 step. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Independent child generator; the parent advances by one step. *)
+let split t = { state = next_int64 t }
+
+(** Uniform integer in [0, bound).  @raise Invalid_argument if bound <= 0. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits so the conversion to OCaml's 63-bit int stays
+     non-negative. *)
+  let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+(** Uniform integer in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+(** Bernoulli draw. *)
+let bool t p = float t < p
+
+(** Uniform choice from a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** Fisher–Yates shuffle (returns a fresh array). *)
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(** Sample [k] distinct indices from [0, n). *)
+let sample_indices t ~n ~k =
+  if k > n then invalid_arg "Prng.sample_indices: k > n";
+  Array.sub (shuffle t (Array.init n (fun i -> i))) 0 k |> Array.to_list

@@ -1,0 +1,32 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    All randomized components draw from explicit generator values, so every
+    experiment is reproducible from its seed alone. *)
+
+type t
+
+val create : int -> t
+
+val split : t -> t
+(** Independent child generator; the parent advances one step. *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive.  @raise Invalid_argument on empty range. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** Bernoulli draw with success probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** Fisher–Yates; returns a fresh array. *)
+
+val sample_indices : t -> n:int -> k:int -> int list
+(** [k] distinct indices from [0, n).  @raise Invalid_argument if [k > n]. *)

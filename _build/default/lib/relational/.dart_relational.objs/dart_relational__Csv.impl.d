@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Database List Schema String Tuple Value

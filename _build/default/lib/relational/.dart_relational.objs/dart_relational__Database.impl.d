@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Dart_numeric Format Formula List Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Dart_numeric Format Formula Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/formula.ml: Array Format List Printf Tuple Value

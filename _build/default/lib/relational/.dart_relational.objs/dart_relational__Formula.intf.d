@@ -1,0 +1,1 @@
+lib/relational/formula.mli: Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bigint Dart_numeric Format Rat Stdlib String

@@ -1,0 +1,91 @@
+(** Minimal CSV encode/decode for dumping and loading relation contents.
+
+    Handles quoting of fields containing commas, quotes or newlines —
+    enough for the DART CLI's import/export; not a general CSV library. *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let encode_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let encode_row fields = String.concat "," (List.map encode_field fields)
+
+(** Parse one CSV document into rows of fields.
+    @raise Invalid_argument on an unterminated quoted field. *)
+let decode text =
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let len = String.length text in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= len then (if !row <> [] || Buffer.length buf > 0 then flush_row ())
+    else
+      match text.[i] with
+      | ',' -> flush_field (); plain (i + 1)
+      | '\n' -> flush_row (); plain (i + 1)
+      | '\r' -> if i + 1 < len && text.[i + 1] = '\n' then begin flush_row (); plain (i + 2) end
+        else begin flush_row (); plain (i + 1) end
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c -> Buffer.add_char buf c; plain (i + 1)
+  and quoted i =
+    if i >= len then invalid_arg "Csv.decode: unterminated quote"
+    else
+      match text.[i] with
+      | '"' ->
+        if i + 1 < len && text.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+        end
+        else plain (i + 1)
+      | c -> Buffer.add_char buf c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+(** Render a relation (with a header row) as CSV text. *)
+let of_relation db rel_name =
+  let rs = Schema.relation (Database.schema db) rel_name in
+  let header = encode_row (Array.to_list (Array.map fst rs.Schema.attributes)) in
+  let rows =
+    List.map
+      (fun tu ->
+        encode_row (Array.to_list (Array.map Value.to_string (Tuple.values tu))))
+      (Database.tuples_of db rel_name)
+  in
+  String.concat "\n" (header :: rows) ^ "\n"
+
+(** Load CSV rows (skipping the header) into an existing database relation.
+    @raise Invalid_argument on domain mismatches. *)
+let load_into db rel_name text =
+  let rs = Schema.relation (Database.schema db) rel_name in
+  match decode text with
+  | [] -> db
+  | _header :: rows ->
+    List.fold_left
+      (fun db fields ->
+        let values =
+          Array.of_list
+            (List.mapi
+               (fun i field -> Value.parse (snd rs.Schema.attributes.(i)) field)
+               fields)
+        in
+        Database.insert_row db rel_name values)
+      db rows

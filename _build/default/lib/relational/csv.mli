@@ -1,0 +1,19 @@
+(** Minimal CSV encode/decode for relation import/export. *)
+
+val encode_field : string -> string
+(** Quote a field when it contains commas, quotes or line breaks. *)
+
+val encode_row : string list -> string
+
+val decode : string -> string list list
+(** Parse a CSV document into rows of fields.
+    @raise Invalid_argument on an unterminated quoted field. *)
+
+val of_relation : Database.t -> string -> string
+(** Render a relation as CSV with a header row.
+    @raise Not_found for unknown relations. *)
+
+val load_into : Database.t -> string -> string -> Database.t
+(** [load_into db rel text] inserts the CSV rows (skipping the header) into
+    [rel], parsing each field at the attribute's domain.
+    @raise Invalid_argument on domain mismatch. *)

@@ -1,0 +1,44 @@
+(** Persistent in-memory database instances.
+
+    Insertions and cell updates return new instances, so the repairing
+    module can hold the original D and a candidate ρ(D) side by side.
+    Tuple ids are assigned in insertion order and survive updates. *)
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val insert : t -> string -> Value.t array -> t * Tuple.t
+(** Insert a row, checking arity and domains.
+    @raise Invalid_argument on mismatch. *)
+
+val insert_row : t -> string -> Value.t array -> t
+(** {!insert} discarding the created tuple. *)
+
+val tuples_of : t -> string -> Tuple.t list
+(** Tuples of a relation in insertion order.
+    @raise Invalid_argument for unknown relations. *)
+
+val all_tuples : t -> Tuple.t list
+val cardinality : t -> int
+
+val find : t -> Tuple.id -> Tuple.t
+(** @raise Not_found if no tuple has this id. *)
+
+val update_value : t -> Tuple.id -> string -> Value.t -> t
+(** Replace one attribute value of one tuple.
+    @raise Not_found if the tuple or attribute does not exist. *)
+
+val select : t -> string -> Formula.t -> Tuple.t list
+(** Tuples satisfying a closed (parameter-free) formula. *)
+
+val sum_where :
+  t -> string -> env:Value.t option array -> Formula.t ->
+  (Tuple.t -> Dart_numeric.Rat.t) -> Dart_numeric.Rat.t
+(** SELECT sum(expr) FROM rel WHERE formula — the aggregation-sum kernel. *)
+
+val equal_contents : t -> t -> bool
+(** Pairwise value equality of tuples matched by id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(** Relation schemas and database schemas.
+
+    A relation schema is a sorted predicate R(A₁:Δ₁, …, Aₙ:Δₙ); a database
+    schema is a set of relation schemas together with the set M_D of
+    {e measure attributes} — the numerical attributes holding measure data,
+    which are the only attributes atomic updates may touch (paper §3). *)
+
+type relation_schema = {
+  rel_name : string;
+  attributes : (string * Value.domain) array;
+}
+
+let make_relation name attributes =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then invalid_arg ("Schema.make_relation: duplicate attribute " ^ a);
+      Hashtbl.add seen a ())
+    attributes;
+  { rel_name = name; attributes }
+
+let arity rs = Array.length rs.attributes
+
+(** Index of an attribute within the schema.  @raise Not_found if absent. *)
+let attr_index rs name =
+  let rec go i =
+    if i >= Array.length rs.attributes then raise Not_found
+    else if fst rs.attributes.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let attr_domain rs name = snd rs.attributes.(attr_index rs name)
+let attr_name rs i = fst rs.attributes.(i)
+
+type t = {
+  relations : (string * relation_schema) list;
+  measures : (string * string) list; (* (relation, attribute) pairs in M_D *)
+}
+
+let make relations measures =
+  let find_rel name =
+    try List.assoc name (List.map (fun r -> (r.rel_name, r)) relations)
+    with Not_found -> invalid_arg ("Schema.make: unknown relation " ^ name)
+  in
+  List.iter
+    (fun (r, a) ->
+      let rs = find_rel r in
+      let dom = try attr_domain rs a with Not_found ->
+        invalid_arg (Printf.sprintf "Schema.make: unknown attribute %s.%s" r a)
+      in
+      if not (Value.is_numerical_domain dom) then
+        invalid_arg (Printf.sprintf "Schema.make: measure attribute %s.%s is not numerical" r a))
+    measures;
+  { relations = List.map (fun r -> (r.rel_name, r)) relations; measures }
+
+(** Schema of a relation by name.  @raise Not_found if absent. *)
+let relation t name = List.assoc name t.relations
+
+let relation_names t = List.map fst t.relations
+
+let is_measure t ~rel ~attr = List.mem (rel, attr) t.measures
+
+let measures t = t.measures
+
+(** Measure attributes of one relation (the set M_R of the paper). *)
+let measures_of t rel = List.filter_map (fun (r, a) -> if r = rel then Some a else None) t.measures

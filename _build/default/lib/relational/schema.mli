@@ -1,0 +1,45 @@
+(** Relation schemas and database schemas with measure attributes.
+
+    A relation schema is the sorted predicate R(A₁:Δ₁, …, Aₙ:Δₙ) of paper
+    §3; a database schema additionally fixes M_D, the set of numerical
+    {e measure attributes} — the only attributes atomic updates may
+    modify. *)
+
+type relation_schema = {
+  rel_name : string;
+  attributes : (string * Value.domain) array;
+}
+
+val make_relation : string -> (string * Value.domain) array -> relation_schema
+(** @raise Invalid_argument on duplicate attribute names. *)
+
+val arity : relation_schema -> int
+
+val attr_index : relation_schema -> string -> int
+(** Position of an attribute.  @raise Not_found if absent. *)
+
+val attr_domain : relation_schema -> string -> Value.domain
+(** @raise Not_found if the attribute is absent. *)
+
+val attr_name : relation_schema -> int -> string
+
+type t
+
+val make : relation_schema list -> (string * string) list -> t
+(** [make relations measures] builds a database schema; [measures] lists
+    (relation, attribute) pairs forming M_D.
+    @raise Invalid_argument if a measure attribute is unknown or not
+    numerical. *)
+
+val relation : t -> string -> relation_schema
+(** @raise Not_found for unknown relation names. *)
+
+val relation_names : t -> string list
+
+val is_measure : t -> rel:string -> attr:string -> bool
+
+val measures : t -> (string * string) list
+(** The set M_D. *)
+
+val measures_of : t -> string -> string list
+(** M_R: measure attributes of one relation. *)

@@ -1,0 +1,42 @@
+(** Tuples: a row of values with a stable identity.
+
+    The identity survives value updates so that atomic updates (paper
+    Definition 2) and the λ(u) = ⟨tuple, attribute⟩ bookkeeping of repairs
+    can refer to "the same tuple" before and after repair. *)
+
+type id = int
+
+type t = {
+  id : id;
+  rel : string;            (* owning relation name *)
+  values : Value.t array;
+}
+
+let id t = t.id
+let relation t = t.rel
+let values t = t.values
+let arity t = Array.length t.values
+
+let value t i = t.values.(i)
+
+(** Value of a named attribute (the paper's t[A]). *)
+let value_by_name schema t name = t.values.(Schema.attr_index schema name)
+
+(** Functional update of one position; identity is preserved. *)
+let with_value t i v =
+  let values = Array.copy t.values in
+  values.(i) <- v;
+  { t with values }
+
+let equal_values a b =
+  Array.length a.values = Array.length b.values
+  && (let rec go i =
+        i >= Array.length a.values || (Value.equal a.values.(i) b.values.(i) && go (i + 1))
+      in
+      go 0)
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s)" t.rel
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t.values)))
+
+let to_string t = Format.asprintf "%a" pp t

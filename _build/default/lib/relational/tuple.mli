@@ -1,0 +1,32 @@
+(** Tuples with a stable identity.
+
+    Identity survives value updates so repairs can refer to "the same
+    tuple" before and after (λ(u) bookkeeping of paper §3.2). *)
+
+type id = int
+
+type t = {
+  id : id;
+  rel : string;
+  values : Value.t array;
+}
+
+val id : t -> id
+val relation : t -> string
+val values : t -> Value.t array
+val arity : t -> int
+
+val value : t -> int -> Value.t
+(** Value at a position. *)
+
+val value_by_name : Schema.relation_schema -> t -> string -> Value.t
+(** The paper's t[A].  @raise Not_found for unknown attributes. *)
+
+val with_value : t -> int -> Value.t -> t
+(** Functional single-position update; identity preserved. *)
+
+val equal_values : t -> t -> bool
+(** Pointwise value equality (ignores identity). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

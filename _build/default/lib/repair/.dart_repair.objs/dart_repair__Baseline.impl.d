@@ -1,0 +1,1 @@
+lib/repair/baseline.ml: Array Dart_constraints Dart_lp Dart_numeric Dart_relational Database Encode Field_rat Ground Hashtbl List Lp_problem Milp Option Rat Repair Schema Tuple Update Value

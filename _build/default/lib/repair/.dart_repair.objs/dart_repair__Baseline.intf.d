@@ -1,0 +1,1 @@
+lib/repair/baseline.mli: Agg_constraint Dart_constraints Dart_relational Database Repair

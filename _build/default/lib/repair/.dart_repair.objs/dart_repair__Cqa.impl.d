@@ -1,0 +1,1 @@
+lib/repair/cqa.ml: Dart_constraints Dart_lp Dart_numeric Encode Field_rat Format Ground Hashtbl List Lp_problem Milp Rat Solver

@@ -1,0 +1,1 @@
+lib/repair/cqa.mli: Agg_constraint Dart_constraints Dart_numeric Dart_relational Database Format Ground Rat

@@ -1,0 +1,1 @@
+lib/repair/encode.ml: Agg_constraint Array Dart_constraints Dart_lp Dart_numeric Dart_relational Database Field_rat Ground Hashtbl List Lp_problem Printf Rat Repair Schema Tuple Update Value

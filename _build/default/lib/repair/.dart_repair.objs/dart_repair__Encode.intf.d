@@ -1,0 +1,1 @@
+lib/repair/encode.mli: Agg_constraint Dart_constraints Dart_lp Dart_numeric Dart_relational Database Field_rat Ground Lp_problem Rat Repair

@@ -1,0 +1,1 @@
+lib/repair/repair.ml: Agg_constraint Dart_constraints Format List Update

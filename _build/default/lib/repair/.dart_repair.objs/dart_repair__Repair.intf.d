@@ -1,0 +1,1 @@
+lib/repair/repair.mli: Agg_constraint Dart_constraints Dart_relational Database Format Ground Update

@@ -1,0 +1,1 @@
+lib/repair/solver.ml: Agg_constraint Array Dart_constraints Dart_lp Dart_numeric Encode Field_rat Ground Hashtbl List Map Milp Option Rat Repair Update

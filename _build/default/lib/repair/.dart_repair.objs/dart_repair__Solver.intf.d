@@ -1,0 +1,1 @@
+lib/repair/solver.mli: Agg_constraint Dart_constraints Dart_numeric Dart_relational Database Ground Hashtbl Rat Repair

@@ -1,0 +1,1 @@
+lib/repair/update.ml: Dart_constraints Dart_relational Database Format Ground List Schema Tuple Value

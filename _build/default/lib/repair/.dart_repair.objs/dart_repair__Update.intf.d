@@ -1,0 +1,1 @@
+lib/repair/update.mli: Dart_constraints Dart_relational Database Format Ground Tuple Value

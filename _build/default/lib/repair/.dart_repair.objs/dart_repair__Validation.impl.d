@@ -1,0 +1,1 @@
+lib/repair/validation.ml: Array Dart_constraints Dart_numeric Dart_relational Database Ground Hashtbl List Rat Schema Solver Tuple Update Value

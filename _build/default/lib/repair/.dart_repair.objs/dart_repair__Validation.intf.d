@@ -1,0 +1,1 @@
+lib/repair/validation.mli: Agg_constraint Dart_constraints Dart_relational Database Ground Schema Tuple Value

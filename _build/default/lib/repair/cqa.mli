@@ -1,0 +1,41 @@
+(** Consistent query answering under the card-minimal repair semantics
+    (the companion capability of the paper's framework, after Flesca,
+    Furfaro & Parisi, DBPL 2005).
+
+    A cell's value is a {e consistent answer} iff every card-minimal repair
+    assigns it the same value.  Computed per connected component by
+    enumerating the size-c* repair supports (c* = the component's
+    card-minimal cardinality) and extremizing the cell over each with a
+    delta-free LP/ILP — avoiding the weak big-M relaxation a direct
+    optimize-over-Σδ≤c* MILP would suffer from. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+
+type answer =
+  | Certain of Rat.t
+      (** every card-minimal repair gives the cell this value *)
+  | Range of Rat.t option * Rat.t option
+      (** repairs disagree; inclusive bounds where finite *)
+  | Untouched
+      (** the cell occurs in no violated component *)
+
+val pp_answer : Format.formatter -> answer -> unit
+
+exception Too_many_supports
+(** Raised when the component's support space exceeds the enumeration
+    budget (~20000 subsets). *)
+
+val cell_answer : Database.t -> Agg_constraint.t list -> Ground.cell -> answer
+(** @raise Invalid_argument when no repair exists for the cell's
+    component (consistent answers are undefined then).
+    @raise Too_many_supports on oversized components. *)
+
+val all_answers :
+  Database.t -> Agg_constraint.t list -> (Ground.cell * answer) list
+(** Answers for every constrained cell. *)
+
+val reliable : Database.t -> Agg_constraint.t list -> Ground.cell -> bool
+(** Whether the cell can be trusted without operator intervention:
+    [Certain] or [Untouched]. *)

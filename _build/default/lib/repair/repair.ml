@@ -1,0 +1,31 @@
+(** Repairs and card-minimality (paper Definitions 4–5).
+
+    A repair ρ for D w.r.t. AC is a consistent database update with
+    ρ(D) ⊨ AC; it is {e card}-minimal when no repair changes strictly fewer
+    cells.  |λ(ρ)| — the number of updated cells — is the quantity the
+    MILP objective of §5 minimizes. *)
+
+open Dart_constraints
+
+type t = Update.t list
+
+let cardinality (rho : t) = List.length rho
+
+(** λ(ρ): the set of updated cells. *)
+let cells (rho : t) = List.map Update.cell rho
+
+(** Is ρ a repair for [db] w.r.t. [constraints]?  (Definition 4: a
+    consistent database update whose application satisfies AC.) *)
+let is_repair db constraints (rho : t) =
+  Update.consistent rho
+  && List.for_all (Update.valid db) rho
+  && Agg_constraint.holds_all (Update.apply db rho) constraints
+
+(** Ordering of Example 7: ρ₁ < ρ₂ iff ρ₁ changes fewer cells. *)
+let compare_card a b = compare (cardinality a) (cardinality b)
+
+let pp db fmt (rho : t) =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (Update.pp db))
+    rho

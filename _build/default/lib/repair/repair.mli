@@ -1,0 +1,22 @@
+(** Repairs and card-minimality (paper Definitions 4–5). *)
+
+open Dart_relational
+open Dart_constraints
+
+type t = Update.t list
+(** A repair is a consistent database update ρ with ρ(D) ⊨ AC. *)
+
+val cardinality : t -> int
+(** |λ(ρ)|: the number of updated cells. *)
+
+val cells : t -> Ground.cell list
+(** λ(ρ). *)
+
+val is_repair : Database.t -> Agg_constraint.t list -> t -> bool
+(** Definition 4: a consistent, valid update set whose application
+    satisfies the constraints. *)
+
+val compare_card : t -> t -> int
+(** The preference order of Example 7: fewer changes first. *)
+
+val pp : Database.t -> Format.formatter -> t -> unit

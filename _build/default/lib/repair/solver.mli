@@ -1,0 +1,51 @@
+(** Card-minimal repair computation (paper §5 + §6.3).
+
+    Grounds the steady constraints, splits the system into connected
+    components (rows sharing a cell), encodes each violated component as
+    the S*(AC) MILP and solves it with exact-rational branch & bound.  The
+    union of component optima is a card-minimal repair of the whole
+    database.  A component pressing against the practical big-M is
+    re-solved with a larger bound, so the practical M never silently
+    compromises optimality. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+
+type stats = {
+  components : int;
+  milp_vars : int;
+  milp_rows : int;
+  nodes : int;
+  m_retries : int;
+  ground_rows : int;
+  cells : int;
+}
+
+val empty_stats : stats
+
+type result =
+  | Consistent
+  | Repaired of Repair.t * stats
+  | No_repair of stats
+  | Node_budget_exceeded of stats
+
+val components : Ground.row list -> Ground.row list list
+(** Connected components under shared-cell adjacency, in first-appearance
+    order. *)
+
+val card_minimal :
+  ?decompose:bool -> ?max_nodes:int -> ?forced:(Ground.cell * Rat.t) list ->
+  Database.t -> Agg_constraint.t list -> result
+(** Compute a card-minimal repair.  [forced] pins cells to exact values
+    (the operator instructions of §6.3); [decompose:false] disables the
+    component split (ablation E9a); [max_nodes] bounds branch & bound per
+    component. *)
+
+val involvement : Ground.row list -> (Ground.cell, int) Hashtbl.t
+(** How many ground rows each cell occurs in (drives the §6.3 display
+    ordering). *)
+
+val display_order : Ground.row list -> Repair.t -> Repair.t
+(** Order updates most-constraint-involved first (ties broken on cell
+    identity for determinism). *)

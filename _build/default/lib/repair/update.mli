@@ -1,0 +1,31 @@
+(** Atomic updates and consistent database updates (paper Definitions 2–3). *)
+
+open Dart_relational
+open Dart_constraints
+
+type t = {
+  tid : Tuple.id;
+  attr : string;
+  new_value : Value.t;
+}
+
+val cell : t -> Ground.cell
+(** λ(u): the ⟨tuple, attribute⟩ pair the update addresses. *)
+
+val make : tid:Tuple.id -> attr:string -> new_value:Value.t -> t
+
+val valid : Database.t -> t -> bool
+(** Definition 2: the attribute is a measure attribute of the tuple's
+    relation and the new value differs from the current one. *)
+
+val consistent : t list -> bool
+(** Definition 3: pairwise-distinct λ(u). *)
+
+val apply : Database.t -> t list -> Database.t
+(** Perform a consistent database update U, yielding U(D).
+    @raise Invalid_argument if the set is not consistent.
+    @raise Not_found if an update targets a missing tuple or attribute. *)
+
+val pp : Database.t -> Format.formatter -> t -> unit
+(** Renders [<tN, attr, old -> new>], reading the old value from the
+    database. *)

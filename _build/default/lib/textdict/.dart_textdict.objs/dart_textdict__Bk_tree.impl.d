@@ -1,0 +1,1 @@
+lib/textdict/bk_tree.ml: Edit_distance List

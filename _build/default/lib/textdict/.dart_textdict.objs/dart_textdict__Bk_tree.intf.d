@@ -1,0 +1,1 @@
+lib/textdict/bk_tree.mli:

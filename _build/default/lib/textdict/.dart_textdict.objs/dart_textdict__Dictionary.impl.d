@@ -1,0 +1,1 @@
+lib/textdict/dictionary.ml: Bk_tree Edit_distance Hashtbl List String

@@ -1,0 +1,1 @@
+lib/textdict/dictionary.mli:

@@ -1,0 +1,1 @@
+lib/textdict/edit_distance.mli:

@@ -1,0 +1,73 @@
+(** BK-tree index over a dictionary for efficient nearest-neighbour lookup
+    under an integer metric (Damerau–Levenshtein by default).
+
+    The triangle inequality lets a radius-[r] query prune whole subtrees:
+    children whose edge distance differs from d(query, node) by more than
+    [r] cannot contain matches. *)
+
+type t = {
+  metric : string -> string -> int;
+  mutable root : node option;
+  mutable size : int;
+}
+
+and node = {
+  word : string;
+  mutable children : (int * node) list; (* distance-to-parent -> subtree *)
+}
+
+let create ?(metric = Edit_distance.damerau_levenshtein) () =
+  { metric; root = None; size = 0 }
+
+let size t = t.size
+
+let add t word =
+  let rec insert n =
+    let d = t.metric word n.word in
+    if d = 0 then false (* duplicate *)
+    else
+      match List.assoc_opt d n.children with
+      | Some child -> insert child
+      | None ->
+        n.children <- (d, { word; children = [] }) :: n.children;
+        true
+  in
+  match t.root with
+  | None ->
+    t.root <- Some { word; children = [] };
+    t.size <- 1
+  | Some n -> if insert n then t.size <- t.size + 1
+
+let of_words ?metric words =
+  let t = create ?metric () in
+  List.iter (add t) words;
+  t
+
+(** All dictionary words within distance [radius] of [query], with their
+    distances, unsorted. *)
+let query t ~radius query_word =
+  let results = ref [] in
+  let rec go n =
+    let d = t.metric query_word n.word in
+    if d <= radius then results := (n.word, d) :: !results;
+    List.iter
+      (fun (edge, child) -> if abs (edge - d) <= radius then go child)
+      n.children
+  in
+  (match t.root with None -> () | Some n -> go n);
+  !results
+
+(** Best (closest) match within [max_distance], if any; ties broken towards
+    the lexicographically smaller word for determinism. *)
+let best_match t ~max_distance query_word =
+  let candidates = query t ~radius:max_distance query_word in
+  List.fold_left
+    (fun best (w, d) ->
+      match best with
+      | Some (_, bd) when bd < d -> best
+      | Some (bw, bd) when bd = d && bw <= w -> best
+      | _ -> Some (w, d))
+    None candidates
+
+(** Exact membership test. *)
+let mem t word = match best_match t ~max_distance:0 word with Some _ -> true | None -> false

@@ -1,0 +1,25 @@
+(** BK-tree index for nearest-neighbour lookup under an integer metric.
+
+    The triangle inequality prunes subtrees whose edge distance differs
+    from d(query, node) by more than the radius. *)
+
+type t
+
+val create : ?metric:(string -> string -> int) -> unit -> t
+(** Default metric: {!Edit_distance.damerau_levenshtein}. *)
+
+val size : t -> int
+
+val add : t -> string -> unit
+(** Duplicates are ignored. *)
+
+val of_words : ?metric:(string -> string -> int) -> string list -> t
+
+val query : t -> radius:int -> string -> (string * int) list
+(** All words within [radius] of the query, with distances, unsorted. *)
+
+val best_match : t -> max_distance:int -> string -> (string * int) option
+(** Closest word within the budget; ties break towards the
+    lexicographically smaller word. *)
+
+val mem : t -> string -> bool

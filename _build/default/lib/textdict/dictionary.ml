@@ -1,0 +1,61 @@
+(** Scenario dictionaries: the terms used in the application context the
+    input documents refer to (paper §2), with fuzzy lookup for spelling
+    repair of non-numerical strings.
+
+    Lookup normalizes case and whitespace, then finds the closest entry
+    within a length-scaled distance budget; the returned score is the
+    similarity the wrapper reports on the cell (Example 13). *)
+
+type t = {
+  entries : (string, string) Hashtbl.t; (* normalized -> canonical *)
+  index : Bk_tree.t;
+}
+
+let normalize s = String.lowercase_ascii (String.trim s)
+
+let create words =
+  let entries = Hashtbl.create (List.length words) in
+  let index = Bk_tree.create () in
+  List.iter
+    (fun w ->
+      let n = normalize w in
+      if not (Hashtbl.mem entries n) then begin
+        Hashtbl.add entries n w;
+        Bk_tree.add index n
+      end)
+    words;
+  { entries; index }
+
+let size t = Bk_tree.size t.index
+
+let mem t word = Hashtbl.mem t.entries (normalize word)
+
+(** Distance budget: longer words tolerate more OCR errors. *)
+let default_budget word = max 1 (String.length word / 4)
+
+type match_result = {
+  canonical : string;  (** the dictionary form *)
+  distance : int;
+  score : float;       (** similarity in [0,1] between input and canonical *)
+}
+
+(** Closest dictionary entry within [max_distance] (default: length-scaled).
+    Exact (normalized) matches return score 1. *)
+let lookup ?max_distance t word =
+  let n = normalize word in
+  match Hashtbl.find_opt t.entries n with
+  | Some canonical -> Some { canonical; distance = 0; score = 1.0 }
+  | None ->
+    let budget = match max_distance with Some d -> d | None -> default_budget n in
+    (match Bk_tree.best_match t.index ~max_distance:budget n with
+     | Some (w, d) ->
+       let canonical = Hashtbl.find t.entries w in
+       Some { canonical; distance = d; score = Edit_distance.similarity n w }
+     | None -> None)
+
+(** Repair a string against the dictionary: the canonical form of the best
+    match, or the input unchanged when nothing is close enough. *)
+let repair ?max_distance t word =
+  match lookup ?max_distance t word with
+  | Some { canonical; _ } -> canonical
+  | None -> word

@@ -1,0 +1,29 @@
+(** Scenario dictionaries with fuzzy lookup — the lexical repair of
+    non-numerical strings (paper §2, §6.2: "bgnning cesh" → "beginning
+    cash").  Lookups normalize case and whitespace. *)
+
+type t
+
+val create : string list -> t
+(** Entries are deduplicated after normalization; the first spelling of a
+    normalized form becomes the canonical one. *)
+
+val size : t -> int
+val mem : t -> string -> bool
+
+val normalize : string -> string
+
+val default_budget : string -> int
+(** Length-scaled distance budget: [max 1 (length / 4)]. *)
+
+type match_result = {
+  canonical : string;
+  distance : int;
+  score : float;  (** similarity in [0,1] *)
+}
+
+val lookup : ?max_distance:int -> t -> string -> match_result option
+(** Closest entry within the budget; exact (normalized) matches score 1. *)
+
+val repair : ?max_distance:int -> t -> string -> string
+(** Canonical form of the best match, or the input unchanged. *)

@@ -1,0 +1,69 @@
+(** Edit distances and similarity scores for lexical repair.
+
+    The wrapper corrects symbol-recognition errors in non-numerical strings
+    against a scenario dictionary (paper §2, §6.2: "bgnning cesh" →
+    "beginning cash").  Damerau–Levenshtein (with adjacent transpositions)
+    matches the OCR channel's error modes. *)
+
+(** Classic Levenshtein distance (insert/delete/substitute, unit costs). *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(** Damerau–Levenshtein (optimal string alignment variant): Levenshtein plus
+    adjacent transposition as a single edit. *)
+let damerau_levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+    for i = 0 to la do d.(i).(0) <- i done;
+    for j = 0 to lb do d.(0).(j) <- j done;
+    for i = 1 to la do
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        let best =
+          min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
+        in
+        let best =
+          if i > 1 && j > 1 && a.[i - 1] = b.[j - 2] && a.[i - 2] = b.[j - 1] then
+            min best (d.(i - 2).(j - 2) + 1)
+          else best
+        in
+        d.(i).(j) <- best
+      done
+    done;
+    d.(la).(lb)
+  end
+
+(** Normalized similarity in [0, 1]: 1 = identical, towards 0 with distance.
+    This is the cell matching score of §6.2 (Example 13 shows a 90% score
+    for a near-match). *)
+let similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else begin
+    let d = damerau_levenshtein a b in
+    1.0 -. (float_of_int d /. float_of_int (max la lb))
+  end
+
+(** Case/whitespace-insensitive similarity: the usual preprocessing for
+    scanned labels. *)
+let similarity_normalized a b =
+  let norm s = String.lowercase_ascii (String.trim s) in
+  similarity (norm a) (norm b)

@@ -1,0 +1,1 @@
+lib/wrapper/db_gen.ml: Array Dart_relational Database List Matcher Metadata Printf Schema Value

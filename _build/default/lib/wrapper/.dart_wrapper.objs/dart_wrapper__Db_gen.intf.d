@@ -1,0 +1,1 @@
+lib/wrapper/db_gen.mli: Dart_relational Database Matcher Metadata

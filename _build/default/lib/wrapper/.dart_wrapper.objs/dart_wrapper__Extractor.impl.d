@@ -1,0 +1,1 @@
+lib/wrapper/extractor.ml: Dart_html List Matcher Table

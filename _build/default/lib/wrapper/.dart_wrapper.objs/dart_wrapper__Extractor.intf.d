@@ -1,0 +1,1 @@
+lib/wrapper/extractor.mli: Matcher Metadata

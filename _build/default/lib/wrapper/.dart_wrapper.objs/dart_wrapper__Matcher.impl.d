@@ -1,0 +1,1 @@
+lib/wrapper/matcher.ml: Array Dart_textdict Dictionary List Metadata Option String

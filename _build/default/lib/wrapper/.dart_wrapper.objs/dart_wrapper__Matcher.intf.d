@@ -1,0 +1,1 @@
+lib/wrapper/matcher.mli: Metadata

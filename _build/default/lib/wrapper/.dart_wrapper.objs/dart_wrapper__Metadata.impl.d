@@ -1,0 +1,1 @@
+lib/wrapper/metadata.ml: Array Dart_textdict Dictionary List Printf

@@ -1,0 +1,1 @@
+lib/wrapper/metadata.mli: Dart_textdict Dictionary

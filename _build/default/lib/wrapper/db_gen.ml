@@ -1,0 +1,83 @@
+(** The database generator sub-module (paper §6.2): row pattern instances →
+    a database instance conforming to the schema in the extraction
+    metadata.
+
+    The mapping metadata states, for each relation attribute, where its
+    value comes from: a headline cell of the instance, or classification
+    information applied to a headline cell's bound item (the paper's Type
+    attribute is implied by Subsection). *)
+
+open Dart_relational
+
+type column_source =
+  | From_cell of string       (** value of the cell with this headline *)
+  | Classified of string      (** class label of the item bound in that cell *)
+
+type mapping = {
+  relation : string;
+  columns : (string * column_source) list; (** attribute name -> source *)
+}
+
+type skip_reason =
+  | Missing_headline of string
+  | Unclassified_item of string
+  | Domain_error of string
+
+type report = {
+  db : Database.t;
+  inserted : int;
+  skipped : (Matcher.instance * skip_reason) list;
+}
+
+let value_for meta schema_rel inst (attr, source) =
+  let rs = schema_rel in
+  let dom = Schema.attr_domain rs attr in
+  match source with
+  | From_cell headline ->
+    (match Matcher.bound_by_headline inst headline with
+     | text ->
+       (match Value.parse_opt dom text with
+        | Some v -> Ok v
+        | None -> Error (Domain_error (Printf.sprintf "%s=%S not in %s" attr text
+                                         (Value.domain_name dom))))
+     | exception Not_found -> Error (Missing_headline headline))
+  | Classified headline ->
+    (match Matcher.bound_by_headline inst headline with
+     | item ->
+       (match Metadata.class_of meta item with
+        | Some cls ->
+          (match Value.parse_opt dom cls with
+           | Some v -> Ok v
+           | None -> Error (Domain_error (Printf.sprintf "class %S not in %s" cls
+                                            (Value.domain_name dom))))
+        | None -> Error (Unclassified_item item))
+     | exception Not_found -> Error (Missing_headline headline))
+
+(** Populate [db]'s relation from the instances; instances that cannot be
+    mapped are collected with the reason rather than aborting the whole
+    acquisition. *)
+let generate meta mapping (instances : Matcher.instance list) db : report =
+  let rs = Schema.relation (Database.schema db) mapping.relation in
+  List.fold_left
+    (fun report inst ->
+      let values =
+        List.map (value_for meta rs inst) mapping.columns
+      in
+      match
+        List.find_map (function Error e -> Some e | Ok _ -> None) values
+      with
+      | Some err -> { report with skipped = (inst, err) :: report.skipped }
+      | None ->
+        let values =
+          Array.of_list (List.map (function Ok v -> v | Error _ -> assert false) values)
+        in
+        { report with
+          db = Database.insert_row report.db mapping.relation values;
+          inserted = report.inserted + 1 })
+    { db; inserted = 0; skipped = [] }
+    instances
+
+let describe_skip = function
+  | Missing_headline h -> "missing headline " ^ h
+  | Unclassified_item i -> "no classification for item " ^ i
+  | Domain_error e -> e

@@ -1,0 +1,30 @@
+(** The database generator sub-module (paper §6.2): row pattern instances →
+    a database instance conforming to the extraction-metadata schema. *)
+
+open Dart_relational
+
+type column_source =
+  | From_cell of string   (** value of the cell with this headline *)
+  | Classified of string  (** class label of the item bound in that cell *)
+
+type mapping = {
+  relation : string;
+  columns : (string * column_source) list;
+}
+
+type skip_reason =
+  | Missing_headline of string
+  | Unclassified_item of string
+  | Domain_error of string
+
+type report = {
+  db : Database.t;
+  inserted : int;
+  skipped : (Matcher.instance * skip_reason) list;
+}
+
+val generate : Metadata.t -> mapping -> Matcher.instance list -> Database.t -> report
+(** Insert one tuple per mappable instance; unmappable instances are
+    collected with the reason rather than aborting the acquisition. *)
+
+val describe_skip : skip_reason -> string

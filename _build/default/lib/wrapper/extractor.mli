@@ -1,0 +1,31 @@
+(** The wrapping sub-module: HTML document → row pattern instances.
+
+    Tables are expanded into logical grids (multi-row/column cells reach
+    every row they are adjacent to, per Example 13) and each logical row is
+    matched against the row patterns.  Unmatched rows (captions, headers)
+    are reported, never silently dropped. *)
+
+type row_report = {
+  table_index : int;
+  row_index : int;
+  texts : string list;
+  outcome : outcome;
+}
+
+and outcome =
+  | Matched of Matcher.instance
+  | Unmatched
+
+type result = {
+  instances : Matcher.instance list;
+  reports : row_report list;
+}
+
+val extract : Metadata.t -> string -> result
+(** Run the wrapper over every table of an HTML document. *)
+
+val match_rate : result -> float
+(** Fraction of logical rows that matched some pattern. *)
+
+val mean_score : result -> float
+(** Mean row score over matched rows. *)

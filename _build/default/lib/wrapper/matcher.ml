@@ -1,0 +1,119 @@
+(** Row-pattern matching (paper §6.2).
+
+    A row pattern r matches a table row r_t when they have the same number
+    of cells and each cell's content matches the domain required by the
+    corresponding pattern cell.  Matching a cell yields a score; the row
+    score is the t-norm of cell scores; for each document row the
+    best-scoring pattern is chosen and instantiated.  Instantiation binds
+    each cell to the most similar valid lexical item msi(r(i), r_t(i)) —
+    a first, lexical, form of repair on the input data. *)
+
+open Dart_textdict
+
+type instance_cell = {
+  raw : string;       (** cell text as acquired *)
+  bound : string;     (** repaired binding (canonical item / normalized value) *)
+  cell_score : float;
+}
+
+type instance = {
+  pattern : Metadata.row_pattern;
+  cells : instance_cell array;
+  row_score : float;
+}
+
+(* Numeric leniency: strip the separators OCR tends to keep. *)
+let clean_numeric s =
+  String.concat ""
+    (String.split_on_char ' '
+       (String.concat "" (String.split_on_char ',' (String.trim s))))
+
+(** Match one cell against a pattern cell: the bound text and a score. *)
+let match_cell meta (pc : Metadata.pattern_cell) raw =
+  let trimmed = String.trim raw in
+  match pc.Metadata.domain with
+  | Metadata.Std_string -> Some (trimmed, 1.0)
+  | Metadata.Std_integer ->
+    let cleaned = clean_numeric trimmed in
+    (match int_of_string_opt cleaned with
+     | Some n -> Some (string_of_int n, 1.0)
+     | None -> None)
+  | Metadata.Std_real ->
+    let cleaned = clean_numeric trimmed in
+    (match float_of_string_opt cleaned with
+     | Some _ -> Some (cleaned, 1.0)
+     | None -> None)
+  | Metadata.Lexical dom_name ->
+    let dict = Metadata.domain_dictionary meta dom_name in
+    (match Dictionary.lookup dict trimmed with
+     | Some { Dictionary.canonical; score; _ } -> Some (canonical, score)
+     | None -> None)
+
+(** Score the hierarchical constraints of an instantiated row: every
+    [specializes] arrow must hold between bound items (non-lexical cells
+    never carry arrows).  Violated arrows void the match. *)
+let hierarchy_ok meta (pattern : Metadata.row_pattern) (bound : string array) =
+  let ok = ref true in
+  Array.iteri
+    (fun i (pc : Metadata.pattern_cell) ->
+      match pc.Metadata.specializes with
+      | None -> ()
+      | Some j ->
+        if not (Metadata.is_specialization_of meta ~item:bound.(i) ~ancestor:bound.(j))
+        then ok := false)
+    pattern.Metadata.cells;
+  !ok
+
+(** Try to match a row (list of texts) against one pattern. *)
+let match_pattern meta (pattern : Metadata.row_pattern) (row : string list) : instance option =
+  let cells = pattern.Metadata.cells in
+  if List.length row <> Array.length cells then None
+  else begin
+    let row = Array.of_list row in
+    let results =
+      Array.mapi (fun i pc -> Option.map (fun (b, s) -> (row.(i), b, s))
+                     (match_cell meta pc row.(i)))
+        cells
+    in
+    if Array.exists Option.is_none results then None
+    else begin
+      let results = Array.map Option.get results in
+      let bound = Array.map (fun (_, b, _) -> b) results in
+      if not (hierarchy_ok meta pattern bound) then None
+      else begin
+        let scores = Array.to_list (Array.map (fun (_, _, s) -> s) results) in
+        let row_score = Metadata.combine_scores meta scores in
+        if row_score < meta.Metadata.min_row_score then None
+        else
+          Some
+            { pattern;
+              cells =
+                Array.map (fun (raw, bound, cell_score) -> { raw; bound; cell_score }) results;
+              row_score }
+      end
+    end
+  end
+
+(** Best pattern instance for a row, across all patterns (None if no pattern
+    matches at all — e.g. a header or caption row). *)
+let best_instance meta (row : string list) : instance option =
+  List.fold_left
+    (fun best p ->
+      match match_pattern meta p row with
+      | None -> best
+      | Some inst ->
+        (match best with
+         | Some b when b.row_score >= inst.row_score -> best
+         | _ -> Some inst))
+    None meta.Metadata.patterns
+
+(** Value bound in the cell whose headline is [name].
+    @raise Not_found when the pattern has no such headline. *)
+let bound_by_headline inst name =
+  let cells = inst.pattern.Metadata.cells in
+  let rec go i =
+    if i >= Array.length cells then raise Not_found
+    else if cells.(i).Metadata.headline = name then inst.cells.(i).bound
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,36 @@
+(** Row-pattern matching (paper §6.2).
+
+    A pattern matches a row when cell counts agree and each cell content
+    matches its required domain; each cell match carries a score, combined
+    by the t-norm into the row score; binding a cell to the most similar
+    valid lexical item is the wrapper's lexical repair. *)
+
+type instance_cell = {
+  raw : string;        (** as acquired *)
+  bound : string;      (** repaired binding *)
+  cell_score : float;
+}
+
+type instance = {
+  pattern : Metadata.row_pattern;
+  cells : instance_cell array;
+  row_score : float;
+}
+
+val clean_numeric : string -> string
+(** Strip spaces and thousands separators before numeric parsing. *)
+
+val match_cell : Metadata.t -> Metadata.pattern_cell -> string -> (string * float) option
+(** Bound text and score for one cell, or [None] when the content cannot
+    match the domain. *)
+
+val match_pattern : Metadata.t -> Metadata.row_pattern -> string list -> instance option
+(** Full-row match: arity, per-cell domains, hierarchical arrows, and the
+    [min_row_score] threshold. *)
+
+val best_instance : Metadata.t -> string list -> instance option
+(** Highest-scoring pattern across the metadata's patterns. *)
+
+val bound_by_headline : instance -> string -> string
+(** Value bound in the cell with the given headline.
+    @raise Not_found when the pattern has no such headline. *)

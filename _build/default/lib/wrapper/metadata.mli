@@ -1,0 +1,55 @@
+(** Extraction metadata (paper §6.2): domain descriptions, hierarchical
+    relationships, row patterns and classification information, authored by
+    the acquisition designer. *)
+
+open Dart_textdict
+
+type cell_domain =
+  | Std_integer
+  | Std_real
+  | Std_string
+  | Lexical of string  (** a named domain from the domain descriptions *)
+
+type pattern_cell = {
+  headline : string;
+  (** semantic name (e.g. "Year") the database generator maps attributes to *)
+  domain : cell_domain;
+  specializes : int option;
+  (** index of the cell whose bound item this cell's item must specialize
+      (the arrow of Figure 7a) *)
+}
+
+type row_pattern = {
+  pattern_name : string;
+  cells : pattern_cell array;
+}
+
+type t = {
+  domains : (string * Dictionary.t) list;
+  hierarchy : (string * string) list;
+  patterns : row_pattern list;
+  classification : (string * string) list;
+  t_norm : [ `Min | `Product ];
+  min_row_score : float;
+}
+
+val make :
+  ?t_norm:[ `Min | `Product ] -> ?min_row_score:float ->
+  domains:(string * string list) list -> hierarchy:(string * string) list ->
+  patterns:row_pattern list -> classification:(string * string) list -> unit -> t
+(** @raise Invalid_argument on unknown domains or bad [specializes]
+    indices. *)
+
+val domain_dictionary : t -> string -> Dictionary.t
+(** @raise Not_found for unknown domain names. *)
+
+val generalization_of : t -> string -> string option
+
+val is_specialization_of : t -> item:string -> ancestor:string -> bool
+(** Transitive, cycle-guarded. *)
+
+val class_of : t -> string -> string option
+(** Classification information: the class label of a lexical item. *)
+
+val combine_scores : t -> float list -> float
+(** The configured t-norm over cell scores. *)

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Dart_numeric Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest Bignat Dart_numeric Format Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Convert Dart Dart_html List Table

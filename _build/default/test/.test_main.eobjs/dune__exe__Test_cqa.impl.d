@@ -1,0 +1,1 @@
+test/test_cqa.ml: Alcotest Cash_budget Cqa Dart_datagen Dart_numeric Dart_relational Dart_repair Database List Rat Tuple Value

@@ -1,0 +1,1 @@
+test/test_html.ml: Alcotest Dart_html Dom Gen List Printf QCheck QCheck_alcotest String Table Tokenizer

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Dart_lp Field Field_float Field_rat List Lp_io Lp_problem Milp QCheck QCheck_alcotest String

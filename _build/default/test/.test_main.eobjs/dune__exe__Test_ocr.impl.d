@@ -1,0 +1,1 @@
+test/test_ocr.ml: Alcotest Array Confusion Dart_ocr Dart_rand List Noise Prng String

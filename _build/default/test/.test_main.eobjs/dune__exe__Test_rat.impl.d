@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Dart_numeric Float QCheck QCheck_alcotest Rat String

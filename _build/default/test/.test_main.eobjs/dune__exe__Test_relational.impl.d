@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Csv Dart_numeric Dart_relational Database Formula List Rat Schema String Tuple Value

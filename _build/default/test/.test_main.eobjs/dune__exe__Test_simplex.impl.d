@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Dart_lp Field Field_float Field_rat Float List Lp_problem QCheck QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_textdict.ml: Alcotest Bk_tree Dart_textdict Dictionary Edit_distance Gen List QCheck QCheck_alcotest

@@ -1,0 +1,119 @@
+(* Unit and property tests for the arbitrary-precision naturals. *)
+
+open Dart_numeric
+
+let nat = Alcotest.testable (fun fmt n -> Format.pp_print_string fmt (Bignat.to_string n)) Bignat.equal
+
+let check_nat = Alcotest.check nat
+
+let t name f = Alcotest.test_case name `Quick f
+
+let unit_tests =
+  [ t "zero prints as 0" (fun () -> Alcotest.(check string) "str" "0" (Bignat.to_string Bignat.zero));
+    t "of_int round-trips small" (fun () ->
+        Alcotest.(check string) "str" "42" (Bignat.to_string (Bignat.of_int 42)));
+    t "of_int round-trips max_int" (fun () ->
+        Alcotest.(check string) "str" (string_of_int max_int)
+          (Bignat.to_string (Bignat.of_int max_int)));
+    t "to_int_opt max_int" (fun () ->
+        Alcotest.(check (option int)) "val" (Some max_int)
+          (Bignat.to_int_opt (Bignat.of_int max_int)));
+    t "to_int_opt overflow is None" (fun () ->
+        let big = Bignat.mul (Bignat.of_int max_int) (Bignat.of_int 4) in
+        Alcotest.(check (option int)) "val" None (Bignat.to_int_opt big));
+    t "add carries across digits" (fun () ->
+        let a = Bignat.of_string "2147483647" (* 2^31 - 1 *) in
+        check_nat "sum" (Bignat.of_string "2147483648") (Bignat.add a Bignat.one));
+    t "sub exact" (fun () ->
+        let a = Bignat.of_string "10000000000000000000000000" in
+        check_nat "diff" (Bignat.of_string "9999999999999999999999999")
+          (Bignat.sub a Bignat.one));
+    t "sub underflow raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Bignat.sub: negative result")
+          (fun () -> ignore (Bignat.sub Bignat.one (Bignat.of_int 2))));
+    t "mul school example" (fun () ->
+        let a = Bignat.of_string "123456789123456789" in
+        let b = Bignat.of_string "987654321987654321" in
+        check_nat "prod" (Bignat.of_string "121932631356500531347203169112635269")
+          (Bignat.mul a b));
+    t "divmod exact" (fun () ->
+        let a = Bignat.of_string "121932631356500531347203169112635269" in
+        let b = Bignat.of_string "987654321987654321" in
+        let q, r = Bignat.divmod a b in
+        check_nat "q" (Bignat.of_string "123456789123456789") q;
+        check_nat "r" Bignat.zero r);
+    t "divmod with remainder" (fun () ->
+        let q, r = Bignat.divmod (Bignat.of_int 17) (Bignat.of_int 5) in
+        check_nat "q" (Bignat.of_int 3) q;
+        check_nat "r" (Bignat.of_int 2) r);
+    t "divmod by zero raises" (fun () ->
+        Alcotest.check_raises "raises" Division_by_zero (fun () ->
+            ignore (Bignat.divmod Bignat.one Bignat.zero)));
+    t "gcd" (fun () ->
+        check_nat "gcd" (Bignat.of_int 6) (Bignat.gcd (Bignat.of_int 48) (Bignat.of_int 18)));
+    t "gcd with zero" (fun () ->
+        check_nat "gcd" (Bignat.of_int 7) (Bignat.gcd (Bignat.of_int 7) Bignat.zero);
+        check_nat "gcd" (Bignat.of_int 7) (Bignat.gcd Bignat.zero (Bignat.of_int 7)));
+    t "pow" (fun () ->
+        check_nat "2^100"
+          (Bignat.of_string "1267650600228229401496703205376")
+          (Bignat.pow (Bignat.of_int 2) 100));
+    t "pow zero exponent" (fun () -> check_nat "x^0" Bignat.one (Bignat.pow (Bignat.of_int 99) 0));
+    t "shift_left" (fun () ->
+        check_nat "1<<64" (Bignat.of_string "18446744073709551616")
+          (Bignat.shift_left Bignat.one 64));
+    t "num_bits" (fun () ->
+        Alcotest.(check int) "bits of 0" 0 (Bignat.num_bits Bignat.zero);
+        Alcotest.(check int) "bits of 1" 1 (Bignat.num_bits Bignat.one);
+        Alcotest.(check int) "bits of 2^64" 65
+          (Bignat.num_bits (Bignat.shift_left Bignat.one 64)));
+    t "of_string round-trip long" (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "rt" s (Bignat.to_string (Bignat.of_string s)));
+    t "of_string rejects garbage" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Bignat.of_string: not a digit")
+          (fun () -> ignore (Bignat.of_string "12a3")));
+  ]
+
+(* Property tests: model Bignat ops against native int arithmetic on values
+   small enough not to overflow, and algebraic laws on large values. *)
+
+let gen_small = QCheck.Gen.int_range 0 1_000_000
+let gen_nat_pair = QCheck.Gen.pair gen_small gen_small
+
+let arb_pair = QCheck.make ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b) gen_nat_pair
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+let property_tests =
+  [ prop "add matches int" arb_pair (fun (a, b) ->
+        Bignat.equal (Bignat.add (Bignat.of_int a) (Bignat.of_int b)) (Bignat.of_int (a + b)));
+    prop "mul matches int" arb_pair (fun (a, b) ->
+        Bignat.equal (Bignat.mul (Bignat.of_int a) (Bignat.of_int b)) (Bignat.of_int (a * b)));
+    prop "divmod matches int" arb_pair (fun (a, b) ->
+        QCheck.assume (b > 0);
+        let q, r = Bignat.divmod (Bignat.of_int a) (Bignat.of_int b) in
+        Bignat.equal q (Bignat.of_int (a / b)) && Bignat.equal r (Bignat.of_int (a mod b)));
+    prop "sub inverts add" arb_pair (fun (a, b) ->
+        let sa = Bignat.of_int a and sb = Bignat.of_int b in
+        Bignat.equal (Bignat.sub (Bignat.add sa sb) sb) sa);
+    prop "string round-trip" (QCheck.make gen_small ~print:string_of_int) (fun a ->
+        Bignat.equal (Bignat.of_string (string_of_int a)) (Bignat.of_int a));
+    prop "divmod reconstructs (large)" arb_pair (fun (a, b) ->
+        QCheck.assume (b > 0);
+        (* Blow both up to multi-digit scale via pow. *)
+        let big_a = Bignat.mul (Bignat.pow (Bignat.of_int (a + 2)) 5) (Bignat.of_int (b + 1)) in
+        let big_b = Bignat.pow (Bignat.of_int (b + 2)) 3 in
+        let q, r = Bignat.divmod big_a big_b in
+        Bignat.equal big_a (Bignat.add (Bignat.mul q big_b) r)
+        && Bignat.compare r big_b < 0);
+    prop "gcd divides both" arb_pair (fun (a, b) ->
+        QCheck.assume (a > 0 && b > 0);
+        let g = Bignat.gcd (Bignat.of_int a) (Bignat.of_int b) in
+        let _, r1 = Bignat.divmod (Bignat.of_int a) g in
+        let _, r2 = Bignat.divmod (Bignat.of_int b) g in
+        Bignat.is_zero r1 && Bignat.is_zero r2);
+  ]
+
+let suite = unit_tests @ property_tests

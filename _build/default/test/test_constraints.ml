@@ -1,0 +1,292 @@
+(* Tests for aggregate constraints: evaluation, steadiness, grounding.
+   Uses the paper's running example throughout. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_constraints
+open Dart_datagen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let sval s = Value.String s
+let ival n = Value.Int n
+
+let aggregate_tests =
+  [ t "chi1('Receipts', 2003, 'det') = 220 (Example 2)" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let v =
+          Aggregate.eval db Cash_budget.chi1 [| sval "Receipts"; ival 2003; sval "det" |]
+        in
+        Alcotest.(check string) "sum" "220" (Rat.to_string v));
+    t "chi1('Disbursements', 2003, 'aggr') = 160" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let v =
+          Aggregate.eval db Cash_budget.chi1 [| sval "Disbursements"; ival 2003; sval "aggr" |]
+        in
+        Alcotest.(check string) "sum" "160" (Rat.to_string v));
+    t "chi2(2003, 'cash sales') = 100" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let v = Aggregate.eval db Cash_budget.chi2 [| ival 2003; sval "cash sales" |] in
+        Alcotest.(check string) "sum" "100" (Rat.to_string v));
+    t "chi2(2004, 'net cash inflow') = 10" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let v = Aggregate.eval db Cash_budget.chi2 [| ival 2004; sval "net cash inflow" |] in
+        Alcotest.(check string) "sum" "10" (Rat.to_string v));
+    t "involved_tuples size" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check int) "3 det receipts rows? no: 2" 2
+          (List.length
+             (Aggregate.involved_tuples db Cash_budget.chi1
+                [| sval "Receipts"; ival 2003; sval "det" |])));
+    t "arity mismatch raises" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check bool) "raises" true
+          (try ignore (Aggregate.eval db Cash_budget.chi1 [| ival 2003 |]); false
+           with Invalid_argument _ -> true));
+  ]
+
+let constraint_tests =
+  [ t "Figure 1 satisfies all constraints" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check bool) "holds" true
+          (Agg_constraint.holds_all db Cash_budget.constraints));
+    t "Figure 3 violates constraints 1 and 2 but not 3 (Example 1 i-ii)" (fun () ->
+        let db = Cash_budget.figure3 () in
+        Alcotest.(check bool) "c1 violated" false
+          (Agg_constraint.holds db Cash_budget.constraint1);
+        Alcotest.(check bool) "c2 violated" false
+          (Agg_constraint.holds db Cash_budget.constraint2);
+        Alcotest.(check bool) "c3 holds" true
+          (Agg_constraint.holds db Cash_budget.constraint3));
+    t "violations name the right ground instance" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let thetas = Agg_constraint.violations db Cash_budget.constraint1 in
+        (* Only (year 2003, section Receipts) is violated. *)
+        Alcotest.(check int) "one violation" 1 (List.length thetas);
+        match thetas with
+        | [ theta ] ->
+          Alcotest.(check bool) "year 2003" true (theta.(0) = Some (ival 2003));
+          Alcotest.(check bool) "Receipts" true (theta.(1) = Some (sval "Receipts"))
+        | _ -> Alcotest.fail "expected one substitution");
+    t "groundings of constraint1 = sections x years" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check int) "6 groundings" 6
+          (List.length (Agg_constraint.groundings db Cash_budget.constraint1)));
+    t "groundings of constraint2 = years" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check int) "2 groundings" 2
+          (List.length (Agg_constraint.groundings db Cash_budget.constraint2)));
+  ]
+
+let steady_tests =
+  [ t "constraints 1-3 are steady (end of §4)" (fun () ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) ("steady " ^ k.Agg_constraint.name) true
+              (Steady.is_steady Cash_budget.schema k))
+          Cash_budget.constraints);
+    t "A(constraint1) = {Year, Section, Type}" (fun () ->
+        let a =
+          List.sort_uniq compare (Steady.a_set Cash_budget.schema Cash_budget.constraint1)
+        in
+        Alcotest.(check (list (pair string string))) "A set"
+          [ ("CashBudget", "Section"); ("CashBudget", "Type"); ("CashBudget", "Year") ]
+          a);
+    t "J(constraint1) is empty" (fun () ->
+        Alcotest.(check (list (pair string string))) "J set" []
+          (Steady.j_set Cash_budget.schema Cash_budget.constraint1));
+    t "Example 9: non-steady constraint detected" (fun () ->
+        (* R1(A1,A2,A3), R2(A4,A5,A6), measures {A2, A4};
+           body R1(x1,x2,x3), R2(x3,x4,x5); chi(x) = sum(A6) from R2 where A5=x,
+           applied to x2. *)
+        let r1 =
+          Schema.make_relation "R1"
+            [| ("A1", Value.Int_dom); ("A2", Value.Int_dom); ("A3", Value.Int_dom) |]
+        in
+        let r2 =
+          Schema.make_relation "R2"
+            [| ("A4", Value.Int_dom); ("A5", Value.Int_dom); ("A6", Value.Int_dom) |]
+        in
+        let schema = Schema.make [ r1; r2 ] [ ("R1", "A2"); ("R2", "A4") ] in
+        let chi =
+          Aggregate.make ~name:"chi" ~rel:"R2" ~arity:1 ~expr:(Attr_expr.Attr "A6")
+            ~where:(Formula.attr_eq_param "A5" 0)
+        in
+        let k =
+          Agg_constraint.make ~name:"ex9" ~nvars:5
+            ~body:
+              [ { Agg_constraint.rel = "R1";
+                  args = [| Agg_constraint.Var 0; Agg_constraint.Var 1; Agg_constraint.Var 2 |] };
+                { Agg_constraint.rel = "R2";
+                  args = [| Agg_constraint.Var 2; Agg_constraint.Var 3; Agg_constraint.Var 4 |] } ]
+            ~apps:
+              [ { Agg_constraint.coeff = Rat.one; fn = chi;
+                  actuals = [| Agg_constraint.AVar 1 |] } ]
+            ~op:Agg_constraint.Le ~bound:(Rat.of_int 100)
+        in
+        Alcotest.(check bool) "not steady" false (Steady.is_steady schema k);
+        (* A(k) contains measure A2 (via the variable x2 in the WHERE) and
+           J(k) contains measure A4 (x3 shared between R1 and R2). *)
+        let off = Steady.offending schema k in
+        Alcotest.(check (list (pair string string))) "offenders"
+          [ ("R1", "A2"); ("R2", "A4") ]
+          off;
+        Alcotest.check_raises "ensure raises"
+          (Steady.Not_steady
+             "constraint ex9 is not steady: measure attribute(s) R1.A2, R2.A4 occur in A(k) \
+              or J(k)")
+          (fun () -> Steady.ensure schema k));
+  ]
+
+let ground_tests =
+  [ t "Example 10: S(AC) has 8 equality rows over 20 cells" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let rows = Ground.of_constraints db Cash_budget.constraints in
+        Alcotest.(check int) "8 rows" 8 (List.length rows);
+        Alcotest.(check int) "20 cells" 20 (List.length (Ground.cells rows));
+        Alcotest.(check bool) "all equalities" true
+          (List.for_all (fun r -> r.Ground.op = Agg_constraint.Eq) rows));
+    t "ground rows of Figure 1 are all satisfied" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let rows = Ground.of_constraints db Cash_budget.constraints in
+        Alcotest.(check bool) "satisfied" true
+          (List.for_all (Ground.row_satisfied (Ground.db_valuation db)) rows));
+    t "exactly one Figure 3 row violated per broken constraint" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let rows = Ground.of_constraints db Cash_budget.constraints in
+        let bad = List.filter (fun r -> not (Ground.row_satisfied (Ground.db_valuation db) r)) rows in
+        Alcotest.(check int) "two violated rows" 2 (List.length bad));
+    t "coefficient structure of a section-total row" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let rows = Ground.of_constraint db Cash_budget.constraint1 in
+        (* Every row: det cells coeff +1, aggr cell coeff -1, rhs 0. *)
+        List.iter
+          (fun r ->
+            Alcotest.(check string) "rhs 0" "0" (Rat.to_string r.Ground.rhs);
+            let pos, neg =
+              List.partition (fun (c, _) -> Rat.sign c > 0) r.Ground.terms
+            in
+            Alcotest.(check bool) "2-3 det cells" true
+              (List.length pos >= 2 && List.length pos <= 3);
+            Alcotest.(check int) "one aggr cell" 1 (List.length neg))
+          rows);
+    t "grounding a non-steady constraint raises" (fun () ->
+        (* A constraint whose aggregation WHERE mentions the measure attr. *)
+        let chi_bad =
+          Aggregate.make ~name:"chibad" ~rel:Cash_budget.relation_name ~arity:0
+            ~expr:(Attr_expr.Attr "Value")
+            ~where:(Formula.Cmp (Formula.Attr "Value", Formula.Ge, Formula.Const (Value.Int 0)))
+        in
+        let k =
+          Agg_constraint.make ~name:"bad" ~nvars:0 ~body:[]
+            ~apps:[ { Agg_constraint.coeff = Rat.one; fn = chi_bad; actuals = [||] } ]
+            ~op:Agg_constraint.Le ~bound:(Rat.of_int 10_000)
+        in
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check bool) "raises Not_steady" true
+          (try ignore (Ground.of_constraint db k); false
+           with Steady.Not_steady _ -> true));
+    t "constant sum expression becomes |T| * c (COUNT-style)" (fun () ->
+        (* chi() = SELECT sum(1) FROM CashBudget WHERE Type = 'det' counts
+           det rows; Figure 1 has 10 det rows (5 per year), so a bound of 8
+           grounds to the violated constant row 0 <= -2 (kept), while a
+           bound of 12 grounds to a trivially-true row (dropped). *)
+        let chi_count =
+          Aggregate.make ~name:"chicount" ~rel:Cash_budget.relation_name ~arity:0
+            ~expr:(Attr_expr.const_int 1)
+            ~where:(Formula.attr_eq "Type" (Value.String "det"))
+        in
+        let constraint_with bound =
+          Agg_constraint.make ~name:"count-det" ~nvars:0 ~body:[]
+            ~apps:[ { Agg_constraint.coeff = Rat.one; fn = chi_count; actuals = [||] } ]
+            ~op:Agg_constraint.Le ~bound:(Rat.of_int bound)
+        in
+        let db = Cash_budget.figure1 () in
+        (match Ground.of_constraint db (constraint_with 8) with
+         | [ r ] ->
+           Alcotest.(check int) "no z terms" 0 (List.length r.Ground.terms);
+           Alcotest.(check string) "rhs folded" "-2" (Rat.to_string r.Ground.rhs)
+         | _ -> Alcotest.fail "expected one violated constant row");
+        Alcotest.(check int) "trivially-true row dropped" 0
+          (List.length (Ground.of_constraint db (constraint_with 12))));
+  ]
+
+let attr_expr_tests =
+  [ t "linearize splits measure and constant parts" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let rs = Schema.relation Cash_budget.schema Cash_budget.relation_name in
+        let tu = List.hd (Database.tuples_of db Cash_budget.relation_name) in
+        let expr =
+          Attr_expr.(Add (Scale (Rat.of_int 2, Attr "Value"), Sub (Attr "Year", Const (Rat.of_int 3))))
+        in
+        let is_measure a = a = "Value" in
+        let terms, const = Attr_expr.linearize rs ~is_measure tu expr in
+        Alcotest.(check int) "one measure term" 1 (List.length terms);
+        (match terms with
+         | [ (c, a) ] ->
+           Alcotest.(check string) "coeff 2" "2" (Rat.to_string c);
+           Alcotest.(check string) "attr" "Value" a
+         | _ -> Alcotest.fail "expected one term");
+        Alcotest.(check string) "const = 2003 - 3" "2000" (Rat.to_string const));
+    t "eval matches linearize reconstruction" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let rs = Schema.relation Cash_budget.schema Cash_budget.relation_name in
+        let tu = List.hd (Database.tuples_of db Cash_budget.relation_name) in
+        let expr = Attr_expr.(Sub (Scale (Rat.of_int 3, Attr "Value"), Attr "Year")) in
+        let direct = Attr_expr.eval rs tu expr in
+        let terms, const = Attr_expr.linearize rs ~is_measure:(fun a -> a = "Value") tu expr in
+        let recon =
+          List.fold_left
+            (fun acc (c, a) ->
+              Rat.add acc (Rat.mul c (Value.to_rat (Tuple.value_by_name rs tu a))))
+            const terms
+        in
+        Alcotest.(check string) "equal" (Rat.to_string direct) (Rat.to_string recon));
+  ]
+
+let report_tests =
+  [ t "violation report: figure3 lists two entries with discrepancy 30" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let entries = Violation_report.of_constraints db Cash_budget.constraints in
+        Alcotest.(check int) "two entries" 2 (List.length entries);
+        List.iter
+          (fun e ->
+            Alcotest.(check string) "discrepancy 30" "30"
+              (Rat.to_string (Violation_report.discrepancy e)))
+          entries);
+    t "violation report: consistent db is empty" (fun () ->
+        Alcotest.(check int) "none" 0
+          (List.length
+             (Violation_report.of_constraints (Cash_budget.figure1 ())
+                Cash_budget.constraints)));
+    t "by_severity ranks larger misses first" (fun () ->
+        (* Corrupt two cells with different miss magnitudes. *)
+        let db = Cash_budget.figure1 () in
+        let find sub =
+          List.find
+            (fun tu ->
+              Tuple.value_by_name Cash_budget.relation_schema tu "Subsection"
+              = Value.String sub
+              && Tuple.value_by_name Cash_budget.relation_schema tu "Year" = Value.Int 2003)
+            (Database.tuples_of db Cash_budget.relation_name)
+        in
+        let t1 = find "cash sales" and t2 = find "payment of accounts" in
+        let db = Database.update_value db (Tuple.id t1) "Value" (Value.Int 105) in
+        let db = Database.update_value db (Tuple.id t2) "Value" (Value.Int 820) in
+        match Violation_report.by_severity
+                (Violation_report.of_constraints db Cash_budget.constraints)
+        with
+        | first :: rest ->
+          Alcotest.(check bool) "rest nonempty" true (rest <> []);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "sorted" true
+                (Rat.compare (Violation_report.discrepancy first)
+                   (Violation_report.discrepancy e) >= 0))
+            rest
+        | [] -> Alcotest.fail "expected violations");
+  ]
+
+let suite =
+  aggregate_tests @ constraint_tests @ steady_tests @ ground_tests @ attr_expr_tests
+  @ report_tests

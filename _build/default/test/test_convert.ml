@@ -1,0 +1,51 @@
+(* Tests for the acquisition module's format conversion (paper §6.1). *)
+
+open Dart
+open Dart_html
+
+let t name f = Alcotest.test_case name `Quick f
+
+let grid_of text format =
+  match Table.of_html (Convert.to_html format text) with
+  | [ tbl ] -> List.init (Table.num_rows tbl) (Table.row_texts tbl)
+  | tables -> Alcotest.failf "expected one table, got %d" (List.length tables)
+
+let suite =
+  [ t "html passes through unchanged" (fun () ->
+        let html = "<table><tr><td>x</td></tr></table>" in
+        Alcotest.(check string) "same" html (Convert.to_html Convert.Html html));
+    t "csv converts to a table" (fun () ->
+        Alcotest.(check (list (list string))) "grid"
+          [ [ "a"; "b" ]; [ "c"; "d" ] ]
+          (grid_of "a,b\nc,d\n" Convert.Csv));
+    t "csv quoting survives conversion" (fun () ->
+        Alcotest.(check (list (list string))) "grid"
+          [ [ "a,b"; "x" ] ]
+          (grid_of "\"a,b\",x\n" Convert.Csv));
+    t "tsv converts to a table" (fun () ->
+        Alcotest.(check (list (list string))) "grid"
+          [ [ "2003"; "Receipts"; "cash sales"; "100" ] ]
+          (grid_of "2003\tReceipts\tcash sales\t100" Convert.Tsv));
+    t "fixed-width splits on 2+ spaces" (fun () ->
+        Alcotest.(check (list (list string))) "grid"
+          [ [ "2003"; "cash sales"; "100" ]; [ "2004"; "net cash inflow"; "10" ] ]
+          (grid_of "2003   cash sales   100\n2004   net cash inflow  10\n"
+             Convert.Fixed_width));
+    t "fixed-width keeps single spaces inside fields" (fun () ->
+        Alcotest.(check (list (list string))) "grid"
+          [ [ "total cash receipts"; "220" ] ]
+          (grid_of "total cash receipts  220" Convert.Fixed_width));
+    t "blank lines are skipped" (fun () ->
+        Alcotest.(check (list (list string))) "grid" [ [ "a" ]; [ "b" ] ]
+          (grid_of "a\n\n\nb\n" Convert.Tsv));
+    t "format_of_filename" (fun () ->
+        Alcotest.(check bool) "html" true (Convert.format_of_filename "doc.HTML" = Convert.Html);
+        Alcotest.(check bool) "htm" true (Convert.format_of_filename "x.htm" = Convert.Html);
+        Alcotest.(check bool) "csv" true (Convert.format_of_filename "x.csv" = Convert.Csv);
+        Alcotest.(check bool) "tsv" true (Convert.format_of_filename "x.tsv" = Convert.Tsv);
+        Alcotest.(check bool) "other" true
+          (Convert.format_of_filename "x.txt" = Convert.Fixed_width));
+    t "crlf line endings handled" (fun () ->
+        Alcotest.(check (list (list string))) "grid" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+          (grid_of "a\tb\r\nc\td\r\n" Convert.Tsv));
+  ]

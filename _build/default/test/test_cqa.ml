@@ -1,0 +1,89 @@
+(* Tests for consistent query answering under card-minimal semantics. *)
+
+open Dart_numeric
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+
+let t name f = Alcotest.test_case name `Quick f
+
+let find_cell db ~year ~sub =
+  let tu =
+    List.find
+      (fun tu ->
+        Tuple.value_by_name Cash_budget.relation_schema tu "Year" = Value.Int year
+        && Tuple.value_by_name Cash_budget.relation_schema tu "Subsection" = Value.String sub)
+      (Database.tuples_of db Cash_budget.relation_name)
+  in
+  (Tuple.id tu, "Value")
+
+let check_certain name expected answer =
+  match answer with
+  | Cqa.Certain v -> Alcotest.(check string) name expected (Rat.to_string v)
+  | other -> Alcotest.failf "%s: expected Certain, got %a" name Cqa.pp_answer other
+
+let suite =
+  [ t "Figure 3: the corrupted cell has certain answer 220" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let cell = find_cell db ~year:2003 ~sub:"total cash receipts" in
+        check_certain "tcr" "220" (Cqa.cell_answer db Cash_budget.constraints cell));
+    t "Figure 3: untouched cells in the violated component are certain" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let cell = find_cell db ~year:2003 ~sub:"cash sales" in
+        check_certain "cash sales" "100" (Cqa.cell_answer db Cash_budget.constraints cell);
+        let cell = find_cell db ~year:2003 ~sub:"net cash inflow" in
+        check_certain "net inflow" "60" (Cqa.cell_answer db Cash_budget.constraints cell));
+    t "Figure 3: cells of the consistent 2004 component are Untouched" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let cell = find_cell db ~year:2004 ~sub:"cash sales" in
+        Alcotest.(check bool) "untouched" true
+          (Cqa.cell_answer db Cash_budget.constraints cell = Cqa.Untouched));
+    t "ambiguous corruption yields a Range" (fun () ->
+        (* Corrupt cash sales 100 -> 130: card-minimal repairs may restore
+           z2 = 100 or lower receivables to 90; z2's consistent answer is a
+           range, while total cash receipts stays certain at 220. *)
+        let db = Cash_budget.figure1 () in
+        let z2_tid, _ = find_cell db ~year:2003 ~sub:"cash sales" in
+        let db = Database.update_value db z2_tid "Value" (Value.Int 130) in
+        (match Cqa.cell_answer db Cash_budget.constraints (z2_tid, "Value") with
+         | Cqa.Range (Some lo, Some hi) ->
+           Alcotest.(check string) "lo" "100" (Rat.to_string lo);
+           Alcotest.(check string) "hi" "130" (Rat.to_string hi)
+         | other -> Alcotest.failf "expected bounded range, got %a" Cqa.pp_answer other);
+        let tcr = find_cell db ~year:2003 ~sub:"total cash receipts" in
+        check_certain "tcr still certain" "220"
+          (Cqa.cell_answer db Cash_budget.constraints tcr);
+        Alcotest.(check bool) "reliable at tcr" true
+          (Cqa.reliable db Cash_budget.constraints tcr);
+        Alcotest.(check bool) "not reliable at z2" false
+          (Cqa.reliable db Cash_budget.constraints (z2_tid, "Value")));
+    t "all_answers covers every constrained cell" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let answers = Cqa.all_answers db Cash_budget.constraints in
+        Alcotest.(check int) "20 cells" 20 (List.length answers);
+        let untouched =
+          List.length (List.filter (fun (_, a) -> a = Cqa.Untouched) answers)
+        in
+        (* all 10 cells of 2004 are untouched *)
+        Alcotest.(check int) "10 untouched" 10 untouched);
+    t "consistent database: every cell Untouched" (fun () ->
+        let db = Cash_budget.figure1 () in
+        List.iter
+          (fun (_, a) ->
+            Alcotest.(check bool) "untouched" true (a = Cqa.Untouched))
+          (Cqa.all_answers db Cash_budget.constraints));
+    t "CQA agrees with enumerating repairs (cross-check)" (fun () ->
+        (* For the ambiguous instance, enumerate all 1-cell repairs by
+           exhaustive search over candidate values and compare the set of
+           touched cells with the CQA ranges. *)
+        let db = Cash_budget.figure1 () in
+        let z2_tid, _ = find_cell db ~year:2003 ~sub:"cash sales" in
+        let db = Database.update_value db z2_tid "Value" (Value.Int 130) in
+        let z3 = find_cell db ~year:2003 ~sub:"receivables" in
+        (match Cqa.cell_answer db Cash_budget.constraints z3 with
+         | Cqa.Range (Some lo, Some hi) ->
+           (* receivables is 120; the alternative repair sets it to 90. *)
+           Alcotest.(check string) "lo" "90" (Rat.to_string lo);
+           Alcotest.(check string) "hi" "120" (Rat.to_string hi)
+         | other -> Alcotest.failf "expected range on receivables, got %a" Cqa.pp_answer other));
+  ]

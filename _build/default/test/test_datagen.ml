@@ -1,0 +1,173 @@
+(* Tests for the workload generators and document rendering. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart_datagen
+open Dart_rand
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cash_budget_tests =
+  [ t "figure1 has 20 tuples over 2 years" (fun () ->
+        let db = Cash_budget.figure1 () in
+        Alcotest.(check int) "20" 20 (Database.cardinality db));
+    t "figure1 matches the paper's numbers" (fun () ->
+        let db = Cash_budget.figure1 () in
+        let v year sub =
+          let tu =
+            List.find
+              (fun tu ->
+                Tuple.value_by_name Cash_budget.relation_schema tu "Year" = Value.Int year
+                && Tuple.value_by_name Cash_budget.relation_schema tu "Subsection"
+                   = Value.String sub)
+              (Database.tuples_of db Cash_budget.relation_name)
+          in
+          Tuple.value_by_name Cash_budget.relation_schema tu "Value"
+        in
+        Alcotest.(check bool) "2003 total receipts 220" true
+          (v 2003 "total cash receipts" = Value.Int 220);
+        Alcotest.(check bool) "2004 ending balance 90" true
+          (v 2004 "ending cash balance" = Value.Int 90));
+    t "figure3 differs from figure1 only in the 250 cell" (fun () ->
+        let f1 = Cash_budget.figure1 () and f3 = Cash_budget.figure3 () in
+        let diff =
+          List.filter
+            (fun (a, b) -> not (Tuple.equal_values a b))
+            (List.combine
+               (Database.tuples_of f1 Cash_budget.relation_name)
+               (Database.tuples_of f3 Cash_budget.relation_name))
+        in
+        match diff with
+        | [ (a, b) ] ->
+          Alcotest.(check bool) "220 vs 250" true
+            (Tuple.value_by_name Cash_budget.relation_schema a "Value" = Value.Int 220
+             && Tuple.value_by_name Cash_budget.relation_schema b "Value" = Value.Int 250)
+        | _ -> Alcotest.fail "expected exactly one differing tuple");
+    t "generated budgets are consistent for any size" (fun () ->
+        List.iter
+          (fun years ->
+            let prng = Prng.create (years * 31) in
+            let db = Cash_budget.generate ~years prng in
+            Alcotest.(check int) "cardinality" (10 * years) (Database.cardinality db);
+            Alcotest.(check bool) "consistent" true
+              (Agg_constraint.holds_all db Cash_budget.constraints))
+          [ 1; 2; 5; 8 ]);
+    t "corrupt changes exactly k cells" (fun () ->
+        let prng = Prng.create 5 in
+        let truth = Cash_budget.generate ~years:4 prng in
+        let corrupted, log = Cash_budget.corrupt ~errors:5 prng truth in
+        Alcotest.(check int) "5 log entries" 5 (List.length log);
+        let diff =
+          List.filter
+            (fun (a, b) -> not (Tuple.equal_values a b))
+            (List.combine
+               (Database.tuples_of truth Cash_budget.relation_name)
+               (Database.tuples_of corrupted Cash_budget.relation_name))
+        in
+        Alcotest.(check int) "5 cells differ" 5 (List.length diff));
+  ]
+
+let render_tests =
+  [ t "rendered figure1 contains one table per year" (fun () ->
+        let html, log = Doc_render.cash_budget_html (Cash_budget.figure1 ()) in
+        Alcotest.(check int) "no corruptions" 0 (List.length log);
+        Alcotest.(check int) "2 tables" 2
+          (List.length (Dart_html.Table.of_html html)));
+    t "rendered table grid is 10x4 per year" (fun () ->
+        let html, _ = Doc_render.cash_budget_html (Cash_budget.figure1 ()) in
+        List.iter
+          (fun tbl ->
+            Alcotest.(check int) "rows" 10 (Dart_html.Table.num_rows tbl);
+            Alcotest.(check int) "cols" 4 (Dart_html.Table.num_cols tbl))
+          (Dart_html.Table.of_html html));
+    t "noisy rendering logs every corruption" (fun () ->
+        let prng = Prng.create 77 in
+        let ch = { Dart_ocr.Noise.numeric_rate = 1.0; string_rate = 0.0; char_rate = 0.3 } in
+        let _, log =
+          Doc_render.cash_budget_html ~channel:ch ~prng (Cash_budget.figure1 ())
+        in
+        (* every numeric cell (20 values + 2 year cells) hits the channel *)
+        Alcotest.(check int) "22 corruptions" 22 (List.length log);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "kind numeric" true (c.Doc_render.kind = `Numeric);
+            Alcotest.(check bool) "changed" true
+              (c.Doc_render.original <> c.Doc_render.corrupted))
+          log);
+  ]
+
+let balance_tests =
+  [ t "balance sheets are consistent (tree + identity)" (fun () ->
+        List.iter
+          (fun years ->
+            let prng = Prng.create (years * 7) in
+            let db = Balance_sheet.generate ~years prng in
+            Alcotest.(check int) "16 items per year" (16 * years) (Database.cardinality db);
+            Alcotest.(check bool) "consistent" true
+              (Agg_constraint.holds_all db Balance_sheet.constraints))
+          [ 1; 3 ]);
+    t "balance identity actually couples the trees" (fun () ->
+        let prng = Prng.create 99 in
+        let db = Balance_sheet.generate ~years:1 prng in
+        (* Break equity's leaf: the identity and the equity-sum both fail. *)
+        let tu =
+          List.find
+            (fun tu ->
+              Tuple.value_by_name Balance_sheet.relation_schema tu "Item"
+              = Value.String "common stock")
+            (Database.tuples_of db Balance_sheet.relation_name)
+        in
+        let db' = Database.update_value db (Tuple.id tu) "Value" (Value.Int 999999) in
+        Alcotest.(check bool) "violated" false
+          (Agg_constraint.holds_all db' Balance_sheet.constraints));
+    t "balance corrupt + MILP repair restores consistency" (fun () ->
+        let prng = Prng.create 17 in
+        let truth = Balance_sheet.generate ~years:2 prng in
+        let corrupted, _ = Balance_sheet.corrupt ~errors:2 prng truth in
+        match Dart_repair.Solver.card_minimal corrupted Balance_sheet.constraints with
+        | Dart_repair.Solver.Repaired (rho, _) ->
+          Alcotest.(check bool) "<= 2 updates" true (List.length rho <= 2);
+          Alcotest.(check bool) "consistent after repair" true
+            (Agg_constraint.holds_all
+               (Dart_repair.Update.apply corrupted rho)
+               Balance_sheet.constraints)
+        | Dart_repair.Solver.Consistent -> ()
+        | _ -> Alcotest.fail "expected repair");
+    t "balance HTML renders one table per year" (fun () ->
+        let prng = Prng.create 3 in
+        let db = Balance_sheet.generate ~years:2 prng in
+        let html, hits = Balance_sheet.to_html db in
+        Alcotest.(check int) "no noise" 0 hits;
+        Alcotest.(check int) "2 tables" 2 (List.length (Dart_html.Table.of_html html)));
+  ]
+
+let catalog_tests =
+  [ t "catalogs are consistent" (fun () ->
+        let prng = Prng.create 23 in
+        let db = Catalog.generate prng in
+        (* 14 items + 4 subtotals + 1 total *)
+        Alcotest.(check int) "19 rows" 19 (Database.cardinality db);
+        Alcotest.(check bool) "consistent" true
+          (Agg_constraint.holds_all db Catalog.constraints));
+    t "catalog constraints are steady" (fun () ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) k.Agg_constraint.name true
+              (Steady.is_steady Catalog.schema k))
+          Catalog.constraints);
+    t "catalog corrupt + repair restores consistency" (fun () ->
+        let prng = Prng.create 29 in
+        let truth = Catalog.generate prng in
+        let corrupted, log = Catalog.corrupt ~errors:2 prng truth in
+        Alcotest.(check int) "2 corruptions" 2 (List.length log);
+        match Dart_repair.Solver.card_minimal corrupted Catalog.constraints with
+        | Dart_repair.Solver.Repaired (rho, _) ->
+          Alcotest.(check bool) "consistent after repair" true
+            (Agg_constraint.holds_all
+               (Dart_repair.Update.apply corrupted rho)
+               Catalog.constraints)
+        | Dart_repair.Solver.Consistent -> ()
+        | _ -> Alcotest.fail "expected repair");
+  ]
+
+let suite = cash_budget_tests @ render_tests @ balance_tests @ catalog_tests

@@ -1,0 +1,222 @@
+(* Tests for the HTML tokenizer, tree builder, and table grid expansion. *)
+
+open Dart_html
+
+let t name f = Alcotest.test_case name `Quick f
+
+let tokenizer_tests =
+  [ t "simple tags and text" (fun () ->
+        match Tokenizer.tokenize "<p>hi</p>" with
+        | [ Tokenizer.Start_tag { name = "p"; _ }; Tokenizer.Text "hi"; Tokenizer.End_tag "p" ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "attributes: quoted, unquoted, valueless" (fun () ->
+        match Tokenizer.tokenize "<td rowspan=\"2\" colspan=3 nowrap>" with
+        | [ Tokenizer.Start_tag { name = "td"; attrs; _ } ] ->
+          Alcotest.(check (list (pair string string))) "attrs"
+            [ ("rowspan", "2"); ("colspan", "3"); ("nowrap", "") ]
+            attrs
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "self-closing tag" (fun () ->
+        match Tokenizer.tokenize "<br/>" with
+        | [ Tokenizer.Start_tag { name = "br"; self_closing = true; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "comments and doctype are skipped" (fun () ->
+        match Tokenizer.tokenize "<!DOCTYPE html><!-- note -->x" with
+        | [ Tokenizer.Text "x" ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "entities decoded in text and attributes" (fun () ->
+        match Tokenizer.tokenize "<a title=\"a&amp;b\">x &lt; y &#65;</a>" with
+        | [ Tokenizer.Start_tag { attrs = [ ("title", "a&b") ]; _ };
+            Tokenizer.Text "x < y A"; Tokenizer.End_tag "a" ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "script content is dropped" (fun () ->
+        match Tokenizer.tokenize "<script>if (a<b) {}</script>after" with
+        | [ Tokenizer.Start_tag { name = "script"; _ }; Tokenizer.End_tag "script";
+            Tokenizer.Text "after" ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "stray < treated as text" (fun () ->
+        match Tokenizer.tokenize "a < b" with
+        | [ Tokenizer.Text "a < b" ] -> ()
+        | _ -> Alcotest.fail "unexpected tokens");
+    t "uppercase tag names normalized" (fun () ->
+        match Tokenizer.tokenize "<TD>x</TD>" with
+        | [ Tokenizer.Start_tag { name = "td"; _ }; Tokenizer.Text "x"; Tokenizer.End_tag "td" ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected tokens");
+  ]
+
+let dom_tests =
+  [ t "nested structure" (fun () ->
+        match Dom.parse "<div><p>one</p><p>two</p></div>" with
+        | [ Dom.Element { name = "div"; children = [ p1; p2 ]; _ } ] ->
+          Alcotest.(check string) "p1" "one" (Dom.text_content p1);
+          Alcotest.(check string) "p2" "two" (Dom.text_content p2)
+        | _ -> Alcotest.fail "unexpected tree");
+    t "implied end tags: td/tr" (fun () ->
+        let html = "<table><tr><td>a<td>b<tr><td>c</table>" in
+        let tables = Dom.find_all "table" (Dom.parse html) in
+        Alcotest.(check int) "one table" 1 (List.length tables);
+        let trs = Dom.find_all "tr" tables in
+        Alcotest.(check int) "two rows" 2 (List.length trs);
+        let first_row_cells = Dom.child_elements "td" (List.hd trs) in
+        Alcotest.(check int) "two cells in row 1" 2 (List.length first_row_cells));
+    t "unclosed elements closed at EOF" (fun () ->
+        match Dom.parse "<div><p>text" with
+        | [ Dom.Element { name = "div"; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected tree");
+    t "stray end tag ignored" (fun () ->
+        match Dom.parse "</p><b>x</b>" with
+        | [ Dom.Element { name = "b"; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected tree");
+    t "void elements take no children" (fun () ->
+        match Dom.parse "<p>a<br>b</p>" with
+        | [ Dom.Element { name = "p"; children = [ _; Dom.Element { name = "br"; children = []; _ }; _ ]; _ } ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected tree");
+    t "text content normalizes whitespace" (fun () ->
+        match Dom.parse "<p>  a\n  b\t c  </p>" with
+        | [ p ] -> Alcotest.(check string) "text" "a b c" (Dom.text_content p)
+        | _ -> Alcotest.fail "unexpected tree");
+  ]
+
+let table_tests =
+  [ t "plain 2x2 grid" (fun () ->
+        let html = "<table><tr><td>a</td><td>b</td></tr><tr><td>c</td><td>d</td></tr></table>" in
+        match Table.of_html html with
+        | [ tbl ] ->
+          Alcotest.(check int) "rows" 2 (Table.num_rows tbl);
+          Alcotest.(check int) "cols" 2 (Table.num_cols tbl);
+          Alcotest.(check (option string)) "a" (Some "a") (Table.cell_text tbl ~row:0 ~col:0);
+          Alcotest.(check (option string)) "d" (Some "d") (Table.cell_text tbl ~row:1 ~col:1)
+        | _ -> Alcotest.fail "expected one table");
+    t "rowspan propagates text to later rows (Example 13)" (fun () ->
+        let html =
+          "<table><tr><td rowspan=\"3\">2003</td><td>r1</td></tr>\
+           <tr><td>r2</td></tr><tr><td>r3</td></tr></table>"
+        in
+        match Table.of_html html with
+        | [ tbl ] ->
+          Alcotest.(check int) "rows" 3 (Table.num_rows tbl);
+          List.iter
+            (fun r ->
+              Alcotest.(check (option string)) "year visible" (Some "2003")
+                (Table.cell_text tbl ~row:r ~col:0))
+            [ 0; 1; 2 ];
+          Alcotest.(check bool) "origin only at row 0" true
+            (Table.is_cell_origin tbl ~row:0 ~col:0
+             && not (Table.is_cell_origin tbl ~row:1 ~col:0))
+        | _ -> Alcotest.fail "expected one table");
+    t "colspan fills columns" (fun () ->
+        let html =
+          "<table><tr><td colspan=\"2\">wide</td><td>x</td></tr>\
+           <tr><td>a</td><td>b</td><td>c</td></tr></table>"
+        in
+        match Table.of_html html with
+        | [ tbl ] ->
+          Alcotest.(check int) "cols" 3 (Table.num_cols tbl);
+          Alcotest.(check (option string)) "wide at col 1" (Some "wide")
+            (Table.cell_text tbl ~row:0 ~col:1)
+        | _ -> Alcotest.fail "expected one table");
+    t "interleaved rowspans place later cells correctly" (fun () ->
+        (* col 0 spans 2 rows; second row's first <td> must land in col 1. *)
+        let html =
+          "<table><tr><td rowspan=\"2\">A</td><td>B</td></tr><tr><td>C</td></tr></table>"
+        in
+        match Table.of_html html with
+        | [ tbl ] ->
+          Alcotest.(check (option string)) "C in col 1" (Some "C")
+            (Table.cell_text tbl ~row:1 ~col:1);
+          Alcotest.(check (option string)) "A spans into row 1" (Some "A")
+            (Table.cell_text tbl ~row:1 ~col:0)
+        | _ -> Alcotest.fail "expected one table");
+    t "th marks header cells" (fun () ->
+        let html = "<table><tr><th>H</th></tr><tr><td>v</td></tr></table>" in
+        match Table.of_html html with
+        | [ tbl ] ->
+          (match tbl.Table.raw_rows with
+           | [ [ h ]; [ v ] ] ->
+             Alcotest.(check bool) "header" true h.Table.header;
+             Alcotest.(check bool) "data" false v.Table.header
+           | _ -> Alcotest.fail "unexpected raw rows")
+        | _ -> Alcotest.fail "expected one table");
+    t "nested tables are separate" (fun () ->
+        let html =
+          "<table><tr><td><table><tr><td>inner</td></tr></table></td></tr></table>"
+        in
+        Alcotest.(check int) "two tables" 2 (List.length (Table.of_html html)));
+    t "render + parse round-trip preserves the grid" (fun () ->
+        let rows =
+          [ [ Table.render_cell ~rowspan:2 "Y"; Table.render_cell "a"; Table.render_cell "1" ];
+            [ Table.render_cell "b"; Table.render_cell "2" ] ]
+        in
+        let html = Table.to_html rows in
+        match Table.of_html html with
+        | [ tbl ] ->
+          Alcotest.(check (list string)) "row 0" [ "Y"; "a"; "1" ] (Table.row_texts tbl 0);
+          Alcotest.(check (list string)) "row 1" [ "Y"; "b"; "2" ] (Table.row_texts tbl 1)
+        | _ -> Alcotest.fail "expected one table");
+    t "entities survive render round-trip" (fun () ->
+        let rows = [ [ Table.render_cell "a<b & c" ] ] in
+        match Table.of_html (Table.to_html rows) with
+        | [ tbl ] ->
+          Alcotest.(check (option string)) "text" (Some "a<b & c")
+            (Table.cell_text tbl ~row:0 ~col:0)
+        | _ -> Alcotest.fail "expected one table");
+  ]
+
+(* Property: grids from generated spanning tables are always rectangular and
+   fully covered when spans tile exactly. *)
+let prop_rectangular =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"expanded grids are rectangular"
+       QCheck.(make Gen.(pair (int_range 1 5) (int_range 1 5)))
+       (fun (nrows, ncols) ->
+         let rows =
+           List.init nrows (fun r ->
+               List.init ncols (fun c -> Table.render_cell (Printf.sprintf "%d.%d" r c)))
+         in
+         match Table.of_html (Table.to_html rows) with
+         | [ tbl ] ->
+           Table.num_rows tbl = nrows
+           && Table.num_cols tbl = ncols
+           && List.for_all
+                (fun r -> List.length (Table.row_texts tbl r) = ncols)
+                (List.init nrows (fun r -> r))
+         | _ -> false))
+
+(* Fuzz: the tokenizer and parser are total on arbitrary byte strings —
+   error-tolerant acquisition must never crash on malformed markup. *)
+let prop_total_on_garbage =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"tokenizer/parser never raise on arbitrary input"
+       QCheck.(make Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200)))
+       (fun s ->
+         let _ = Tokenizer.tokenize s in
+         let _ = Dom.parse s in
+         let _ = Table.of_html s in
+         true))
+
+(* Fuzz with markup-looking input, which stresses the tag paths harder. *)
+let prop_total_on_taggy =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"parser total on tag-soup input"
+       QCheck.(
+         make
+           Gen.(
+             let fragment =
+               oneofl
+                 [ "<table>"; "</table>"; "<tr>"; "</tr>"; "<td"; ">"; "</td>";
+                   "rowspan=\"2\""; "colspan=x"; "<!--"; "-->"; "&amp;"; "&#65;"; "&#xz;";
+                   "text"; "<"; "\""; "'"; "<script>"; "</script>"; "<td/>"; "<x:y>" ]
+             in
+             map (String.concat "") (list_size (int_range 0 30) fragment)))
+       (fun s ->
+         let _ = Table.of_html s in
+         true))
+
+let suite =
+  tokenizer_tests @ dom_tests @ table_tests
+  @ [ prop_rectangular; prop_total_on_garbage; prop_total_on_taggy ]

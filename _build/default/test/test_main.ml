@@ -1,0 +1,21 @@
+(* Aggregated alcotest entry point; each test_* module exports a [suite]. *)
+
+let () =
+  Alcotest.run "dart"
+    [ ("bignat", Test_bignat.suite);
+      ("bigint", Test_bigint.suite);
+      ("rat", Test_rat.suite);
+      ("simplex", Test_simplex.suite);
+      ("milp", Test_milp.suite);
+      ("relational", Test_relational.suite);
+      ("constraints", Test_constraints.suite);
+      ("repair", Test_repair.suite);
+      ("html", Test_html.suite);
+      ("textdict", Test_textdict.suite);
+      ("ocr", Test_ocr.suite);
+      ("wrapper", Test_wrapper.suite);
+      ("datagen", Test_datagen.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("cqa", Test_cqa.suite);
+      ("convert", Test_convert.suite);
+      ("quarterly", Test_quarterly.suite) ]

@@ -1,0 +1,115 @@
+(* Tests for the OCR noise channel and the deterministic PRNG. *)
+
+open Dart_ocr
+open Dart_rand
+
+let t name f = Alcotest.test_case name `Quick f
+
+let prng_tests =
+  [ t "determinism: same seed, same stream" (fun () ->
+        let a = Prng.create 42 and b = Prng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same" (Prng.int a 1000) (Prng.int b 1000)
+        done);
+    t "different seeds diverge" (fun () ->
+        let a = Prng.create 1 and b = Prng.create 2 in
+        let xs = List.init 20 (fun _ -> Prng.int a 1_000_000) in
+        let ys = List.init 20 (fun _ -> Prng.int b 1_000_000) in
+        Alcotest.(check bool) "diverge" true (xs <> ys));
+    t "int bounds respected" (fun () ->
+        let p = Prng.create 7 in
+        for _ = 1 to 1000 do
+          let v = Prng.int p 17 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+        done);
+    t "int_range inclusive" (fun () ->
+        let p = Prng.create 9 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let v = Prng.int_range p 3 5 in
+          Alcotest.(check bool) "in range" true (v >= 3 && v <= 5);
+          if v = 3 then seen_lo := true;
+          if v = 5 then seen_hi := true
+        done;
+        Alcotest.(check bool) "covers bounds" true (!seen_lo && !seen_hi));
+    t "float in [0,1)" (fun () ->
+        let p = Prng.create 11 in
+        for _ = 1 to 1000 do
+          let v = Prng.float p in
+          Alcotest.(check bool) "in range" true (v >= 0.0 && v < 1.0)
+        done);
+    t "split gives independent streams" (fun () ->
+        let parent = Prng.create 5 in
+        let c1 = Prng.split parent in
+        let c2 = Prng.split parent in
+        Alcotest.(check bool) "children differ" true
+          (List.init 10 (fun _ -> Prng.int c1 1000)
+           <> List.init 10 (fun _ -> Prng.int c2 1000)));
+    t "shuffle permutes" (fun () ->
+        let p = Prng.create 3 in
+        let a = Array.init 10 (fun i -> i) in
+        let s = Prng.shuffle p a in
+        Alcotest.(check (list int)) "same multiset" (Array.to_list a)
+          (List.sort compare (Array.to_list s)));
+    t "sample_indices distinct" (fun () ->
+        let p = Prng.create 4 in
+        let s = Prng.sample_indices p ~n:10 ~k:5 in
+        Alcotest.(check int) "5 distinct" 5 (List.length (List.sort_uniq compare s)));
+    t "sample_indices k>n raises" (fun () ->
+        let p = Prng.create 4 in
+        Alcotest.check_raises "raises" (Invalid_argument "Prng.sample_indices: k > n")
+          (fun () -> ignore (Prng.sample_indices p ~n:3 ~k:4)));
+  ]
+
+let noise_tests =
+  [ t "corrupt_int always changes the value" (fun () ->
+        let p = Prng.create 21 in
+        for _ = 1 to 500 do
+          let n = Prng.int_range p 0 99999 in
+          Alcotest.(check bool) "changed" true (Noise.corrupt_int p n <> n)
+        done);
+    t "corrupt_int preserves sign" (fun () ->
+        let p = Prng.create 22 in
+        for _ = 1 to 200 do
+          let n = -Prng.int_range p 1 9999 in
+          Alcotest.(check bool) "negative stays negative" true (Noise.corrupt_int p n < 0)
+        done);
+    t "corrupt_string_surely differs" (fun () ->
+        let p = Prng.create 23 in
+        List.iter
+          (fun s -> Alcotest.(check bool) s true (Noise.corrupt_string_surely p s <> s))
+          [ "beginning cash"; "x"; "total disbursements" ]);
+    t "transmit respects rates (0 => identity)" (fun () ->
+        let p = Prng.create 24 in
+        let ch = { Noise.numeric_rate = 0.0; string_rate = 0.0; char_rate = 0.5 } in
+        List.iter
+          (fun s ->
+            let out, hit = Noise.transmit ch p s in
+            Alcotest.(check string) "unchanged" s out;
+            Alcotest.(check bool) "no hit" false hit)
+          [ "123"; "cash sales" ]);
+    t "transmit rate 1 corrupts numerics" (fun () ->
+        let p = Prng.create 25 in
+        let ch = { Noise.numeric_rate = 1.0; string_rate = 0.0; char_rate = 0.5 } in
+        let out, hit = Noise.transmit ch p "220" in
+        Alcotest.(check bool) "hit" true hit;
+        Alcotest.(check bool) "changed" true (out <> "220");
+        Alcotest.(check bool) "still a number" true (int_of_string_opt out <> None));
+    t "confusion tables stay in-class for digits" (fun () ->
+        String.iter
+          (fun d ->
+            List.iter
+              (fun c ->
+                Alcotest.(check bool) "digit" true (c >= '0' && c <= '9'))
+              (Confusion.digit_confusions d))
+          "0123456789");
+    t "letter confusions stay lowercase letters" (fun () ->
+        String.iter
+          (fun l ->
+            List.iter
+              (fun c -> Alcotest.(check bool) "letter" true (c >= 'a' && c <= 'z'))
+              (Confusion.letter_confusions l))
+          "abcdefghijklmnopqrstuvwxyz");
+  ]
+
+let suite = prng_tests @ noise_tests

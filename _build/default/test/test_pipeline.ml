@@ -1,0 +1,176 @@
+(* End-to-end tests of the DART pipeline (paper Figure 2): document ->
+   acquisition -> extraction -> repair -> validation. *)
+
+open Dart
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+
+let t name f = Alcotest.test_case name `Quick f
+
+let scenario = Budget_scenario.scenario
+
+module Str_replace = struct
+  (* First-occurrence substring replacement (no Str library dependency). *)
+  let replace_first ~needle ~replacement hay =
+    let nlen = String.length needle and hlen = String.length hay in
+    let rec find i =
+      if i + nlen > hlen then None
+      else if String.sub hay i nlen = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> hay
+    | Some i ->
+      String.sub hay 0 i ^ replacement ^ String.sub hay (i + nlen) (hlen - i - nlen)
+end
+
+let clean_acquisition_tests =
+  [ t "clean document acquires to a consistent database" (fun () ->
+        let truth = Cash_budget.figure1 () in
+        let html, _ = Doc_render.cash_budget_html truth in
+        let acq = Pipeline.acquire scenario html in
+        Alcotest.(check int) "20 inserted" 20 acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted;
+        Alcotest.(check bool) "consistent" true (Pipeline.consistent scenario acq.Pipeline.db);
+        Alcotest.(check bool) "matches truth" true
+          (List.for_all2 Tuple.equal_values
+             (Database.tuples_of truth Cash_budget.relation_name)
+             (Database.tuples_of acq.Pipeline.db Cash_budget.relation_name)));
+    t "csv input goes through format conversion" (fun () ->
+        (* Same data as a CSV: 4 columns, year repeated on every line. *)
+        let truth = Cash_budget.figure1 () in
+        let lines =
+          List.map
+            (fun tu ->
+              match Tuple.values tu with
+              | [| Value.Int y; Value.String s; Value.String sub; _; Value.Int v |] ->
+                Printf.sprintf "%d,%s,%s,%d" y s sub v
+              | _ -> assert false)
+            (Database.tuples_of truth Cash_budget.relation_name)
+        in
+        let csv = String.concat "\n" lines in
+        let acq = Pipeline.acquire scenario ~format:Convert.Csv csv in
+        Alcotest.(check int) "20 inserted" 20 acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted;
+        Alcotest.(check bool) "consistent" true (Pipeline.consistent scenario acq.Pipeline.db));
+  ]
+
+let corrupted_pipeline_tests =
+  [ t "paper's Example 1 end-to-end: 250 detected and repaired to 220" (fun () ->
+        let truth = Cash_budget.figure1 () in
+        (* Corrupt the acquired numbers exactly as in the paper. *)
+        let corrupted = Cash_budget.figure3 () in
+        let html, _ = Doc_render.cash_budget_html corrupted in
+        let acq = Pipeline.acquire scenario html in
+        let violated = Pipeline.detect scenario acq.Pipeline.db in
+        Alcotest.(check int) "two constraints violated" 2 (List.length violated);
+        let operator = Validation.oracle ~truth in
+        let outcome = Pipeline.validate scenario ~operator acq.Pipeline.db in
+        Alcotest.(check bool) "converged" true outcome.Validation.converged;
+        Alcotest.(check int) "one iteration" 1 outcome.Validation.iterations;
+        Alcotest.(check bool) "recovered the truth" true
+          (List.for_all2 Tuple.equal_values
+             (Database.tuples_of truth Cash_budget.relation_name)
+             (Database.tuples_of outcome.Validation.final_db Cash_budget.relation_name)));
+    t "Example 13: 'bgnning cesh' absorbed by lexical repair" (fun () ->
+        let truth = Cash_budget.figure1 () in
+        let html, _ = Doc_render.cash_budget_html truth in
+        (* Inject the paper's exact label corruption into the document. *)
+        let html =
+          Str_replace.replace_first ~needle:"beginning cash" ~replacement:"bgnning cesh" html
+        in
+        Alcotest.(check bool) "corruption present" true
+          (String.length html > 0);
+        let acq = Pipeline.acquire scenario html in
+        (* All rows are still extracted and the values consistent. *)
+        Alcotest.(check int) "20 inserted" 20
+          acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted;
+        Alcotest.(check bool) "consistent" true (Pipeline.consistent scenario acq.Pipeline.db));
+    t "heavy label noise: unrepairable rows reported, not mis-extracted" (fun () ->
+        let truth = Cash_budget.figure1 () in
+        let prng = Prng.create 123 in
+        let ch = { Dart_ocr.Noise.numeric_rate = 0.0; string_rate = 0.4; char_rate = 0.12 } in
+        let html, log = Doc_render.cash_budget_html ~channel:ch ~prng truth in
+        Alcotest.(check bool) "some label corrupted" true (List.length log > 0);
+        let acq = Pipeline.acquire scenario html in
+        let inserted = acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted in
+        let unmatched =
+          List.length
+            (List.filter
+               (fun r -> r.Dart_wrapper.Extractor.outcome = Dart_wrapper.Extractor.Unmatched)
+               acq.Pipeline.extraction.Dart_wrapper.Extractor.reports)
+        in
+        (* Every document row is either inserted or accounted for as
+           unmatched — nothing disappears silently. *)
+        Alcotest.(check int) "inserted + unmatched = 20" 20 (inserted + unmatched);
+        Alcotest.(check bool) "most rows survive" true (inserted >= 16));
+    t "full noisy pipeline converges with the oracle operator" (fun () ->
+        let prng = Prng.create 321 in
+        let truth = Cash_budget.generate ~years:3 prng in
+        let ch = { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.1; char_rate = 0.12 } in
+        let html, _ = Doc_render.cash_budget_html ~channel:ch ~prng truth in
+        (* Tuple ids in the acquired db are assigned in acquisition order;
+           key the oracle on a clean acquisition so ids line up. *)
+        let clean_html, _ = Doc_render.cash_budget_html truth in
+        let clean_acq = Pipeline.acquire scenario clean_html in
+        let operator = Validation.oracle ~truth:clean_acq.Pipeline.db in
+        let result = Pipeline.process scenario ~operator html in
+        Alcotest.(check bool) "converged" true result.Pipeline.validation.Validation.converged;
+        Alcotest.(check bool) "consistent end state" true
+          (Pipeline.consistent scenario result.Pipeline.validation.Validation.final_db))
+  ]
+
+let other_scenario_tests =
+  [ t "balance-sheet scenario round-trips through HTML" (fun () ->
+        let prng = Prng.create 55 in
+        let truth = Balance_sheet.generate ~years:2 prng in
+        let html, _ = Balance_sheet.to_html truth in
+        let acq = Pipeline.acquire Balance_scenario.scenario html in
+        Alcotest.(check int) "32 inserted" 32
+          acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted;
+        Alcotest.(check bool) "consistent" true
+          (Pipeline.consistent Balance_scenario.scenario acq.Pipeline.db));
+    t "balance-sheet pipeline repairs numeric noise" (fun () ->
+        let prng = Prng.create 56 in
+        let truth = Balance_sheet.generate ~years:1 prng in
+        let corrupted, _ = Balance_sheet.corrupt ~errors:1 prng truth in
+        let html, _ = Balance_sheet.to_html corrupted in
+        let acq = Pipeline.acquire Balance_scenario.scenario html in
+        let clean_acq =
+          Pipeline.acquire Balance_scenario.scenario (fst (Balance_sheet.to_html truth))
+        in
+        let operator = Validation.oracle ~truth:clean_acq.Pipeline.db in
+        let outcome = Pipeline.validate Balance_scenario.scenario ~operator acq.Pipeline.db in
+        Alcotest.(check bool) "converged" true outcome.Validation.converged;
+        Alcotest.(check bool) "recovered truth" true
+          (List.for_all2 Tuple.equal_values
+             (Database.tuples_of clean_acq.Pipeline.db Balance_sheet.relation_name)
+             (Database.tuples_of outcome.Validation.final_db Balance_sheet.relation_name)));
+    t "catalog scenario: Kind derived, constraints hold" (fun () ->
+        let prng = Prng.create 57 in
+        let truth = Catalog.generate prng in
+        let html = Catalog.to_html truth in
+        let acq = Pipeline.acquire Catalog_scenario.scenario html in
+        Alcotest.(check int) "19 inserted" 19
+          acq.Pipeline.generation.Dart_wrapper.Db_gen.inserted;
+        Alcotest.(check bool) "consistent" true
+          (Pipeline.consistent Catalog_scenario.scenario acq.Pipeline.db);
+        Alcotest.(check bool) "kinds derived" true
+          (List.for_all2 Tuple.equal_values
+             (Database.tuples_of truth Catalog.relation_name)
+             (Database.tuples_of acq.Pipeline.db Catalog.relation_name)));
+    t "catalog pipeline detects and repairs a corrupted subtotal" (fun () ->
+        let prng = Prng.create 58 in
+        let truth = Catalog.generate prng in
+        let corrupted, _ = Catalog.corrupt ~errors:1 prng truth in
+        let html = Catalog.to_html corrupted in
+        let acq = Pipeline.acquire Catalog_scenario.scenario html in
+        let clean_acq = Pipeline.acquire Catalog_scenario.scenario (Catalog.to_html truth) in
+        let operator = Validation.oracle ~truth:clean_acq.Pipeline.db in
+        let outcome = Pipeline.validate Catalog_scenario.scenario ~operator acq.Pipeline.db in
+        Alcotest.(check bool) "converged" true outcome.Validation.converged;
+        Alcotest.(check bool) "consistent" true
+          (Pipeline.consistent Catalog_scenario.scenario outcome.Validation.final_db));
+  ]
+
+let suite = clean_acquisition_tests @ corrupted_pipeline_tests @ other_scenario_tests

@@ -1,0 +1,168 @@
+(* Tests for the relational substrate. *)
+
+open Dart_numeric
+open Dart_relational
+
+let t name f = Alcotest.test_case name `Quick f
+
+let mini_schema =
+  Schema.make
+    [ Schema.make_relation "R"
+        [| ("K", Value.String_dom); ("N", Value.Int_dom); ("X", Value.Real_dom) |] ]
+    [ ("R", "N") ]
+
+let mini_db () =
+  let db = Database.create mini_schema in
+  let db = Database.insert_row db "R" [| Value.String "a"; Value.Int 1; Value.Real (Rat.of_int 10) |] in
+  let db = Database.insert_row db "R" [| Value.String "b"; Value.Int 2; Value.Real (Rat.of_int 20) |] in
+  Database.insert_row db "R" [| Value.String "c"; Value.Int 3; Value.Real (Rat.of_int 30) |]
+
+let value_tests =
+  [ t "value compare across numeric domains" (fun () ->
+        Alcotest.(check int) "1 = 1/1" 0 (Value.compare (Value.Int 1) (Value.Real Rat.one));
+        Alcotest.(check bool) "2 > 3/2" true
+          (Value.compare (Value.Int 2) (Value.Real (Rat.of_ints 3 2)) > 0));
+    t "value parse per domain" (fun () ->
+        Alcotest.(check bool) "int" true (Value.parse Value.Int_dom "42" = Value.Int 42);
+        Alcotest.(check bool) "real" true
+          (Value.parse Value.Real_dom "1.5" = Value.Real (Rat.of_ints 3 2));
+        Alcotest.(check bool) "string" true
+          (Value.parse Value.String_dom "1.5" = Value.String "1.5"));
+    t "value parse failure" (fun () ->
+        Alcotest.(check (option reject)) "bad int" None (Value.parse_opt Value.Int_dom "x1"));
+    t "of_rat int overflow-free" (fun () ->
+        Alcotest.(check bool) "back" true
+          (Value.of_rat Value.Int_dom (Rat.of_int 7) = Value.Int 7));
+    t "of_rat rejects fractional int" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Value.of_rat: non-integral 1/2")
+          (fun () -> ignore (Value.of_rat Value.Int_dom (Rat.of_ints 1 2))));
+  ]
+
+let schema_tests =
+  [ t "duplicate attribute rejected" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Schema.make_relation: duplicate attribute A")
+          (fun () ->
+            ignore
+              (Schema.make_relation "R" [| ("A", Value.Int_dom); ("A", Value.Int_dom) |])));
+    t "measure must be numerical" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Schema.make: measure attribute R.K is not numerical")
+          (fun () ->
+            ignore
+              (Schema.make
+                 [ Schema.make_relation "R" [| ("K", Value.String_dom) |] ]
+                 [ ("R", "K") ])));
+    t "attr_index and domain" (fun () ->
+        let rs = Schema.relation mini_schema "R" in
+        Alcotest.(check int) "index of N" 1 (Schema.attr_index rs "N");
+        Alcotest.(check bool) "domain of X" true (Schema.attr_domain rs "X" = Value.Real_dom));
+    t "measures_of" (fun () ->
+        Alcotest.(check (list string)) "measures" [ "N" ] (Schema.measures_of mini_schema "R"));
+  ]
+
+let database_tests =
+  [ t "insert and read back in order" (fun () ->
+        let db = mini_db () in
+        let keys =
+          List.map
+            (fun tu -> Value.to_string (Tuple.value tu 0))
+            (Database.tuples_of db "R")
+        in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] keys);
+    t "insert arity mismatch" (fun () ->
+        let db = Database.create mini_schema in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Database.insert: arity mismatch for R")
+          (fun () -> ignore (Database.insert_row db "R" [| Value.Int 1 |])));
+    t "insert domain mismatch" (fun () ->
+        let db = Database.create mini_schema in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Database.insert_row db "R"
+                  [| Value.Int 3; Value.Int 1; Value.Real Rat.one |]);
+             false
+           with Invalid_argument _ -> true));
+    t "update preserves identity, changes value" (fun () ->
+        let db = mini_db () in
+        let tu = List.hd (Database.tuples_of db "R") in
+        let db' = Database.update_value db (Tuple.id tu) "N" (Value.Int 99) in
+        let tu' = Database.find db' (Tuple.id tu) in
+        Alcotest.(check int) "same id" (Tuple.id tu) (Tuple.id tu');
+        Alcotest.(check bool) "new value" true (Tuple.value tu' 1 = Value.Int 99);
+        (* original instance untouched (persistence) *)
+        let orig = Database.find db (Tuple.id tu) in
+        Alcotest.(check bool) "old value" true (Tuple.value orig 1 = Value.Int 1));
+    t "update unknown tuple raises" (fun () ->
+        let db = mini_db () in
+        Alcotest.check_raises "raises" Not_found (fun () ->
+            ignore (Database.update_value db 999 "N" (Value.Int 0))));
+    t "select with formula" (fun () ->
+        let db = mini_db () in
+        let got = Database.select db "R" (Formula.Cmp (Formula.Attr "N", Formula.Ge, Formula.Const (Value.Int 2))) in
+        Alcotest.(check int) "count" 2 (List.length got));
+    t "sum_where" (fun () ->
+        let db = mini_db () in
+        let s =
+          Database.sum_where db "R" ~env:[||] Formula.True (fun tu ->
+              Value.to_rat (Tuple.value tu 1))
+        in
+        Alcotest.(check string) "sum" "6" (Rat.to_string s));
+    t "equal_contents detects change" (fun () ->
+        let db = mini_db () in
+        let tu = List.hd (Database.tuples_of db "R") in
+        let db' = Database.update_value db (Tuple.id tu) "N" (Value.Int 99) in
+        Alcotest.(check bool) "same" true (Database.equal_contents db db);
+        Alcotest.(check bool) "diff" false (Database.equal_contents db db'));
+    t "cardinality" (fun () ->
+        Alcotest.(check int) "3 tuples" 3 (Database.cardinality (mini_db ())));
+  ]
+
+let formula_tests =
+  [ t "params and attrs extraction" (fun () ->
+        let f =
+          Formula.And
+            ( Formula.attr_eq_param "K" 0,
+              Formula.Or (Formula.attr_eq "N" (Value.Int 1), Formula.Not (Formula.attr_eq_param "X" 2)) )
+        in
+        Alcotest.(check (list int)) "params" [ 0; 2 ] (List.sort_uniq compare (Formula.params f));
+        Alcotest.(check (list string)) "attrs" [ "K"; "N"; "X" ]
+          (List.sort_uniq compare (Formula.attrs f)));
+    t "eval with env" (fun () ->
+        let db = mini_db () in
+        let rs = Schema.relation mini_schema "R" in
+        let tu = List.hd (Database.tuples_of db "R") in
+        let f = Formula.attr_eq_param "K" 0 in
+        Alcotest.(check bool) "match" true
+          (Formula.eval rs [| Some (Value.String "a") |] tu f);
+        Alcotest.(check bool) "no match" false
+          (Formula.eval rs [| Some (Value.String "b") |] tu f));
+    t "eval unbound param raises" (fun () ->
+        let db = mini_db () in
+        let rs = Schema.relation mini_schema "R" in
+        let tu = List.hd (Database.tuples_of db "R") in
+        Alcotest.check_raises "raises" (Invalid_argument "Formula.eval: unbound parameter x0")
+          (fun () -> ignore (Formula.eval rs [| None |] tu (Formula.attr_eq_param "K" 0))));
+  ]
+
+let csv_tests =
+  [ t "round-trip with quoting" (fun () ->
+        let rows = [ [ "a,b"; "plain" ]; [ "with \"quote\""; "line\nbreak" ] ] in
+        let text = String.concat "\n" (List.map Csv.encode_row rows) in
+        Alcotest.(check (list (list string))) "rt" rows (Csv.decode text));
+    t "decode empty" (fun () ->
+        Alcotest.(check (list (list string))) "empty" [] (Csv.decode ""));
+    t "unterminated quote raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Csv.decode: unterminated quote")
+          (fun () -> ignore (Csv.decode "\"abc")));
+    t "relation round-trip" (fun () ->
+        let db = mini_db () in
+        let text = Csv.of_relation db "R" in
+        let db2 = Csv.load_into (Database.create mini_schema) "R" text in
+        Alcotest.(check bool) "same values" true
+          (List.for_all2 Tuple.equal_values (Database.tuples_of db "R")
+             (Database.tuples_of db2 "R")));
+  ]
+
+let suite = value_tests @ schema_tests @ database_tests @ formula_tests @ csv_tests

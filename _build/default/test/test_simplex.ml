@@ -1,0 +1,253 @@
+(* Tests for the two-phase simplex, instantiated with both coefficient
+   fields.  Each scenario is written once against the FIELD signature and
+   checked for exact rationals and for floats. *)
+
+open Dart_lp
+
+module Scenarios (F : Field.S) = struct
+  module P = Lp_problem.Make (F)
+  module S = Simplex.Make (F)
+
+  let fi = F.of_int
+
+  let check_opt name expected_obj result =
+    match result with
+    | S.Optimal { objective; _ } ->
+      Alcotest.(check int)
+        (name ^ ": objective")
+        0
+        (F.compare objective expected_obj)
+    | S.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" name
+    | S.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" name
+
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0; opt = 36. *)
+  let textbook_max () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    let y = P.add_var ~name:"y" ~lower:F.zero p in
+    P.add_constraint p [ (F.one, x) ] Lp_problem.Le (fi 4);
+    P.add_constraint p [ (fi 2, y) ] Lp_problem.Le (fi 12);
+    P.add_constraint p [ (fi 3, x); (fi 2, y) ] Lp_problem.Le (fi 18);
+    P.set_objective ~minimize:false p [ (fi 3, x); (fi 5, y) ];
+    check_opt "textbook" (fi 36) (S.solve p)
+
+  (* Phase-1 required: min x + y st x + y >= 2, x - y = 1, x,y >= 0 → x=3/2, y=1/2. *)
+  let phase1_needed () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    let y = P.add_var ~name:"y" ~lower:F.zero p in
+    P.add_constraint p [ (F.one, x); (F.one, y) ] Lp_problem.Ge (fi 2);
+    P.add_constraint p [ (F.one, x); (F.neg F.one, y) ] Lp_problem.Eq (fi 1);
+    P.set_objective p [ (F.one, x); (F.one, y) ];
+    match S.solve p with
+    | S.Optimal { objective; assignment } ->
+      Alcotest.(check int) "obj = 2" 0 (F.compare objective (fi 2));
+      Alcotest.(check int) "x = 3/2" 0
+        (F.compare assignment.(x) (F.div (fi 3) (fi 2)));
+      Alcotest.(check int) "y = 1/2" 0
+        (F.compare assignment.(y) (F.div F.one (fi 2)))
+    | _ -> Alcotest.fail "expected optimal"
+
+  (* Infeasible: x >= 5 and x <= 3. *)
+  let infeasible_rows () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    P.add_constraint p [ (F.one, x) ] Lp_problem.Ge (fi 5);
+    P.add_constraint p [ (F.one, x) ] Lp_problem.Le (fi 3);
+    P.set_objective p [ (F.one, x) ];
+    match S.solve p with
+    | S.Infeasible -> ()
+    | _ -> Alcotest.fail "expected infeasible"
+
+  (* Infeasible via contradictory bounds on the variable itself. *)
+  let infeasible_bounds () =
+    let p = P.create () in
+    let _x = P.add_var ~name:"x" ~lower:(fi 5) ~upper:(fi 3) p in
+    P.set_objective p [];
+    match S.solve p with
+    | S.Infeasible -> ()
+    | _ -> Alcotest.fail "expected infeasible"
+
+  (* Unbounded: max x with x >= 0 only. *)
+  let unbounded () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    P.set_objective ~minimize:false p [ (F.one, x) ];
+    match S.solve p with
+    | S.Unbounded -> ()
+    | _ -> Alcotest.fail "expected unbounded"
+
+  (* Free variables: min |shape|: x free with x = 5 forced by equality. *)
+  let free_variable () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" p in
+    let y = P.add_var ~name:"y" p in
+    P.add_constraint p [ (F.one, x); (F.one, y) ] Lp_problem.Eq (fi 3);
+    P.add_constraint p [ (F.one, x); (F.neg F.one, y) ] Lp_problem.Eq (fi (-7));
+    P.set_objective p [ (F.one, x) ];
+    match S.solve p with
+    | S.Optimal { assignment; _ } ->
+      Alcotest.(check int) "x = -2" 0 (F.compare assignment.(x) (fi (-2)));
+      Alcotest.(check int) "y = 5" 0 (F.compare assignment.(y) (fi 5))
+    | _ -> Alcotest.fail "expected optimal"
+
+  (* Upper-bounded variable used at its bound. *)
+  let upper_bound_binds () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero ~upper:(fi 7) p in
+    P.set_objective ~minimize:false p [ (F.one, x) ];
+    check_opt "upper bound" (fi 7) (S.solve p)
+
+  (* Reflected encoding: only an upper bound, no lower. max -x st x <= 10. *)
+  let only_upper_bound () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~upper:(fi 10) p in
+    P.add_constraint p [ (F.one, x) ] Lp_problem.Ge (fi (-4));
+    P.set_objective p [ (F.one, x) ];
+    check_opt "reflected" (fi (-4)) (S.solve p)
+
+  (* Degenerate problem that cycles under naive pivoting (Beale's example);
+     Bland's rule must terminate. *)
+  let beale_degenerate () =
+    let p = P.create () in
+    let x1 = P.add_var ~lower:F.zero p in
+    let x2 = P.add_var ~lower:F.zero p in
+    let x3 = P.add_var ~lower:F.zero p in
+    let x4 = P.add_var ~lower:F.zero p in
+    let q n d = F.div (fi n) (fi d) in
+    P.add_constraint p [ (q 1 4, x1); (fi (-60), x2); (q (-1) 25, x3); (fi 9, x4) ]
+      Lp_problem.Le F.zero;
+    P.add_constraint p [ (q 1 2, x1); (fi (-90), x2); (q (-1) 50, x3); (fi 3, x4) ]
+      Lp_problem.Le F.zero;
+    P.add_constraint p [ (F.one, x3) ] Lp_problem.Le F.one;
+    P.set_objective ~minimize:false p
+      [ (q 3 4, x1); (fi (-150), x2); (q 1 50, x3); (fi (-6), x4) ];
+    match S.solve p with
+    | S.Optimal { objective; _ } ->
+      Alcotest.(check int) "obj = 1/20" 0 (F.compare objective (q 1 20))
+    | _ -> Alcotest.fail "expected optimal"
+
+  (* Redundant equality rows: phase 1 leaves an artificial basic at zero. *)
+  let redundant_rows () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    let y = P.add_var ~name:"y" ~lower:F.zero p in
+    P.add_constraint p [ (F.one, x); (F.one, y) ] Lp_problem.Eq (fi 4);
+    P.add_constraint p [ (fi 2, x); (fi 2, y) ] Lp_problem.Eq (fi 8);
+    P.set_objective p [ (F.one, x) ];
+    check_opt "redundant" F.zero (S.solve p)
+
+  (* Empty objective over a feasible region: objective 0. *)
+  let empty_objective () =
+    let p = P.create () in
+    let x = P.add_var ~name:"x" ~lower:F.zero p in
+    P.add_constraint p [ (F.one, x) ] Lp_problem.Le (fi 3);
+    P.set_objective p [];
+    check_opt "empty obj" F.zero (S.solve p)
+
+  let tests prefix =
+    let t name f = Alcotest.test_case (prefix ^ ": " ^ name) `Quick f in
+    [ t "textbook max" textbook_max;
+      t "phase 1 needed" phase1_needed;
+      t "infeasible rows" infeasible_rows;
+      t "infeasible bounds" infeasible_bounds;
+      t "unbounded" unbounded;
+      t "free variables" free_variable;
+      t "upper bound binds" upper_bound_binds;
+      t "only upper bound" only_upper_bound;
+      t "Beale degeneracy" beale_degenerate;
+      t "redundant rows" redundant_rows;
+      t "empty objective" empty_objective ]
+end
+
+module Rat_scenarios = Scenarios (Field_rat)
+module Float_scenarios = Scenarios (Field_float)
+
+(* Property test: on random feasible problems, the simplex solution satisfies
+   every constraint and is at least as good as a random feasible point. *)
+module RP = Lp_problem.Make (Field_rat)
+module RS = Simplex.Make (Field_rat)
+
+let gen_problem =
+  QCheck.Gen.(
+    let small = int_range (-5) 5 in
+    let pos = int_range 1 8 in
+    pair (list_size (int_range 1 4) (pair small small)) (pair pos pos))
+
+let random_lp_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"random LP: solution is feasible and optimal vs corners"
+       (QCheck.make gen_problem)
+       (fun (rows, (bx, by)) ->
+         let fi = Field_rat.of_int in
+         let p = RP.create () in
+         let x = RP.add_var ~name:"x" ~lower:Field_rat.zero ~upper:(fi bx) p in
+         let y = RP.add_var ~name:"y" ~lower:Field_rat.zero ~upper:(fi by) p in
+         List.iter
+           (fun (a, b) ->
+             (* Keep rhs non-negative so that the origin is always feasible. *)
+             RP.add_constraint p [ (fi a, x); (fi b, y) ] Lp_problem.Le
+               (fi (abs (a * bx) + abs (b * by))))
+           rows;
+         RP.set_objective ~minimize:false p [ (fi 1, x); (fi 2, y) ];
+         match RS.solve p with
+         | RS.Optimal { objective; assignment } ->
+           RP.feasible p assignment
+           (* The box corners are feasible candidate points only if they satisfy
+              the rows; optimum must be >= any of them. *)
+           && List.for_all
+                (fun (cx, cy) ->
+                  let pt = [| fi cx; fi cy |] in
+                  if RP.feasible p pt then
+                    Field_rat.compare objective (Field_rat.of_int (cx + 2 * cy)) >= 0
+                  else true)
+                [ (0, 0); (bx, 0); (0, by); (bx, by) ]
+         | RS.Infeasible -> false (* origin is feasible by construction *)
+         | RS.Unbounded -> false (* box-bounded *)))
+
+(* Cross-field agreement: exact and float simplex agree (within tolerance)
+   on random bounded LPs. *)
+module FP = Lp_problem.Make (Field_float)
+module FS = Simplex.Make (Field_float)
+
+let rat_float_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"exact and float simplex agree on random LPs"
+       (QCheck.make gen_problem)
+       (fun (rows, (bx, by)) ->
+         let build_rat () =
+           let fi = Field_rat.of_int in
+           let p = RP.create () in
+           let x = RP.add_var ~lower:Field_rat.zero ~upper:(fi bx) p in
+           let y = RP.add_var ~lower:Field_rat.zero ~upper:(fi by) p in
+           List.iter
+             (fun (a, b) ->
+               RP.add_constraint p [ (fi a, x); (fi b, y) ] Lp_problem.Le
+                 (fi (abs (a * bx) + abs (b * by))))
+             rows;
+           RP.set_objective ~minimize:false p [ (fi 1, x); (fi 2, y) ];
+           p
+         in
+         let build_float () =
+           let fi = Field_float.of_int in
+           let p = FP.create () in
+           let x = FP.add_var ~lower:0.0 ~upper:(fi bx) p in
+           let y = FP.add_var ~lower:0.0 ~upper:(fi by) p in
+           List.iter
+             (fun (a, b) ->
+               FP.add_constraint p [ (fi a, x); (fi b, y) ] Lp_problem.Le
+                 (fi (abs (a * bx) + abs (b * by))))
+             rows;
+           FP.set_objective ~minimize:false p [ (fi 1, x); (fi 2, y) ];
+           p
+         in
+         match RS.solve (build_rat ()), FS.solve (build_float ()) with
+         | RS.Optimal { objective = ro; _ }, FS.Optimal { objective = fo; _ } ->
+           Float.abs (Field_rat.to_float ro -. fo) < 1e-6
+         | RS.Infeasible, FS.Infeasible -> true
+         | RS.Unbounded, FS.Unbounded -> true
+         | _ -> false))
+
+let suite =
+  Rat_scenarios.tests "rat" @ Float_scenarios.tests "float"
+  @ [ random_lp_sound; rat_float_agree ]

@@ -1,0 +1,129 @@
+(* Tests for edit distances, the BK-tree index, and dictionary repair. *)
+
+open Dart_textdict
+
+let t name f = Alcotest.test_case name `Quick f
+
+let distance_tests =
+  [ t "levenshtein basics" (fun () ->
+        Alcotest.(check int) "kitten/sitting" 3 (Edit_distance.levenshtein "kitten" "sitting");
+        Alcotest.(check int) "empty/abc" 3 (Edit_distance.levenshtein "" "abc");
+        Alcotest.(check int) "same" 0 (Edit_distance.levenshtein "abc" "abc"));
+    t "damerau counts transposition as one edit" (fun () ->
+        Alcotest.(check int) "lev(ab, ba)" 2 (Edit_distance.levenshtein "ab" "ba");
+        Alcotest.(check int) "dl(ab, ba)" 1 (Edit_distance.damerau_levenshtein "ab" "ba"));
+    t "paper's example: bgnning cesh vs beginning cash" (fun () ->
+        let d = Edit_distance.damerau_levenshtein "bgnning cesh" "beginning cash" in
+        Alcotest.(check bool) "small distance" true (d <= 3);
+        let s = Edit_distance.similarity "bgnning cesh" "beginning cash" in
+        Alcotest.(check bool) "score below 1 but high" true (s > 0.7 && s < 1.0));
+    t "similarity bounds" (fun () ->
+        Alcotest.(check (float 0.0001)) "identical" 1.0 (Edit_distance.similarity "x" "x");
+        Alcotest.(check (float 0.0001)) "empty-empty" 1.0 (Edit_distance.similarity "" "");
+        Alcotest.(check (float 0.0001)) "disjoint" 0.0 (Edit_distance.similarity "ab" "xy"));
+    t "similarity_normalized ignores case and trim" (fun () ->
+        Alcotest.(check (float 0.0001)) "norm" 1.0
+          (Edit_distance.similarity_normalized "  Receipts " "receipts"));
+  ]
+
+let gen_word = QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 0 8))
+
+let distance_properties =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"levenshtein symmetry"
+         QCheck.(make Gen.(pair gen_word gen_word))
+         (fun (a, b) -> Edit_distance.levenshtein a b = Edit_distance.levenshtein b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"levenshtein triangle inequality"
+         QCheck.(make Gen.(triple gen_word gen_word gen_word))
+         (fun (a, b, c) ->
+           Edit_distance.levenshtein a c
+           <= Edit_distance.levenshtein a b + Edit_distance.levenshtein b c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"damerau <= levenshtein"
+         QCheck.(make Gen.(pair gen_word gen_word))
+         (fun (a, b) ->
+           Edit_distance.damerau_levenshtein a b <= Edit_distance.levenshtein a b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"identity of indiscernibles"
+         QCheck.(make Gen.(pair gen_word gen_word))
+         (fun (a, b) -> Edit_distance.damerau_levenshtein a b = 0 = (a = b)));
+  ]
+
+let words =
+  [ "beginning cash"; "cash sales"; "receivables"; "total cash receipts";
+    "payment of accounts"; "capital expenditure"; "long-term financing";
+    "total disbursements"; "net cash inflow"; "ending cash balance" ]
+
+let bk_tests =
+  [ t "add and size dedupe" (fun () ->
+        let tree = Bk_tree.of_words [ "a"; "b"; "a" ] in
+        Alcotest.(check int) "size" 2 (Bk_tree.size tree));
+    t "query radius" (fun () ->
+        let tree = Bk_tree.of_words words in
+        let hits = Bk_tree.query tree ~radius:2 "cash salse" in
+        Alcotest.(check bool) "finds cash sales" true
+          (List.exists (fun (w, _) -> w = "cash sales") hits));
+    t "best_match picks minimum distance" (fun () ->
+        let tree = Bk_tree.of_words [ "abcd"; "abce"; "zzzz" ] in
+        match Bk_tree.best_match tree ~max_distance:2 "abcf" with
+        | Some (w, 1) -> Alcotest.(check bool) "one of the close pair" true (w = "abcd")
+        | _ -> Alcotest.fail "expected distance-1 match");
+    t "best_match respects budget" (fun () ->
+        let tree = Bk_tree.of_words [ "abcdef" ] in
+        Alcotest.(check bool) "no match" true
+          (Bk_tree.best_match tree ~max_distance:1 "zzzzzz" = None));
+    t "mem" (fun () ->
+        let tree = Bk_tree.of_words words in
+        Alcotest.(check bool) "present" true (Bk_tree.mem tree "receivables");
+        Alcotest.(check bool) "absent" false (Bk_tree.mem tree "receivable"));
+  ]
+
+(* Property: BK-tree query = brute-force scan. *)
+let bk_matches_bruteforce =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"BK-tree query = linear scan"
+       QCheck.(make Gen.(pair (list_size (int_range 1 20) gen_word) gen_word))
+       (fun (ws, q) ->
+         let ws = List.sort_uniq compare ws in
+         let tree = Bk_tree.of_words ws in
+         let expected =
+           List.filter (fun w -> Edit_distance.damerau_levenshtein q w <= 2) ws
+           |> List.sort compare
+         in
+         let got = List.map fst (Bk_tree.query tree ~radius:2 q) |> List.sort compare in
+         expected = got))
+
+let dictionary_tests =
+  [ t "exact lookup scores 1.0" (fun () ->
+        let d = Dictionary.create words in
+        match Dictionary.lookup d "cash sales" with
+        | Some { Dictionary.canonical = "cash sales"; score; distance = 0 } ->
+          Alcotest.(check (float 0.0001)) "score" 1.0 score
+        | _ -> Alcotest.fail "expected exact match");
+    t "lookup is case/space insensitive" (fun () ->
+        let d = Dictionary.create words in
+        match Dictionary.lookup d "  Cash Sales " with
+        | Some { Dictionary.canonical = "cash sales"; distance = 0; _ } -> ()
+        | _ -> Alcotest.fail "expected normalized exact match");
+    t "paper's Example 13 repair" (fun () ->
+        let d = Dictionary.create words in
+        Alcotest.(check string) "repaired" "beginning cash" (Dictionary.repair d "bgnning cesh"));
+    t "garbage stays unrepaired" (fun () ->
+        let d = Dictionary.create words in
+        Alcotest.(check string) "unchanged" "qqqqqqqq" (Dictionary.repair d "qqqqqqqq"));
+    t "max_distance override" (fun () ->
+        let d = Dictionary.create [ "alpha" ] in
+        Alcotest.(check bool) "too far at 1" true
+          (Dictionary.lookup ~max_distance:1 d "alxxa" = None);
+        Alcotest.(check bool) "found at 2" true
+          (Dictionary.lookup ~max_distance:2 d "alxxa" <> None));
+    t "budget scales with length" (fun () ->
+        let d = Dictionary.create [ "total cash receipts" ] in
+        (* 19 chars -> budget 4: a 3-error corruption still maps back. *)
+        Alcotest.(check string) "repaired" "total cash receipts"
+          (Dictionary.repair d "totol cish receits"));
+  ]
+
+let suite = distance_tests @ distance_properties @ bk_tests @ [ bk_matches_bruteforce ]
+            @ dictionary_tests
