@@ -1,0 +1,88 @@
+(* obs — machine-readable observability snapshot.
+
+   Runs the full Figure 2 pipeline (acquire → detect → repair → validate)
+   on one noisy cash-budget document with a memory sink installed, then
+   writes BENCH_obs.json: per-span aggregate timings plus the process-wide
+   metrics registry.  CI parses the file back to check it is valid JSON. *)
+
+open Dart
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+module Obs = Dart_obs.Obs
+
+let out_file = "BENCH_obs.json"
+
+(* Aggregate completed spans by name: count, total and max duration. *)
+let span_rollup events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e with
+      | Obs.Span { name; dur_us; _ } ->
+        let count, total, mx =
+          match Hashtbl.find_opt tbl name with
+          | Some acc -> acc
+          | None -> (0, 0.0, 0.0)
+        in
+        Hashtbl.replace tbl name (count + 1, total +. dur_us, Float.max mx dur_us)
+      | Obs.Log _ -> ())
+    events;
+  let rows =
+    Hashtbl.fold (fun name acc l -> (name, acc) :: l) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Obs.Json.Obj
+    (List.map
+       (fun (name, (count, total, mx)) ->
+         ( name,
+           Obs.Json.Obj
+             [ ("count", Obs.Json.Int count);
+               ("total_us", Obs.Json.Float total);
+               ("max_us", Obs.Json.Float mx) ] ))
+       rows)
+
+let run () =
+  Obs.Metrics.reset ();
+  let mem = Obs.memory_sink () in
+  Obs.install (fst mem);
+  Fun.protect
+    ~finally:(fun () -> Obs.uninstall (fst mem))
+    (fun () ->
+      let scenario = Budget_scenario.scenario in
+      let prng = Prng.create 4242 in
+      let truth = Cash_budget.generate ~years:3 prng in
+      let truth_db =
+        (Pipeline.acquire scenario (fst (Doc_render.cash_budget_html truth)))
+          .Pipeline.db
+      in
+      let channel =
+        { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.05; char_rate = 0.1 }
+      in
+      let noisy_html, _ = Doc_render.cash_budget_html ~channel ~prng truth in
+      let operator = Validation.oracle ~truth:truth_db in
+      let outcome = Pipeline.process scenario ~operator noisy_html in
+      let events = (snd mem) () in
+      let json =
+        Obs.Json.Obj
+          [ ("converged", Obs.Json.Bool outcome.Pipeline.validation.Validation.converged);
+            ("spans", span_rollup events);
+            ("metrics", Obs.Metrics.snapshot ()) ]
+      in
+      let text = Obs.Json.to_string json in
+      (* Self-check: the emitted text must round-trip through our parser. *)
+      (match Obs.Json.of_string text with
+       | Ok _ -> ()
+       | Error msg -> failwith ("BENCH_obs.json is not valid JSON: " ^ msg));
+      let oc = open_out out_file in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "obs  wrote %s (%d span names, %d metric entries)\n%!" out_file
+        (match Obs.Json.of_string text with
+         | Ok (Obs.Json.Obj kvs) ->
+           (match List.assoc "spans" kvs with Obs.Json.Obj s -> List.length s | _ -> 0)
+         | _ -> 0)
+        (match Obs.Metrics.snapshot () with
+         | Obs.Json.Obj kvs -> List.length kvs
+         | _ -> 0))

@@ -18,6 +18,75 @@ open Dart_constraints
 open Dart_repair
 open Dart_datagen
 open Dart_rand
+module Obs = Dart_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags (shared by every subcommand)                    *)
+(* ------------------------------------------------------------------ *)
+
+let log_level_arg =
+  let levels =
+    [ ("debug", Obs.Debug); ("info", Obs.Info); ("warn", Obs.Warn); ("error", Obs.Error) ]
+  in
+  Arg.(
+    value
+    & opt (some (enum levels)) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Log events to stderr at $(docv) and above (debug, info, warn, error). \
+           At debug, completed spans are printed too.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of all pipeline/solver spans to \
+           $(docv); load it in chrome://tracing or ui.perfetto.dev.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Dump the metrics registry (counters, gauges, histograms) as JSON to $(docv).")
+
+(* Installs the requested sinks; sinks are closed (finalizing the Chrome
+   trace's JSON array) and the metrics snapshot written at process exit, so
+   the files are complete even on [exit 1] paths. *)
+let obs_setup log_level trace_out metrics_out =
+  (* Fail fast with a clean message on unwritable output paths, rather than
+     crashing (--trace-out) or silently losing the snapshot at exit
+     (--metrics-out). *)
+  let open_or_die what path =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "dart-cli: cannot open %s file: %s\n" what msg;
+      exit 2
+  in
+  (match log_level with
+   | None -> ()
+   | Some lvl ->
+     Obs.set_level lvl;
+     Obs.install (Obs.text_sink ~min_level:lvl stderr));
+  (match trace_out with
+   | None -> ()
+   | Some path ->
+     let oc = open_or_die "trace" path in
+     Obs.install (Obs.chrome_trace_sink oc);
+     at_exit (fun () -> try close_out oc with Sys_error _ -> ()));
+  let metrics_oc = Option.map (open_or_die "metrics") metrics_out in
+  at_exit (fun () ->
+      Obs.close_sinks ();
+      match metrics_oc with
+      | None -> ()
+      | Some oc ->
+        output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot ()));
+        output_char oc '\n';
+        close_out oc)
+
+let obs_term = Term.(const obs_setup $ log_level_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -95,7 +164,7 @@ let gen_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Output file (default stdout).")
   in
-  let run kind years seed noise out =
+  let run () kind years seed noise out =
     let prng = Prng.create seed in
     let channel =
       if noise > 0.0 then
@@ -127,14 +196,14 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic input document (optionally OCR-corrupted).")
-    Term.(const run $ scenario_arg $ years $ seed $ noise $ out)
+    Term.(const run $ obs_term $ scenario_arg $ years $ seed $ noise $ out)
 
 (* ------------------------------------------------------------------ *)
 (* extract                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run kind path =
+  let run () kind path =
     let _scenario, acq = acquire_from kind path in
     let matched = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.instances in
     let total = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.reports in
@@ -144,14 +213,14 @@ let extract_cmd =
   in
   Cmd.v
     (Cmd.info "extract" ~doc:"Acquire a document and dump the extracted relation as CSV.")
-    Term.(const run $ scenario_arg $ input_arg)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run kind path =
+  let run () kind path =
     let scenario, acq = acquire_from kind path in
     match Violation_report.of_constraints acq.Pipeline.db scenario.Scenario.constraints with
     | [] ->
@@ -163,20 +232,25 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Detect inconsistencies w.r.t. the scenario's constraints.")
-    Term.(const run $ scenario_arg $ input_arg)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repair                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let repair_cmd =
-  let run kind path =
+  let run () kind path =
     let scenario, acq = acquire_from kind path in
+    if Pipeline.detect scenario acq.Pipeline.db = [] then
+      print_endline "already consistent; no repair needed"
+    else
     match Pipeline.repair scenario acq.Pipeline.db with
     | Solver.Consistent -> print_endline "already consistent; no repair needed"
     | Solver.Repaired (rho, stats) ->
-      Printf.printf "card-minimal repair: %d update(s) [%d components, %d nodes]\n"
-        (Repair.cardinality rho) stats.Solver.components stats.Solver.nodes;
+      Printf.printf
+        "card-minimal repair: %d update(s) [%d components, %d nodes, %d pivots, %.2f ms]\n"
+        (Repair.cardinality rho) stats.Solver.components stats.Solver.nodes
+        stats.Solver.simplex_pivots stats.Solver.solve_ms;
       let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
       List.iter
         (fun u -> Format.printf "  %a@." (Update.pp acq.Pipeline.db) u)
@@ -186,14 +260,14 @@ let repair_cmd =
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Propose a card-minimal repair for an inconsistent document.")
-    Term.(const run $ scenario_arg $ input_arg)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export-milp                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let export_cmd =
-  let run kind path =
+  let run () kind path =
     let scenario, acq = acquire_from kind path in
     let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
     let enc = Encode.build acq.Pipeline.db rows in
@@ -203,7 +277,7 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export-milp"
        ~doc:"Print the S*(AC) MILP instance of a document in CPLEX LP format.")
-    Term.(const run $ scenario_arg $ input_arg)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg)
 
 (* ------------------------------------------------------------------ *)
 (* run (interactive validation loop)                                   *)
@@ -235,7 +309,7 @@ let run_cmd =
       value & flag
       & info [ "auto" ] ~doc:"Accept every suggested update without prompting.")
   in
-  let run kind path auto =
+  let run () kind path auto =
     let scenario, acq = acquire_from kind path in
     let operator : Validation.operator =
       if auto then fun ~cell:_ ~tuple:_ ~suggested:_ -> Validation.Accept
@@ -244,12 +318,16 @@ let run_cmd =
     let outcome = Pipeline.validate scenario ~operator acq.Pipeline.db in
     Printf.printf "\nconverged=%b iterations=%d updates-examined=%d\n"
       outcome.Validation.converged outcome.Validation.iterations outcome.Validation.examined;
+    Printf.printf "solver effort: %d milp nodes, %d simplex pivots (%d simplex solves)\n"
+      (Obs.Metrics.value (Obs.Metrics.counter "milp.nodes"))
+      (Obs.Metrics.value (Obs.Metrics.counter "lp.simplex.pivots"))
+      (Obs.Metrics.value (Obs.Metrics.counter "lp.simplex.solves"));
     print_string (Csv.of_relation outcome.Validation.final_db (relation_of_kind kind))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Full supervised pipeline: acquire, repair, validate interactively, print CSV.")
-    Term.(const run $ scenario_arg $ input_arg $ auto)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg $ auto)
 
 (* ------------------------------------------------------------------ *)
 

@@ -11,6 +11,7 @@ open Dart_relational
 open Dart_constraints
 open Dart_repair
 open Dart_wrapper
+module Obs = Dart_obs.Obs
 
 type acquisition = {
   html : string;                    (** document after format conversion *)
@@ -21,33 +22,51 @@ type acquisition = {
 
 (** Acquisition + extraction module: document in, database out. *)
 let acquire scenario ?(format = Convert.Html) (text : string) : acquisition =
-  let html = Convert.to_html format text in
-  let extraction = Extractor.extract scenario.Scenario.metadata html in
-  let generation =
-    Db_gen.generate scenario.Scenario.metadata scenario.Scenario.mapping
-      extraction.Extractor.instances
-      (Database.create scenario.Scenario.schema)
-  in
-  { html; extraction; generation; db = generation.Db_gen.db }
+  Obs.span "pipeline.acquire" ~attrs:[ ("bytes", Obs.Int (String.length text)) ]
+    (fun () ->
+      let html = Obs.span "pipeline.convert" (fun () -> Convert.to_html format text) in
+      let extraction =
+        Obs.span "pipeline.extract" (fun () ->
+            Extractor.extract scenario.Scenario.metadata html)
+      in
+      let generation =
+        Obs.span "pipeline.generate" (fun () ->
+            Db_gen.generate scenario.Scenario.metadata scenario.Scenario.mapping
+              extraction.Extractor.instances
+              (Database.create scenario.Scenario.schema))
+      in
+      Obs.add_attr "rows_matched" (Obs.Int (List.length extraction.Extractor.instances));
+      Obs.add_attr "tuples" (Obs.Int (Database.cardinality generation.Db_gen.db));
+      { html; extraction; generation; db = generation.Db_gen.db })
 
 (** Inconsistency detection: the constraints violated by D, with the ground
     substitutions that witness each violation. *)
 let detect scenario db =
-  List.filter_map
-    (fun k ->
-      match Agg_constraint.violations db k with
-      | [] -> None
-      | thetas -> Some (k, thetas))
-    scenario.Scenario.constraints
+  Obs.span "pipeline.detect"
+    ~attrs:[ ("constraints", Obs.Int (List.length scenario.Scenario.constraints)) ]
+    (fun () ->
+      let violated =
+        List.filter_map
+          (fun k ->
+            match Agg_constraint.violations db k with
+            | [] -> None
+            | thetas -> Some (k, thetas))
+          scenario.Scenario.constraints
+      in
+      Obs.add_attr "violated" (Obs.Int (List.length violated));
+      violated)
 
 let consistent scenario db = detect scenario db = []
 
 (** One-shot repair (no operator): the card-minimal repair of D. *)
-let repair scenario db = Solver.card_minimal db scenario.Scenario.constraints
+let repair scenario db =
+  Obs.span "pipeline.repair" (fun () ->
+      Solver.card_minimal db scenario.Scenario.constraints)
 
 (** Supervised repairing: the full §6.3 validation loop. *)
 let validate scenario ?batch ?max_iterations ~operator db =
-  Validation.run ?batch ?max_iterations ~operator db scenario.Scenario.constraints
+  Obs.span "pipeline.validate" (fun () ->
+      Validation.run ?batch ?max_iterations ~operator db scenario.Scenario.constraints)
 
 type outcome = {
   acquisition : acquisition;
@@ -56,6 +75,7 @@ type outcome = {
 
 (** The complete pipeline on one document. *)
 let process scenario ?format ?batch ?max_iterations ~operator text : outcome =
-  let acquisition = acquire scenario ?format text in
-  let validation = validate scenario ?batch ?max_iterations ~operator acquisition.db in
-  { acquisition; validation }
+  Obs.span "pipeline.process" (fun () ->
+      let acquisition = acquire scenario ?format text in
+      let validation = validate scenario ?batch ?max_iterations ~operator acquisition.db in
+      { acquisition; validation })

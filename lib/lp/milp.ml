@@ -8,6 +8,8 @@
     for DART's card-minimality objective, which is a sum of binaries) the
     bound test is sharpened to [ceil(relaxation) >= incumbent]. *)
 
+module Obs = Dart_obs.Obs
+
 module Make (F : Field.S) = struct
   module P = Lp_problem.Make (F)
   module S = Simplex.Make (F)
@@ -23,16 +25,27 @@ module Make (F : Field.S) = struct
     objective : F.t option;
     assignment : F.t array option;
     nodes_explored : int;
+    simplex_pivots : int;  (** pivot work summed over all node relaxations *)
   }
+
+  let m_nodes = Obs.Metrics.counter "milp.nodes"
+  let m_incumbents = Obs.Metrics.counter "milp.incumbents"
+  let m_prune_bound = Obs.Metrics.counter "milp.prune.bound"
+  let m_prune_infeasible = Obs.Metrics.counter "milp.prune.infeasible"
+  let m_prune_unbounded = Obs.Metrics.counter "milp.prune.unbounded"
 
   let max_compare a b = if F.compare a b >= 0 then a else b
   let min_compare a b = if F.compare a b <= 0 then a else b
 
   let solve ?(max_nodes = 1_000_000) ?(integral_objective = false) (p : P.t) : outcome =
+    Obs.span "milp.solve"
+      ~attrs:[ ("vars", Obs.Int (P.num_vars p)) ]
+      (fun () ->
     let minimize = P.minimize p in
     let integers = P.var_integers p in
     let base_lo = P.var_lowers p and base_hi = P.var_uppers p in
     let nvars = P.num_vars p in
+    let pivots = ref 0 in
     (* Fresh problem with overridden bounds, sharing constraint structure. *)
     let relax lo hi =
       let q = P.create () in
@@ -43,7 +56,9 @@ module Make (F : Field.S) = struct
       Array.iter (fun (c : P.constr) -> P.add_constraint ~label:c.label q c.terms c.op c.rhs)
         (P.constraints p);
       P.set_objective ~minimize q (P.objective p);
-      S.solve q
+      let result, st = S.solve_stats q in
+      pivots := !pivots + st.S.pivots;
+      result
     in
     let incumbent = ref None in (* (objective, assignment) *)
     let better_than_incumbent obj =
@@ -83,17 +98,32 @@ module Make (F : Field.S) = struct
       if !nodes >= max_nodes then truncated := true
       else begin
         incr nodes;
+        Obs.Metrics.incr m_nodes;
+        if Obs.enabled () then
+          Obs.log Debug "milp.node" ~attrs:[ ("depth", Obs.Int depth) ];
         match relax lo hi with
-        | S.Infeasible -> if depth = 0 then root_infeasible := true
+        | S.Infeasible ->
+          Obs.Metrics.incr m_prune_infeasible;
+          if depth = 0 then root_infeasible := true
         | S.Unbounded ->
           (* An unbounded relaxation at the root means the MILP itself may be
              unbounded or infeasible; we report unbounded conservatively. *)
+          Obs.Metrics.incr m_prune_unbounded;
           any_relaxation_unbounded := true
         | S.Optimal { objective; assignment } ->
-          if not (bound_prunes objective) then begin
+          if bound_prunes objective then Obs.Metrics.incr m_prune_bound
+          else begin
             match most_fractional assignment with
             | None ->
-              if better_than_incumbent objective then incumbent := Some (objective, assignment)
+              if better_than_incumbent objective then begin
+                incumbent := Some (objective, assignment);
+                Obs.Metrics.incr m_incumbents;
+                if Obs.enabled () then
+                  Obs.log Debug "milp.incumbent"
+                    ~attrs:
+                      [ ("objective", Obs.Str (F.to_string objective));
+                        ("node", Obs.Int !nodes); ("depth", Obs.Int depth) ]
+              end
             | Some (v, x, _) ->
               let fl = F.floor x and ce = F.ceil x in
               let down () =
@@ -114,16 +144,19 @@ module Make (F : Field.S) = struct
       end
     in
     explore (Array.copy base_lo) (Array.copy base_hi) 0;
+    Obs.add_attr "nodes" (Obs.Int !nodes);
+    Obs.add_attr "pivots" (Obs.Int !pivots);
     match !incumbent with
     | Some (objective, assignment) ->
       { status = (if !truncated then Feasible else Optimal);
         objective = Some objective; assignment = Some assignment;
-        nodes_explored = !nodes }
+        nodes_explored = !nodes; simplex_pivots = !pivots }
     | None ->
       let status =
         if !any_relaxation_unbounded then Unbounded
         else if !truncated then Feasible
         else Infeasible
       in
-      { status; objective = None; assignment = None; nodes_explored = !nodes }
+      { status; objective = None; assignment = None; nodes_explored = !nodes;
+        simplex_pivots = !pivots })
 end

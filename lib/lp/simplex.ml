@@ -10,6 +10,8 @@
     point of the functor is that instantiating with {!Field_rat} gives an
     exact solver with no feasibility tolerance at all. *)
 
+module Obs = Dart_obs.Obs
+
 module Make (F : Field.S) = struct
   module P = Lp_problem.Make (F)
 
@@ -17,6 +19,19 @@ module Make (F : Field.S) = struct
     | Optimal of { objective : F.t; assignment : F.t array }
     | Infeasible
     | Unbounded
+
+  (** Effort counters for one [solve] call (satellite of the dart_obs PR:
+      solver work must be measurable, not silent). *)
+  type stats = {
+    mutable pivots : int;         (** total pivot operations, all phases *)
+    mutable phase1_pivots : int;  (** pivots spent reaching feasibility *)
+    mutable phase2_pivots : int;  (** pivots spent optimizing *)
+  }
+
+  let fresh_stats () = { pivots = 0; phase1_pivots = 0; phase2_pivots = 0 }
+
+  let m_solves = Obs.Metrics.counter "lp.simplex.solves"
+  let m_pivots = Obs.Metrics.counter "lp.simplex.pivots"
 
   (* How an original variable is represented over the non-negative standard
      variables. *)
@@ -84,7 +99,7 @@ module Make (F : Field.S) = struct
 
   type iterate_outcome = Finished | Unbounded_direction
 
-  let rec iterate t ~allow_artificial =
+  let rec iterate t ~allow_artificial ~pivots =
     match entering_column t ~allow_artificial with
     | None -> Finished
     | Some col ->
@@ -92,7 +107,8 @@ module Make (F : Field.S) = struct
        | None -> Unbounded_direction
        | Some row ->
          pivot t ~row ~col;
-         iterate t ~allow_artificial)
+         incr pivots;
+         iterate t ~allow_artificial ~pivots)
 
   (* Install a cost vector into the reduced-cost row and re-eliminate the
      basic columns so the row is expressed over nonbasic variables only. *)
@@ -115,7 +131,12 @@ module Make (F : Field.S) = struct
   (* Current objective value: the rhs cell of the reduced-cost row holds -z. *)
   let objective_value t = F.neg t.obj.(t.ncols)
 
-  let rec solve (p : P.t) : result =
+  (** Solve, also reporting the pivot effort.  The plain {!solve} below
+      keeps the historical signature; branch & bound uses this one to
+      attribute simplex work to nodes. *)
+  let rec solve_stats_body (p : P.t) : result * stats =
+    let st = fresh_stats () in
+    Obs.Metrics.incr m_solves;
     let nvars = P.num_vars p in
     let lowers = P.var_lowers p and uppers = P.var_uppers p in
     let infeasible_bounds =
@@ -127,10 +148,15 @@ module Make (F : Field.S) = struct
       in
       go 0
     in
-    if infeasible_bounds then Infeasible
-    else solve_with_bounds p ~lowers ~uppers
+    let result =
+      if infeasible_bounds then Infeasible
+      else solve_with_bounds p ~lowers ~uppers ~st
+    in
+    st.pivots <- st.phase1_pivots + st.phase2_pivots;
+    Obs.Metrics.add m_pivots st.pivots;
+    (result, st)
 
-  and solve_with_bounds (p : P.t) ~lowers ~uppers : result =
+  and solve_with_bounds (p : P.t) ~lowers ~uppers ~st : result =
     let nvars = P.num_vars p in
     (* --- 1. encode variables over non-negative standard variables ------- *)
     let next = ref 0 in
@@ -252,11 +278,13 @@ module Make (F : Field.S) = struct
           let costs = Array.make (ncols + 1) F.zero in
           for j = nstd to ncols - 1 do costs.(j) <- F.one done;
           install_costs t costs;
-          (match iterate t ~allow_artificial:true with
+          let p1 = ref 0 in
+          (match iterate t ~allow_artificial:true ~pivots:p1 with
            | Unbounded_direction ->
              (* Phase-1 objective is bounded below by 0; cannot happen. *)
              assert false
            | Finished -> ());
+          st.phase1_pivots <- st.phase1_pivots + !p1;
           F.is_zero (objective_value t)
         end
       in
@@ -271,7 +299,10 @@ module Make (F : Field.S) = struct
               for j = 0 to nstd - 1 do
                 if !col < 0 && not (F.is_zero r.(j)) then col := j
               done;
-              if !col >= 0 then pivot t ~row:i ~col:!col
+              if !col >= 0 then begin
+                pivot t ~row:i ~col:!col;
+                st.phase1_pivots <- st.phase1_pivots + 1
+              end
               (* else: redundant 0 = 0 row; the artificial stays basic at 0
                  and can never become positive because it cannot re-enter
                  elsewhere and its row rhs is 0. *)
@@ -291,7 +322,10 @@ module Make (F : Field.S) = struct
               costs.(un) <- F.sub costs.(un) c)
           (P.objective p);
         install_costs t costs;
-        match iterate t ~allow_artificial:false with
+        let p2 = ref 0 in
+        let outcome = iterate t ~allow_artificial:false ~pivots:p2 in
+        st.phase2_pivots <- st.phase2_pivots + !p2;
+        match outcome with
         | Unbounded_direction -> Unbounded
         | Finished ->
           (* --- 6. read the solution back -------------------------------- *)
@@ -310,4 +344,12 @@ module Make (F : Field.S) = struct
           Optimal { objective; assignment }
       end
     end
+
+  let solve_stats (p : P.t) : result * stats =
+    Obs.span "simplex.solve" (fun () ->
+        let ((_, st) as r) = solve_stats_body p in
+        Obs.add_attr "pivots" (Obs.Int st.pivots);
+        r)
+
+  let solve (p : P.t) : result = fst (solve_stats p)
 end

@@ -1,0 +1,589 @@
+(** Observability: spans, metrics, event sinks.  See the interface for the
+    design; implementation notes:
+
+    - the "no sink" fast path must not allocate: [span]/[log] first match on
+      the sink list and bail out before touching the clock or the stack;
+    - sinks are plain records of closures so tests can inject collectors;
+    - the metrics registry is a string-keyed hashtable of mutable cells;
+      handles returned by [counter]/[gauge]/[histogram] alias those cells,
+      so updates are single stores and [reset] zeroes in place. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other -> (
+    match int_of_string_opt other with
+    | Some 0 -> Ok Debug
+    | Some 1 -> Ok Info
+    | Some 2 -> Ok Warn
+    | Some 3 -> Ok Error
+    | _ -> Result.Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let min_level = ref Info
+let set_level l = min_level := l
+let current_level () = !min_level
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * value) list
+
+type event =
+  | Span of {
+      name : string;
+      attrs : attrs;
+      start_us : float;
+      dur_us : float;
+      depth : int;
+    }
+  | Log of { level : level; name : string; attrs : attrs; ts_us : float; depth : int }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+  let float_repr f =
+    if Float.is_nan f || Float.abs f = Float.infinity
+    then "null" (* JSON has no NaN/inf; metrics never produce them *)
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> Buffer.add_string buf (escape s)
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape k);
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  (* Strict recursive-descent parser. *)
+  exception Parse_error of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+      | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin pos := !pos + l; v end
+      else fail (Printf.sprintf "invalid literal (expected %s)" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          let c = s.[!pos] in
+          advance ();
+          match c with
+          | '"' -> Buffer.contents buf
+          | '\\' ->
+            (if !pos >= n then fail "unterminated escape";
+             let e = s.[!pos] in
+             advance ();
+             (match e with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                (match int_of_string_opt ("0x" ^ hex) with
+                 | None -> fail "invalid \\u escape"
+                 | Some cp ->
+                   (* Encode the code point as UTF-8 (surrogates land as-is:
+                      good enough for round-tripping our own output, which
+                      only \u-escapes control characters). *)
+                   if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+                   else if cp < 0x800 then begin
+                     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+                     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+                   end)
+              | c -> fail (Printf.sprintf "invalid escape \\%C" c)));
+            go ()
+          | c -> Buffer.add_char buf c; go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      let rec digits () =
+        match peek () with
+        | Some ('0' .. '9') -> advance (); digits ()
+        | _ -> ()
+      in
+      digits ();
+      (match peek () with
+       | Some '.' -> is_float := true; advance (); digits ()
+       | _ -> ());
+      (match peek () with
+       | Some ('e' | 'E') ->
+         is_float := true;
+         advance ();
+         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+         digits ()
+       | _ -> ());
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "invalid number %S" text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "invalid number %S" text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}' in object"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']' in array"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage after JSON value";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error (p, msg) ->
+      Result.Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)
+end
+
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let json_of_attrs attrs = Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+
+let json_of_event = function
+  | Span { name; attrs; start_us; dur_us; depth } ->
+    Json.Obj
+      [ ("type", Json.Str "span"); ("name", Json.Str name);
+        ("ts_us", Json.Float start_us); ("dur_us", Json.Float dur_us);
+        ("depth", Json.Int depth); ("attrs", json_of_attrs attrs) ]
+  | Log { level; name; attrs; ts_us; depth } ->
+    Json.Obj
+      [ ("type", Json.Str "log"); ("level", Json.Str (level_to_string level));
+        ("name", Json.Str name); ("ts_us", Json.Float ts_us);
+        ("depth", Json.Int depth); ("attrs", json_of_attrs attrs) ]
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+let now_ms () = Unix.gettimeofday () *. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+let sinks : sink list ref = ref []
+
+let enabled () = match !sinks with [] -> false | _ :: _ -> true
+
+let install s = sinks := !sinks @ [ s ]
+
+let uninstall s =
+  if List.memq s !sinks then begin
+    sinks := List.filter (fun s' -> s' != s) !sinks;
+    s.close ()
+  end
+
+let close_sinks () =
+  let ss = !sinks in
+  sinks := [];
+  List.iter (fun s -> s.close ()) ss
+
+let emit ev = List.iter (fun s -> s.emit ev) !sinks
+
+let pp_attr_text (k, v) =
+  let sv =
+    match v with
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%.3f" f
+    | Str s -> s
+    | Bool b -> string_of_bool b
+  in
+  Printf.sprintf " %s=%s" k sv
+
+let text_sink ?(min_level = Info) oc =
+  let stamp ts_us =
+    let t = ts_us /. 1e6 in
+    let tm = Unix.localtime t in
+    Printf.sprintf "%02d:%02d:%02d.%03d" tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+      (int_of_float (Float.rem (t *. 1000.0) 1000.0))
+  in
+  let emit = function
+    | Log { level; name; attrs; ts_us; depth } ->
+      if severity level >= severity min_level then begin
+        Printf.fprintf oc "[%s] %-5s %s%s%s\n" (stamp ts_us)
+          (String.uppercase_ascii (level_to_string level))
+          (String.make (2 * depth) ' ') name
+          (String.concat "" (List.map pp_attr_text attrs));
+        flush oc
+      end
+    | Span { name; attrs; start_us; dur_us; depth } ->
+      if severity Debug >= severity min_level then begin
+        Printf.fprintf oc "[%s] SPAN  %s%s %.3fms%s\n" (stamp start_us)
+          (String.make (2 * depth) ' ') name (dur_us /. 1e3)
+          (String.concat "" (List.map pp_attr_text attrs));
+        flush oc
+      end
+  in
+  { emit; close = (fun () -> try flush oc with Sys_error _ -> ()) }
+
+let jsonl_sink oc =
+  let emit ev =
+    output_string oc (Json.to_string (json_of_event ev));
+    output_char oc '\n'
+  in
+  { emit; close = (fun () -> try flush oc with Sys_error _ -> ()) }
+
+let chrome_trace_sink oc =
+  output_string oc "[";
+  let first = ref true in
+  let emit_json j =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc (Json.to_string j)
+  in
+  let emit = function
+    | Span { name; attrs; start_us; dur_us; depth = _ } ->
+      emit_json
+        (Json.Obj
+           [ ("name", Json.Str name); ("ph", Json.Str "X"); ("cat", Json.Str "dart");
+             ("ts", Json.Float start_us); ("dur", Json.Float dur_us);
+             ("pid", Json.Int 1); ("tid", Json.Int 1); ("args", json_of_attrs attrs) ])
+    | Log { level; name; attrs; ts_us; depth = _ } ->
+      emit_json
+        (Json.Obj
+           [ ("name", Json.Str name); ("ph", Json.Str "i"); ("cat", Json.Str "dart");
+             ("ts", Json.Float ts_us); ("pid", Json.Int 1); ("tid", Json.Int 1);
+             ("s", Json.Str "t");
+             ("args",
+              json_of_attrs (("level", Str (level_to_string level)) :: attrs)) ])
+  in
+  let close () =
+    output_string oc "]\n";
+    try flush oc with Sys_error _ -> ()
+  in
+  { emit; close }
+
+let memory_sink () =
+  let acc = ref [] in
+  let emit ev = acc := ev :: !acc in
+  ({ emit; close = (fun () -> ()) }, fun () -> List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and logs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { fname : string; fstart : float; mutable fattrs : attrs; fdepth : int }
+
+let stack : frame list ref = ref []
+
+let add_attr k v =
+  match !stack with
+  | [] -> ()
+  | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
+
+let span ?(attrs = []) name f =
+  match !sinks with
+  | [] -> f ()
+  | _ :: _ ->
+    let fr =
+      { fname = name; fstart = now_us (); fattrs = List.rev attrs;
+        fdepth = List.length !stack }
+    in
+    stack := fr :: !stack;
+    let finish () =
+      (match !stack with fr' :: tl when fr' == fr -> stack := tl | _ -> ());
+      emit
+        (Span
+           { name = fr.fname; attrs = List.rev fr.fattrs; start_us = fr.fstart;
+             dur_us = now_us () -. fr.fstart; depth = fr.fdepth })
+    in
+    (match f () with
+     | v -> finish (); v
+     | exception e ->
+       fr.fattrs <- ("error", Str (Printexc.to_string e)) :: fr.fattrs;
+       finish ();
+       raise e)
+
+let log ?(attrs = []) level name =
+  match !sinks with
+  | [] -> ()
+  | _ :: _ ->
+    if severity level >= severity !min_level then
+      emit (Log { level; name; attrs; ts_us = now_us (); depth = List.length !stack })
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = { mutable count : int }
+  type gauge = { mutable gval : float }
+
+  type histogram = {
+    bounds : float array;       (* inclusive upper bounds, increasing *)
+    counts : int array;         (* length = Array.length bounds + 1 (overflow) *)
+    mutable hsum : float;
+    mutable hcount : int;
+  }
+
+  type metric = C of counter | G of gauge | H of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+  let order : string list ref = ref [] (* reverse registration order *)
+
+  let register name m =
+    Hashtbl.add registry name m;
+    order := name :: !order
+
+  let kind_error name =
+    invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
+
+  let counter name =
+    match Hashtbl.find_opt registry name with
+    | Some (C c) -> c
+    | Some _ -> kind_error name
+    | None ->
+      let c = { count = 0 } in
+      register name (C c);
+      c
+
+  let incr c = c.count <- c.count + 1
+  let add c n = c.count <- c.count + n
+  let value c = c.count
+
+  let gauge name =
+    match Hashtbl.find_opt registry name with
+    | Some (G g) -> g
+    | Some _ -> kind_error name
+    | None ->
+      let g = { gval = 0.0 } in
+      register name (G g);
+      g
+
+  let set g v = g.gval <- v
+  let gauge_value g = g.gval
+
+  let default_buckets =
+    [| 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0 |]
+
+  let histogram ?(buckets = default_buckets) name =
+    match Hashtbl.find_opt registry name with
+    | Some (H h) -> h
+    | Some _ -> kind_error name
+    | None ->
+      let bounds = Array.copy buckets in
+      Array.iteri
+        (fun i b -> if i > 0 && b <= bounds.(i - 1) then
+            invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing")
+        bounds;
+      let h =
+        { bounds; counts = Array.make (Array.length bounds + 1) 0; hsum = 0.0; hcount = 0 }
+      in
+      register name (H h);
+      h
+
+  let observe h v =
+    let nb = Array.length h.bounds in
+    let rec slot i = if i >= nb then nb else if v <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.hsum <- h.hsum +. v;
+    h.hcount <- h.hcount + 1
+
+  let bucket_counts h = Array.copy h.counts
+
+  let snapshot () =
+    let names = List.rev !order in
+    let pick f = List.filter_map f names in
+    let counters =
+      pick (fun n ->
+          match Hashtbl.find_opt registry n with
+          | Some (C c) -> Some (n, Json.Int c.count)
+          | _ -> None)
+    in
+    let gauges =
+      pick (fun n ->
+          match Hashtbl.find_opt registry n with
+          | Some (G g) -> Some (n, Json.Float g.gval)
+          | _ -> None)
+    in
+    let histograms =
+      pick (fun n ->
+          match Hashtbl.find_opt registry n with
+          | Some (H h) ->
+            let buckets =
+              List.init (Array.length h.counts) (fun i ->
+                  Json.Obj
+                    [ ("le",
+                       if i < Array.length h.bounds then Json.Float h.bounds.(i)
+                       else Json.Str "+inf");
+                      ("count", Json.Int h.counts.(i)) ])
+            in
+            Some
+              (n,
+               Json.Obj
+                 [ ("buckets", Json.List buckets); ("sum", Json.Float h.hsum);
+                   ("count", Json.Int h.hcount) ])
+          | _ -> None)
+    in
+    Json.Obj
+      [ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges);
+        ("histograms", Json.Obj histograms) ]
+
+  let reset () =
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | C c -> c.count <- 0
+        | G g -> g.gval <- 0.0
+        | H h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.hsum <- 0.0;
+          h.hcount <- 0)
+      registry
+end

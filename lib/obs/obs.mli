@@ -1,0 +1,177 @@
+(** Observability for the DART pipeline: spans, metrics, event sinks.
+
+    Three orthogonal facilities, all zero-dependency (stdlib + [Unix]):
+
+    {ul
+    {- {b Spans}: hierarchical wall-clock timings.  [span "repair.component"
+       ~attrs f] times [f] and emits one event when it returns (or raises).
+       Nesting is tracked with an explicit stack, so sinks see each span's
+       depth and exporters can reconstruct the tree.}
+    {- {b Metrics}: a process-wide registry of named counters, gauges and
+       fixed-bucket histograms, updated unconditionally (an increment is a
+       single in-place mutation) and dumped on demand as JSON.}
+    {- {b Sinks}: pluggable consumers of span/log events — a levelled text
+       logger, a JSON-lines stream, a Chrome [trace_event] exporter for
+       flame-graph viewing ([chrome://tracing] / Perfetto), and an in-memory
+       sink for tests.}}
+
+    The fast path is "no sink installed": [span] then runs the thunk
+    directly and [log] returns immediately, so instrumented hot paths cost
+    one list-emptiness check when observability is off.  Call sites that
+    would allocate attribute lists on every event should guard with
+    {!enabled}. *)
+
+(** {1 Severity levels} *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> (level, string) result
+
+val set_level : level -> unit
+(** Global threshold for {!log} events (spans are not filtered). Default
+    [Info]. *)
+
+val current_level : unit -> level
+
+(** {1 Attributes and events} *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * value) list
+
+type event =
+  | Span of {
+      name : string;
+      attrs : attrs;
+      start_us : float;  (** wall-clock start, microseconds since epoch *)
+      dur_us : float;    (** duration, microseconds *)
+      depth : int;       (** nesting depth at entry; 0 = root *)
+    }
+  | Log of { level : level; name : string; attrs : attrs; ts_us : float; depth : int }
+
+(** {1 JSON}
+
+    A minimal self-contained JSON tree: enough to serialize events and
+    metric snapshots, and to parse them back (used by the bench smoke check
+    and the escaping tests).  No external dependency. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering with full string escaping (control characters are
+      emitted as [\u00XX]). *)
+
+  val of_string : string -> (t, string) result
+  (** Strict recursive-descent parser; [Error] carries a message with the
+      offending position. *)
+
+  val escape : string -> string
+  (** The quoted, escaped JSON form of a string (including the quotes). *)
+end
+
+val json_of_event : event -> Json.t
+(** The JSON-lines representation of an event (what {!jsonl_sink} writes,
+    one per line). *)
+
+(** {1 Clock} *)
+
+val now_us : unit -> float
+(** Wall-clock microseconds since the epoch ([Unix.gettimeofday]-based). *)
+
+val now_ms : unit -> float
+(** Wall-clock milliseconds since the epoch. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val text_sink : ?min_level:level -> out_channel -> sink
+(** Human-readable logger: log records at [min_level] and above; span
+    records only when [min_level] is [Debug].  Flushes per event. *)
+
+val jsonl_sink : out_channel -> sink
+(** One JSON object per event, one per line. *)
+
+val chrome_trace_sink : out_channel -> sink
+(** Chrome [trace_event] JSON-array format: spans become complete
+    (["ph":"X"]) events, logs become instant (["ph":"i"]) events.  The
+    closing bracket is written when the sink is closed (see
+    {!close_sinks}), making the file a valid JSON document. *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** In-memory accumulator for tests; the getter returns events in emission
+    order. *)
+
+val install : sink -> unit
+val uninstall : sink -> unit
+(** Remove (and close) one sink; unknown sinks are ignored. *)
+
+val close_sinks : unit -> unit
+(** Close and remove every installed sink (finalizing Chrome traces). *)
+
+val enabled : unit -> bool
+(** [true] iff at least one sink is installed.  Guard allocation-heavy
+    event construction with this. *)
+
+(** {1 Spans and logs} *)
+
+val span : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], emitting a {!Span} event when it completes.
+    If [f] raises, the span is emitted with an ["error"] attribute and the
+    exception is re-raised.  With no sink installed this is just [f ()]. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span (no-op outside any
+    span).  Lets code record quantities that are only known mid-span. *)
+
+val log : ?attrs:attrs -> level -> string -> unit
+(** Emit a {!Log} event to all sinks, subject to {!set_level}. *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  (** Register (or look up) a monotone integer counter. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+
+  val gauge : string -> gauge
+  (** Register (or look up) a last-value-wins float gauge. *)
+
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** Register (or look up) a fixed-bucket histogram.  [buckets] are the
+      inclusive upper bounds of each bucket, in increasing order; an
+      implicit [+inf] overflow bucket is appended.  An observation [v]
+      lands in the first bucket with [v <= bound]. *)
+
+  val observe : histogram -> float -> unit
+  val bucket_counts : histogram -> int array
+  (** Per-bucket counts; the last entry is the overflow bucket. *)
+
+  val snapshot : unit -> Json.t
+  (** The whole registry as JSON:
+      [{"counters":{...},"gauges":{...},"histograms":{...}}], with names in
+      registration order. *)
+
+  val reset : unit -> unit
+  (** Zero every registered metric in place (existing handles stay
+      valid — they are the same mutable cells). *)
+end

@@ -16,20 +16,26 @@ open Dart_constraints
 open Dart_lp
 
 module M = Milp.Make (Field_rat)
+module Obs = Dart_obs.Obs
 
 type stats = {
   components : int;
   milp_vars : int;     (** total variables across component MILPs *)
   milp_rows : int;     (** total constraint rows across component MILPs *)
   nodes : int;         (** total branch & bound nodes *)
+  simplex_pivots : int; (** total simplex pivots across all node relaxations *)
   m_retries : int;     (** how many times a component re-solved with larger M *)
   ground_rows : int;   (** size of S(AC) *)
   cells : int;         (** N: number of repairable cells involved *)
+  solve_ms : float;    (** wall-clock time of the whole card-minimal solve *)
 }
 
 let empty_stats =
-  { components = 0; milp_vars = 0; milp_rows = 0; nodes = 0; m_retries = 0;
-    ground_rows = 0; cells = 0 }
+  { components = 0; milp_vars = 0; milp_rows = 0; nodes = 0; simplex_pivots = 0;
+    m_retries = 0; ground_rows = 0; cells = 0; solve_ms = 0.0 }
+
+let m_big_m_retries = Obs.Metrics.counter "repair.big_m_retries"
+let m_components = Obs.Metrics.counter "repair.components_solved"
 
 type result =
   | Consistent                       (** D ⊨ AC already (given the forced pins) *)
@@ -96,24 +102,30 @@ let grow_m m = Rat.mul (Rat.of_int 64) m
     big-M look binding, or when the instance is infeasible only because M
     clipped it.  Returns [Ok (repair, nodes, retries)] or [Error status]. *)
 let solve_component ?(max_nodes = 2_000_000) ~forced db rows =
-  let rec attempt big_m retries =
+  Obs.Metrics.incr m_components;
+  let rec attempt big_m retries acc_nodes acc_pivots =
+    if retries > 0 then Obs.Metrics.incr m_big_m_retries;
     let enc = Encode.build ?big_m ~forced db rows in
+    Obs.add_attr "milp_vars" (Obs.Int (Encode.num_vars enc));
+    Obs.add_attr "milp_rows" (Obs.Int (Encode.num_rows enc));
     let outcome = M.solve ~max_nodes ~integral_objective:true enc.Encode.problem in
+    let nodes = acc_nodes + outcome.M.nodes_explored in
+    let pivots = acc_pivots + outcome.M.simplex_pivots in
     match outcome.M.status, outcome.M.assignment with
     | M.Optimal, Some assignment ->
       if Encode.near_big_m enc assignment && retries < 3 then
-        attempt (Some (grow_m enc.Encode.big_m)) (retries + 1)
+        attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
       else
-        Ok (Encode.decode db enc assignment, enc, outcome.M.nodes_explored, retries)
+        Ok (Encode.decode db enc assignment, enc, (nodes, pivots), retries)
     | M.Infeasible, _ ->
-      if retries < 2 then attempt (Some (grow_m enc.Encode.big_m)) (retries + 1)
-      else Error (`Infeasible (enc, outcome.M.nodes_explored, retries))
+      if retries < 2 then attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
+      else Error (`Infeasible (enc, (nodes, pivots), retries))
     | (M.Optimal | M.Feasible | M.Unbounded), _ ->
       (* Optimal always carries an assignment; Unbounded cannot happen since
          the objective is a sum of binaries. *)
-      Error (`Budget (enc, outcome.M.nodes_explored, retries))
+      Error (`Budget (enc, (nodes, pivots), retries))
   in
-  attempt None 0
+  attempt None 0 0 0
 
 (** Compute a card-minimal repair for [db] w.r.t. [constraints].
 
@@ -121,6 +133,8 @@ let solve_component ?(max_nodes = 2_000_000) ~forced db rows =
     [decompose:false] disables the connected-component split (ablation). *)
 let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
     db (constraints : Agg_constraint.t list) : result =
+  let t0 = Obs.now_ms () in
+  Obs.span "repair.card_minimal" (fun () ->
   let rows = Ground.of_constraints db constraints in
   let satisfied_now =
     List.for_all (Ground.row_satisfied (Ground.db_valuation db)) rows
@@ -138,15 +152,17 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                       components = List.length comps;
                       ground_rows = List.length rows;
                       cells = List.length (Ground.cells rows) } in
-    let add_enc enc nodes retries =
+    let add_enc enc (nodes, pivots) retries =
       stats := { !stats with
                  milp_vars = !stats.milp_vars + Encode.num_vars enc;
                  milp_rows = !stats.milp_rows + Encode.num_rows enc;
                  nodes = !stats.nodes + nodes;
+                 simplex_pivots = !stats.simplex_pivots + pivots;
                  m_retries = !stats.m_retries + retries }
     in
+    let finish_stats () = { !stats with solve_ms = Obs.now_ms () -. t0 } in
     let rec solve_all acc = function
-      | [] -> Repaired (List.concat (List.rev acc), !stats)
+      | [] -> Repaired (List.concat (List.rev acc), finish_stats ())
       | comp :: rest ->
         (* Skip components already satisfied (cheap check avoids a MILP). *)
         let comp_forced =
@@ -165,20 +181,36 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
         in
         if comp_ok then solve_all acc rest
         else begin
-          match solve_component ~max_nodes ~forced:comp_forced db comp with
-          | Ok (repair, enc, nodes, retries) ->
-            add_enc enc nodes retries;
+          let outcome =
+            Obs.span "repair.component"
+              ~attrs:
+                [ ("rows", Obs.Int (List.length comp));
+                  ("cells", Obs.Int (List.length (Ground.cells comp))) ]
+              (fun () ->
+                let r = solve_component ~max_nodes ~forced:comp_forced db comp in
+                (match r with
+                 | Ok (_, _, (nodes, pivots), retries)
+                 | Error (`Infeasible (_, (nodes, pivots), retries))
+                 | Error (`Budget (_, (nodes, pivots), retries)) ->
+                   Obs.add_attr "nodes" (Obs.Int nodes);
+                   Obs.add_attr "pivots" (Obs.Int pivots);
+                   Obs.add_attr "m_retries" (Obs.Int retries));
+                r)
+          in
+          match outcome with
+          | Ok (repair, enc, work, retries) ->
+            add_enc enc work retries;
             solve_all (repair :: acc) rest
-          | Error (`Infeasible (enc, nodes, retries)) ->
-            add_enc enc nodes retries;
-            No_repair !stats
-          | Error (`Budget (enc, nodes, retries)) ->
-            add_enc enc nodes retries;
-            Node_budget_exceeded !stats
+          | Error (`Infeasible (enc, work, retries)) ->
+            add_enc enc work retries;
+            No_repair (finish_stats ())
+          | Error (`Budget (enc, work, retries)) ->
+            add_enc enc work retries;
+            Node_budget_exceeded (finish_stats ())
         end
     in
     solve_all [] comps
-  end
+  end)
 
 (** Involvement count of each cell: in how many ground rows its variable
     occurs.  This drives the §6.3 display-order heuristic (most-involved

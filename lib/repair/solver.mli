@@ -17,9 +17,11 @@ type stats = {
   milp_vars : int;
   milp_rows : int;
   nodes : int;
+  simplex_pivots : int;  (** total simplex pivots across all node relaxations *)
   m_retries : int;
   ground_rows : int;
   cells : int;
+  solve_ms : float;      (** wall-clock time of the whole card-minimal solve *)
 }
 
 val empty_stats : stats

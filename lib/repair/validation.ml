@@ -17,6 +17,12 @@
 open Dart_numeric
 open Dart_relational
 open Dart_constraints
+module Obs = Dart_obs.Obs
+
+let g_pins = Obs.Metrics.gauge "validation.pins"
+let m_iterations = Obs.Metrics.counter "validation.iterations"
+let m_examined = Obs.Metrics.counter "validation.examined"
+let m_overrides = Obs.Metrics.counter "validation.overrides"
 
 (** One operator decision on a suggested update. *)
 type decision =
@@ -89,7 +95,13 @@ let run ?batch ?(max_iterations = 50) ~operator db constraints : outcome =
     if iterations >= max_iterations then
       { final_db = db; iterations; examined; pins = List.length pins; converged = false }
     else begin
-      match Solver.card_minimal ~forced:pins db constraints with
+      Obs.Metrics.set g_pins (float_of_int (List.length pins));
+      let resolve =
+        Obs.span "validation.resolve"
+          ~attrs:[ ("iteration", Obs.Int iterations); ("pins", Obs.Int (List.length pins)) ]
+          (fun () -> Solver.card_minimal ~forced:pins db constraints)
+      in
+      match resolve with
       | Solver.Consistent ->
         (* Apply the accumulated pins as the accepted repair. *)
         let updates =
@@ -144,6 +156,16 @@ let run ?batch ?(max_iterations = 50) ~operator db constraints : outcome =
           let examined = examined + List.length to_examine in
           let validated = List.map Update.cell to_examine @ validated in
           let pins = new_pins @ pins in
+          Obs.Metrics.incr m_iterations;
+          Obs.Metrics.add m_examined (List.length to_examine);
+          if any_override then Obs.Metrics.incr m_overrides;
+          if Obs.enabled () then
+            Obs.log Info "validation.iteration"
+              ~attrs:
+                [ ("iteration", Obs.Int iterations);
+                  ("examined", Obs.Int (List.length to_examine));
+                  ("pins", Obs.Int (List.length pins));
+                  ("override", Obs.Bool any_override) ];
           if (not any_override) && batch = None then
             (* All suggestions accepted in full view: the repair stands. *)
             { final_db = Update.apply db rho;

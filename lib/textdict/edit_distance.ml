@@ -24,31 +24,53 @@ let levenshtein a b =
     prev.(lb)
   end
 
-(** Damerau–Levenshtein (optimal string alignment variant): Levenshtein plus
-    adjacent transposition as a single edit. *)
+(** Damerau–Levenshtein: Levenshtein plus adjacent transposition as a single
+    edit.  This is the {e unrestricted} variant (a substring may be edited
+    after being transposed), not the cheaper optimal-string-alignment one:
+    OSA violates the triangle inequality (d("ca","abc") = 3 > d("ca","ac") +
+    d("ac","abc") = 2), which breaks the BK-tree's pruning invariant and
+    made radius queries silently drop matches.  True DL is a metric. *)
 let damerau_levenshtein a b =
   let la = String.length a and lb = String.length b in
   if la = 0 then lb
   else if lb = 0 then la
   else begin
-    let d = Array.make_matrix (la + 1) (lb + 1) 0 in
-    for i = 0 to la do d.(i).(0) <- i done;
-    for j = 0 to lb do d.(0).(j) <- j done;
-    for i = 1 to la do
-      for j = 1 to lb do
-        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
-        let best =
-          min (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1)) (d.(i - 1).(j - 1) + cost)
-        in
-        let best =
-          if i > 1 && j > 1 && a.[i - 1] = b.[j - 2] && a.[i - 2] = b.[j - 1] then
-            min best (d.(i - 2).(j - 2) + 1)
-          else best
-        in
-        d.(i).(j) <- best
-      done
+    let inf = la + lb in
+    (* h is offset by one row/column of sentinels (the standard DL layout),
+       stored flat for locality: h.((i+1)*w + j+1) is the distance between
+       a[0..i) and b[0..j).  The transposition case reads an arbitrary
+       earlier row, so the full matrix must be kept. *)
+    let w = lb + 2 in
+    let h = Array.make ((la + 2) * w) 0 in
+    h.(0) <- inf;
+    for i = 0 to la do
+      h.((i + 1) * w) <- inf;
+      h.(((i + 1) * w) + 1) <- i
     done;
-    d.(la).(lb)
+    for j = 0 to lb do
+      h.(j + 1) <- inf;
+      h.(w + j + 1) <- j
+    done;
+    let last_row = Array.make 256 0 in (* last row where each byte occurred in a *)
+    for i = 1 to la do
+      let ca = a.[i - 1] in
+      let last_col = ref 0 in (* last column where a.[i-1] occurred in b *)
+      let base = (i + 1) * w and prev = i * w in
+      for j = 1 to lb do
+        let cb = b.[j - 1] in
+        let i' = last_row.(Char.code cb) in
+        let j' = !last_col in
+        let cost = if ca = cb then begin last_col := j; 0 end else 1 in
+        h.(base + j + 1) <-
+          min
+            (min (h.(prev + j) + cost) (* substitute / match *)
+               (h.(base + j) + 1)) (* insert *)
+            (min (h.(prev + j + 1) + 1) (* delete *)
+               (h.((i' * w) + j') + (i - i' - 1) + 1 + (j - j' - 1))) (* transpose *)
+      done;
+      last_row.(Char.code ca) <- i
+    done;
+    h.(((la + 1) * w) + lb + 1)
   end
 
 (** Normalized similarity in [0, 1]: 1 = identical, towards 0 with distance.

@@ -7,6 +7,11 @@
     are reported, not silently dropped. *)
 
 open Dart_html
+module Obs = Dart_obs.Obs
+
+let m_rows_matched = Obs.Metrics.counter "wrapper.rows_matched"
+let m_rows_unmatched = Obs.Metrics.counter "wrapper.rows_unmatched"
+let m_cell_repairs = Obs.Metrics.counter "wrapper.cell_repairs"
 
 type row_report = {
   table_index : int;
@@ -34,6 +39,16 @@ let match_table meta ~table_index (table : Table.t) : row_report list =
       in
       { table_index; row_index = r; texts; outcome })
 
+(** Cells the matcher silently repaired while binding: the lexical
+    msi-correction of a misread label, or numeric separator cleanup.  This
+    is the first repair layer of the pipeline (before the MILP), so its
+    volume is worth tracking. *)
+let repaired_cells (inst : Matcher.instance) =
+  Array.fold_left
+    (fun acc (c : Matcher.instance_cell) ->
+      if c.Matcher.bound <> String.trim c.Matcher.raw then acc + 1 else acc)
+    0 inst.Matcher.cells
+
 (** Run the wrapper over every table of an HTML document. *)
 let extract meta (html : string) : result =
   let tables = Table.of_html html in
@@ -45,6 +60,18 @@ let extract meta (html : string) : result =
       (fun r -> match r.outcome with Matched i -> Some i | Unmatched -> None)
       reports
   in
+  Obs.Metrics.add m_rows_matched (List.length instances);
+  Obs.Metrics.add m_rows_unmatched (List.length reports - List.length instances);
+  List.iter
+    (fun inst ->
+      let repaired = repaired_cells inst in
+      if repaired > 0 then begin
+        Obs.Metrics.add m_cell_repairs repaired;
+        if Obs.enabled () then
+          Obs.log Debug "wrapper.lexical_repair"
+            ~attrs:[ ("cells", Obs.Int repaired) ]
+      end)
+    instances;
   { instances; reports }
 
 (** Fraction of logical rows that matched some pattern. *)

@@ -18,4 +18,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("cqa", Test_cqa.suite);
       ("convert", Test_convert.suite);
-      ("quarterly", Test_quarterly.suite) ]
+      ("quarterly", Test_quarterly.suite);
+      ("obs", Test_obs.suite) ]

@@ -153,6 +153,40 @@ let knapsack_matches_bruteforce =
          | Some obj -> Field_rat.compare obj (fi !best) = 0
          | None -> false))
 
+(* Observability cross-check: the "milp.node" event stream must agree with
+   the outcome's own node accounting. *)
+module Obs = Dart_obs.Obs
+
+let node_events_match_outcome =
+  Alcotest.test_case "milp.node events = nodes_explored" `Quick (fun () ->
+      let fi = Field_rat.of_int in
+      let p = P.create () in
+      let x = P.add_var ~name:"x" ~lower:Field_rat.zero ~integer:true p in
+      let y = P.add_var ~name:"y" ~lower:Field_rat.zero ~integer:true p in
+      P.add_constraint p [ (fi 6, x); (fi 4, y) ] Lp_problem.Le (fi 24);
+      P.add_constraint p [ (Field_rat.one, x); (fi 2, y) ] Lp_problem.Le (fi 6);
+      P.set_objective ~minimize:false p [ (fi 5, x); (fi 4, y) ];
+      let sink, events = Obs.memory_sink () in
+      let saved_level = Obs.current_level () in
+      Obs.install sink;
+      Obs.set_level Obs.Debug;
+      let outcome =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.set_level saved_level;
+            Obs.uninstall sink)
+          (fun () -> M.solve ~integral_objective:true p)
+      in
+      let node_events =
+        List.length
+          (List.filter
+             (function Obs.Log { name = "milp.node"; _ } -> true | _ -> false)
+             (events ()))
+      in
+      Alcotest.(check bool) "explored at least one node" true (outcome.M.nodes_explored > 0);
+      Alcotest.(check int) "event count" outcome.M.nodes_explored node_events;
+      Alcotest.(check bool) "pivots counted" true (outcome.M.simplex_pivots > 0))
+
 (* LP-format export sanity. *)
 module Io = Lp_io.Make (Field_rat)
 
@@ -189,4 +223,4 @@ let lp_io_tests =
 
 let suite =
   Rat_scenarios.tests "rat" @ Float_scenarios.tests "float"
-  @ [ knapsack_matches_bruteforce ] @ lp_io_tests
+  @ [ knapsack_matches_bruteforce; node_events_match_outcome ] @ lp_io_tests

@@ -1,0 +1,242 @@
+(* Tests for the observability library: spans, sinks, JSON, metrics. *)
+
+module Obs = Dart_obs.Obs
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Run [f] with a fresh memory sink installed, returning (result, events).
+   The sink is removed even if [f] raises, so other suites are unaffected. *)
+let with_memory_sink f =
+  let sink, events = Obs.memory_sink () in
+  Obs.install sink;
+  let result = Fun.protect ~finally:(fun () -> Obs.uninstall sink) f in
+  (result, events ())
+
+let span_name = function
+  | Obs.Span { name; _ } -> Some name
+  | Obs.Log _ -> None
+
+let span_tests =
+  [ t "spans nest and record depth" (fun () ->
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.span "outer" (fun () ->
+                  Obs.span "inner" (fun () -> ());
+                  Obs.span "inner2" (fun () -> ())))
+        in
+        (* Children complete (and are emitted) before the parent. *)
+        Alcotest.(check (list string)) "order"
+          [ "inner"; "inner2"; "outer" ]
+          (List.filter_map span_name events);
+        List.iter
+          (fun ev ->
+            match ev with
+            | Obs.Span { name = "outer"; depth; _ } ->
+              Alcotest.(check int) "outer depth" 0 depth
+            | Obs.Span { depth; _ } -> Alcotest.(check int) "inner depth" 1 depth
+            | Obs.Log _ -> ())
+          events);
+    t "span returns the thunk's value" (fun () ->
+        let v, _ = with_memory_sink (fun () -> Obs.span "s" (fun () -> 41 + 1)) in
+        Alcotest.(check int) "value" 42 v);
+    t "span durations are non-negative and attrs survive" (fun () ->
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.span "s" ~attrs:[ ("k", Obs.Int 7) ] (fun () -> ()))
+        in
+        match events with
+        | [ Obs.Span { name = "s"; attrs; dur_us; _ } ] ->
+          Alcotest.(check bool) "dur >= 0" true (dur_us >= 0.0);
+          Alcotest.(check bool) "attr present" true
+            (List.mem_assoc "k" attrs && List.assoc "k" attrs = Obs.Int 7)
+        | _ -> Alcotest.fail "expected exactly one span event");
+    t "add_attr lands on the innermost open span" (fun () ->
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.span "outer" (fun () ->
+                  Obs.span "inner" (fun () -> Obs.add_attr "x" (Obs.Int 1));
+                  Obs.add_attr "y" (Obs.Int 2)))
+        in
+        List.iter
+          (fun ev ->
+            match ev with
+            | Obs.Span { name = "inner"; attrs; _ } ->
+              Alcotest.(check bool) "inner has x" true (List.mem_assoc "x" attrs);
+              Alcotest.(check bool) "inner lacks y" false (List.mem_assoc "y" attrs)
+            | Obs.Span { name = "outer"; attrs; _ } ->
+              Alcotest.(check bool) "outer has y" true (List.mem_assoc "y" attrs)
+            | _ -> ())
+          events);
+    t "add_attr outside any span is a no-op" (fun () ->
+        let (), events = with_memory_sink (fun () -> Obs.add_attr "x" (Obs.Int 1)) in
+        Alcotest.(check int) "no events" 0 (List.length events));
+    t "a raising span re-raises and records the error" (fun () ->
+        let raised = ref false in
+        let (), events =
+          with_memory_sink (fun () ->
+              try Obs.span "boom" (fun () -> failwith "kaput")
+              with Failure _ -> raised := true)
+        in
+        Alcotest.(check bool) "exception propagated" true !raised;
+        match events with
+        | [ Obs.Span { name = "boom"; attrs; _ } ] ->
+          Alcotest.(check bool) "error attr" true (List.mem_assoc "error" attrs)
+        | _ -> Alcotest.fail "expected the failed span to be emitted");
+    t "no sink installed: fast path, nothing recorded" (fun () ->
+        Alcotest.(check bool) "disabled" false (Obs.enabled ());
+        Alcotest.(check int) "span is transparent" 9 (Obs.span "s" (fun () -> 9));
+        Obs.log Obs.Error "nobody-listens";
+        Alcotest.(check bool) "still disabled" false (Obs.enabled ()));
+    t "log respects the level threshold" (fun () ->
+        let saved = Obs.current_level () in
+        Fun.protect
+          ~finally:(fun () -> Obs.set_level saved)
+          (fun () ->
+            Obs.set_level Obs.Warn;
+            let (), events =
+              with_memory_sink (fun () ->
+                  Obs.log Obs.Debug "dropped";
+                  Obs.log Obs.Info "dropped-too";
+                  Obs.log Obs.Warn "kept";
+                  Obs.log Obs.Error "kept-too")
+            in
+            let names =
+              List.filter_map
+                (function Obs.Log { name; _ } -> Some name | _ -> None)
+                events
+            in
+            Alcotest.(check (list string)) "filtered" [ "kept"; "kept-too" ] names));
+  ]
+
+let json_tests =
+  [ t "escaping round-trips through the parser" (fun () ->
+        let nasty = "quote\" backslash\\ newline\n tab\t bell\007 end" in
+        let doc = Obs.Json.Obj [ ("k", Obs.Json.Str nasty) ] in
+        match Obs.Json.of_string (Obs.Json.to_string doc) with
+        | Ok (Obs.Json.Obj [ ("k", Obs.Json.Str s) ]) ->
+          Alcotest.(check string) "round-trip" nasty s
+        | Ok _ -> Alcotest.fail "wrong shape after round-trip"
+        | Error e -> Alcotest.fail e);
+    t "control characters are \\u-escaped" (fun () ->
+        let s = Obs.Json.escape "\001" in
+        Alcotest.(check string) "escaped" "\"\\u0001\"" s);
+    t "values round-trip" (fun () ->
+        let doc =
+          Obs.Json.Obj
+            [ ("i", Obs.Json.Int (-42)); ("f", Obs.Json.Float 2.5);
+              ("b", Obs.Json.Bool true); ("n", Obs.Json.Null);
+              ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "x" ]);
+              ("o", Obs.Json.Obj []) ]
+        in
+        match Obs.Json.of_string (Obs.Json.to_string doc) with
+        | Ok doc' -> Alcotest.(check bool) "equal" true (doc = doc')
+        | Error e -> Alcotest.fail e);
+    t "invalid JSON yields Error, not an exception" (fun () ->
+        List.iter
+          (fun bad ->
+            match Obs.Json.of_string bad with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted invalid JSON %S" bad)
+          [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]);
+    t "json_of_event emits parseable objects" (fun () ->
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.span "s" ~attrs:[ ("msg", Obs.Str "a\"b") ] (fun () ->
+                  Obs.log Obs.Error "e" ~attrs:[ ("n", Obs.Float 1.5) ]))
+        in
+        Alcotest.(check int) "two events" 2 (List.length events);
+        List.iter
+          (fun ev ->
+            match Obs.Json.of_string (Obs.Json.to_string (Obs.json_of_event ev)) with
+            | Ok (Obs.Json.Obj kvs) ->
+              Alcotest.(check bool) "has type" true (List.mem_assoc "type" kvs)
+            | Ok _ -> Alcotest.fail "event JSON is not an object"
+            | Error e -> Alcotest.fail e)
+          events);
+  ]
+
+(* The Chrome exporter writes a JSON array that only becomes well-formed on
+   close; check the whole lifecycle through a real file. *)
+let chrome_trace_test =
+  t "chrome trace file is a valid JSON array after close" (fun () ->
+      let path = Filename.temp_file "dart_obs" ".trace.json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out path in
+          let sink = Obs.chrome_trace_sink oc in
+          Obs.install sink;
+          (try
+             Obs.span "alpha" (fun () -> Obs.span "beta" (fun () -> ()));
+             Obs.log Obs.Error "note" ~attrs:[ ("k", Obs.Int 3) ]
+           with e -> Obs.uninstall sink; raise e);
+          Obs.uninstall sink;
+          close_out oc;
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Obs.Json.of_string (String.trim text) with
+          | Ok (Obs.Json.List entries) ->
+            Alcotest.(check int) "three trace entries" 3 (List.length entries);
+            List.iter
+              (fun e ->
+                match e with
+                | Obs.Json.Obj kvs ->
+                  Alcotest.(check bool) "has ph" true (List.mem_assoc "ph" kvs);
+                  Alcotest.(check bool) "has ts" true (List.mem_assoc "ts" kvs)
+                | _ -> Alcotest.fail "trace entry is not an object")
+              entries
+          | Ok _ -> Alcotest.fail "trace is not a JSON array"
+          | Error e -> Alcotest.fail e))
+
+let metrics_tests =
+  [ t "counters accumulate and alias by name" (fun () ->
+        let c = Obs.Metrics.counter "test.obs.counter" in
+        let before = Obs.Metrics.value c in
+        Obs.Metrics.incr c;
+        Obs.Metrics.add c 4;
+        Alcotest.(check int) "value" (before + 5) (Obs.Metrics.value c);
+        let c' = Obs.Metrics.counter "test.obs.counter" in
+        Obs.Metrics.incr c';
+        Alcotest.(check int) "aliased" (before + 6) (Obs.Metrics.value c));
+    t "gauges are last-value-wins" (fun () ->
+        let g = Obs.Metrics.gauge "test.obs.gauge" in
+        Obs.Metrics.set g 2.0;
+        Obs.Metrics.set g 7.5;
+        Alcotest.(check (float 0.0)) "value" 7.5 (Obs.Metrics.gauge_value g));
+    t "histogram bucket edges are inclusive upper bounds" (fun () ->
+        let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "test.obs.hist" in
+        (* One observation per interesting edge:
+           1.0 -> bucket le=1; 1.5, 2.0 -> le=2; 5.0 -> le=5; 5.1 -> +inf. *)
+        List.iter (Obs.Metrics.observe h) [ 1.0; 1.5; 2.0; 5.0; 5.1; 0.0 ];
+        Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] (Obs.Metrics.bucket_counts h));
+    t "snapshot is JSON with all three sections" (fun () ->
+        ignore (Obs.Metrics.counter "test.obs.counter2");
+        match Obs.Metrics.snapshot () with
+        | Obs.Json.Obj kvs ->
+          List.iter
+            (fun k -> Alcotest.(check bool) k true (List.mem_assoc k kvs))
+            [ "counters"; "gauges"; "histograms" ];
+          (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Obj kvs)) with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail e)
+        | _ -> Alcotest.fail "snapshot is not an object");
+  ]
+
+let level_tests =
+  [ t "level strings round-trip" (fun () ->
+        List.iter
+          (fun l ->
+            match Obs.level_of_string (Obs.level_to_string l) with
+            | Ok l' -> Alcotest.(check bool) "round-trip" true (l = l')
+            | Error e -> Alcotest.fail e)
+          [ Obs.Debug; Obs.Info; Obs.Warn; Obs.Error ];
+        (match Obs.level_of_string "WARNING" with
+         | Ok Obs.Warn -> ()
+         | _ -> Alcotest.fail "WARNING should parse as Warn");
+        match Obs.level_of_string "loud" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "nonsense level accepted");
+  ]
+
+let suite = span_tests @ json_tests @ [ chrome_trace_test ] @ metrics_tests @ level_tests

@@ -222,6 +222,42 @@ let validation_tests =
         let cs = (find_cell db ~year:2003 ~sub:"cash sales", "Value") in
         Alcotest.(check int) "tcr in 2 rows" 2 (Hashtbl.find inv tcr);
         Alcotest.(check int) "cash sales in 1 row" 1 (Hashtbl.find inv cs));
+    t "display order is deterministic: ties break on cell identity" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let rows = Ground.of_constraints db Cash_budget.constraints in
+        let mk sub v =
+          Update.make ~tid:(find_cell db ~year:2003 ~sub) ~attr:"Value"
+            ~new_value:(Value.Int v)
+        in
+        (* tcr is in 2 ground rows; the others tie at 1 and must come out
+           sorted by (tid, attr), independent of input order. *)
+        let rho =
+          [ mk "cash sales" 130; mk "total cash receipts" 220; mk "receivables" 111 ]
+        in
+        let ordered = Solver.display_order rows rho in
+        (match ordered with
+         | first :: _ ->
+           Alcotest.(check int) "most involved first"
+             (find_cell db ~year:2003 ~sub:"total cash receipts") first.Update.tid
+         | [] -> Alcotest.fail "empty ordering");
+        let tied = List.tl ordered in
+        Alcotest.(check bool) "ties sorted by cell identity" true
+          (List.sort compare (List.map Update.cell tied) = List.map Update.cell tied);
+        (* Permuting the input must not change the output. *)
+        Alcotest.(check bool) "reversed input, same output" true
+          (Solver.display_order rows (List.rev rho) = ordered);
+        Alcotest.(check bool) "rotated input, same output" true
+          (Solver.display_order rows (List.tl rho @ [ List.hd rho ]) = ordered));
+    t "involvement is insensitive to ground-row order" (fun () ->
+        let db = Cash_budget.figure3 () in
+        let rows = Ground.of_constraints db Cash_budget.constraints in
+        let inv = Solver.involvement rows in
+        let inv' = Solver.involvement (List.rev rows) in
+        Alcotest.(check int) "same table size" (Hashtbl.length inv) (Hashtbl.length inv');
+        Hashtbl.iter
+          (fun cell n ->
+            Alcotest.(check (option int)) "same count" (Some n) (Hashtbl.find_opt inv' cell))
+          inv);
     t "adversarial corruption converges via overrides" (fun () ->
         (* Corrupt a detail cell; if the MILP's first suggestion is wrong,
            the oracle overrides and the loop must still converge to truth. *)
