@@ -1,0 +1,145 @@
+(* serve — throughput and latency of the repair service.
+
+   Starts an in-process dart_server on a Unix socket at pool sizes 1, 2
+   and N (N = the default worker count), drives it with 8 concurrent
+   client connections issuing [repair] requests on noisy cash-budget
+   documents (~tens of ms of MILP work each), and writes
+   BENCH_serve.json: req/s plus client-observed p50/p95/p99 latency per
+   pool size.  The point of the exercise: multi-domain pools must beat
+   the single-domain baseline on the same workload. *)
+
+open Dart
+open Dart_datagen
+open Dart_rand
+open Dart_server
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let out_file = "BENCH_serve.json"
+
+let clients = 8
+let requests_per_client = 5
+
+(* Seeds whose noisy documents are actually inconsistent, so every
+   request carries real solver work. *)
+let seeds = [ 100; 101; 102; 103; 10; 12; 18; 20 ]
+
+let doc seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:3 prng in
+  let channel =
+    { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.0; char_rate = 0.1 }
+  in
+  fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let scenarios = [ ("cash-budget", Budget_scenario.scenario) ]
+
+(* One measured run: [domains]-sized pool, [clients] connections, each
+   issuing [requests_per_client] repairs round-robin over the documents. *)
+let run_one ~domains ~docs =
+  let path = Printf.sprintf "/tmp/dart-bench-%d-%d.sock" (Unix.getpid ()) domains in
+  let cfg = Server.default_config ~scenarios (Proto.Unix_sock path) in
+  let cfg = { cfg with Server.domains; queue_capacity = 64 } in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ndocs = Array.length docs in
+      let latencies = Array.make (clients * requests_per_client) 0.0 in
+      let failures = Atomic.make 0 in
+      let t0 = Obs.now_ms () in
+      let threads =
+        List.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                Client.with_connection (Proto.Unix_sock path) (fun c ->
+                    for r = 0 to requests_per_client - 1 do
+                      let d = docs.((ci + (r * clients)) mod ndocs) in
+                      let rt0 = Obs.now_ms () in
+                      (match
+                         Client.repair c ~scenario:"cash-budget" ~document:d ()
+                       with
+                       | Ok _ -> ()
+                       | Error _ -> Atomic.incr failures);
+                      latencies.((ci * requests_per_client) + r) <-
+                        Obs.elapsed_ms ~since:rt0
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let wall_ms = Obs.elapsed_ms ~since:t0 in
+      let total = clients * requests_per_client in
+      Array.sort compare latencies;
+      ( Json.Obj
+          [ ("domains", Json.Int domains);
+            ("clients", Json.Int clients);
+            ("requests", Json.Int total);
+            ("failures", Json.Int (Atomic.get failures));
+            ("wall_ms", Json.Float wall_ms);
+            ("req_per_s", Json.Float (float_of_int total /. (wall_ms /. 1000.0)));
+            ("p50_ms", Json.Float (percentile latencies 50.0));
+            ("p95_ms", Json.Float (percentile latencies 95.0));
+            ("p99_ms", Json.Float (percentile latencies 99.0)) ],
+        float_of_int total /. (wall_ms /. 1000.0),
+        Atomic.get failures ))
+
+let run () =
+  Printf.printf "serve: repair service throughput/latency -> %s\n%!" out_file;
+  let docs = Array.of_list (List.map doc seeds) in
+  let n_default =
+    max 2 (min 8 (Domain.recommended_domain_count () - 1))
+  in
+  let pool_sizes =
+    List.sort_uniq compare [ 1; 2; n_default ]
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        let json, rps, failures = run_one ~domains ~docs in
+        Printf.printf "  domains=%d: %.1f req/s (%d failures)\n%!" domains rps failures;
+        (domains, json, rps, failures))
+      pool_sizes
+  in
+  let rps_of d =
+    List.find_map (fun (d', _, rps, _) -> if d' = d then Some rps else None) runs
+  in
+  let speedup =
+    match (rps_of 1, rps_of n_default) with
+    | Some base, Some multi when base > 0.0 -> multi /. base
+    | _ -> 0.0
+  in
+  let total_failures = List.fold_left (fun acc (_, _, _, f) -> acc + f) 0 runs in
+  let json =
+    Json.Obj
+      [ ("workload",
+         Json.Obj
+           [ ("scenario", Json.Str "cash-budget");
+             ("documents", Json.Int (Array.length docs));
+             ("clients", Json.Int clients);
+             ("requests_per_client", Json.Int requests_per_client);
+             (* Interpret the speedup against this: on a single-core host
+                extra domains can only add GC-synchronization overhead. *)
+             ("cores_available", Json.Int (Domain.recommended_domain_count ())) ]);
+        ("runs", Json.List (List.map (fun (_, j, _, _) -> j) runs));
+        ("multi_vs_single_speedup", Json.Float speedup) ]
+  in
+  let text = Json.to_string json in
+  (match Json.of_string text with
+   | Ok _ -> ()
+   | Error msg -> failwith ("BENCH_serve.json is not valid JSON: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  if total_failures > 0 then
+    Printf.printf "  WARNING: %d failed requests\n%!" total_failures;
+  Printf.printf "  multi(%d)/single speedup: %.2fx\n%!" n_default speedup

@@ -7,6 +7,8 @@
      dart-cli check    inconsistency detection against the constraints
      dart-cli repair   one-shot card-minimal repair (prints the updates)
      dart-cli run      the supervised pipeline with an interactive operator
+     dart-cli serve    run the repair service (Unix socket or TCP)
+     dart-cli client   talk to a running service
 
    Scenarios: cash-budget (the paper's running example), balance-sheet,
    catalog, quarterly. *)
@@ -330,11 +332,246 @@ let run_cmd =
     Term.(const run $ obs_term $ scenario_arg $ input_arg $ auto)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Proto = Dart_server.Proto
+module Server = Dart_server.Server
+module Client = Dart_server.Client
+
+let all_scenarios =
+  [ ("cash-budget", Budget_scenario.scenario);
+    ("balance-sheet", Balance_scenario.scenario);
+    ("catalog", Catalog_scenario.scenario);
+    ("quarterly", Quarterly_scenario.scenario) ]
+
+let addr_conv =
+  let parse s =
+    let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+    let after p = String.sub s (String.length p) (String.length s - String.length p) in
+    if prefixed "unix:" then Ok (Proto.Unix_sock (after "unix:"))
+    else if prefixed "tcp:" then begin
+      let rest = after "tcp:" in
+      match String.rindex_opt rest ':' with
+      | None -> Error (`Msg "tcp address must be tcp:HOST:PORT")
+      | Some i ->
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        (match int_of_string_opt port with
+         | Some p when p >= 0 -> Ok (Proto.Tcp (host, p))
+         | _ -> Error (`Msg (Printf.sprintf "bad port %S" port)))
+    end
+    else Ok (Proto.Unix_sock s)  (* a bare path is a Unix socket *)
+  in
+  let print fmt a = Format.pp_print_string fmt (Proto.addr_to_string a) in
+  Arg.conv (parse, print)
+
+let addr_arg =
+  Arg.(
+    value
+    & opt addr_conv (Proto.Unix_sock "/tmp/dart.sock")
+    & info [ "a"; "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Listen/connect address: $(b,unix:)$(i,PATH), $(b,tcp:)$(i,HOST:PORT), \
+           or a bare Unix-socket path.  Default unix:/tmp/dart.sock.")
+
+let serve_cmd =
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker pool size (default: cores - 1, capped at 8).")
+  in
+  let queue =
+    Arg.(
+      value & opt (some int) None
+      & info [ "queue" ] ~docv:"N" ~doc:"Job queue bound; beyond it requests get busy.")
+  in
+  let ttl =
+    Arg.(
+      value & opt (some float) None
+      & info [ "session-ttl" ] ~docv:"SECONDS" ~doc:"Idle validation sessions expire after this.")
+  in
+  let run () addr domains queue ttl =
+    let cfg = Server.default_config ~scenarios:all_scenarios addr in
+    let cfg =
+      { cfg with
+        Server.domains = Option.value ~default:cfg.Server.domains domains;
+        queue_capacity = Option.value ~default:cfg.Server.queue_capacity queue;
+        session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl }
+    in
+    let t = Server.create cfg in
+    Server.install_signal_handlers t;
+    Server.start t;
+    Printf.eprintf "dart-cli serve: listening on %s (%d domains, queue %d)\n%!"
+      (Proto.addr_to_string (Server.bound_addr t))
+      cfg.Server.domains cfg.Server.queue_capacity;
+    Server.wait t;
+    Printf.eprintf "dart-cli serve: stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the DART repair service: a concurrent server speaking the \
+          length-prefixed JSON protocol, with all four scenarios registered.")
+    Term.(const run $ obs_term $ addr_arg $ domains $ queue $ ttl)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wire_format path =
+  match Convert.format_of_filename path with
+  | Convert.Html -> "html"
+  | Convert.Csv -> "csv"
+  | Convert.Tsv -> "tsv"
+  | Convert.Fixed_width -> "fixed"
+
+let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "dart-cli client: %s\n" msg; exit 1) fmt
+
+let print_relations body =
+  match Option.bind (Proto.member "relations" body) Proto.as_list with
+  | None -> ()
+  | Some rels ->
+    List.iter
+      (fun r ->
+        match (Proto.string_field r "relation", Proto.string_field r "csv") with
+        | Some name, Some csv ->
+          Printf.printf "-- %s\n%s" name csv
+        | _ -> ())
+      rels
+
+let print_repair_body body =
+  let status = Option.value ~default:"?" (Proto.string_field body "status") in
+  (match Option.bind (Proto.member "updates" body) Proto.as_list with
+   | None -> Printf.printf "%s\n" status
+   | Some updates ->
+     Printf.printf "%s: %d update(s)\n" status (List.length updates);
+     List.iter
+       (fun u ->
+         match
+           ( Proto.int_field u "tid", Proto.string_field u "attr",
+             Proto.string_field u "old", Proto.string_field u "new" )
+         with
+         | Some tid, Some attr, Some old_v, Some new_v ->
+           Printf.printf "  t%d.%s: %s -> %s\n" tid attr old_v new_v
+         | _ -> ())
+       updates);
+  match Proto.member "stats" body with
+  | Some stats ->
+    Printf.printf "stats: %s\n" (Dart_obs.Obs.Json.to_string stats)
+  | None -> ()
+
+let interactive_wire_operator : Client.operator =
+ fun s ->
+  Printf.printf "\nsuggested update on %s\n  %s := %s (was %s)   [a]ccept / [o]verride? %!"
+    s.Client.tuple s.Client.attr s.Client.suggested s.Client.current;
+  let rec ask () =
+    match String.lowercase_ascii (String.trim (read_line ())) with
+    | "a" | "accept" | "" -> `Accept
+    | "o" | "override" ->
+      Printf.printf "  actual value: %!";
+      `Override (String.trim (read_line ()))
+    | _ ->
+      Printf.printf "  please answer a or o: %!";
+      ask ()
+  in
+  (try ask () with End_of_file -> `Accept)
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of: ping, stats, shutdown, acquire, detect, repair, validate. \
+             The last four need a $(i,FILE).")
+  in
+  let file_arg =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Input document.")
+  in
+  let auto =
+    Arg.(
+      value & flag
+      & info [ "auto" ] ~doc:"validate: accept every suggestion without prompting.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline in milliseconds.")
+  in
+  let run () addr op file kind auto deadline_ms =
+    let need_file () =
+      match file with
+      | Some path -> path
+      | None -> die "op %S needs a FILE argument" op
+    in
+    let scenario_name = function
+      | Cash_budget_s -> "cash-budget"
+      | Balance_sheet_s -> "balance-sheet"
+      | Catalog_s -> "catalog"
+      | Quarterly_s -> "quarterly"
+    in
+    Client.with_connection addr @@ fun c ->
+    let doc_op f =
+      let path = need_file () in
+      f ~scenario:(scenario_name kind) ~document:(read_file path)
+        ?format:(Some (wire_format path)) ()
+    in
+    match op with
+    | "ping" ->
+      (match Client.ping c with
+       | Ok () -> print_endline "pong"
+       | Error e -> die "%s" e)
+    | "stats" ->
+      (match Client.stats c with
+       | Ok body -> print_endline (Dart_obs.Obs.Json.to_string body)
+       | Error e -> die "%s" e)
+    | "shutdown" ->
+      (match Client.shutdown c with
+       | Ok () -> print_endline "server stopping"
+       | Error e -> die "%s" e)
+    | "acquire" ->
+      (match doc_op (Client.acquire ?deadline_ms c) with
+       | Ok body -> print_relations body
+       | Error e -> die "%s" e)
+    | "detect" ->
+      (match doc_op (Client.detect ?deadline_ms c) with
+       | Ok body -> print_endline (Dart_obs.Obs.Json.to_string body)
+       | Error e -> die "%s" e)
+    | "repair" ->
+      (match doc_op (Client.repair ?deadline_ms c) with
+       | Ok body -> print_repair_body body
+       | Error e -> die "%s" e)
+    | "validate" ->
+      let operator = if auto then Client.accept_all else interactive_wire_operator in
+      let path = need_file () in
+      (match
+         Client.validate ?deadline_ms c ~scenario:(scenario_name kind)
+           ~document:(read_file path) ~format:(wire_format path) ~operator ()
+       with
+       | Ok o ->
+         Printf.printf "status=%s iterations=%d examined=%d pins=%d\n"
+           o.Client.status o.Client.iterations o.Client.examined o.Client.pins;
+         List.iter (fun (name, csv) -> Printf.printf "-- %s\n%s" name csv) o.Client.relations;
+         if o.Client.status <> "converged" then exit 1
+       | Error e -> die "%s" e)
+    | other -> die "unknown op %S" other
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Issue requests to a running DART repair service (see $(b,serve)).")
+    Term.(
+      const run $ obs_term $ addr_arg $ op_arg $ file_arg $ scenario_arg $ auto $ deadline)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
     (Cmd.info "dart-cli" ~version:"1.0.0"
        ~doc:"DART: data acquisition and repairing tool (EDBT 2006 reproduction).")
-    [ gen_cmd; extract_cmd; check_cmd; repair_cmd; export_cmd; run_cmd ]
+    [ gen_cmd; extract_cmd; check_cmd; repair_cmd; export_cmd; run_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

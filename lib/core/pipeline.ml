@@ -58,10 +58,12 @@ let detect scenario db =
 
 let consistent scenario db = detect scenario db = []
 
-(** One-shot repair (no operator): the card-minimal repair of D. *)
-let repair scenario db =
+(** One-shot repair (no operator): the card-minimal repair of D.
+    [mapper] schedules the per-component solves (e.g. over a domain
+    pool); [max_nodes] bounds branch & bound per component. *)
+let repair ?max_nodes ?mapper scenario db =
   Obs.span "pipeline.repair" (fun () ->
-      Solver.card_minimal db scenario.Scenario.constraints)
+      Solver.card_minimal ?max_nodes ?mapper db scenario.Scenario.constraints)
 
 (** Supervised repairing: the full §6.3 validation loop. *)
 let validate scenario ?batch ?max_iterations ~operator db =

@@ -24,8 +24,12 @@ val detect :
 
 val consistent : Scenario.t -> Database.t -> bool
 
-val repair : Scenario.t -> Database.t -> Solver.result
-(** One-shot card-minimal repair (no operator). *)
+val repair :
+  ?max_nodes:int -> ?mapper:Solver.mapper -> Scenario.t -> Database.t ->
+  Solver.result
+(** One-shot card-minimal repair (no operator).  [mapper] schedules the
+    per-component solves (default sequential); [max_nodes] bounds branch
+    & bound per component. *)
 
 val validate :
   Scenario.t -> ?batch:int -> ?max_iterations:int ->

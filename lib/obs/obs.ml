@@ -308,8 +308,31 @@ let json_of_event = function
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let now_us () = Unix.gettimeofday () *. 1e6
-let now_ms () = Unix.gettimeofday () *. 1e3
+(* Monotonic-safe wall clock.  [Unix.gettimeofday] can jump backwards
+   under NTP adjustment, which would make span durations and
+   [Solver.stats.solve_ms] negative.  We keep the epoch basis (sinks
+   render human-readable timestamps from it) but never let the reported
+   time decrease: the last value handed out is kept in an [Atomic] (an
+   integer microsecond count, so compare-and-set compares by value, not
+   by boxed-float identity) and each reading is clamped to it.  Deltas
+   between two [now_us] readings are therefore always >= 0, from any
+   domain. *)
+let last_us = Atomic.make 0
+
+let now_us () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let rec clamp () =
+    let prev = Atomic.get last_us in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last_us prev t then t
+    else clamp ()
+  in
+  float_of_int (clamp ())
+
+let now_ms () = now_us () /. 1e3
+
+let elapsed_us ~since = Float.max 0.0 (now_us () -. since)
+let elapsed_ms ~since = Float.max 0.0 (now_ms () -. since)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -317,24 +340,40 @@ let now_ms () = Unix.gettimeofday () *. 1e3
 
 type sink = { emit : event -> unit; close : unit -> unit }
 
+(* The sink list is read on every instrumented call (the "is observability
+   on?" check) and mutated rarely.  Reads go through a plain ref — an
+   immutable list value is swapped in atomically enough for the OCaml
+   memory model (no tearing) — while mutations and event emission are
+   serialized by [sink_mu] so concurrent domains never interleave writes
+   inside one sink (text lines, JSONL records, the Chrome trace array). *)
 let sinks : sink list ref = ref []
+let sink_mu = Mutex.create ()
 
 let enabled () = match !sinks with [] -> false | _ :: _ -> true
 
-let install s = sinks := !sinks @ [ s ]
+let with_sink_mu f =
+  Mutex.lock sink_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_mu) f
+
+let install s = with_sink_mu (fun () -> sinks := !sinks @ [ s ])
 
 let uninstall s =
-  if List.memq s !sinks then begin
-    sinks := List.filter (fun s' -> s' != s) !sinks;
-    s.close ()
-  end
+  let close =
+    with_sink_mu (fun () ->
+        if List.memq s !sinks then begin
+          sinks := List.filter (fun s' -> s' != s) !sinks;
+          true
+        end
+        else false)
+  in
+  if close then s.close ()
 
 let close_sinks () =
-  let ss = !sinks in
-  sinks := [];
+  let ss = with_sink_mu (fun () -> let ss = !sinks in sinks := []; ss) in
   List.iter (fun s -> s.close ()) ss
 
-let emit ev = List.iter (fun s -> s.emit ev) !sinks
+let emit ev =
+  with_sink_mu (fun () -> List.iter (fun s -> s.emit ev) !sinks)
 
 let pp_attr_text (k, v) =
   let sv =
@@ -419,10 +458,17 @@ let memory_sink () =
 
 type frame = { fname : string; fstart : float; mutable fattrs : attrs; fdepth : int }
 
-let stack : frame list ref = ref []
+(* One span stack per domain: spans opened by concurrent worker domains
+   nest independently instead of corrupting a shared stack.  Threads
+   within one domain share its stack — fine for the server, whose
+   connection threads only run leaf spans. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let add_attr k v =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
 
@@ -430,6 +476,7 @@ let span ?(attrs = []) name f =
   match !sinks with
   | [] -> f ()
   | _ :: _ ->
+    let stack = stack () in
     let fr =
       { fname = name; fstart = now_us (); fattrs = List.rev attrs;
         fdepth = List.length !stack }
@@ -440,7 +487,7 @@ let span ?(attrs = []) name f =
       emit
         (Span
            { name = fr.fname; attrs = List.rev fr.fattrs; start_us = fr.fstart;
-             dur_us = now_us () -. fr.fstart; depth = fr.fdepth })
+             dur_us = elapsed_us ~since:fr.fstart; depth = fr.fdepth })
     in
     (match f () with
      | v -> finish (); v
@@ -454,27 +501,37 @@ let log ?(attrs = []) level name =
   | [] -> ()
   | _ :: _ ->
     if severity level >= severity !min_level then
-      emit (Log { level; name; attrs; ts_us = now_us (); depth = List.length !stack })
+      emit (Log { level; name; attrs; ts_us = now_us (); depth = List.length !(stack ()) })
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
 module Metrics = struct
-  type counter = { mutable count : int }
-  type gauge = { mutable gval : float }
+  (* Counters and gauges are atomics, so worker domains can bump them
+     without locks; histograms mutate several fields per observation and
+     take [mu].  Registration, snapshot and reset also take [mu] so a
+     snapshot never sees a half-registered metric. *)
+  type counter = int Atomic.t
+  type gauge = float Atomic.t
 
   type histogram = {
     bounds : float array;       (* inclusive upper bounds, increasing *)
     counts : int array;         (* length = Array.length bounds + 1 (overflow) *)
     mutable hsum : float;
     mutable hcount : int;
+    hmu : Mutex.t;
   }
 
   type metric = C of counter | G of gauge | H of histogram
 
   let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
   let order : string list ref = ref [] (* reverse registration order *)
+  let mu = Mutex.create ()
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
   let register name m =
     Hashtbl.add registry name m;
@@ -484,91 +541,106 @@ module Metrics = struct
     invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
 
   let counter name =
-    match Hashtbl.find_opt registry name with
-    | Some (C c) -> c
-    | Some _ -> kind_error name
-    | None ->
-      let c = { count = 0 } in
-      register name (C c);
-      c
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (C c) -> c
+        | Some _ -> kind_error name
+        | None ->
+          let c = Atomic.make 0 in
+          register name (C c);
+          c)
 
-  let incr c = c.count <- c.count + 1
-  let add c n = c.count <- c.count + n
-  let value c = c.count
+  let incr c = ignore (Atomic.fetch_and_add c 1)
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
 
   let gauge name =
-    match Hashtbl.find_opt registry name with
-    | Some (G g) -> g
-    | Some _ -> kind_error name
-    | None ->
-      let g = { gval = 0.0 } in
-      register name (G g);
-      g
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (G g) -> g
+        | Some _ -> kind_error name
+        | None ->
+          let g = Atomic.make 0.0 in
+          register name (G g);
+          g)
 
-  let set g v = g.gval <- v
-  let gauge_value g = g.gval
+  let set g v = Atomic.set g v
+  let gauge_value g = Atomic.get g
 
   let default_buckets =
     [| 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0 |]
 
   let histogram ?(buckets = default_buckets) name =
-    match Hashtbl.find_opt registry name with
-    | Some (H h) -> h
-    | Some _ -> kind_error name
-    | None ->
-      let bounds = Array.copy buckets in
-      Array.iteri
-        (fun i b -> if i > 0 && b <= bounds.(i - 1) then
-            invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing")
-        bounds;
-      let h =
-        { bounds; counts = Array.make (Array.length bounds + 1) 0; hsum = 0.0; hcount = 0 }
-      in
-      register name (H h);
-      h
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (H h) -> h
+        | Some _ -> kind_error name
+        | None ->
+          let bounds = Array.copy buckets in
+          Array.iteri
+            (fun i b -> if i > 0 && b <= bounds.(i - 1) then
+                invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing")
+            bounds;
+          let h =
+            { bounds; counts = Array.make (Array.length bounds + 1) 0;
+              hsum = 0.0; hcount = 0; hmu = Mutex.create () }
+          in
+          register name (H h);
+          h)
 
   let observe h v =
     let nb = Array.length h.bounds in
     let rec slot i = if i >= nb then nb else if v <= h.bounds.(i) then i else slot (i + 1) in
     let i = slot 0 in
+    Mutex.lock h.hmu;
     h.counts.(i) <- h.counts.(i) + 1;
     h.hsum <- h.hsum +. v;
-    h.hcount <- h.hcount + 1
+    h.hcount <- h.hcount + 1;
+    Mutex.unlock h.hmu
 
-  let bucket_counts h = Array.copy h.counts
+  let bucket_counts h =
+    Mutex.lock h.hmu;
+    let c = Array.copy h.counts in
+    Mutex.unlock h.hmu;
+    c
 
   let snapshot () =
+    locked @@ fun () ->
     let names = List.rev !order in
     let pick f = List.filter_map f names in
     let counters =
       pick (fun n ->
           match Hashtbl.find_opt registry n with
-          | Some (C c) -> Some (n, Json.Int c.count)
+          | Some (C c) -> Some (n, Json.Int (Atomic.get c))
           | _ -> None)
     in
     let gauges =
       pick (fun n ->
           match Hashtbl.find_opt registry n with
-          | Some (G g) -> Some (n, Json.Float g.gval)
+          | Some (G g) -> Some (n, Json.Float (Atomic.get g))
           | _ -> None)
     in
     let histograms =
       pick (fun n ->
           match Hashtbl.find_opt registry n with
           | Some (H h) ->
+            Mutex.lock h.hmu;
+            let counts = Array.copy h.counts in
+            let hsum = h.hsum and hcount = h.hcount in
+            Mutex.unlock h.hmu;
             let buckets =
-              List.init (Array.length h.counts) (fun i ->
+              List.init (Array.length counts) (fun i ->
                   Json.Obj
                     [ ("le",
                        if i < Array.length h.bounds then Json.Float h.bounds.(i)
                        else Json.Str "+inf");
-                      ("count", Json.Int h.counts.(i)) ])
+                      ("count", Json.Int counts.(i)) ])
             in
             Some
               (n,
                Json.Obj
-                 [ ("buckets", Json.List buckets); ("sum", Json.Float h.hsum);
-                   ("count", Json.Int h.hcount) ])
+                 [ ("buckets", Json.List buckets); ("sum", Json.Float hsum);
+                   ("count", Json.Int hcount) ])
           | _ -> None)
     in
     Json.Obj
@@ -576,14 +648,17 @@ module Metrics = struct
         ("histograms", Json.Obj histograms) ]
 
   let reset () =
+    locked @@ fun () ->
     Hashtbl.iter
       (fun _ m ->
         match m with
-        | C c -> c.count <- 0
-        | G g -> g.gval <- 0.0
+        | C c -> Atomic.set c 0
+        | G g -> Atomic.set g 0.0
         | H h ->
+          Mutex.lock h.hmu;
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.hsum <- 0.0;
-          h.hcount <- 0)
+          h.hcount <- 0;
+          Mutex.unlock h.hmu)
       registry
 end

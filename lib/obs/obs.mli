@@ -19,7 +19,12 @@
     directly and [log] returns immediately, so instrumented hot paths cost
     one list-emptiness check when observability is off.  Call sites that
     would allocate attribute lists on every event should guard with
-    {!enabled}. *)
+    {!enabled}.
+
+    Everything here is safe to use from multiple domains (the server's
+    worker pool relies on this): the span stack is domain-local, counters
+    and gauges are atomics, histograms and sink emission are
+    mutex-protected, and the clock is monotonic-safe. *)
 
 (** {1 Severity levels} *)
 
@@ -82,13 +87,29 @@ val json_of_event : event -> Json.t
 (** The JSON-lines representation of an event (what {!jsonl_sink} writes,
     one per line). *)
 
-(** {1 Clock} *)
+(** {1 Clock}
+
+    All timing in the repo goes through these helpers.  They read the
+    wall clock ([Unix.gettimeofday], so timestamps stay human-meaningful
+    in sinks) but are {e monotonic-safe}: the value returned never
+    decreases within the process, even if NTP steps the system clock
+    backwards, so durations computed from two readings — span durations,
+    [Solver.stats.solve_ms], server latency metrics — are always >= 0.
+    Safe to call from any domain. *)
 
 val now_us : unit -> float
-(** Wall-clock microseconds since the epoch ([Unix.gettimeofday]-based). *)
+(** Monotonic-safe wall-clock microseconds since the epoch. *)
 
 val now_ms : unit -> float
-(** Wall-clock milliseconds since the epoch. *)
+(** Monotonic-safe wall-clock milliseconds since the epoch. *)
+
+val elapsed_us : since:float -> float
+(** Microseconds elapsed since an earlier {!now_us} reading, clamped at
+    [0.0]. *)
+
+val elapsed_ms : since:float -> float
+(** Milliseconds elapsed since an earlier {!now_ms} reading, clamped at
+    [0.0]. *)
 
 (** {1 Sinks} *)
 

@@ -43,6 +43,14 @@ type result =
   | No_repair of stats               (** no repair exists (within the M bound) *)
   | Node_budget_exceeded of stats
 
+(** How to map over the connected components of one solve.  The default
+    {!sequential} is [List.map]; the server passes a domain-pool-backed
+    parallel map so independent components solve concurrently.  The
+    function must preserve list order and must not drop elements. *)
+type mapper = { map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+
+let sequential = { map = (fun f xs -> List.map f xs) }
+
 (* ------------------------------------------------------------------ *)
 (* Connected components of the ground system.                          *)
 (* ------------------------------------------------------------------ *)
@@ -130,9 +138,14 @@ let solve_component ?(max_nodes = 2_000_000) ~forced db rows =
 (** Compute a card-minimal repair for [db] w.r.t. [constraints].
 
     [forced] pins cells to exact values (operator instructions).
-    [decompose:false] disables the connected-component split (ablation). *)
+    [decompose:false] disables the connected-component split (ablation).
+    [mapper] runs the per-component solves (parallel when pool-backed).
+    Every component is solved even when one turns out infeasible — the
+    stats count all the work done — but the result constructor is decided
+    by the first failing component in component order, so the outcome is
+    independent of the mapper. *)
 let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
-    db (constraints : Agg_constraint.t list) : result =
+    ?(mapper = sequential) db (constraints : Agg_constraint.t list) : result =
   let t0 = Obs.now_ms () in
   Obs.span "repair.card_minimal" (fun () ->
   let rows = Ground.of_constraints db constraints in
@@ -148,6 +161,43 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
   if satisfied_now then Consistent
   else begin
     let comps = if decompose then components rows else [ rows ] in
+    let solve_comp comp =
+      (* Skip components already satisfied (cheap check avoids a MILP). *)
+      let comp_forced =
+        List.filter
+          (fun (cell, _) ->
+            List.exists
+              (fun r -> List.exists (fun (_, c) -> c = cell) r.Ground.terms)
+              comp)
+          forced
+      in
+      let comp_ok =
+        List.for_all (Ground.row_satisfied (Ground.db_valuation db)) comp
+        && List.for_all
+             (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
+             comp_forced
+      in
+      if comp_ok then `Satisfied
+      else
+        `Solved
+          (Obs.span "repair.component"
+             ~attrs:
+               [ ("rows", Obs.Int (List.length comp));
+                 ("cells", Obs.Int (List.length (Ground.cells comp))) ]
+             (fun () ->
+               let r = solve_component ~max_nodes ~forced:comp_forced db comp in
+               (match r with
+                | Ok (_, _, (nodes, pivots), retries)
+                | Error (`Infeasible (_, (nodes, pivots), retries))
+                | Error (`Budget (_, (nodes, pivots), retries)) ->
+                  Obs.add_attr "nodes" (Obs.Int nodes);
+                  Obs.add_attr "pivots" (Obs.Int pivots);
+                  Obs.add_attr "m_retries" (Obs.Int retries));
+               r))
+    in
+    let outcomes = mapper.map solve_comp comps in
+    (* Fold the per-component outcomes in component order: accumulate
+       stats, concatenate repairs, and let the first failure decide. *)
     let stats = ref { empty_stats with
                       components = List.length comps;
                       ground_rows = List.length rows;
@@ -160,56 +210,23 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                  simplex_pivots = !stats.simplex_pivots + pivots;
                  m_retries = !stats.m_retries + retries }
     in
-    let finish_stats () = { !stats with solve_ms = Obs.now_ms () -. t0 } in
-    let rec solve_all acc = function
+    let finish_stats () = { !stats with solve_ms = Obs.elapsed_ms ~since:t0 } in
+    let rec combine acc = function
       | [] -> Repaired (List.concat (List.rev acc), finish_stats ())
-      | comp :: rest ->
-        (* Skip components already satisfied (cheap check avoids a MILP). *)
-        let comp_forced =
-          List.filter
-            (fun (cell, _) ->
-              List.exists
-                (fun r -> List.exists (fun (_, c) -> c = cell) r.Ground.terms)
-                comp)
-            forced
-        in
-        let comp_ok =
-          List.for_all (Ground.row_satisfied (Ground.db_valuation db)) comp
-          && List.for_all
-               (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
-               comp_forced
-        in
-        if comp_ok then solve_all acc rest
-        else begin
-          let outcome =
-            Obs.span "repair.component"
-              ~attrs:
-                [ ("rows", Obs.Int (List.length comp));
-                  ("cells", Obs.Int (List.length (Ground.cells comp))) ]
-              (fun () ->
-                let r = solve_component ~max_nodes ~forced:comp_forced db comp in
-                (match r with
-                 | Ok (_, _, (nodes, pivots), retries)
-                 | Error (`Infeasible (_, (nodes, pivots), retries))
-                 | Error (`Budget (_, (nodes, pivots), retries)) ->
-                   Obs.add_attr "nodes" (Obs.Int nodes);
-                   Obs.add_attr "pivots" (Obs.Int pivots);
-                   Obs.add_attr "m_retries" (Obs.Int retries));
-                r)
-          in
-          match outcome with
-          | Ok (repair, enc, work, retries) ->
-            add_enc enc work retries;
-            solve_all (repair :: acc) rest
-          | Error (`Infeasible (enc, work, retries)) ->
-            add_enc enc work retries;
-            No_repair (finish_stats ())
-          | Error (`Budget (enc, work, retries)) ->
-            add_enc enc work retries;
-            Node_budget_exceeded (finish_stats ())
-        end
+      | `Satisfied :: rest -> combine acc rest
+      | `Solved outcome :: rest ->
+        (match outcome with
+         | Ok (repair, enc, work, retries) ->
+           add_enc enc work retries;
+           combine (repair :: acc) rest
+         | Error (`Infeasible (enc, work, retries)) ->
+           add_enc enc work retries;
+           No_repair (finish_stats ())
+         | Error (`Budget (enc, work, retries)) ->
+           add_enc enc work retries;
+           Node_budget_exceeded (finish_stats ()))
     in
-    solve_all [] comps
+    combine [] outcomes
   end)
 
 (** Involvement count of each cell: in how many ground rows its variable

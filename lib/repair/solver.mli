@@ -36,13 +36,23 @@ val components : Ground.row list -> Ground.row list list
 (** Connected components under shared-cell adjacency, in first-appearance
     order. *)
 
+type mapper = { map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list }
+(** How the per-component solves are scheduled.  Must preserve order and
+    length.  {!sequential} is [List.map]; [Dart_server.Pool.mapper] maps
+    over a domain worker pool so independent components solve in
+    parallel.  The solve result is the same either way. *)
+
+val sequential : mapper
+
 val card_minimal :
   ?decompose:bool -> ?max_nodes:int -> ?forced:(Ground.cell * Rat.t) list ->
-  Database.t -> Agg_constraint.t list -> result
+  ?mapper:mapper -> Database.t -> Agg_constraint.t list -> result
 (** Compute a card-minimal repair.  [forced] pins cells to exact values
     (the operator instructions of §6.3); [decompose:false] disables the
     component split (ablation E9a); [max_nodes] bounds branch & bound per
-    component. *)
+    component; [mapper] (default {!sequential}) schedules the component
+    solves.  Thread-safe: concurrent calls from different domains do not
+    share any mutable state. *)
 
 val involvement : Ground.row list -> (Ground.cell, int) Hashtbl.t
 (** How many ground rows each cell occurs in (drives the §6.3 display

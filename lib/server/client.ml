@@ -1,0 +1,208 @@
+(** Client side of the wire protocol: one blocking connection, plus a
+    driver that runs the whole §6.3 validation loop over a session.
+
+    Used by [dart-cli client] for scripting and CI, by the serve bench,
+    and by the protocol tests. *)
+
+module Json = Dart_obs.Obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  timeout_s : float;            (** per-response read timeout *)
+  mutable next_id : int;
+}
+
+(** Connect to a server.  [timeout_s] bounds each response wait
+    (default 60s — repairs can be slow). *)
+let connect ?(timeout_s = 60.0) (addr : Proto.addr) =
+  let fd =
+    match addr with
+    | Proto.Unix_sock path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Proto.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      fd
+  in
+  { fd; timeout_s; next_id = 1 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?timeout_s addr f =
+  let c = connect ?timeout_s addr in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+(** One raw round trip: send a JSON document, read one JSON response. *)
+let roundtrip c (req : Json.t) : (Json.t, string) result =
+  match Frame.write c.fd (Json.to_string req) with
+  | exception (Unix.Unix_error _ as e) ->
+    Error ("send failed: " ^ Printexc.to_string e)
+  | () ->
+    (match Frame.read ~timeout:c.timeout_s c.fd with
+     | Error e -> Error (Frame.read_error_to_string e)
+     | Ok payload ->
+       (match Json.of_string payload with
+        | Error msg -> Error ("malformed response: " ^ msg)
+        | Ok j -> Ok j))
+
+(** Issue [op] with [params]; an [id] is attached automatically.  [Ok]
+    is the response body iff the server answered [{"ok":true}];
+    otherwise the error carries the server's [code: message]. *)
+let rpc ?deadline_ms c ~op params : (Json.t, string) result =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  match roundtrip c (Proto.request_to_json ~id:(Json.Int id) ?deadline_ms ~op params) with
+  | Error _ as e -> e
+  | Ok resp ->
+    if Proto.response_ok resp then Ok resp
+    else
+      let code, msg = Proto.response_error resp in
+      Error
+        (Printf.sprintf "%s: %s"
+           (Option.value ~default:"error" code)
+           (Option.value ~default:"(no message)" msg))
+
+let ping c = Result.map (fun _ -> ()) (rpc c ~op:"ping" [])
+let stats c = rpc c ~op:"stats" []
+let shutdown c = Result.map (fun _ -> ()) (rpc c ~op:"shutdown" [])
+
+let doc_params ~scenario ~document ?format () =
+  [ ("scenario", Json.Str scenario); ("document", Json.Str document) ]
+  @ (match format with Some f -> [ ("format", Json.Str f) ] | None -> [])
+
+let acquire ?deadline_ms c ~scenario ~document ?format () =
+  rpc ?deadline_ms c ~op:"acquire" (doc_params ~scenario ~document ?format ())
+
+let detect ?deadline_ms c ~scenario ~document ?format () =
+  rpc ?deadline_ms c ~op:"detect" (doc_params ~scenario ~document ?format ())
+
+let repair ?deadline_ms c ~scenario ~document ?format () =
+  rpc ?deadline_ms c ~op:"repair" (doc_params ~scenario ~document ?format ())
+
+let session_open ?deadline_ms c ~scenario ~document ?format () =
+  rpc ?deadline_ms c ~op:"session/open" (doc_params ~scenario ~document ?format ())
+
+let session_next c ~session =
+  rpc c ~op:"session/next" [ ("session", Json.Str session) ]
+
+let session_decide ?deadline_ms c ~session decisions =
+  rpc ?deadline_ms c ~op:"session/decide"
+    [ ("session", Json.Str session);
+      ("decisions", Json.List (List.map Proto.decision_to_json decisions)) ]
+
+let session_close c ~session =
+  rpc c ~op:"session/close" [ ("session", Json.Str session) ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation-loop driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** What the operator sees for one suggested update. *)
+type suggestion = {
+  tid : int;
+  attr : string;
+  current : string;    (** value in the acquired instance *)
+  suggested : string;  (** value the repair proposes *)
+  tuple : string;      (** rendered tuple, to locate the source row *)
+}
+
+type operator = suggestion -> [ `Accept | `Override of string ]
+
+let accept_all : operator = fun _ -> `Accept
+
+type validate_outcome = {
+  session : string;
+  status : string;                   (** "converged" | "failed" *)
+  iterations : int;
+  examined : int;
+  pins : int;
+  relations : (string * string) list; (** relation name -> CSV, when converged *)
+}
+
+let suggestion_of_json j =
+  match
+    ( Proto.int_field j "tid", Proto.string_field j "attr",
+      Proto.string_field j "old", Proto.string_field j "new" )
+  with
+  | Some tid, Some attr, Some current, Some suggested ->
+    Some
+      { tid; attr; current; suggested;
+        tuple = Option.value ~default:"?" (Proto.string_field j "tuple") }
+  | _ -> None
+
+let relations_of_json body =
+  match Option.bind (Proto.member "relations" body) Proto.as_list with
+  | None -> []
+  | Some rels ->
+    List.filter_map
+      (fun r ->
+        match (Proto.string_field r "relation", Proto.string_field r "csv") with
+        | Some n, Some csv -> Some (n, csv)
+        | _ -> None)
+      rels
+
+let summary_of body ~session =
+  { session;
+    status = Option.value ~default:"?" (Proto.string_field body "status");
+    iterations = Option.value ~default:0 (Proto.int_field body "iterations");
+    examined = Option.value ~default:0 (Proto.int_field body "examined");
+    pins = Option.value ~default:0 (Proto.int_field body "pins");
+    relations = relations_of_json body }
+
+(** Drive a full supervised validation over the wire: open a session,
+    show every pending update to [operator], send the decisions, repeat
+    until the session converges or fails.  Mirrors
+    [Validation.run ?batch:None]. *)
+let validate ?deadline_ms ?(max_rounds = 100) c ~scenario ~document ?format
+    ~operator () : (validate_outcome, string) result =
+  match session_open ?deadline_ms c ~scenario ~document ?format () with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok body ->
+    let session =
+      Option.value ~default:"?" (Proto.string_field body "session")
+    in
+    let rec loop rounds body =
+      match Proto.string_field body "status" with
+      | Some "converged" | Some "failed" -> Ok (summary_of body ~session)
+      | _ when rounds >= max_rounds -> Error "validation did not settle"
+      | _ ->
+        (match session_next c ~session with
+         | Error _ as e -> e |> Result.map (fun _ -> assert false)
+         | Ok next_body ->
+           (match Proto.string_field next_body "status" with
+            | Some "converged" | Some "failed" -> Ok (summary_of next_body ~session)
+            | _ ->
+              let updates =
+                match
+                  Option.bind (Proto.member "updates" next_body) Proto.as_list
+                with
+                | Some us -> List.filter_map suggestion_of_json us
+                | None -> []
+              in
+              if updates = [] then Error "session pending but no updates offered"
+              else begin
+                let decisions =
+                  List.map
+                    (fun s ->
+                      { Proto.d_tid = s.tid; d_attr = s.attr;
+                        d_kind =
+                          (match operator s with
+                           | `Accept -> `Accept
+                           | `Override v -> `Override v) })
+                    updates
+                in
+                match session_decide ?deadline_ms c ~session decisions with
+                | Error _ as e -> e |> Result.map (fun _ -> assert false)
+                | Ok body -> loop (rounds + 1) body
+              end))
+    in
+    let result = loop 0 body in
+    ignore (session_close c ~session);
+    result

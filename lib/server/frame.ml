@@ -1,0 +1,95 @@
+(** Length-prefixed framing for the wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON.  The length prefix makes the stream
+    self-delimiting without any in-band escaping, so payloads can contain
+    arbitrary bytes (documents, CSV) untouched.
+
+    Reads are defensive: a length above [max_len] is reported as
+    [Oversized] {e without} reading the payload (the stream cannot be
+    resynchronized after an untrusted length, so the caller must close
+    the connection), a peer that stops mid-frame yields [Eof] or
+    [Timeout], and all syscalls retry on [EINTR]. *)
+
+type read_error =
+  | Eof                 (** peer closed (possibly mid-frame) *)
+  | Timeout             (** no complete frame before the deadline *)
+  | Oversized of int    (** declared length exceeds [max_len] *)
+
+let read_error_to_string = function
+  | Eof -> "connection closed"
+  | Timeout -> "read timeout"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+(** Send one frame.  @raise Unix.Unix_error on a broken connection. *)
+let write fd payload =
+  let n = String.length payload in
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Wait until [fd] is readable or [deadline] (absolute, seconds as given
+   by [Unix.gettimeofday]) passes.  [None] = wait forever. *)
+let wait_readable fd deadline =
+  match deadline with
+  | None -> true
+  | Some d ->
+    let rec go () =
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0.0 then false
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> go ()
+        | _ :: _, _, _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+(* Read exactly [len] bytes into [buf] at [off]; partial data followed by
+   EOF or the deadline is an error. *)
+let read_exact fd buf off len deadline =
+  let rec go off len =
+    if len = 0 then Ok ()
+    else if not (wait_readable fd deadline) then Error Timeout
+    else
+      match Unix.read fd buf off len with
+      | 0 -> Error Eof
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+(** Read one frame.  [timeout] (seconds) bounds the wait for the {e whole}
+    frame, measured from the call. *)
+let read ?timeout ?(max_len = 16 * 1024 * 1024) fd : (string, read_error) result =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 0 4 deadline with
+  | Error e -> Error e
+  | Ok () ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_len then Error (Oversized len)
+    else begin
+      let buf = Bytes.create len in
+      match read_exact fd buf 0 len deadline with
+      | Error e -> Error e
+      | Ok () -> Ok (Bytes.unsafe_to_string buf)
+    end

@@ -1,0 +1,205 @@
+(** Fixed-size domain worker pool with a bounded job queue.
+
+    Compute jobs (repairs, acquisitions, session re-solves) run on
+    [Domain.spawn]ed workers so they execute in parallel; I/O threads
+    submit jobs and wait on futures.  The queue is bounded: when it is
+    full, {!try_submit} refuses the job and the server answers [busy]
+    instead of building an unbounded backlog (explicit backpressure).
+
+    Nested parallelism is deadlock-free by construction: {!map} (used by
+    the solver to fan out connected components from {e inside} a worker)
+    never blocks on a job that no one has started.  Each future can be
+    {e claimed} exactly once — by the worker that popped it or by the
+    caller of {!map} itself — so a saturated pool degrades to inline
+    sequential execution instead of deadlocking. *)
+
+type 'a state =
+  | Pending of (unit -> 'a)   (** queued or local, not yet claimed *)
+  | Running                   (** claimed by some domain/thread *)
+  | Done of ('a, exn) result
+  | Cancelled
+
+type 'a future = {
+  mutable st : 'a state;
+  fmu : Mutex.t;
+  fcond : Condition.t;
+}
+
+type job = Job : _ future -> job
+
+type t = {
+  queue : job Queue.t;
+  capacity : int;
+  qmu : Mutex.t;
+  qcond : Condition.t;            (* signalled on enqueue and on stop *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+exception Cancelled_exn
+
+let future thunk = { st = Pending thunk; fmu = Mutex.create (); fcond = Condition.create () }
+
+(* Claim and run a future if it is still pending; no-op otherwise. *)
+let run_if_pending (Job fut) =
+  Mutex.lock fut.fmu;
+  match fut.st with
+  | Pending thunk ->
+    fut.st <- Running;
+    Mutex.unlock fut.fmu;
+    let result = try Ok (thunk ()) with e -> Error e in
+    Mutex.lock fut.fmu;
+    fut.st <- Done result;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.fmu
+  | Running | Done _ | Cancelled -> Mutex.unlock fut.fmu
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.qmu;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.qcond pool.qmu
+    done;
+    (* On shutdown, drain what is already queued, then exit. *)
+    if Queue.is_empty pool.queue then Mutex.unlock pool.qmu
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.qmu;
+      run_if_pending job;
+      loop ()
+    end
+  in
+  loop ()
+
+(** [create ~domains ~queue_capacity] spawns [domains] (>= 1) worker
+    domains.  [queue_capacity] bounds jobs waiting to start (in-flight
+    jobs do not count). *)
+let create ~domains ~queue_capacity =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
+  let pool =
+    { queue = Queue.create (); capacity = queue_capacity;
+      qmu = Mutex.create (); qcond = Condition.create (); stopping = false;
+      workers = [||] }
+  in
+  pool.workers <-
+    Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool ()));
+  pool
+
+let size pool = Array.length pool.workers
+
+(** Jobs waiting in the queue right now (queued, not yet claimed). *)
+let depth pool =
+  Mutex.lock pool.qmu;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.qmu;
+  n
+
+(* Enqueue a job if there is room; used by both submit and map. *)
+let try_enqueue pool job =
+  Mutex.lock pool.qmu;
+  if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
+    Mutex.unlock pool.qmu;
+    false
+  end
+  else begin
+    Queue.push job pool.queue;
+    Condition.signal pool.qcond;
+    Mutex.unlock pool.qmu;
+    true
+  end
+
+(** Submit a thunk; [None] when the queue is full (backpressure) or the
+    pool is shutting down. *)
+let try_submit pool thunk =
+  let fut = future thunk in
+  if try_enqueue pool (Job fut) then Some fut else None
+
+type 'a outcome = [ `Done of ('a, exn) result | `Cancelled | `Pending_or_running ]
+
+let poll fut : _ outcome =
+  Mutex.lock fut.fmu;
+  let r =
+    match fut.st with
+    | Done r -> `Done r
+    | Cancelled -> `Cancelled
+    | Pending _ | Running -> `Pending_or_running
+  in
+  Mutex.unlock fut.fmu;
+  r
+
+(** Cancel a future that has not started; [true] iff it will never run. *)
+let try_cancel fut =
+  Mutex.lock fut.fmu;
+  let cancelled =
+    match fut.st with
+    | Pending _ ->
+      fut.st <- Cancelled;
+      Condition.broadcast fut.fcond;
+      true
+    | Running | Done _ | Cancelled -> false
+  in
+  Mutex.unlock fut.fmu;
+  cancelled
+
+(* Wait for completion; if the future was never enqueued (or the pool is
+   saturated), the caller claims and runs it inline rather than blocking
+   on work nobody owns. *)
+let claim_or_await fut =
+  Mutex.lock fut.fmu;
+  match fut.st with
+  | Pending thunk ->
+    fut.st <- Running;
+    Mutex.unlock fut.fmu;
+    let result = try Ok (thunk ()) with e -> Error e in
+    Mutex.lock fut.fmu;
+    fut.st <- Done result;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.fmu;
+    result
+  | Running | Done _ | Cancelled ->
+    let rec wait () =
+      match fut.st with
+      | Done r -> Mutex.unlock fut.fmu; r
+      | Cancelled -> Mutex.unlock fut.fmu; Error Cancelled_exn
+      | Pending _ | Running ->
+        Condition.wait fut.fcond fut.fmu;
+        wait ()
+    in
+    wait ()
+
+(** Block until the future completes (running it inline if unclaimed). *)
+let await fut =
+  match claim_or_await fut with Ok v -> v | Error e -> raise e
+
+(** Parallel map over the pool, safe to call from inside a worker: order
+    and length are preserved; the calling thread helps execute items the
+    pool has no room for (or that no worker picked up yet), so nested
+    [map]s cannot deadlock.  The first exception (in list order) is
+    re-raised after every item has settled. *)
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let futs = List.map (fun x -> future (fun () -> f x)) xs in
+    (* Best effort: offer every item to the pool; refusals stay local and
+       will be claimed inline below. *)
+    List.iter (fun fut -> ignore (try_enqueue pool (Job fut))) futs;
+    let results = List.map claim_or_await futs in
+    List.map (function Ok v -> v | Error e -> raise e) results
+
+(** A {!Dart_repair.Solver.mapper} backed by this pool: connected
+    components of one repair solve in parallel. *)
+let solver_mapper pool : Dart_repair.Solver.mapper =
+  { Dart_repair.Solver.map = (fun f xs -> map pool f xs) }
+
+(** Stop accepting new jobs, drain the queue, and join the workers.
+    Futures still [Pending] when their turn comes are executed (drain
+    semantics) — cancel them first for a faster stop. *)
+let shutdown pool =
+  Mutex.lock pool.qmu;
+  pool.stopping <- true;
+  Condition.broadcast pool.qcond;
+  Mutex.unlock pool.qmu;
+  Array.iter Domain.join pool.workers

@@ -1,0 +1,221 @@
+(** The dart_server wire protocol.
+
+    Every frame (see {!Frame}) carries one JSON object.  Requests look
+    like
+
+    {v {"op":"repair","id":7,"scenario":"cash-budget","document":"...",
+        "deadline_ms":5000} v}
+
+    [op] selects the handler; [id], when present, is echoed verbatim in
+    the response so clients can pipeline; [deadline_ms] is a relative
+    per-request deadline.  Responses are [{"ok":true,...}] or
+    [{"ok":false,"error":{"code":...,"message":...}}].
+
+    Ops: [ping], [stats], [acquire], [detect], [repair],
+    [session/open], [session/next], [session/decide], [session/close],
+    [shutdown].
+
+    Values of database cells travel as strings in {!Value.to_string}
+    form and are re-parsed against the schema domain on the server, so
+    integers, exact rationals and strings all round-trip losslessly.
+    Repair responses are fully deterministic for a given input (solver
+    wall-clock time is deliberately {e not} on the wire), so a client can
+    compare two servers' answers — or a server's answer against an
+    in-process solve — byte for byte. *)
+
+open Dart_relational
+open Dart_repair
+module Json = Dart_obs.Obs.Json
+
+(** Where a server listens / a client connects. *)
+type addr =
+  | Unix_sock of string        (** path of a Unix-domain socket *)
+  | Tcp of string * int        (** host, port *)
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+(* ------------------------------------------------------------------ *)
+(* JSON accessors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
+let as_string = function Json.Str s -> Some s | _ -> None
+let as_int = function Json.Int i -> Some i | _ -> None
+let as_float = function Json.Float f -> Some f | Json.Int i -> Some (float_of_int i) | _ -> None
+let as_list = function Json.List l -> Some l | _ -> None
+let as_bool = function Json.Bool b -> Some b | _ -> None
+
+let string_field j k = Option.bind (member k j) as_string
+let int_field j k = Option.bind (member k j) as_int
+let float_field j k = Option.bind (member k j) as_float
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  op : string;
+  id : Json.t option;          (** echoed verbatim in the response *)
+  deadline_ms : float option;  (** relative deadline for heavy ops *)
+  body : Json.t;               (** the whole request object *)
+}
+
+let request_of_json j : (request, string) result =
+  match j with
+  | Json.Obj _ ->
+    (match string_field j "op" with
+     | None -> Error "request must carry a string \"op\" field"
+     | Some op ->
+       Ok { op; id = member "id" j; deadline_ms = float_field j "deadline_ms"; body = j })
+  | _ -> Error "request must be a JSON object"
+
+let request_to_json ?id ?deadline_ms ~op params =
+  Json.Obj
+    (("op", Json.Str op)
+     :: (match id with Some i -> [ ("id", i) ] | None -> [])
+     @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+     @ params)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Machine-readable error codes (the [error.code] field). *)
+type error_code =
+  | Parse_error          (** payload is not valid JSON / not a request *)
+  | Bad_request          (** missing or ill-typed parameters *)
+  | Unknown_op
+  | Unknown_scenario
+  | Unknown_session      (** never opened, closed, or TTL-evicted *)
+  | Busy                 (** worker queue full — retry later *)
+  | Deadline_exceeded
+  | Oversized_frame
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Unknown_scenario -> "unknown_scenario"
+  | Unknown_session -> "unknown_session"
+  | Busy -> "busy"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Oversized_frame -> "oversized_frame"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let with_id id fields =
+  match id with Some i -> ("id", i) :: fields | None -> fields
+
+let ok ?id fields = Json.Obj (with_id id (("ok", Json.Bool true) :: fields))
+
+let error ?id code message =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool false);
+         ("error",
+          Json.Obj
+            [ ("code", Json.Str (error_code_to_string code));
+              ("message", Json.Str message) ]) ])
+
+let response_ok j = member "ok" j = Some (Json.Bool true)
+
+let response_error j =
+  match member "error" j with
+  | Some e -> (string_field e "code", string_field e "message")
+  | None -> (None, None)
+
+(* ------------------------------------------------------------------ *)
+(* Domain payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Relations of a database instance as named CSV blocks. *)
+let relations_json db =
+  Json.List
+    (List.map
+       (fun rel ->
+         Json.Obj
+           [ ("relation", Json.Str rel); ("csv", Json.Str (Csv.of_relation db rel)) ])
+       (Schema.relation_names (Database.schema db)))
+
+let update_json db (u : Update.t) =
+  let old =
+    match Database.find db u.Update.tid with
+    | tu ->
+      let rs = Schema.relation (Database.schema db) (Tuple.relation tu) in
+      Value.to_string (Tuple.value_by_name rs tu u.Update.attr)
+    | exception Not_found -> "?"
+  in
+  Json.Obj
+    [ ("tid", Json.Int u.Update.tid); ("attr", Json.Str u.Update.attr);
+      ("old", Json.Str old); ("new", Json.Str (Value.to_string u.Update.new_value)) ]
+
+(* solve_ms is intentionally omitted: everything on the wire is a pure
+   function of the input, so responses are comparable byte-for-byte. *)
+let stats_json (s : Solver.stats) =
+  Json.Obj
+    [ ("components", Json.Int s.Solver.components);
+      ("milp_vars", Json.Int s.Solver.milp_vars);
+      ("milp_rows", Json.Int s.Solver.milp_rows);
+      ("nodes", Json.Int s.Solver.nodes);
+      ("simplex_pivots", Json.Int s.Solver.simplex_pivots);
+      ("m_retries", Json.Int s.Solver.m_retries);
+      ("ground_rows", Json.Int s.Solver.ground_rows);
+      ("cells", Json.Int s.Solver.cells) ]
+
+(** The [repair] response payload for a solver result — used by the
+    server and by clients/tests that re-solve in process to compare. *)
+let repair_fields ~rows db (result : Solver.result) =
+  match result with
+  | Solver.Consistent -> [ ("status", Json.Str "consistent") ]
+  | Solver.Repaired (rho, stats) ->
+    [ ("status", Json.Str "repaired");
+      ("updates",
+       Json.List (List.map (update_json db) (Solver.display_order rows rho)));
+      ("stats", stats_json stats) ]
+  | Solver.No_repair stats ->
+    [ ("status", Json.Str "no_repair"); ("stats", stats_json stats) ]
+  | Solver.Node_budget_exceeded stats ->
+    [ ("status", Json.Str "node_budget_exceeded"); ("stats", stats_json stats) ]
+
+(** One suggested update awaiting an operator decision ([session/next]). *)
+let suggestion_json db (u : Update.t) =
+  match update_json db u with
+  | Json.Obj fields ->
+    let tuple =
+      match Database.find db u.Update.tid with
+      | tu -> Tuple.to_string tu
+      | exception Not_found -> "?"
+    in
+    Json.Obj (fields @ [ ("tuple", Json.Str tuple) ])
+  | j -> j
+
+(** An operator decision as sent by the client.  [`Override] carries the
+    actual source value in {!Value.to_string} form; the server re-parses
+    it against the cell's schema domain. *)
+type decision_wire = {
+  d_tid : int;
+  d_attr : string;
+  d_kind : [ `Accept | `Override of string ];
+}
+
+let decision_to_json d =
+  Json.Obj
+    (("tid", Json.Int d.d_tid) :: ("attr", Json.Str d.d_attr)
+     ::
+     (match d.d_kind with
+      | `Accept -> [ ("decision", Json.Str "accept") ]
+      | `Override v -> [ ("decision", Json.Str "override"); ("value", Json.Str v) ]))
+
+let decision_of_json j : (decision_wire, string) result =
+  match (int_field j "tid", string_field j "attr", string_field j "decision") with
+  | Some d_tid, Some d_attr, Some "accept" -> Ok { d_tid; d_attr; d_kind = `Accept }
+  | Some d_tid, Some d_attr, Some "override" ->
+    (match string_field j "value" with
+     | Some v -> Ok { d_tid; d_attr; d_kind = `Override v }
+     | None -> Error "override decision must carry a \"value\"")
+  | _, _, Some other -> Error (Printf.sprintf "unknown decision %S" other)
+  | _ -> Error "decision must carry \"tid\", \"attr\" and \"decision\""

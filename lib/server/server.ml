@@ -1,0 +1,540 @@
+(** The DART repair service.
+
+    Threading model (see DESIGN.md §7):
+
+    {ul
+    {- the {e accept loop} runs on one thread: [select] on the listening
+       socket plus a self-pipe (so signals and {!stop} wake it), accepts
+       connections, and sweeps expired sessions once a second;}
+    {- each connection gets a lightweight {e I/O thread} that reads
+       frames, parses requests and writes responses — it never does
+       solver work;}
+    {- heavy requests (acquire/detect/repair/session solves) are
+       submitted to a fixed-size {e domain worker pool} ({!Pool}); a full
+       queue yields an immediate [busy] error (backpressure) and a
+       request whose [deadline_ms] passes before completion yields
+       [deadline_exceeded];}
+    {- [SIGINT]/[SIGTERM] (or a [shutdown] request) trigger a graceful
+       stop: stop accepting, answer [shutting_down] to new frames, drain
+       in-flight work, then join the pool.}}
+
+    Within one [repair] or session re-solve, independent connected
+    components of the ground system also fan out over the same pool via
+    {!Solver.mapper}, so a single big request still uses every domain. *)
+
+open Dart_relational
+open Dart_constraints
+open Dart
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  addr : Proto.addr;
+  domains : int;                  (** worker pool size (>= 1) *)
+  queue_capacity : int;           (** bounded job queue -> [busy] beyond *)
+  session_ttl_s : float;          (** idle sessions evicted after this *)
+  max_sessions : int;
+  max_frame_bytes : int;
+  idle_timeout_s : float;         (** close connections idle this long *)
+  drain_timeout_s : float;        (** max wait for in-flight work on stop *)
+  max_nodes : int;                (** branch & bound budget per component *)
+  max_iterations : int;           (** validation loop guard per session *)
+  scenarios : (string * Scenario.t) list;
+}
+
+let default_config ?(scenarios = []) addr =
+  { addr;
+    domains = max 1 (min 8 (Domain.recommended_domain_count () - 1));
+    queue_capacity = 64; session_ttl_s = 600.0; max_sessions = 256;
+    max_frame_bytes = 16 * 1024 * 1024; idle_timeout_s = 300.0;
+    drain_timeout_s = 30.0; max_nodes = 2_000_000; max_iterations = 50;
+    scenarios }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let m_requests = Obs.Metrics.counter "server.requests"
+let m_errors = Obs.Metrics.counter "server.errors"
+let m_busy = Obs.Metrics.counter "server.busy_rejections"
+let m_deadline = Obs.Metrics.counter "server.deadline_exceeded"
+let m_conn_total = Obs.Metrics.counter "server.connections_total"
+let g_connections = Obs.Metrics.gauge "server.connections"
+let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
+let g_sessions = Obs.Metrics.gauge "server.sessions"
+let h_latency = Obs.Metrics.histogram "server.latency_ms"
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  store : Session.Store.t;
+  stopping : bool Atomic.t;
+  active_conns : int Atomic.t;
+  started_at_ms : float;
+  wake_r : Unix.file_descr;       (* self-pipe: wakes the accept select *)
+  wake_w : Unix.file_descr;
+  mutable listen_fd : Unix.file_descr option;
+  mutable accept_thread : Thread.t option;
+}
+
+let create cfg =
+  if cfg.scenarios = [] then invalid_arg "Server.create: no scenarios registered";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  { cfg;
+    pool = Pool.create ~domains:cfg.domains ~queue_capacity:cfg.queue_capacity;
+    store =
+      Session.Store.create ~ttl_ms:(cfg.session_ttl_s *. 1000.0)
+        ~max_sessions:cfg.max_sessions ();
+    stopping = Atomic.make false; active_conns = Atomic.make 0;
+    started_at_ms = Obs.now_ms (); wake_r; wake_w; listen_fd = None;
+    accept_thread = None }
+
+let stopping t = Atomic.get t.stopping
+
+(** Request a graceful stop (idempotent, async-signal-safe). *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* Wake the accept loop; EAGAIN/EPIPE are fine (already awake/closed). *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  (* A client vanishing mid-write must not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------------ *)
+(* Request handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Reply of Json.t
+(* Handlers raise [Reply] for early error exits; [dispatch] catches it. *)
+
+let reply_error ?id code msg = raise (Reply (Proto.error ?id code msg))
+
+let scenario_of t req =
+  match Proto.string_field req.Proto.body "scenario" with
+  | None -> reply_error ?id:req.Proto.id Proto.Bad_request "missing \"scenario\""
+  | Some name ->
+    (match List.assoc_opt name t.cfg.scenarios with
+     | Some s -> s
+     | None ->
+       reply_error ?id:req.Proto.id Proto.Unknown_scenario
+         (Printf.sprintf "unknown scenario %S (have: %s)" name
+            (String.concat ", " (List.map fst t.cfg.scenarios))))
+
+let format_of req =
+  match Proto.string_field req.Proto.body "format" with
+  | None | Some "html" -> Convert.Html
+  | Some "csv" -> Convert.Csv
+  | Some "tsv" -> Convert.Tsv
+  | Some "fixed" -> Convert.Fixed_width
+  | Some other ->
+    reply_error ?id:req.Proto.id Proto.Bad_request
+      (Printf.sprintf "unknown format %S (html|csv|tsv|fixed)" other)
+
+let document_of req =
+  match Proto.string_field req.Proto.body "document" with
+  | Some d -> d
+  | None -> reply_error ?id:req.Proto.id Proto.Bad_request "missing \"document\""
+
+let acquire_db t req =
+  let scenario = scenario_of t req in
+  let text = document_of req in
+  let format = format_of req in
+  (scenario, Pipeline.acquire scenario ~format text)
+
+let handle_acquire t req =
+  let _scenario, acq = acquire_db t req in
+  Proto.ok ?id:req.Proto.id
+    [ ("relations", Proto.relations_json acq.Pipeline.db);
+      ("rows_matched",
+       Json.Int (List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.instances));
+      ("tuples", Json.Int (Database.cardinality acq.Pipeline.db)) ]
+
+let handle_detect t req =
+  let scenario, acq = acquire_db t req in
+  let violated = Pipeline.detect scenario acq.Pipeline.db in
+  Proto.ok ?id:req.Proto.id
+    [ ("consistent", Json.Bool (violated = []));
+      ("violations",
+       Json.List
+         (List.map
+            (fun (k, thetas) ->
+              Json.Obj
+                [ ("constraint", Json.Str k.Agg_constraint.name);
+                  ("groundings", Json.Int (List.length thetas)) ])
+            violated)) ]
+
+let handle_repair t req =
+  let scenario, acq = acquire_db t req in
+  let db = acq.Pipeline.db in
+  let rows = Ground.of_constraints db scenario.Scenario.constraints in
+  let result =
+    Pipeline.repair ~mapper:(Pool.solver_mapper t.pool) ~max_nodes:t.cfg.max_nodes
+      scenario db
+  in
+  Proto.ok ?id:req.Proto.id (Proto.repair_fields ~rows db result)
+
+(* The session summary common to open/decide/next responses. *)
+let session_fields (s : Session.t) =
+  let status, extra =
+    match s.Session.phase with
+    | Session.Proposing rho ->
+      ("pending",
+       [ ("pending", Json.Int (List.length (Session.pending_of s rho))) ])
+    | Session.Converged db ->
+      ("converged", [ ("relations", Proto.relations_json db) ])
+    | Session.Failed why -> ("failed", [ ("reason", Json.Str why) ])
+  in
+  ("session", Json.Str s.Session.id) :: ("status", Json.Str status) :: extra
+  @ [ ("iterations", Json.Int s.Session.iterations);
+      ("examined", Json.Int s.Session.examined);
+      ("pins", Json.Int (List.length s.Session.pins)) ]
+
+let handle_session_open t req =
+  let scenario, acq = acquire_db t req in
+  let max_iterations =
+    Option.value ~default:t.cfg.max_iterations
+      (Proto.int_field req.Proto.body "max_iterations")
+  in
+  let id = Session.Store.fresh_id t.store in
+  let s =
+    Session.create ~id ~scenario ~db:acq.Pipeline.db ~max_nodes:t.cfg.max_nodes
+      ~max_iterations ~mapper:(Pool.solver_mapper t.pool) ~now_ms:(Obs.now_ms ())
+      ~ttl_ms:(Session.Store.ttl_ms t.store) ()
+  in
+  (match Session.Store.put t.store s with
+   | Ok () -> ()
+   | Error msg -> reply_error ?id:req.Proto.id Proto.Busy msg);
+  Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+  Proto.ok ?id:req.Proto.id (session_fields s)
+
+let find_session t req =
+  match Proto.string_field req.Proto.body "session" with
+  | None -> reply_error ?id:req.Proto.id Proto.Bad_request "missing \"session\""
+  | Some sid ->
+    (match Session.Store.find t.store sid with
+     | Some s -> s
+     | None ->
+       reply_error ?id:req.Proto.id Proto.Unknown_session
+         (Printf.sprintf "unknown session %S (closed or expired?)" sid))
+
+let handle_session_next t req =
+  let s = find_session t req in
+  let updates = Session.pending s in
+  Proto.ok ?id:req.Proto.id
+    (session_fields s
+     @ [ ("updates",
+          Json.List (List.map (Proto.suggestion_json s.Session.db) updates)) ])
+
+let handle_session_decide t req =
+  let s = find_session t req in
+  let decisions =
+    match Option.bind (Proto.member "decisions" req.Proto.body) Proto.as_list with
+    | None ->
+      reply_error ?id:req.Proto.id Proto.Bad_request "missing \"decisions\" array"
+    | Some ds ->
+      List.map
+        (fun d ->
+          match Proto.decision_of_json d with
+          | Ok d -> d
+          | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg)
+        ds
+  in
+  match Session.decide ~mapper:(Pool.solver_mapper t.pool) s decisions with
+  | Ok _phase -> Proto.ok ?id:req.Proto.id (session_fields s)
+  | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg
+
+let handle_session_close t req =
+  match Proto.string_field req.Proto.body "session" with
+  | None -> reply_error ?id:req.Proto.id Proto.Bad_request "missing \"session\""
+  | Some sid ->
+    let existed = Session.Store.close t.store sid in
+    Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+    Proto.ok ?id:req.Proto.id [ ("closed", Json.Bool existed) ]
+
+let handle_stats t req =
+  Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
+  Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+  Proto.ok ?id:req.Proto.id
+    [ ("server",
+       Json.Obj
+         [ ("uptime_ms", Json.Float (Obs.elapsed_ms ~since:t.started_at_ms));
+           ("domains", Json.Int (Pool.size t.pool));
+           ("queue_depth", Json.Int (Pool.depth t.pool));
+           ("connections", Json.Int (Atomic.get t.active_conns));
+           ("sessions", Json.Int (Session.Store.count t.store)) ]);
+      ("metrics", Obs.Metrics.snapshot ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Heavy handlers run on the worker pool; the connection thread waits,
+   polling cheaply, until completion or the request's deadline. *)
+let run_on_pool t req handler =
+  let deadline =
+    Option.map (fun d -> Obs.now_ms () +. Float.max 0.0 d) req.Proto.deadline_ms
+  in
+  match Pool.try_submit t.pool (fun () -> handler t req) with
+  | None ->
+    Obs.Metrics.incr m_busy;
+    Proto.error ?id:req.Proto.id Proto.Busy
+      (Printf.sprintf "worker queue full (%d jobs); retry later"
+         t.cfg.queue_capacity)
+  | Some fut ->
+    Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
+    let rec wait () =
+      match Pool.poll fut with
+      | `Done (Ok resp) -> resp
+      | `Done (Error (Reply resp)) -> resp
+      | `Done (Error e) ->
+        Proto.error ?id:req.Proto.id Proto.Internal (Printexc.to_string e)
+      | `Cancelled ->
+        Obs.Metrics.incr m_deadline;
+        Proto.error ?id:req.Proto.id Proto.Deadline_exceeded
+          "deadline exceeded while queued"
+      | `Pending_or_running ->
+        (match deadline with
+         | Some d when Obs.now_ms () > d ->
+           (* If still queued we can cancel outright; if running we let
+              the job finish in the background (its session effects
+              stand) but answer the client now. *)
+           if Pool.try_cancel fut then wait ()
+           else begin
+             Obs.Metrics.incr m_deadline;
+             Proto.error ?id:req.Proto.id Proto.Deadline_exceeded
+               "deadline exceeded during solve"
+           end
+         | _ ->
+           Thread.delay 0.0005;
+           wait ())
+    in
+    wait ()
+
+let dispatch t req =
+  match req.Proto.op with
+  | "ping" -> Proto.ok ?id:req.Proto.id [ ("pong", Json.Bool true) ]
+  | "stats" -> handle_stats t req
+  | "shutdown" ->
+    stop t;
+    Proto.ok ?id:req.Proto.id [ ("stopping", Json.Bool true) ]
+  | "session/next" -> handle_session_next t req
+  | "session/close" -> handle_session_close t req
+  | "acquire" -> run_on_pool t req handle_acquire
+  | "detect" -> run_on_pool t req handle_detect
+  | "repair" -> run_on_pool t req handle_repair
+  | "session/open" -> run_on_pool t req handle_session_open
+  | "session/decide" -> run_on_pool t req handle_session_decide
+  | other ->
+    Proto.error ?id:req.Proto.id Proto.Unknown_op
+      (Printf.sprintf "unknown op %S" other)
+
+(* Parse one frame payload and produce the response document. *)
+let process t payload =
+  let t0 = Obs.now_ms () in
+  let resp, op =
+    match Json.of_string payload with
+    | Error msg -> (Proto.error Proto.Parse_error msg, "<parse>")
+    | Ok j ->
+      (match Proto.request_of_json j with
+       | Error msg -> (Proto.error ?id:(Proto.member "id" j) Proto.Parse_error msg, "<parse>")
+       | Ok req ->
+         let resp =
+           Obs.span "server.request" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
+             (fun () ->
+               try dispatch t req with
+               | Reply resp -> resp
+               | e -> Proto.error ?id:req.Proto.id Proto.Internal (Printexc.to_string e))
+         in
+         (resp, req.Proto.op))
+  in
+  Obs.Metrics.incr m_requests;
+  let dt = Obs.elapsed_ms ~since:t0 in
+  Obs.Metrics.observe h_latency dt;
+  if not (Proto.response_ok resp) then Obs.Metrics.incr m_errors;
+  if Obs.enabled () then
+    Obs.log Obs.Debug "server.response"
+      ~attrs:[ ("op", Obs.Str op); ("ms", Obs.Float dt) ];
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Wait for the next frame in short select slices, so the thread notices
+   [stop] promptly (bounded drain) while honouring the idle timeout.  The
+   actual frame read only starts once bytes are available: a timeout
+   mid-frame means the peer is trickling or stuck, and since a
+   length-prefixed stream cannot be resynchronized we close rather than
+   retry on a misaligned stream. *)
+let read_request t fd =
+  let idle_deadline = Obs.now_ms () +. (t.cfg.idle_timeout_s *. 1000.0) in
+  let rec go () =
+    if stopping t then `Stop
+    else
+      match Unix.select [ fd ] [] [] 0.5 with
+      | [], _, _ -> if Obs.now_ms () > idle_deadline then `Idle else go ()
+      | _ :: _, _, _ ->
+        let budget_s =
+          Float.max 0.05 ((idle_deadline -. Obs.now_ms ()) /. 1000.0)
+        in
+        (match Frame.read ~timeout:budget_s ~max_len:t.cfg.max_frame_bytes fd with
+         | Ok payload -> `Request payload
+         | Error Frame.Timeout -> `Idle
+         | Error Frame.Eof -> `Eof
+         | Error (Frame.Oversized n) -> `Oversized n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let send fd json =
+  try Frame.write fd (Json.to_string json); true
+  with Unix.Unix_error _ | Sys_error _ -> false
+
+let handle_connection t fd =
+  Obs.Metrics.incr m_conn_total;
+  Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+  let rec serve () =
+    match read_request t fd with
+    | `Eof | `Idle -> ()
+    | `Stop ->
+      (* Refuse new work during drain, politely. *)
+      ignore (send fd (Proto.error Proto.Shutting_down "server is shutting down"))
+    | `Oversized n ->
+      (* The stream cannot be resynchronized after an untrusted length:
+         answer once, then close. *)
+      ignore
+        (send fd
+           (Proto.error Proto.Oversized_frame
+              (Printf.sprintf "frame of %d bytes exceeds limit %d" n
+                 t.cfg.max_frame_bytes)))
+    | `Request payload ->
+      let resp = process t payload in
+      (* After answering the in-flight request, a draining server closes
+         instead of reading further frames. *)
+      if send fd resp && not (stopping t) then serve ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Atomic.fetch_and_add t.active_conns (-1));
+      Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns)))
+    serve
+
+(* ------------------------------------------------------------------ *)
+(* Listening and lifecycle                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listener cfg =
+  match cfg.addr with
+  | Proto.Unix_sock path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    fd
+  | Proto.Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 128;
+    fd
+
+(** The bound address — useful with [Tcp (host, 0)] (ephemeral port). *)
+let bound_addr t =
+  match t.listen_fd with
+  | None -> t.cfg.addr
+  | Some fd ->
+    (match Unix.getsockname fd with
+     | Unix.ADDR_UNIX path -> Proto.Unix_sock path
+     | Unix.ADDR_INET (inet, port) -> Proto.Tcp (Unix.string_of_inet_addr inet, port))
+
+let accept_loop t fd =
+  let last_sweep = ref (Obs.now_ms ()) in
+  let rec loop () =
+    if stopping t then ()
+    else begin
+      (match Unix.select [ fd; t.wake_r ] [] [] 1.0 with
+       | readable, _, _ ->
+         if List.memq t.wake_r readable then begin
+           let buf = Bytes.create 16 in
+           ignore (try Unix.read t.wake_r buf 0 16 with Unix.Unix_error _ -> 0)
+         end;
+         if List.memq fd readable && not (stopping t) then begin
+           match Unix.accept ~cloexec:true fd with
+           | conn_fd, _ ->
+             (match t.cfg.addr with
+              | Proto.Tcp _ ->
+                (try Unix.setsockopt conn_fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ())
+              | Proto.Unix_sock _ -> ());
+             ignore (Atomic.fetch_and_add t.active_conns 1);
+             ignore (Thread.create (fun () -> handle_connection t conn_fd) ())
+           | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+         end
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      if Obs.elapsed_ms ~since:!last_sweep > 1000.0 then begin
+        last_sweep := Obs.now_ms ();
+        let evicted = Session.Store.sweep t.store in
+        if evicted > 0 && Obs.enabled () then
+          Obs.log Obs.Info "server.sessions_evicted"
+            ~attrs:[ ("count", Obs.Int evicted) ];
+        Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+        Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool))
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match t.cfg.addr with
+   | Proto.Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | Proto.Tcp _ -> ())
+
+(** Bind and start accepting (non-blocking; see {!wait}). *)
+let start t =
+  if t.accept_thread <> None then invalid_arg "Server.start: already started";
+  let fd = bind_listener t.cfg in
+  t.listen_fd <- Some fd;
+  if Obs.enabled () then
+    Obs.log Obs.Info "server.listening"
+      ~attrs:
+        [ ("addr", Obs.Str (Proto.addr_to_string (bound_addr t)));
+          ("domains", Obs.Int t.cfg.domains);
+          ("queue", Obs.Int t.cfg.queue_capacity) ];
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t fd) ())
+
+(** Wait for shutdown: joins the accept loop, drains connections (up to
+    [drain_timeout_s]), then joins the worker pool. *)
+let wait t =
+  (match t.accept_thread with
+   | None -> invalid_arg "Server.wait: not started"
+   | Some th -> Thread.join th);
+  let drain_deadline = Obs.now_ms () +. (t.cfg.drain_timeout_s *. 1000.0) in
+  while Atomic.get t.active_conns > 0 && Obs.now_ms () < drain_deadline do
+    Thread.delay 0.01
+  done;
+  Pool.shutdown t.pool;
+  if Obs.enabled () then
+    Obs.log Obs.Info "server.stopped"
+      ~attrs:[ ("undrained_connections", Obs.Int (Atomic.get t.active_conns)) ]
+
+(** [run t] = {!start} + {!wait}: serve until a signal / [shutdown]. *)
+let run t =
+  start t;
+  wait t

@@ -19,4 +19,5 @@ let () =
       ("cqa", Test_cqa.suite);
       ("convert", Test_convert.suite);
       ("quarterly", Test_quarterly.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("server", Test_server.suite) ]
