@@ -28,7 +28,7 @@ let run_decomposition () =
               Solver.card_minimal ~decompose:false corrupted Cash_budget.constraints)
         in
         let stats = function
-          | Solver.Repaired (rho, s) ->
+          | Solver.Repaired (rho, _, s) ->
             (string_of_int (Repair.cardinality rho), s.Solver.nodes, s.Solver.components)
           | Solver.Consistent -> ("0", 0, 0)
           | _ -> ("-", 0, 0)
@@ -115,7 +115,7 @@ let run_field () =
         let float_card, t_float = Report.time (fun () -> Float_encode.solve corrupted ground) in
         let exact_card =
           match exact with
-          | Solver.Repaired (rho, _) -> string_of_int (Repair.cardinality rho)
+          | Solver.Repaired (rho, _, _) -> string_of_int (Repair.cardinality rho)
           | Solver.Consistent -> "0"
           | _ -> "-"
         in

@@ -1,0 +1,175 @@
+(* fault — resilience characteristics of the solve path.
+
+   Two measurements, written to BENCH_fault.json:
+
+   1. Deadline -> abort latency.  A single-domain server is driven with
+      heavy repair requests (24-year noisy cash-budget documents) whose
+      [deadline_ms] is far below the full solve time.  For each request
+      we record the overshoot: how long after the deadline the client
+      had its answer (degraded repair or deadline_exceeded).  The
+      acceptance bound is 250 ms at p95.
+
+   2. Degraded-vs-exact objective gap.  The same seeded instances are
+      solved exactly (unbounded B&B) and degraded (max_nodes=1, which
+      forces the anytime ladder: incumbent or greedy fallback).  The gap
+      is the extra repair cardinality paid for answering early; greedy
+      is a feasibility heuristic, so gaps are expected but bounded. *)
+
+open Dart
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+open Dart_server
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let out_file = "BENCH_fault.json"
+
+let heavy_doc seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:24 prng in
+  let channel =
+    { Dart_ocr.Noise.numeric_rate = 0.15; string_rate = 0.0; char_rate = 0.1 }
+  in
+  fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let scenarios = [ ("cash-budget", Budget_scenario.scenario) ]
+
+(* ------------------------------------------------------------------ *)
+(* 1. Deadline -> abort latency over the wire                          *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_ms = 100.0
+let deadline_requests = 12
+
+let measure_deadline_abort () =
+  let path = Printf.sprintf "/tmp/dart-fault-%d.sock" (Unix.getpid ()) in
+  let cfg = Server.default_config ~scenarios (Proto.Unix_sock path) in
+  let cfg = { cfg with Server.domains = 1; queue_capacity = 16 } in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Client.with_connection ~timeout_s:120.0 (Proto.Unix_sock path) (fun c ->
+          let overshoots = Array.make deadline_requests 0.0 in
+          let degraded = ref 0 and exceeded = ref 0 and exact = ref 0 in
+          for i = 0 to deadline_requests - 1 do
+            let document = heavy_doc (500 + i) in
+            let t0 = Obs.now_ms () in
+            let r =
+              Client.repair ~deadline_ms c ~scenario:"cash-budget" ~document ()
+            in
+            let elapsed = Obs.elapsed_ms ~since:t0 in
+            overshoots.(i) <- Float.max 0.0 (elapsed -. deadline_ms);
+            (match r with
+             | Ok body ->
+               (match Proto.string_field body "provenance" with
+                | Some ("incumbent" | "greedy_fallback") -> incr degraded
+                | _ -> incr exact)
+             | Error _ -> incr exceeded)
+          done;
+          Array.sort compare overshoots;
+          let p50 = percentile overshoots 50.0 in
+          let p95 = percentile overshoots 95.0 in
+          Printf.printf
+            "  deadline=%.0fms over %d requests: overshoot p50=%.1fms p95=%.1fms \
+             (%d degraded, %d deadline_exceeded, %d exact)\n%!"
+            deadline_ms deadline_requests p50 p95 !degraded !exceeded !exact;
+          Json.Obj
+            [ ("deadline_ms", Json.Float deadline_ms);
+              ("requests", Json.Int deadline_requests);
+              ("abort_overshoot_p50_ms", Json.Float p50);
+              ("abort_overshoot_p95_ms", Json.Float p95);
+              ("degraded_responses", Json.Int !degraded);
+              ("deadline_exceeded_responses", Json.Int !exceeded);
+              ("exact_responses", Json.Int !exact);
+              ("acceptance_bound_ms", Json.Float 250.0);
+              ("within_bound", Json.Bool (p95 <= 250.0)) ]))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Degraded-vs-exact objective gap                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gap_seeds = [ 700; 701; 702; 703; 704; 705; 706; 707 ]
+
+let gap_instance seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:4 prng in
+  let corrupted, _log = Cash_budget.corrupt ~errors:3 prng truth in
+  corrupted
+
+let cardinality_of = function
+  | Solver.Repaired (rho, prov, _) -> Some (Repair.cardinality rho, prov)
+  | Solver.Consistent -> Some (0, Solver.Exact)
+  | Solver.No_repair _ | Solver.Node_budget_exceeded _ | Solver.Cancelled _ ->
+    None
+
+let measure_objective_gap () =
+  let constraints = Cash_budget.constraints in
+  let per_instance =
+    List.filter_map
+      (fun seed ->
+        let db = gap_instance seed in
+        let exact = Solver.card_minimal db constraints in
+        let degraded = Solver.card_minimal ~max_nodes:1 db constraints in
+        match (cardinality_of exact, cardinality_of degraded) with
+        | Some (c_exact, _), Some (c_deg, prov) ->
+          Some
+            ( seed, c_exact, c_deg,
+              Solver.provenance_to_string prov )
+        | _ -> None)
+      gap_seeds
+  in
+  let gaps = List.map (fun (_, e, d, _) -> d - e) per_instance in
+  let n = List.length gaps in
+  let mean =
+    if n = 0 then 0.0
+    else float_of_int (List.fold_left ( + ) 0 gaps) /. float_of_int n
+  in
+  let worst = List.fold_left max 0 gaps in
+  Printf.printf
+    "  objective gap over %d instances: mean +%.2f updates, worst +%d\n%!" n mean
+    worst;
+  Json.Obj
+    [ ("instances", Json.Int n);
+      ("mean_extra_updates", Json.Float mean);
+      ("max_extra_updates", Json.Int worst);
+      ("per_instance",
+       Json.List
+         (List.map
+            (fun (seed, e, d, prov) ->
+              Json.Obj
+                [ ("seed", Json.Int seed);
+                  ("exact_cardinality", Json.Int e);
+                  ("degraded_cardinality", Json.Int d);
+                  ("degraded_provenance", Json.Str prov) ])
+            per_instance)) ]
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  Printf.printf "fault: deadline-abort latency and degradation gap -> %s\n%!"
+    out_file;
+  let deadline_json = measure_deadline_abort () in
+  let gap_json = measure_objective_gap () in
+  let json =
+    Json.Obj
+      [ ("deadline_abort", deadline_json); ("objective_gap", gap_json) ]
+  in
+  let text = Json.to_string json in
+  (match Json.of_string text with
+   | Ok _ -> ()
+   | Error msg -> failwith ("BENCH_fault.json is not valid JSON: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc

@@ -11,7 +11,7 @@ open Dart_rand
 let trials = 20
 
 let cardinality_of = function
-  | Solver.Repaired (rho, _) -> Repair.cardinality rho
+  | Solver.Repaired (rho, _, _) -> Repair.cardinality rho
   | Solver.Consistent -> 0
   | _ -> -1
 

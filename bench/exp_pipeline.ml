@@ -35,7 +35,7 @@ let run_rate rate =
       in
       if equal_to_truth acq.Pipeline.db then incr ok_raw;
       (match Pipeline.repair scenario acq.Pipeline.db with
-       | Solver.Repaired (rho, _) ->
+       | Solver.Repaired (rho, _, _) ->
          if equal_to_truth (Update.apply acq.Pipeline.db rho) then incr ok_unsup
        | Solver.Consistent -> if equal_to_truth acq.Pipeline.db then incr ok_unsup
        | _ -> ());

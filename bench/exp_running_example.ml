@@ -22,7 +22,7 @@ let run_e1 () =
   let violated = Pipeline.detect scenario acq.Pipeline.db in
   let repair_desc, card, nodes =
     match Pipeline.repair scenario acq.Pipeline.db with
-    | Solver.Repaired (rho, stats) ->
+    | Solver.Repaired (rho, _, stats) ->
       (Format.asprintf "%a" (Repair.pp acq.Pipeline.db) rho, Repair.cardinality rho,
        stats.Solver.nodes)
     | _ -> ("<none>", -1, 0)

@@ -24,9 +24,9 @@ let run_years () =
         in
         let stats, card =
           match result with
-          | Solver.Repaired (rho, s) -> (s, Repair.cardinality rho)
+          | Solver.Repaired (rho, _, s) -> (s, Repair.cardinality rho)
           | Solver.Consistent -> (Solver.empty_stats, 0)
-          | Solver.No_repair s | Solver.Node_budget_exceeded s -> (s, -1)
+          | Solver.No_repair s | Solver.Node_budget_exceeded s | Solver.Cancelled s -> (s, -1)
         in
         [ string_of_int years;
           string_of_int (10 * years);
@@ -56,9 +56,9 @@ let run_errors () =
         in
         let stats, card =
           match result with
-          | Solver.Repaired (rho, s) -> (s, Repair.cardinality rho)
+          | Solver.Repaired (rho, _, s) -> (s, Repair.cardinality rho)
           | Solver.Consistent -> (Solver.empty_stats, 0)
-          | Solver.No_repair s | Solver.Node_budget_exceeded s -> (s, -1)
+          | Solver.No_repair s | Solver.Node_budget_exceeded s | Solver.Cancelled s -> (s, -1)
         in
         [ string_of_int errors; string_of_int stats.Solver.components;
           string_of_int stats.Solver.nodes; string_of_int card; Report.ms t_solve ])

@@ -16,6 +16,7 @@ let experiments =
     ("e10", Exp_cqa.run);
     ("obs", Obs_snapshot.run);
     ("serve", Exp_serve.run);
+    ("fault", Exp_fault.run);
     ("micro", Micro.run) ]
 
 let () =

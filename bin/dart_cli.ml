@@ -241,17 +241,31 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 
 let repair_cmd =
-  let run () kind path =
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Abort the solve after $(docv) milliseconds, degrading to the best \
+             answer found so far (provenance incumbent/greedy_fallback).")
+  in
+  let run () kind path deadline_ms =
     let scenario, acq = acquire_from kind path in
+    let cancel =
+      match deadline_ms with
+      | Some ms -> Dart_resilience.Cancel.create ~deadline_ms:ms ()
+      | None -> Dart_resilience.Cancel.none
+    in
     if Pipeline.detect scenario acq.Pipeline.db = [] then
       print_endline "already consistent; no repair needed"
     else
-    match Pipeline.repair scenario acq.Pipeline.db with
+    match Pipeline.repair ~cancel scenario acq.Pipeline.db with
     | Solver.Consistent -> print_endline "already consistent; no repair needed"
-    | Solver.Repaired (rho, stats) ->
+    | Solver.Repaired (rho, prov, stats) ->
       Printf.printf
-        "card-minimal repair: %d update(s) [%d components, %d nodes, %d pivots, %.2f ms]\n"
-        (Repair.cardinality rho) stats.Solver.components stats.Solver.nodes
+        "card-minimal repair (%s): %d update(s) [%d components, %d nodes, %d pivots, %.2f ms]\n"
+        (Solver.provenance_to_string prov) (Repair.cardinality rho)
+        stats.Solver.components stats.Solver.nodes
         stats.Solver.simplex_pivots stats.Solver.solve_ms;
       let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
       List.iter
@@ -259,10 +273,12 @@ let repair_cmd =
         (Solver.display_order rows rho)
     | Solver.No_repair _ -> print_endline "no repair exists"; exit 1
     | Solver.Node_budget_exceeded _ -> print_endline "search truncated"; exit 1
+    | Solver.Cancelled _ ->
+      print_endline "deadline exceeded; no repair available"; exit 1
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Propose a card-minimal repair for an inconsistent document.")
-    Term.(const run $ obs_term $ scenario_arg $ input_arg)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg $ deadline)
 
 (* ------------------------------------------------------------------ *)
 (* export-milp                                                         *)
@@ -392,13 +408,33 @@ let serve_cmd =
       value & opt (some float) None
       & info [ "session-ttl" ] ~docv:"SECONDS" ~doc:"Idle validation sessions expire after this.")
   in
-  let run () addr domains queue ttl =
+  let chaos =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection for chaos testing, as \
+             $(i,key=value) pairs: e.g. \
+             $(b,seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.05,corrupt=0.05,delay=0.2,delay-ms=20).")
+  in
+  let run () addr domains queue ttl chaos =
     let cfg = Server.default_config ~scenarios:all_scenarios addr in
+    let faults =
+      match chaos with
+      | None -> cfg.Server.faults
+      | Some spec ->
+        (match Dart_faultsim.Faultsim.spec_of_string spec with
+         | Ok c -> Dart_faultsim.Faultsim.create c
+         | Error msg ->
+           Printf.eprintf "dart-cli serve: %s\n" msg;
+           exit 2)
+    in
     let cfg =
       { cfg with
         Server.domains = Option.value ~default:cfg.Server.domains domains;
         queue_capacity = Option.value ~default:cfg.Server.queue_capacity queue;
-        session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl }
+        session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl;
+        faults }
     in
     let t = Server.create cfg in
     Server.install_signal_handlers t;
@@ -414,7 +450,7 @@ let serve_cmd =
        ~doc:
          "Run the DART repair service: a concurrent server speaking the \
           length-prefixed JSON protocol, with all four scenarios registered.")
-    Term.(const run $ obs_term $ addr_arg $ domains $ queue $ ttl)
+    Term.(const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -501,7 +537,16 @@ let client_cmd =
       value & opt (some float) None
       & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline in milliseconds.")
   in
-  let run () addr op file kind auto deadline_ms =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transient failures ($(b,busy), dropped connections) up to \
+             $(docv) times with exponential backoff and jitter, reconnecting \
+             each attempt.")
+  in
+  let run () addr op file kind auto deadline_ms retries =
     let need_file () =
       match file with
       | Some path -> path
@@ -513,57 +558,67 @@ let client_cmd =
       | Catalog_s -> "catalog"
       | Quarterly_s -> "quarterly"
     in
-    Client.with_connection addr @@ fun c ->
-    let doc_op f =
-      let path = need_file () in
-      f ~scenario:(scenario_name kind) ~document:(read_file path)
-        ?format:(Some (wire_format path)) ()
+    (* Each branch returns the printing step as a thunk, so retried
+       attempts never emit partial output. *)
+    let exec c : (unit -> unit, string) result =
+      let doc_op f =
+        let path = need_file () in
+        f ~scenario:(scenario_name kind) ~document:(read_file path)
+          ?format:(Some (wire_format path)) ()
+      in
+      match op with
+      | "ping" -> Result.map (fun () () -> print_endline "pong") (Client.ping c)
+      | "stats" ->
+        Result.map
+          (fun body () -> print_endline (Dart_obs.Obs.Json.to_string body))
+          (Client.stats c)
+      | "shutdown" ->
+        Result.map (fun () () -> print_endline "server stopping") (Client.shutdown c)
+      | "acquire" ->
+        Result.map
+          (fun body () -> print_relations body)
+          (doc_op (Client.acquire ?deadline_ms c))
+      | "detect" ->
+        Result.map
+          (fun body () -> print_endline (Dart_obs.Obs.Json.to_string body))
+          (doc_op (Client.detect ?deadline_ms c))
+      | "repair" ->
+        Result.map
+          (fun body () -> print_repair_body body)
+          (doc_op (Client.repair ?deadline_ms c))
+      | "validate" ->
+        let operator = if auto then Client.accept_all else interactive_wire_operator in
+        let path = need_file () in
+        Result.map
+          (fun o () ->
+            Printf.printf "status=%s iterations=%d examined=%d pins=%d\n"
+              o.Client.status o.Client.iterations o.Client.examined o.Client.pins;
+            List.iter
+              (fun (name, csv) -> Printf.printf "-- %s\n%s" name csv)
+              o.Client.relations;
+            if o.Client.status <> "converged" then exit 1)
+          (Client.validate ?deadline_ms c ~scenario:(scenario_name kind)
+             ~document:(read_file path) ~format:(wire_format path) ~operator ())
+      | other -> die "unknown op %S" other
     in
-    match op with
-    | "ping" ->
-      (match Client.ping c with
-       | Ok () -> print_endline "pong"
-       | Error e -> die "%s" e)
-    | "stats" ->
-      (match Client.stats c with
-       | Ok body -> print_endline (Dart_obs.Obs.Json.to_string body)
-       | Error e -> die "%s" e)
-    | "shutdown" ->
-      (match Client.shutdown c with
-       | Ok () -> print_endline "server stopping"
-       | Error e -> die "%s" e)
-    | "acquire" ->
-      (match doc_op (Client.acquire ?deadline_ms c) with
-       | Ok body -> print_relations body
-       | Error e -> die "%s" e)
-    | "detect" ->
-      (match doc_op (Client.detect ?deadline_ms c) with
-       | Ok body -> print_endline (Dart_obs.Obs.Json.to_string body)
-       | Error e -> die "%s" e)
-    | "repair" ->
-      (match doc_op (Client.repair ?deadline_ms c) with
-       | Ok body -> print_repair_body body
-       | Error e -> die "%s" e)
-    | "validate" ->
-      let operator = if auto then Client.accept_all else interactive_wire_operator in
-      let path = need_file () in
-      (match
-         Client.validate ?deadline_ms c ~scenario:(scenario_name kind)
-           ~document:(read_file path) ~format:(wire_format path) ~operator ()
-       with
-       | Ok o ->
-         Printf.printf "status=%s iterations=%d examined=%d pins=%d\n"
-           o.Client.status o.Client.iterations o.Client.examined o.Client.pins;
-         List.iter (fun (name, csv) -> Printf.printf "-- %s\n%s" name csv) o.Client.relations;
-         if o.Client.status <> "converged" then exit 1
-       | Error e -> die "%s" e)
-    | other -> die "unknown op %S" other
+    let result =
+      if retries <= 0 then Client.with_connection addr exec
+      else
+        let policy =
+          { Dart_resilience.Retry.default_policy with max_attempts = retries + 1 }
+        in
+        Client.with_retries ~policy addr exec
+    in
+    match result with
+    | Ok print -> print ()
+    | Error e -> die "%s" e
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Issue requests to a running DART repair service (see $(b,serve)).")
     Term.(
-      const run $ obs_term $ addr_arg $ op_arg $ file_arg $ scenario_arg $ auto $ deadline)
+      const run $ obs_term $ addr_arg $ op_arg $ file_arg $ scenario_arg $ auto
+      $ deadline $ retries)
 
 (* ------------------------------------------------------------------ *)
 

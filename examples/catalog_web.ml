@@ -38,7 +38,7 @@ let () =
 
   (* One-shot card-minimal repair (no operator). *)
   (match Pipeline.repair scenario acq.Pipeline.db with
-   | Solver.Repaired (rho, stats) ->
+   | Solver.Repaired (rho, _, stats) ->
      Format.printf "card-minimal repair: %d update(s), %d component(s)@."
        (Repair.cardinality rho) stats.Solver.components;
      Format.printf "  %a@." (Repair.pp acq.Pipeline.db) rho

@@ -85,11 +85,11 @@ let () =
     constraints;
 
   match Solver.card_minimal db constraints with
-  | Solver.Repaired (rho, _) ->
+  | Solver.Repaired (rho, _, _) ->
     Format.printf "@.card-minimal repair (%d updates):@.  %a@."
       (Repair.cardinality rho) (Repair.pp db) rho;
     Format.printf "consistent after repair: %b@."
       (Agg_constraint.holds_all (Update.apply db rho) constraints)
   | Solver.Consistent -> Format.printf "already consistent@."
-  | Solver.No_repair _ | Solver.Node_budget_exceeded _ ->
+  | Solver.No_repair _ | Solver.Node_budget_exceeded _ | Solver.Cancelled _ ->
     Format.printf "no repair found@."

@@ -27,7 +27,7 @@ let () =
 
   (* 2. Compute a card-minimal repair via the MILP translation of Section 5. *)
   match Solver.card_minimal db Cash_budget.constraints with
-  | Solver.Repaired (rho, stats) ->
+  | Solver.Repaired (rho, _, stats) ->
     Format.printf "@.card-minimal repair (%d update(s), %d B&B nodes):@."
       (Repair.cardinality rho) stats.Solver.nodes;
     Format.printf "  %a@." (Repair.pp db) rho;
@@ -37,3 +37,4 @@ let () =
   | Solver.Consistent -> Format.printf "already consistent@."
   | Solver.No_repair _ -> Format.printf "no repair exists@."
   | Solver.Node_budget_exceeded _ -> Format.printf "search truncated@."
+  | Solver.Cancelled _ -> Format.printf "solve cancelled@."

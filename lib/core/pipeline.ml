@@ -20,15 +20,21 @@ type acquisition = {
   db : Database.t;                  (** the acquired instance D *)
 }
 
-(** Acquisition + extraction module: document in, database out. *)
-let acquire scenario ?(format = Convert.Html) (text : string) : acquisition =
+(** Acquisition + extraction module: document in, database out.
+    [cancel] is checked between stages so a dead deadline stops the flow
+    before the next expensive phase. *)
+let acquire scenario ?(cancel = Dart_resilience.Cancel.none)
+    ?(format = Convert.Html) (text : string) : acquisition =
   Obs.span "pipeline.acquire" ~attrs:[ ("bytes", Obs.Int (String.length text)) ]
     (fun () ->
+      Dart_resilience.Cancel.check cancel;
       let html = Obs.span "pipeline.convert" (fun () -> Convert.to_html format text) in
+      Dart_resilience.Cancel.check cancel;
       let extraction =
         Obs.span "pipeline.extract" (fun () ->
             Extractor.extract scenario.Scenario.metadata html)
       in
+      Dart_resilience.Cancel.check cancel;
       let generation =
         Obs.span "pipeline.generate" (fun () ->
             Db_gen.generate scenario.Scenario.metadata scenario.Scenario.mapping
@@ -61,14 +67,15 @@ let consistent scenario db = detect scenario db = []
 (** One-shot repair (no operator): the card-minimal repair of D.
     [mapper] schedules the per-component solves (e.g. over a domain
     pool); [max_nodes] bounds branch & bound per component. *)
-let repair ?max_nodes ?mapper scenario db =
+let repair ?max_nodes ?mapper ?cancel scenario db =
   Obs.span "pipeline.repair" (fun () ->
-      Solver.card_minimal ?max_nodes ?mapper db scenario.Scenario.constraints)
+      Solver.card_minimal ?max_nodes ?mapper ?cancel db scenario.Scenario.constraints)
 
 (** Supervised repairing: the full §6.3 validation loop. *)
-let validate scenario ?batch ?max_iterations ~operator db =
+let validate scenario ?batch ?max_iterations ?cancel ~operator db =
   Obs.span "pipeline.validate" (fun () ->
-      Validation.run ?batch ?max_iterations ~operator db scenario.Scenario.constraints)
+      Validation.run ?batch ?max_iterations ?cancel ~operator db
+        scenario.Scenario.constraints)
 
 type outcome = {
   acquisition : acquisition;

@@ -14,8 +14,12 @@ type acquisition = {
   db : Database.t;
 }
 
-val acquire : Scenario.t -> ?format:Convert.format -> string -> acquisition
-(** Acquisition + extraction module: document in, database out. *)
+val acquire :
+  Scenario.t -> ?cancel:Dart_resilience.Cancel.t -> ?format:Convert.format ->
+  string -> acquisition
+(** Acquisition + extraction module: document in, database out.  [cancel]
+    is checked between stages.
+    @raise Dart_resilience.Cancel.Cancelled if the token fires. *)
 
 val detect :
   Scenario.t -> Database.t ->
@@ -25,14 +29,16 @@ val detect :
 val consistent : Scenario.t -> Database.t -> bool
 
 val repair :
-  ?max_nodes:int -> ?mapper:Solver.mapper -> Scenario.t -> Database.t ->
-  Solver.result
+  ?max_nodes:int -> ?mapper:Solver.mapper -> ?cancel:Dart_resilience.Cancel.t ->
+  Scenario.t -> Database.t -> Solver.result
 (** One-shot card-minimal repair (no operator).  [mapper] schedules the
     per-component solves (default sequential); [max_nodes] bounds branch
-    & bound per component. *)
+    & bound per component; [cancel] aborts cooperatively with anytime
+    degradation (see {!Solver.provenance}). *)
 
 val validate :
   Scenario.t -> ?batch:int -> ?max_iterations:int ->
+  ?cancel:Dart_resilience.Cancel.t ->
   operator:Validation.operator -> Database.t -> Validation.outcome
 (** The §6.3 supervised loop. *)
 

@@ -1,0 +1,119 @@
+open Dart_rand
+
+exception Injected_fault of string
+
+type config = {
+  seed : int;
+  worker_stall : float;
+  worker_stall_ms : float;
+  worker_crash : float;
+  frame_truncate : float;
+  frame_corrupt : float;
+  io_delay : float;
+  io_delay_ms : float;
+}
+
+let disabled =
+  { seed = 0; worker_stall = 0.0; worker_stall_ms = 20.0; worker_crash = 0.0;
+    frame_truncate = 0.0; frame_corrupt = 0.0; io_delay = 0.0;
+    io_delay_ms = 10.0 }
+
+type t = {
+  cfg : config;
+  draws : int Atomic.t;  (* process-wide draw index: deterministic schedule *)
+  active : bool;
+}
+
+let none = { cfg = disabled; draws = Atomic.make 0; active = false }
+
+let enabled t = t.active
+
+let create cfg =
+  let active =
+    cfg.worker_stall > 0.0 || cfg.worker_crash > 0.0
+    || cfg.frame_truncate > 0.0 || cfg.frame_corrupt > 0.0
+    || cfg.io_delay > 0.0
+  in
+  { cfg; draws = Atomic.make 0; active }
+
+(* One fresh PRNG per draw, keyed on (seed, index): thread-safe without
+   locking (the only shared state is the atomic counter) and replayable. *)
+let prng t =
+  let ix = Atomic.fetch_and_add t.draws 1 in
+  Prng.create ((t.cfg.seed * 0x3779f9) lxor (ix * 0x9e3779b9) lxor ix)
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spec_of_string s : (config, string) result =
+  let parts =
+    List.filter (fun p -> String.trim p <> "") (String.split_on_char ',' s)
+  in
+  let rec go cfg = function
+    | [] -> Ok cfg
+    | part :: rest ->
+      (match String.index_opt part '=' with
+       | None -> Error (Printf.sprintf "fault spec %S: expected key=value" part)
+       | Some i ->
+         let key = String.trim (String.sub part 0 i) in
+         let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+         let float_v () =
+           match float_of_string_opt v with
+           | Some f when f >= 0.0 -> Ok f
+           | _ -> Error (Printf.sprintf "fault spec: bad value %S for %s" v key)
+         in
+         let bind f = Result.bind (float_v ()) (fun x -> go (f x) rest) in
+         (match key with
+          | "seed" ->
+            (match int_of_string_opt v with
+             | Some n -> go { cfg with seed = n } rest
+             | None -> Error (Printf.sprintf "fault spec: bad seed %S" v))
+          | "stall" -> bind (fun x -> { cfg with worker_stall = x })
+          | "stall-ms" -> bind (fun x -> { cfg with worker_stall_ms = x })
+          | "crash" -> bind (fun x -> { cfg with worker_crash = x })
+          | "truncate" -> bind (fun x -> { cfg with frame_truncate = x })
+          | "corrupt" -> bind (fun x -> { cfg with frame_corrupt = x })
+          | "delay" -> bind (fun x -> { cfg with io_delay = x })
+          | "delay-ms" -> bind (fun x -> { cfg with io_delay_ms = x })
+          | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key)))
+  in
+  go disabled parts
+
+(* ------------------------------------------------------------------ *)
+(* Injection sites                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let on_worker_job t =
+  if t.active then begin
+    let g = prng t in
+    if Prng.bool g t.cfg.worker_stall then
+      Unix.sleepf (t.cfg.worker_stall_ms /. 1000.0);
+    if Prng.bool g t.cfg.worker_crash then
+      raise (Injected_fault "worker_crash")
+  end
+
+type frame_fault = Pass | Truncate of int | Corrupt of string
+
+let on_frame_write t payload =
+  if not t.active then Pass
+  else begin
+    let g = prng t in
+    if Prng.bool g t.cfg.io_delay then
+      Unix.sleepf (t.cfg.io_delay_ms /. 1000.0);
+    if Prng.bool g t.cfg.frame_truncate then begin
+      (* Cut somewhere strictly inside the 4-byte header + payload. *)
+      let total = 4 + String.length payload in
+      Truncate (Prng.int g (max 1 (total - 1)))
+    end
+    else if Prng.bool g t.cfg.frame_corrupt && String.length payload > 0 then begin
+      let b = Bytes.of_string payload in
+      let flips = 1 + Prng.int g (min 8 (Bytes.length b)) in
+      for _ = 1 to flips do
+        let i = Prng.int g (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a))
+      done;
+      Corrupt (Bytes.unsafe_to_string b)
+    end
+    else Pass
+  end

@@ -1,0 +1,73 @@
+(** Deterministic fault injection for the repair service.
+
+    A fault {e plan} is a seed plus per-class probabilities.  Each
+    injection site draws from its own splitmix64 stream derived from
+    [(seed, draw index)], where the draw index is a process-wide atomic
+    counter — so a given seed produces the same fault schedule for the
+    same sequence of sites, independent of wall-clock time, and the chaos
+    suite can replay a scenario exactly.
+
+    Fault classes:
+    {ul
+    {- {e worker stall}: a pool job sleeps [worker_stall_ms] before
+       running (tests deadline handling under slow workers);}
+    {- {e worker crash}: a pool job raises {!Injected_fault} instead of
+       running (the future must resolve with an error and the pool slot
+       must survive);}
+    {- {e frame truncation}: an outgoing frame is cut short and the
+       connection closed (the peer must see a structured EOF, not a
+       hang);}
+    {- {e frame corruption}: outgoing payload bytes are flipped (the
+       peer must fail parsing, not crash);}
+    {- {e slow I/O}: an outgoing frame is delayed by [io_delay_ms].}}
+
+    The [none] plan injects nothing and costs one branch per site. *)
+
+exception Injected_fault of string
+(** Raised by worker-crash injection; carries the fault class name. *)
+
+type config = {
+  seed : int;
+  worker_stall : float;     (** probability a pool job stalls first *)
+  worker_stall_ms : float;
+  worker_crash : float;     (** probability a pool job crashes *)
+  frame_truncate : float;   (** probability an outgoing frame is cut short *)
+  frame_corrupt : float;    (** probability outgoing payload bytes flip *)
+  io_delay : float;         (** probability an outgoing frame is delayed *)
+  io_delay_ms : float;
+}
+
+val disabled : config
+(** All probabilities 0. *)
+
+type t
+
+val none : t
+(** The no-faults plan (never injects, no PRNG draws). *)
+
+val create : config -> t
+
+val enabled : t -> bool
+(** Whether any fault class has positive probability. *)
+
+val spec_of_string : string -> (config, string) result
+(** Parse a ["key=value,..."] spec, e.g.
+    ["seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.1,corrupt=0.1,delay=0.2,delay-ms=20"].
+    Unknown keys are errors; omitted keys default to {!disabled}'s
+    values (seed 0). *)
+
+val on_worker_job : t -> unit
+(** Call at the start of a pool job: may sleep (stall) and/or raise
+    {!Injected_fault} (crash). *)
+
+type frame_fault = Pass | Truncate of int | Corrupt of string
+(** What {!on_frame_write} decided: pass the payload through, write only
+    the first [n] bytes of the whole frame (then the caller must close),
+    or write this corrupted payload instead. *)
+
+val on_frame_write : t -> string -> frame_fault
+(** Call before writing a frame with the payload about to be sent.  Slow
+    I/O is applied by sleeping {e inside} this call; truncation and
+    corruption are returned for the caller to apply.  [Truncate] carries
+    a byte count < 4 + payload length; [Corrupt] carries a same-length
+    payload with deterministically flipped bytes. *)

@@ -9,6 +9,7 @@
     bound test is sharpened to [ceil(relaxation) >= incumbent]. *)
 
 module Obs = Dart_obs.Obs
+module Cancel = Dart_resilience.Cancel
 
 module Make (F : Field.S) = struct
   module P = Lp_problem.Make (F)
@@ -16,7 +17,8 @@ module Make (F : Field.S) = struct
 
   type status =
     | Optimal      (** incumbent proved optimal *)
-    | Feasible     (** search truncated by the node limit; incumbent best-so-far *)
+    | Feasible     (** search truncated (node limit or cancellation);
+                       incumbent best-so-far *)
     | Infeasible
     | Unbounded
 
@@ -26,6 +28,9 @@ module Make (F : Field.S) = struct
     assignment : F.t array option;
     nodes_explored : int;
     simplex_pivots : int;  (** pivot work summed over all node relaxations *)
+    cancelled : bool;      (** the search was aborted by a cancellation token;
+                               [status]/[assignment] reflect the best incumbent
+                               found before the abort *)
   }
 
   let m_nodes = Obs.Metrics.counter "milp.nodes"
@@ -37,7 +42,8 @@ module Make (F : Field.S) = struct
   let max_compare a b = if F.compare a b >= 0 then a else b
   let min_compare a b = if F.compare a b <= 0 then a else b
 
-  let solve ?(max_nodes = 1_000_000) ?(integral_objective = false) (p : P.t) : outcome =
+  let solve ?(max_nodes = 1_000_000) ?(integral_objective = false)
+      ?(cancel = Cancel.none) (p : P.t) : outcome =
     Obs.span "milp.solve"
       ~attrs:[ ("vars", Obs.Int (P.num_vars p)) ]
       (fun () ->
@@ -56,7 +62,7 @@ module Make (F : Field.S) = struct
       Array.iter (fun (c : P.constr) -> P.add_constraint ~label:c.label q c.terms c.op c.rhs)
         (P.constraints p);
       P.set_objective ~minimize q (P.objective p);
-      let result, st = S.solve_stats q in
+      let result, st = S.solve_stats ~cancel q in
       pivots := !pivots + st.S.pivots;
       result
     in
@@ -97,6 +103,10 @@ module Make (F : Field.S) = struct
     let rec explore lo hi depth =
       if !nodes >= max_nodes then truncated := true
       else begin
+        (* Node-entry cancellation point; {!Simplex} also polls inside
+           long relaxations.  Raising here unwinds the whole DFS while
+           the incumbent ref survives for anytime degradation. *)
+        Cancel.check cancel;
         incr nodes;
         Obs.Metrics.incr m_nodes;
         if Obs.enabled () then
@@ -143,20 +153,26 @@ module Make (F : Field.S) = struct
           end
       end
     in
-    explore (Array.copy base_lo) (Array.copy base_hi) 0;
+    let cancelled = ref false in
+    (try explore (Array.copy base_lo) (Array.copy base_hi) 0
+     with Cancel.Cancelled -> cancelled := true);
     Obs.add_attr "nodes" (Obs.Int !nodes);
     Obs.add_attr "pivots" (Obs.Int !pivots);
+    if !cancelled then Obs.add_attr "cancelled" (Obs.Bool true);
     match !incumbent with
     | Some (objective, assignment) ->
-      { status = (if !truncated then Feasible else Optimal);
+      { status = (if !truncated || !cancelled then Feasible else Optimal);
         objective = Some objective; assignment = Some assignment;
-        nodes_explored = !nodes; simplex_pivots = !pivots }
+        nodes_explored = !nodes; simplex_pivots = !pivots;
+        cancelled = !cancelled }
     | None ->
       let status =
         if !any_relaxation_unbounded then Unbounded
-        else if !truncated then Feasible
+        (* A cancelled search without an incumbent proved nothing: report
+           Feasible-unknown, never Infeasible. *)
+        else if !truncated || !cancelled then Feasible
         else Infeasible
       in
       { status; objective = None; assignment = None; nodes_explored = !nodes;
-        simplex_pivots = !pivots })
+        simplex_pivots = !pivots; cancelled = !cancelled })
 end

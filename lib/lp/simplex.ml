@@ -11,6 +11,7 @@
     exact solver with no feasibility tolerance at all. *)
 
 module Obs = Dart_obs.Obs
+module Cancel = Dart_resilience.Cancel
 
 module Make (F : Field.S) = struct
   module P = Lp_problem.Make (F)
@@ -99,7 +100,12 @@ module Make (F : Field.S) = struct
 
   type iterate_outcome = Finished | Unbounded_direction
 
-  let rec iterate t ~allow_artificial ~pivots =
+  (* Cancellation is polled every 64 pivots: cheap enough to be free on
+     the small LPs, frequent enough that a deadline aborts a pathological
+     tableau within milliseconds. *)
+  let cancel_poll_mask = 63
+
+  let rec iterate t ~allow_artificial ~pivots ~cancel =
     match entering_column t ~allow_artificial with
     | None -> Finished
     | Some col ->
@@ -108,7 +114,8 @@ module Make (F : Field.S) = struct
        | Some row ->
          pivot t ~row ~col;
          incr pivots;
-         iterate t ~allow_artificial ~pivots)
+         if !pivots land cancel_poll_mask = 0 then Cancel.check cancel;
+         iterate t ~allow_artificial ~pivots ~cancel)
 
   (* Install a cost vector into the reduced-cost row and re-eliminate the
      basic columns so the row is expressed over nonbasic variables only. *)
@@ -134,7 +141,7 @@ module Make (F : Field.S) = struct
   (** Solve, also reporting the pivot effort.  The plain {!solve} below
       keeps the historical signature; branch & bound uses this one to
       attribute simplex work to nodes. *)
-  let rec solve_stats_body (p : P.t) : result * stats =
+  let rec solve_stats_body ~cancel (p : P.t) : result * stats =
     let st = fresh_stats () in
     Obs.Metrics.incr m_solves;
     let nvars = P.num_vars p in
@@ -150,13 +157,13 @@ module Make (F : Field.S) = struct
     in
     let result =
       if infeasible_bounds then Infeasible
-      else solve_with_bounds p ~lowers ~uppers ~st
+      else solve_with_bounds p ~lowers ~uppers ~st ~cancel
     in
     st.pivots <- st.phase1_pivots + st.phase2_pivots;
     Obs.Metrics.add m_pivots st.pivots;
     (result, st)
 
-  and solve_with_bounds (p : P.t) ~lowers ~uppers ~st : result =
+  and solve_with_bounds (p : P.t) ~lowers ~uppers ~st ~cancel : result =
     let nvars = P.num_vars p in
     (* --- 1. encode variables over non-negative standard variables ------- *)
     let next = ref 0 in
@@ -279,7 +286,7 @@ module Make (F : Field.S) = struct
           for j = nstd to ncols - 1 do costs.(j) <- F.one done;
           install_costs t costs;
           let p1 = ref 0 in
-          (match iterate t ~allow_artificial:true ~pivots:p1 with
+          (match iterate t ~allow_artificial:true ~pivots:p1 ~cancel with
            | Unbounded_direction ->
              (* Phase-1 objective is bounded below by 0; cannot happen. *)
              assert false
@@ -323,7 +330,7 @@ module Make (F : Field.S) = struct
           (P.objective p);
         install_costs t costs;
         let p2 = ref 0 in
-        let outcome = iterate t ~allow_artificial:false ~pivots:p2 in
+        let outcome = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
         st.phase2_pivots <- st.phase2_pivots + !p2;
         match outcome with
         | Unbounded_direction -> Unbounded
@@ -345,11 +352,11 @@ module Make (F : Field.S) = struct
       end
     end
 
-  let solve_stats (p : P.t) : result * stats =
+  let solve_stats ?(cancel = Cancel.none) (p : P.t) : result * stats =
     Obs.span "simplex.solve" (fun () ->
-        let ((_, st) as r) = solve_stats_body p in
+        let ((_, st) as r) = solve_stats_body ~cancel p in
         Obs.add_attr "pivots" (Obs.Int st.pivots);
         r)
 
-  let solve (p : P.t) : result = fst (solve_stats p)
+  let solve ?cancel (p : P.t) : result = fst (solve_stats ?cancel p)
 end

@@ -71,7 +71,11 @@ let relop_of = function
 (** Build the S*(AC) instance for a ground system.
     [forced] pins cells to exact values — the operator "instructions" of the
     validation interface (§6.3), each becoming an equality row. *)
-let build ?big_m ?(forced = []) db (rows : Ground.row list) : t =
+let build ?(cancel = Dart_resilience.Cancel.none) ?big_m ?(forced = []) db
+    (rows : Ground.row list) : t =
+  (* Building a huge instance can itself take a while; honour a deadline
+     that expired while the request sat in a queue before any MILP work. *)
+  Dart_resilience.Cancel.check cancel;
   let big_m = match big_m with Some m -> m | None -> default_big_m db rows in
   let cells = Array.of_list (Ground.cells rows) in
   let n = Array.length cells in
@@ -100,8 +104,9 @@ let build ?big_m ?(forced = []) db (rows : Ground.row list) : t =
       cells
   in
   (* A·Z ⊙ B *)
-  List.iter
-    (fun (r : Ground.row) ->
+  List.iteri
+    (fun k (r : Ground.row) ->
+      if k land 255 = 0 then Dart_resilience.Cancel.check cancel;
       let terms = List.map (fun (c, cell) -> (c, z.(Hashtbl.find idx cell))) r.terms in
       P.add_constraint ~label:r.origin p terms (relop_of r.op) r.rhs)
     rows;

@@ -35,10 +35,13 @@ val cell_is_integer : Database.t -> Ground.cell -> bool
 
 val relop_of : Agg_constraint.op -> Lp_problem.relop
 
-val build : ?big_m:Rat.t -> ?forced:(Ground.cell * Rat.t) list ->
+val build : ?cancel:Dart_resilience.Cancel.t -> ?big_m:Rat.t ->
+  ?forced:(Ground.cell * Rat.t) list ->
   Database.t -> Ground.row list -> t
 (** Build the instance.  [forced] pins cells to exact values (operator
-    instructions, §6.3), each becoming an equality row. *)
+    instructions, §6.3), each becoming an equality row.  [cancel] is
+    polled while emitting rows.
+    @raise Dart_resilience.Cancel.Cancelled if the token fires. *)
 
 val decode : Database.t -> t -> Rat.t array -> Repair.t
 (** Read a repair off a solution: one atomic update per cell whose z value

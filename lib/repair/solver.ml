@@ -17,6 +17,7 @@ open Dart_lp
 
 module M = Milp.Make (Field_rat)
 module Obs = Dart_obs.Obs
+module Cancel = Dart_resilience.Cancel
 
 type stats = {
   components : int;
@@ -36,12 +37,39 @@ let empty_stats =
 
 let m_big_m_retries = Obs.Metrics.counter "repair.big_m_retries"
 let m_components = Obs.Metrics.counter "repair.components_solved"
+let m_degraded = Obs.Metrics.counter "repair.degraded"
+let m_cancelled = Obs.Metrics.counter "repair.cancelled"
+
+(** How a repair was obtained — the anytime degradation ladder.  [Exact]
+    is the card-minimal optimum; [Incumbent] is the best integral
+    solution branch & bound held when the search was truncated (node
+    budget) or cancelled (deadline); [Greedy_fallback] is
+    {!Baseline.greedy} when B&B had no incumbent at all.  Degraded
+    repairs still satisfy every constraint — they just may change more
+    cells than necessary. *)
+type provenance = Exact | Incumbent | Greedy_fallback
+
+let provenance_to_string = function
+  | Exact -> "exact"
+  | Incumbent -> "incumbent"
+  | Greedy_fallback -> "greedy_fallback"
 
 type result =
   | Consistent                       (** D ⊨ AC already (given the forced pins) *)
-  | Repaired of Repair.t * stats
+  | Repaired of Repair.t * provenance * stats
   | No_repair of stats               (** no repair exists (within the M bound) *)
-  | Node_budget_exceeded of stats
+  | Node_budget_exceeded of stats    (** budget exhausted and no fallback *)
+  | Cancelled of stats               (** cancelled and no fallback *)
+
+(* Policy: a component may be re-solved with a 64x larger big-M at most
+   this many times in total, whether the retry is triggered by an optimum
+   pressing against M (the bound may have clipped a cheaper repair) or by
+   infeasibility (which may be an artifact of the clipping rather than a
+   real contradiction).  Both paths share one cap on purpose: the retry
+   budget measures how much we spend second-guessing the practical M, not
+   which symptom it produced.  Beyond the cap we accept the answer under
+   the current bound.  Pinned by a test. *)
+let max_big_m_retries = 3
 
 (** How to map over the connected components of one solve.  The default
     {!sequential} is [List.map]; the server passes a domain-pool-backed
@@ -108,27 +136,42 @@ let grow_m m = Rat.mul (Rat.of_int 64) m
 
 (** Solve one component, retrying with a larger M when the solution makes
     big-M look binding, or when the instance is infeasible only because M
-    clipped it.  Returns [Ok (repair, nodes, retries)] or [Error status]. *)
-let solve_component ?(max_nodes = 2_000_000) ~forced db rows =
+    clipped it.  Returns [Ok (repair, provenance, enc, work, retries,
+    was_cancelled)] or [Error reason]. *)
+let solve_component ?(max_nodes = 2_000_000) ?(cancel = Cancel.none) ~forced db
+    rows =
   Obs.Metrics.incr m_components;
   let rec attempt big_m retries acc_nodes acc_pivots =
     if retries > 0 then Obs.Metrics.incr m_big_m_retries;
-    let enc = Encode.build ?big_m ~forced db rows in
+    let enc = Encode.build ~cancel ?big_m ~forced db rows in
     Obs.add_attr "milp_vars" (Obs.Int (Encode.num_vars enc));
     Obs.add_attr "milp_rows" (Obs.Int (Encode.num_rows enc));
-    let outcome = M.solve ~max_nodes ~integral_objective:true enc.Encode.problem in
+    let outcome =
+      M.solve ~max_nodes ~integral_objective:true ~cancel enc.Encode.problem
+    in
     let nodes = acc_nodes + outcome.M.nodes_explored in
     let pivots = acc_pivots + outcome.M.simplex_pivots in
+    (* Once the token fired there is no budget for second-guessing M. *)
+    let may_retry = retries < max_big_m_retries && not (Cancel.is_cancelled cancel) in
     match outcome.M.status, outcome.M.assignment with
     | M.Optimal, Some assignment ->
-      if Encode.near_big_m enc assignment && retries < 3 then
+      if Encode.near_big_m enc assignment && may_retry then
         attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
       else
-        Ok (Encode.decode db enc assignment, enc, (nodes, pivots), retries)
+        Ok (Encode.decode db enc assignment, Exact, enc, (nodes, pivots),
+            retries, outcome.M.cancelled)
+    | M.Feasible, Some assignment ->
+      (* Truncated or cancelled search: take the best integral incumbent
+         as an anytime answer rather than failing. *)
+      Ok (Encode.decode db enc assignment, Incumbent, enc, (nodes, pivots),
+          retries, outcome.M.cancelled)
     | M.Infeasible, _ ->
-      if retries < 2 then attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
+      if may_retry then attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
       else Error (`Infeasible (enc, (nodes, pivots), retries))
-    | (M.Optimal | M.Feasible | M.Unbounded), _ ->
+    | M.Feasible, None ->
+      if outcome.M.cancelled then Error (`Cancelled (enc, (nodes, pivots), retries))
+      else Error (`Budget (enc, (nodes, pivots), retries))
+    | (M.Optimal | M.Unbounded), _ ->
       (* Optimal always carries an assignment; Unbounded cannot happen since
          the objective is a sum of binaries. *)
       Error (`Budget (enc, (nodes, pivots), retries))
@@ -140,14 +183,38 @@ let solve_component ?(max_nodes = 2_000_000) ~forced db rows =
     [forced] pins cells to exact values (operator instructions).
     [decompose:false] disables the connected-component split (ablation).
     [mapper] runs the per-component solves (parallel when pool-backed).
+    [cancel] aborts the solve cooperatively; on cancellation or budget
+    exhaustion the result degrades (incumbent, then greedy) instead of
+    failing outright — see {!provenance}.
     Every component is solved even when one turns out infeasible — the
     stats count all the work done — but the result constructor is decided
     by the first failing component in component order, so the outcome is
     independent of the mapper. *)
 let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
-    ?(mapper = sequential) db (constraints : Agg_constraint.t list) : result =
+    ?(mapper = sequential) ?(cancel = Cancel.none) db
+    (constraints : Agg_constraint.t list) : result =
   let t0 = Obs.now_ms () in
+  (* The degradation ladder's last rung: when exact search could not
+     finish (budget or deadline) and no incumbent exists, fall back to
+     the greedy baseline — unless the operator pinned cells, which greedy
+     cannot honour.  Degraded repairs still satisfy every constraint. *)
+  let degrade why stats_v =
+    let hard_failure () =
+      match why with
+      | `Budget -> Node_budget_exceeded stats_v
+      | `Cancelled -> Cancelled stats_v
+    in
+    if why = `Cancelled then Obs.Metrics.incr m_cancelled;
+    if forced <> [] then hard_failure ()
+    else
+      match Baseline.greedy db constraints with
+      | Some rho ->
+        Obs.Metrics.incr m_degraded;
+        Repaired (rho, Greedy_fallback, stats_v)
+      | None -> hard_failure ()
+  in
   Obs.span "repair.card_minimal" (fun () ->
+  try
   let rows = Ground.of_constraints db constraints in
   let satisfied_now =
     List.for_all (Ground.row_satisfied (Ground.db_valuation db)) rows
@@ -185,11 +252,14 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                [ ("rows", Obs.Int (List.length comp));
                  ("cells", Obs.Int (List.length (Ground.cells comp))) ]
              (fun () ->
-               let r = solve_component ~max_nodes ~forced:comp_forced db comp in
+               let r =
+                 solve_component ~max_nodes ~cancel ~forced:comp_forced db comp
+               in
                (match r with
-                | Ok (_, _, (nodes, pivots), retries)
+                | Ok (_, _, _, (nodes, pivots), retries, _)
                 | Error (`Infeasible (_, (nodes, pivots), retries))
-                | Error (`Budget (_, (nodes, pivots), retries)) ->
+                | Error (`Budget (_, (nodes, pivots), retries))
+                | Error (`Cancelled (_, (nodes, pivots), retries)) ->
                   Obs.add_attr "nodes" (Obs.Int nodes);
                   Obs.add_attr "pivots" (Obs.Int pivots);
                   Obs.add_attr "m_retries" (Obs.Int retries));
@@ -211,23 +281,38 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                  m_retries = !stats.m_retries + retries }
     in
     let finish_stats () = { !stats with solve_ms = Obs.elapsed_ms ~since:t0 } in
-    let rec combine acc = function
-      | [] -> Repaired (List.concat (List.rev acc), finish_stats ())
-      | `Satisfied :: rest -> combine acc rest
+    let saw_cancel = ref false in
+    let rec combine acc degraded = function
+      | [] ->
+        let provenance = if degraded then Incumbent else Exact in
+        if degraded then Obs.Metrics.incr m_degraded;
+        if !saw_cancel then Obs.Metrics.incr m_cancelled;
+        Repaired (List.concat (List.rev acc), provenance, finish_stats ())
+      | `Satisfied :: rest -> combine acc degraded rest
       | `Solved outcome :: rest ->
         (match outcome with
-         | Ok (repair, enc, work, retries) ->
+         | Ok (repair, prov, enc, work, retries, was_cancelled) ->
            add_enc enc work retries;
-           combine (repair :: acc) rest
+           if was_cancelled then saw_cancel := true;
+           combine (repair :: acc) (degraded || prov <> Exact) rest
          | Error (`Infeasible (enc, work, retries)) ->
+           (* Infeasibility is definitive (within the M bound): no repair
+              exists, so there is nothing to degrade to. *)
            add_enc enc work retries;
            No_repair (finish_stats ())
          | Error (`Budget (enc, work, retries)) ->
            add_enc enc work retries;
-           Node_budget_exceeded (finish_stats ()))
+           degrade `Budget (finish_stats ())
+         | Error (`Cancelled (enc, work, retries)) ->
+           add_enc enc work retries;
+           degrade `Cancelled (finish_stats ()))
     in
-    combine [] outcomes
-  end)
+    combine [] false outcomes
+  end
+  with Cancel.Cancelled ->
+    (* The token fired outside branch & bound (grounding, encoding, or a
+       pooled component job): same ladder, with whatever time was spent. *)
+    degrade `Cancelled { empty_stats with solve_ms = Obs.elapsed_ms ~since:t0 })
 
 (** Involvement count of each cell: in how many ground rows its variable
     occurs.  This drives the §6.3 display-order heuristic (most-involved

@@ -26,11 +26,32 @@ type stats = {
 
 val empty_stats : stats
 
+type provenance =
+  | Exact            (** the card-minimal optimum, proved *)
+  | Incumbent        (** best integral incumbent when branch & bound was
+                         truncated (node budget) or cancelled (deadline) *)
+  | Greedy_fallback  (** {!Baseline.greedy}, when B&B had no incumbent *)
+(** How a repair was obtained — the anytime degradation ladder (exact →
+    incumbent → greedy).  Degraded repairs still satisfy every
+    constraint; they just may change more cells than necessary. *)
+
+val provenance_to_string : provenance -> string
+(** ["exact" | "incumbent" | "greedy_fallback"] — the wire/CLI form. *)
+
 type result =
   | Consistent
-  | Repaired of Repair.t * stats
+  | Repaired of Repair.t * provenance * stats
   | No_repair of stats
   | Node_budget_exceeded of stats
+      (** budget exhausted, no incumbent, and greedy unavailable (operator
+          pins present) or non-convergent *)
+  | Cancelled of stats
+      (** cancelled with nothing to degrade to *)
+
+val max_big_m_retries : int
+(** How many times one component may re-solve with a 64x larger big-M —
+    one shared cap whether the retry is triggered by an optimum pressing
+    against M or by possibly-clipped infeasibility. *)
 
 val components : Ground.row list -> Ground.row list list
 (** Connected components under shared-cell adjacency, in first-appearance
@@ -46,13 +67,19 @@ val sequential : mapper
 
 val card_minimal :
   ?decompose:bool -> ?max_nodes:int -> ?forced:(Ground.cell * Rat.t) list ->
-  ?mapper:mapper -> Database.t -> Agg_constraint.t list -> result
+  ?mapper:mapper -> ?cancel:Dart_resilience.Cancel.t ->
+  Database.t -> Agg_constraint.t list -> result
 (** Compute a card-minimal repair.  [forced] pins cells to exact values
     (the operator instructions of §6.3); [decompose:false] disables the
     component split (ablation E9a); [max_nodes] bounds branch & bound per
     component; [mapper] (default {!sequential}) schedules the component
-    solves.  Thread-safe: concurrent calls from different domains do not
-    share any mutable state. *)
+    solves; [cancel] aborts the solve cooperatively (checked every few
+    dozen pivots / every B&B node).  On cancellation or budget
+    exhaustion the result degrades — best incumbent, then
+    {!Baseline.greedy} (unless [forced] pins are present, which greedy
+    cannot honour) — and the repair carries its {!provenance}; the token
+    never makes this function raise.  Thread-safe: concurrent calls from
+    different domains do not share any mutable state. *)
 
 val involvement : Ground.row list -> (Ground.cell, int) Hashtbl.t
 (** How many ground rows each cell occurs in (drives the §6.3 display

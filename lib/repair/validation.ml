@@ -89,7 +89,7 @@ type outcome = {
 
 (** Run the loop.  [batch] caps how many updates the operator examines per
     iteration (None = all).  [max_iterations] guards non-oracle operators. *)
-let run ?batch ?(max_iterations = 50) ~operator db constraints : outcome =
+let run ?batch ?(max_iterations = 50) ?cancel ~operator db constraints : outcome =
   let rows = Ground.of_constraints db constraints in
   let rec loop pins validated iterations examined =
     if iterations >= max_iterations then
@@ -99,7 +99,7 @@ let run ?batch ?(max_iterations = 50) ~operator db constraints : outcome =
       let resolve =
         Obs.span "validation.resolve"
           ~attrs:[ ("iteration", Obs.Int iterations); ("pins", Obs.Int (List.length pins)) ]
-          (fun () -> Solver.card_minimal ~forced:pins db constraints)
+          (fun () -> Solver.card_minimal ~forced:pins ?cancel db constraints)
       in
       match resolve with
       | Solver.Consistent ->
@@ -120,9 +120,9 @@ let run ?batch ?(max_iterations = 50) ~operator db constraints : outcome =
         in
         { final_db = Update.apply db updates;
           iterations; examined; pins = List.length pins; converged = true }
-      | Solver.No_repair _ | Solver.Node_budget_exceeded _ ->
+      | Solver.No_repair _ | Solver.Node_budget_exceeded _ | Solver.Cancelled _ ->
         { final_db = db; iterations; examined; pins = List.length pins; converged = false }
-      | Solver.Repaired (rho, _) ->
+      | Solver.Repaired (rho, _, _) ->
         let iterations = iterations + 1 in
         let ordered = Solver.display_order rows rho in
         (* Updates on already-validated cells need no re-examination (§6.3:

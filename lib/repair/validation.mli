@@ -39,8 +39,11 @@ type outcome = {
 }
 
 val run :
-  ?batch:int -> ?max_iterations:int -> operator:operator ->
+  ?batch:int -> ?max_iterations:int -> ?cancel:Dart_resilience.Cancel.t ->
+  operator:operator ->
   Database.t -> Agg_constraint.t list -> outcome
 (** Run the loop.  [batch] caps updates examined per iteration (§6.3 allows
     re-computation "after validating only some of the suggested updates");
-    [max_iterations] guards non-oracle operators (default 50). *)
+    [max_iterations] guards non-oracle operators (default 50); [cancel]
+    aborts the per-iteration re-solves cooperatively (a cancelled
+    iteration ends the loop unconverged). *)

@@ -1,0 +1,38 @@
+(** Cooperative cancellation tokens (see the interface for the model).
+
+    The deadline is stored in absolute {!Obs.now_us} microseconds so a
+    poll is one atomic load plus, only when a deadline exists, one
+    monotonic clock read.  {!none} has an infinite deadline and is
+    compared physically in {!cancel}, so the shared default can never be
+    flipped. *)
+
+module Obs = Dart_obs.Obs
+
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t;
+  deadline_us : float;  (** absolute, [infinity] = no deadline *)
+}
+
+let none = { flag = Atomic.make false; deadline_us = infinity }
+
+let create ?deadline_ms () =
+  let deadline_us =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms -> Obs.now_us () +. (Float.max 0.0 ms *. 1000.0)
+  in
+  { flag = Atomic.make false; deadline_us }
+
+let cancel t = if t != none then Atomic.set t.flag true
+
+let is_cancelled t =
+  Atomic.get t.flag
+  || (t.deadline_us < infinity && Obs.now_us () >= t.deadline_us)
+
+let check t = if is_cancelled t then raise Cancelled
+
+let remaining_ms t =
+  if t.deadline_us = infinity then None
+  else Some (Float.max 0.0 ((t.deadline_us -. Obs.now_us ()) /. 1000.0))

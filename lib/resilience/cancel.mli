@@ -1,0 +1,45 @@
+(** Cooperative cancellation tokens.
+
+    A token is an atomic cancel flag plus an optional absolute deadline.
+    Long-running computations (simplex pivot loops, branch & bound nodes,
+    MILP encoding) poll {!check} every few dozen iterations; when the
+    token is cancelled — explicitly via {!cancel} or implicitly by the
+    deadline passing — the next poll raises {!Cancelled} and the solve
+    unwinds within milliseconds instead of running to completion with
+    nobody waiting for the answer.
+
+    Tokens are cheap (two words) and safe to share across domains: the
+    flag is an [Atomic.t] and the deadline is immutable.  The shared
+    {!none} token can never become cancelled, so code that threads an
+    optional token can default to it with zero per-iteration clock
+    reads. *)
+
+exception Cancelled
+(** Raised by {!check} once the token is cancelled.  Computations let it
+    unwind (local state is discarded); orchestrators catch it to degrade
+    gracefully. *)
+
+type t
+
+val none : t
+(** The never-cancelled token.  {!cancel} on it is a no-op (so a shared
+    default cannot be poisoned) and {!is_cancelled} never reads the
+    clock. *)
+
+val create : ?deadline_ms:float -> unit -> t
+(** Fresh token.  [deadline_ms] is relative to now; once it passes the
+    token reports cancelled without anyone calling {!cancel}.  Negative
+    deadlines are clamped to 0 (already expired). *)
+
+val cancel : t -> unit
+(** Flip the token to cancelled (idempotent, domain-safe). *)
+
+val is_cancelled : t -> bool
+(** True once {!cancel} was called or the deadline passed. *)
+
+val check : t -> unit
+(** @raise Cancelled iff {!is_cancelled}. *)
+
+val remaining_ms : t -> float option
+(** Milliseconds until the deadline ([None] when the token has no
+    deadline).  0 once expired. *)

@@ -1,0 +1,37 @@
+open Dart_rand
+
+type policy = {
+  max_attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+  jitter_seed : int;
+}
+
+let default_policy =
+  { max_attempts = 4; base_delay_ms = 25.0; max_delay_ms = 1000.0;
+    jitter_seed = 0x5eed }
+
+(* 2^attempt without overflow risk for silly attempt counts. *)
+let pow2 n = if n >= 62 then max_float else Float.of_int (1 lsl n)
+
+let backoff_ms p ~attempt =
+  let raw = Float.min p.max_delay_ms (p.base_delay_ms *. pow2 attempt) in
+  (* One fresh splitmix64 stream per (seed, attempt): deterministic, and
+     independent draws without shared mutable state. *)
+  let prng = Prng.create (p.jitter_seed + (attempt * 0x9e3779b9)) in
+  let jitter = 0.5 +. Prng.float prng in
+  raw *. jitter
+
+let run ?(policy = default_policy) ?(sleep_ms = fun ms -> Unix.sleepf (ms /. 1000.0))
+    ~retryable f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e as err ->
+      if attempt + 1 >= policy.max_attempts || not (retryable e) then err
+      else begin
+        sleep_ms (backoff_ms policy ~attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,34 @@
+(** Retry with exponential backoff and deterministic jitter.
+
+    Clients use this against transient service errors ([busy]
+    backpressure, a connection reset mid-handshake): each attempt waits
+    [base_delay_ms * 2^attempt], capped at [max_delay_ms] and scaled by a
+    jitter factor in [0.5, 1.5) drawn from a seeded splitmix64 stream —
+    so retry schedules are reproducible in tests yet decorrelated between
+    clients with different seeds. *)
+
+type policy = {
+  max_attempts : int;     (** total tries, including the first (>= 1) *)
+  base_delay_ms : float;  (** backoff before the first retry *)
+  max_delay_ms : float;   (** backoff cap *)
+  jitter_seed : int;      (** seeds the jitter stream *)
+}
+
+val default_policy : policy
+(** 4 attempts, 25 ms base, 1 s cap. *)
+
+val backoff_ms : policy -> attempt:int -> float
+(** Delay before retry number [attempt] (0-based: the wait after the
+    first failure is [attempt = 0]).  Pure and deterministic in
+    [(policy, attempt)]. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep_ms:(float -> unit) ->
+  retryable:('e -> bool) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** Run [f] up to [policy.max_attempts] times, sleeping [backoff_ms]
+    between attempts, until it returns [Ok] or a non-[retryable] error.
+    [sleep_ms] defaults to [Unix.sleepf]-style blocking via
+    [Thread.delay]-free busy-safe sleep; tests inject a recorder. *)

@@ -69,6 +69,32 @@ let rpc ?deadline_ms c ~op params : (Json.t, string) result =
            (Option.value ~default:"error" code)
            (Option.value ~default:"(no message)" msg))
 
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Whether an [rpc] error message reports a transient condition worth
+    retrying: backpressure ([busy]) or a dropped/garbled connection (a
+    chaos-injected truncation or a server restart — the next attempt
+    reconnects).  Semantic errors ([bad_request], [no_repair], ...) and
+    [deadline_exceeded] (the deadline is already gone) are permanent. *)
+let transient_error msg =
+  let has_prefix p =
+    String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+  in
+  has_prefix "busy" || has_prefix "connection closed"
+  || has_prefix "malformed response" || has_prefix "send failed"
+  || has_prefix "read timeout" || has_prefix "shutting_down"
+
+(** Run [f], reconnecting and retrying with exponential backoff + jitter
+    (see {!Dart_resilience.Retry}) while it returns a transient error.
+    [f] receives a fresh connection each attempt. *)
+let with_retries ?policy ?sleep_ms ?timeout_s addr f =
+  Dart_resilience.Retry.run ?policy ?sleep_ms ~retryable:transient_error
+    (fun () ->
+      try with_connection ?timeout_s addr f
+      with Unix.Unix_error _ as e -> Error ("send failed: " ^ Printexc.to_string e))
+
 let ping c = Result.map (fun _ -> ()) (rpc c ~op:"ping" [])
 let stats c = rpc c ~op:"stats" []
 let shutdown c = Result.map (fun _ -> ()) (rpc c ~op:"shutdown" [])

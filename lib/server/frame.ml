@@ -34,13 +34,31 @@ let rec write_all fd buf off len =
     write_all fd buf (off + n) (len - n)
   end
 
-(** Send one frame.  @raise Unix.Unix_error on a broken connection. *)
-let write fd payload =
+let frame_bytes payload =
   let n = String.length payload in
   let buf = Bytes.create (4 + n) in
   Bytes.set_int32_be buf 0 (Int32.of_int n);
   Bytes.blit_string payload 0 buf 4 n;
-  write_all fd buf 0 (4 + n)
+  buf
+
+(** Send one frame.  [faults] may delay the write, corrupt payload bytes,
+    or truncate the frame mid-stream — in the truncation case the partial
+    bytes are sent and {!Dart_faultsim.Faultsim.Injected_fault} is raised
+    so the caller closes the connection (the stream cannot be
+    resynchronized after a short frame).
+    @raise Unix.Unix_error on a broken connection. *)
+let write ?(faults = Dart_faultsim.Faultsim.none) fd payload =
+  match Dart_faultsim.Faultsim.on_frame_write faults payload with
+  | Dart_faultsim.Faultsim.Pass ->
+    let buf = frame_bytes payload in
+    write_all fd buf 0 (Bytes.length buf)
+  | Dart_faultsim.Faultsim.Corrupt payload' ->
+    let buf = frame_bytes payload' in
+    write_all fd buf 0 (Bytes.length buf)
+  | Dart_faultsim.Faultsim.Truncate cut ->
+    let buf = frame_bytes payload in
+    write_all fd buf 0 (min cut (Bytes.length buf));
+    raise (Dart_faultsim.Faultsim.Injected_fault "frame_truncate")
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)

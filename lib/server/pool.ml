@@ -13,6 +13,9 @@
     caller of {!map} itself — so a saturated pool degrades to inline
     sequential execution instead of deadlocking. *)
 
+module Cancel = Dart_resilience.Cancel
+module Faultsim = Dart_faultsim.Faultsim
+
 type 'a state =
   | Pending of (unit -> 'a)   (** queued or local, not yet claimed *)
   | Running                   (** claimed by some domain/thread *)
@@ -21,6 +24,7 @@ type 'a state =
 
 type 'a future = {
   mutable st : 'a state;
+  token : Cancel.t;           (* cooperative-cancellation token the job polls *)
   fmu : Mutex.t;
   fcond : Condition.t;
 }
@@ -32,22 +36,30 @@ type t = {
   capacity : int;
   qmu : Mutex.t;
   qcond : Condition.t;            (* signalled on enqueue and on stop *)
+  faults : Faultsim.t;            (* injected worker stalls / crashes *)
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
 }
 
 exception Cancelled_exn
 
-let future thunk = { st = Pending thunk; fmu = Mutex.create (); fcond = Condition.create () }
+let future ?(cancel = Cancel.none) thunk =
+  { st = Pending thunk; token = cancel;
+    fmu = Mutex.create (); fcond = Condition.create () }
 
-(* Claim and run a future if it is still pending; no-op otherwise. *)
-let run_if_pending (Job fut) =
+(* Claim and run a future if it is still pending; no-op otherwise.
+   [faults] injects worker stalls/crashes *inside* the claim, so an
+   injected crash resolves the future with [Error] exactly like a real
+   worker exception would — the pool slot is never poisoned. *)
+let run_if_pending ?(faults = Faultsim.none) (Job fut) =
   Mutex.lock fut.fmu;
   match fut.st with
   | Pending thunk ->
     fut.st <- Running;
     Mutex.unlock fut.fmu;
-    let result = try Ok (thunk ()) with e -> Error e in
+    let result =
+      try Faultsim.on_worker_job faults; Ok (thunk ()) with e -> Error e
+    in
     Mutex.lock fut.fmu;
     fut.st <- Done result;
     Condition.broadcast fut.fcond;
@@ -65,7 +77,7 @@ let worker_loop pool () =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.qmu;
-      run_if_pending job;
+      run_if_pending ~faults:pool.faults job;
       loop ()
     end
   in
@@ -73,14 +85,15 @@ let worker_loop pool () =
 
 (** [create ~domains ~queue_capacity] spawns [domains] (>= 1) worker
     domains.  [queue_capacity] bounds jobs waiting to start (in-flight
-    jobs do not count). *)
-let create ~domains ~queue_capacity =
+    jobs do not count).  [faults] injects stalls/crashes into worker job
+    execution (chaos testing); default none. *)
+let create ?(faults = Faultsim.none) ~domains ~queue_capacity () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
   if queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
   let pool =
     { queue = Queue.create (); capacity = queue_capacity;
-      qmu = Mutex.create (); qcond = Condition.create (); stopping = false;
-      workers = [||] }
+      qmu = Mutex.create (); qcond = Condition.create (); faults;
+      stopping = false; workers = [||] }
   in
   pool.workers <-
     Array.init domains (fun _ -> Domain.spawn (fun () -> worker_loop pool ()));
@@ -110,9 +123,10 @@ let try_enqueue pool job =
   end
 
 (** Submit a thunk; [None] when the queue is full (backpressure) or the
-    pool is shutting down. *)
-let try_submit pool thunk =
-  let fut = future thunk in
+    pool is shutting down.  [cancel] is remembered on the future so
+    {!request_cancel} can signal the job after it starts running. *)
+let try_submit ?cancel pool thunk =
+  let fut = future ?cancel thunk in
   if try_enqueue pool (Job fut) then Some fut else None
 
 type 'a outcome = [ `Done of ('a, exn) result | `Cancelled | `Pending_or_running ]
@@ -141,6 +155,16 @@ let try_cancel fut =
   in
   Mutex.unlock fut.fmu;
   cancelled
+
+(** Best-effort cancellation: deschedule the job if it has not started
+    ([true] — it will never run); otherwise fire its cooperative token so
+    the running solve aborts at its next poll point ([false]). *)
+let request_cancel fut =
+  if try_cancel fut then true
+  else begin
+    Cancel.cancel fut.token;
+    false
+  end
 
 (* Wait for completion; if the future was never enqueued (or the pool is
    saturated), the caller claims and runs it inline rather than blocking

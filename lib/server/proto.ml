@@ -88,7 +88,7 @@ type error_code =
   | Bad_request          (** missing or ill-typed parameters *)
   | Unknown_op
   | Unknown_scenario
-  | Unknown_session      (** never opened, closed, or TTL-evicted *)
+  | Session_not_found    (** never opened, closed, or TTL-evicted *)
   | Busy                 (** worker queue full — retry later *)
   | Deadline_exceeded
   | Oversized_frame
@@ -100,7 +100,7 @@ let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Unknown_op -> "unknown_op"
   | Unknown_scenario -> "unknown_scenario"
-  | Unknown_session -> "unknown_session"
+  | Session_not_found -> "session_not_found"
   | Busy -> "busy"
   | Deadline_exceeded -> "deadline_exceeded"
   | Oversized_frame -> "oversized_frame"
@@ -171,8 +171,9 @@ let stats_json (s : Solver.stats) =
 let repair_fields ~rows db (result : Solver.result) =
   match result with
   | Solver.Consistent -> [ ("status", Json.Str "consistent") ]
-  | Solver.Repaired (rho, stats) ->
+  | Solver.Repaired (rho, prov, stats) ->
     [ ("status", Json.Str "repaired");
+      ("provenance", Json.Str (Solver.provenance_to_string prov));
       ("updates",
        Json.List (List.map (update_json db) (Solver.display_order rows rho)));
       ("stats", stats_json stats) ]
@@ -180,6 +181,8 @@ let repair_fields ~rows db (result : Solver.result) =
     [ ("status", Json.Str "no_repair"); ("stats", stats_json stats) ]
   | Solver.Node_budget_exceeded stats ->
     [ ("status", Json.Str "node_budget_exceeded"); ("stats", stats_json stats) ]
+  | Solver.Cancelled stats ->
+    [ ("status", Json.Str "cancelled"); ("stats", stats_json stats) ]
 
 (** One suggested update awaiting an operator decision ([session/next]). *)
 let suggestion_json db (u : Update.t) =

@@ -1,6 +1,6 @@
 (** The DART repair service.
 
-    Threading model (see DESIGN.md §7):
+    Threading model (see DESIGN.md §6; failure model in §7):
 
     {ul
     {- the {e accept loop} runs on one thread: [select] on the listening
@@ -27,6 +27,9 @@ open Dart_constraints
 open Dart
 module Obs = Dart_obs.Obs
 module Json = Obs.Json
+module Cancel = Dart_resilience.Cancel
+module Faultsim = Dart_faultsim.Faultsim
+module Solver = Dart_repair.Solver
 
 (* ------------------------------------------------------------------ *)
 (* Config                                                              *)
@@ -43,6 +46,9 @@ type config = {
   drain_timeout_s : float;        (** max wait for in-flight work on stop *)
   max_nodes : int;                (** branch & bound budget per component *)
   max_iterations : int;           (** validation loop guard per session *)
+  cancel_grace_ms : float;        (** wait this long after firing a running
+                                      job's cancel token before abandoning it *)
+  faults : Faultsim.t;            (** chaos-testing fault plan (default none) *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -52,7 +58,7 @@ let default_config ?(scenarios = []) addr =
     queue_capacity = 64; session_ttl_s = 600.0; max_sessions = 256;
     max_frame_bytes = 16 * 1024 * 1024; idle_timeout_s = 300.0;
     drain_timeout_s = 30.0; max_nodes = 2_000_000; max_iterations = 50;
-    scenarios }
+    cancel_grace_ms = 200.0; faults = Faultsim.none; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -89,7 +95,9 @@ let create cfg =
   if cfg.scenarios = [] then invalid_arg "Server.create: no scenarios registered";
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   { cfg;
-    pool = Pool.create ~domains:cfg.domains ~queue_capacity:cfg.queue_capacity;
+    pool =
+      Pool.create ~faults:cfg.faults ~domains:cfg.domains
+        ~queue_capacity:cfg.queue_capacity ();
     store =
       Session.Store.create ~ttl_ms:(cfg.session_ttl_s *. 1000.0)
         ~max_sessions:cfg.max_sessions ();
@@ -147,22 +155,22 @@ let document_of req =
   | Some d -> d
   | None -> reply_error ?id:req.Proto.id Proto.Bad_request "missing \"document\""
 
-let acquire_db t req =
+let acquire_db t ~cancel req =
   let scenario = scenario_of t req in
   let text = document_of req in
   let format = format_of req in
-  (scenario, Pipeline.acquire scenario ~format text)
+  (scenario, Pipeline.acquire scenario ~cancel ~format text)
 
-let handle_acquire t req =
-  let _scenario, acq = acquire_db t req in
+let handle_acquire t ~cancel req =
+  let _scenario, acq = acquire_db t ~cancel req in
   Proto.ok ?id:req.Proto.id
     [ ("relations", Proto.relations_json acq.Pipeline.db);
       ("rows_matched",
        Json.Int (List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.instances));
       ("tuples", Json.Int (Database.cardinality acq.Pipeline.db)) ]
 
-let handle_detect t req =
-  let scenario, acq = acquire_db t req in
+let handle_detect t ~cancel req =
+  let scenario, acq = acquire_db t ~cancel req in
   let violated = Pipeline.detect scenario acq.Pipeline.db in
   Proto.ok ?id:req.Proto.id
     [ ("consistent", Json.Bool (violated = []));
@@ -175,15 +183,21 @@ let handle_detect t req =
                   ("groundings", Json.Int (List.length thetas)) ])
             violated)) ]
 
-let handle_repair t req =
-  let scenario, acq = acquire_db t req in
+let handle_repair t ~cancel req =
+  let scenario, acq = acquire_db t ~cancel req in
   let db = acq.Pipeline.db in
   let rows = Ground.of_constraints db scenario.Scenario.constraints in
   let result =
     Pipeline.repair ~mapper:(Pool.solver_mapper t.pool) ~max_nodes:t.cfg.max_nodes
-      scenario db
+      ~cancel scenario db
   in
-  Proto.ok ?id:req.Proto.id (Proto.repair_fields ~rows db result)
+  match result with
+  | Solver.Cancelled _ ->
+    (* Deadline fired and degradation had nothing to fall back to. *)
+    Obs.Metrics.incr m_deadline;
+    reply_error ?id:req.Proto.id Proto.Deadline_exceeded
+      "deadline exceeded during solve"
+  | result -> Proto.ok ?id:req.Proto.id (Proto.repair_fields ~rows db result)
 
 (* The session summary common to open/decide/next responses. *)
 let session_fields (s : Session.t) =
@@ -201,8 +215,8 @@ let session_fields (s : Session.t) =
       ("examined", Json.Int s.Session.examined);
       ("pins", Json.Int (List.length s.Session.pins)) ]
 
-let handle_session_open t req =
-  let scenario, acq = acquire_db t req in
+let handle_session_open t ~cancel req =
+  let scenario, acq = acquire_db t ~cancel req in
   let max_iterations =
     Option.value ~default:t.cfg.max_iterations
       (Proto.int_field req.Proto.body "max_iterations")
@@ -210,8 +224,8 @@ let handle_session_open t req =
   let id = Session.Store.fresh_id t.store in
   let s =
     Session.create ~id ~scenario ~db:acq.Pipeline.db ~max_nodes:t.cfg.max_nodes
-      ~max_iterations ~mapper:(Pool.solver_mapper t.pool) ~now_ms:(Obs.now_ms ())
-      ~ttl_ms:(Session.Store.ttl_ms t.store) ()
+      ~max_iterations ~mapper:(Pool.solver_mapper t.pool) ~cancel
+      ~now_ms:(Obs.now_ms ()) ~ttl_ms:(Session.Store.ttl_ms t.store) ()
   in
   (match Session.Store.put t.store s with
    | Ok () -> ()
@@ -226,8 +240,8 @@ let find_session t req =
     (match Session.Store.find t.store sid with
      | Some s -> s
      | None ->
-       reply_error ?id:req.Proto.id Proto.Unknown_session
-         (Printf.sprintf "unknown session %S (closed or expired?)" sid))
+       reply_error ?id:req.Proto.id Proto.Session_not_found
+         (Printf.sprintf "session %S not found (closed or expired?)" sid))
 
 let handle_session_next t req =
   let s = find_session t req in
@@ -237,7 +251,7 @@ let handle_session_next t req =
      @ [ ("updates",
           Json.List (List.map (Proto.suggestion_json s.Session.db) updates)) ])
 
-let handle_session_decide t req =
+let handle_session_decide t ~cancel req =
   let s = find_session t req in
   let decisions =
     match Option.bind (Proto.member "decisions" req.Proto.body) Proto.as_list with
@@ -251,7 +265,7 @@ let handle_session_decide t req =
           | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg)
         ds
   in
-  match Session.decide ~mapper:(Pool.solver_mapper t.pool) s decisions with
+  match Session.decide ~mapper:(Pool.solver_mapper t.pool) ~cancel s decisions with
   | Ok _phase -> Proto.ok ?id:req.Proto.id (session_fields s)
   | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg
 
@@ -281,12 +295,26 @@ let handle_stats t req =
 (* ------------------------------------------------------------------ *)
 
 (* Heavy handlers run on the worker pool; the connection thread waits,
-   polling cheaply, until completion or the request's deadline. *)
+   polling cheaply, until completion or the request's deadline.
+
+   Deadline handling is cooperative: the handler runs under a cancel
+   token whose deadline mirrors [deadline_ms], so the solve aborts itself
+   (degrading to an incumbent/greedy answer when it can) within
+   milliseconds of the deadline.  The waiting thread additionally fires
+   the token explicitly at the deadline — covering clock skew and jobs
+   still queued — and only after [cancel_grace_ms] of unresponsiveness
+   does it abandon the job (answering the client while the slot finishes
+   in the background). *)
 let run_on_pool t req handler =
+  let cancel =
+    match req.Proto.deadline_ms with
+    | Some d -> Cancel.create ~deadline_ms:(Float.max 0.0 d) ()
+    | None -> Cancel.none
+  in
   let deadline =
     Option.map (fun d -> Obs.now_ms () +. Float.max 0.0 d) req.Proto.deadline_ms
   in
-  match Pool.try_submit t.pool (fun () -> handler t req) with
+  match Pool.try_submit ~cancel t.pool (fun () -> handler t ~cancel req) with
   | None ->
     Obs.Metrics.incr m_busy;
     Proto.error ?id:req.Proto.id Proto.Busy
@@ -294,33 +322,52 @@ let run_on_pool t req handler =
          t.cfg.queue_capacity)
   | Some fut ->
     Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
-    let rec wait () =
+    let deadline_error msg =
+      Obs.Metrics.incr m_deadline;
+      Proto.error ?id:req.Proto.id Proto.Deadline_exceeded msg
+    in
+    let rec wait ~grace =
       match Pool.poll fut with
       | `Done (Ok resp) -> resp
       | `Done (Error (Reply resp)) -> resp
+      | `Done (Error Cancel.Cancelled) ->
+        (* The token unwound a stage with no degradation path (e.g.
+           acquisition); the worker slot is already free. *)
+        deadline_error "deadline exceeded during solve"
+      | `Done (Error (Faultsim.Injected_fault what)) ->
+        (* Simulated infrastructure failure: transient by construction,
+           so tell the client it is safe to retry. *)
+        Proto.error ?id:req.Proto.id Proto.Busy
+          (Printf.sprintf "busy: worker lost to injected fault (%s)" what)
       | `Done (Error e) ->
         Proto.error ?id:req.Proto.id Proto.Internal (Printexc.to_string e)
       | `Cancelled ->
-        Obs.Metrics.incr m_deadline;
-        Proto.error ?id:req.Proto.id Proto.Deadline_exceeded
-          "deadline exceeded while queued"
+        deadline_error "deadline exceeded while queued"
       | `Pending_or_running ->
         (match deadline with
          | Some d when Obs.now_ms () > d ->
-           (* If still queued we can cancel outright; if running we let
-              the job finish in the background (its session effects
-              stand) but answer the client now. *)
-           if Pool.try_cancel fut then wait ()
-           else begin
-             Obs.Metrics.incr m_deadline;
-             Proto.error ?id:req.Proto.id Proto.Deadline_exceeded
-               "deadline exceeded during solve"
-           end
+           (match grace with
+            | None ->
+              (* First poll past the deadline: deschedule if still
+                 queued (next poll sees [`Cancelled]); otherwise fire
+                 the running job's token and give it a short grace
+                 period to unwind cooperatively. *)
+              if Pool.request_cancel fut then wait ~grace
+              else wait ~grace:(Some (d +. t.cfg.cancel_grace_ms))
+            | Some g when Obs.now_ms () > g ->
+              (* The job ignored its token past the grace window (a
+                 stuck stage): answer the client now and let the slot
+                 finish in the background rather than hang the
+                 connection. *)
+              deadline_error "deadline exceeded during solve (job abandoned)"
+            | Some _ ->
+              Thread.delay 0.0005;
+              wait ~grace)
          | _ ->
            Thread.delay 0.0005;
-           wait ())
+           wait ~grace)
     in
-    wait ()
+    wait ~grace:None
 
 let dispatch t req =
   match req.Proto.op with
@@ -398,9 +445,12 @@ let read_request t fd =
   in
   go ()
 
-let send fd json =
-  try Frame.write fd (Json.to_string json); true
-  with Unix.Unix_error _ | Sys_error _ -> false
+(* An injected truncation leaves the stream unsynchronizable, exactly
+   like a real short write before a crash: report failure so the
+   connection closes. *)
+let send t fd json =
+  try Frame.write ~faults:t.cfg.faults fd (Json.to_string json); true
+  with Unix.Unix_error _ | Sys_error _ | Faultsim.Injected_fault _ -> false
 
 let handle_connection t fd =
   Obs.Metrics.incr m_conn_total;
@@ -410,12 +460,12 @@ let handle_connection t fd =
     | `Eof | `Idle -> ()
     | `Stop ->
       (* Refuse new work during drain, politely. *)
-      ignore (send fd (Proto.error Proto.Shutting_down "server is shutting down"))
+      ignore (send t fd (Proto.error Proto.Shutting_down "server is shutting down"))
     | `Oversized n ->
       (* The stream cannot be resynchronized after an untrusted length:
          answer once, then close. *)
       ignore
-        (send fd
+        (send t fd
            (Proto.error Proto.Oversized_frame
               (Printf.sprintf "frame of %d bytes exceeds limit %d" n
                  t.cfg.max_frame_bytes)))
@@ -423,7 +473,7 @@ let handle_connection t fd =
       let resp = process t payload in
       (* After answering the in-flight request, a draining server closes
          instead of reading further frames. *)
-      if send fd resp && not (stopping t) then serve ()
+      if send t fd resp && not (stopping t) then serve ()
   in
   Fun.protect
     ~finally:(fun () ->

@@ -80,19 +80,21 @@ let apply_pins s =
 
 (* One re-solve under the accumulated pins; mirrors one turn of the
    Validation.run loop.  Caller holds the session mutex. *)
-let resolve ~mapper s =
+let resolve ~mapper ?cancel s =
   if s.iterations >= s.max_iterations then s.phase <- Failed "max_iterations"
   else begin
     let result =
       Obs.span "server.session.resolve"
         ~attrs:[ ("session", Obs.Str s.id); ("pins", Obs.Int (List.length s.pins)) ]
         (fun () ->
-          Solver.card_minimal ~max_nodes:s.max_nodes ~forced:s.pins ~mapper s.db
-            s.scenario.Scenario.constraints)
+          Solver.card_minimal ~max_nodes:s.max_nodes ~forced:s.pins ?cancel
+            ~mapper s.db s.scenario.Scenario.constraints)
     in
     match result with
     | Solver.Consistent -> s.phase <- Converged (apply_pins s)
-    | Solver.Repaired (rho, _) ->
+    | Solver.Repaired (rho, _prov, _) ->
+      (* Degraded (incumbent) proposals are fine here: every suggestion
+         still goes through the operator before anything is applied. *)
       s.iterations <- s.iterations + 1;
       if pending_of s rho = [] then
         (* Every suggestion was validated before: the repair stands. *)
@@ -100,12 +102,18 @@ let resolve ~mapper s =
       else s.phase <- Proposing rho
     | Solver.No_repair _ -> s.phase <- Failed "no_repair"
     | Solver.Node_budget_exceeded _ -> s.phase <- Failed "node_budget_exceeded"
+    | Solver.Cancelled _ ->
+      (* Deadline hit mid-re-solve.  Keep the previous proposal (anytime
+         semantics: the operator can keep validating it or retry the
+         decision), but a session whose *first* solve was cancelled has
+         nothing to show and is marked failed. *)
+      if s.iterations = 0 then s.phase <- Failed "cancelled"
   end
 
 (** Open a session on an acquired instance and compute the first
     proposal. *)
 let create ~id ~scenario ~db ?(max_nodes = 2_000_000) ?(max_iterations = 50)
-    ~mapper ~now_ms ~ttl_ms () =
+    ~mapper ?cancel ~now_ms ~ttl_ms () =
   let s =
     { id; scenario; db;
       rows = Ground.of_constraints db scenario.Scenario.constraints;
@@ -113,7 +121,7 @@ let create ~id ~scenario ~db ?(max_nodes = 2_000_000) ?(max_iterations = 50)
       examined = 0; phase = Proposing []; expires_at_ms = now_ms +. ttl_ms;
       smu = Mutex.create () }
   in
-  resolve ~mapper s;
+  resolve ~mapper ?cancel s;
   s
 
 type decide_outcome = (phase, string) result
@@ -123,7 +131,7 @@ type decide_outcome = (phase, string) result
     pending updates with no override accept the proposal outright
     (Validation.run's [batch = None] fast path), anything else pins the
     decided cells and re-solves. *)
-let decide ~mapper s (decisions : Proto.decision_wire list) : decide_outcome =
+let decide ~mapper ?cancel s (decisions : Proto.decision_wire list) : decide_outcome =
   locked s @@ fun () ->
   match s.phase with
   | Converged _ -> Error "session already converged"
@@ -177,7 +185,7 @@ let decide ~mapper s (decisions : Proto.decision_wire list) : decide_outcome =
           let covered_all = List.length decisions = List.length pending in
           if covered_all && not any_override then
             s.phase <- Converged (Update.apply s.db rho)
-          else resolve ~mapper s;
+          else resolve ~mapper ?cancel s;
           Ok s.phase
       end
     end

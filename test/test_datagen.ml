@@ -125,7 +125,7 @@ let balance_tests =
         let truth = Balance_sheet.generate ~years:2 prng in
         let corrupted, _ = Balance_sheet.corrupt ~errors:2 prng truth in
         match Dart_repair.Solver.card_minimal corrupted Balance_sheet.constraints with
-        | Dart_repair.Solver.Repaired (rho, _) ->
+        | Dart_repair.Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "<= 2 updates" true (List.length rho <= 2);
           Alcotest.(check bool) "consistent after repair" true
             (Agg_constraint.holds_all
@@ -161,7 +161,7 @@ let catalog_tests =
         let corrupted, log = Catalog.corrupt ~errors:2 prng truth in
         Alcotest.(check int) "2 corruptions" 2 (List.length log);
         match Dart_repair.Solver.card_minimal corrupted Catalog.constraints with
-        | Dart_repair.Solver.Repaired (rho, _) ->
+        | Dart_repair.Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "consistent after repair" true
             (Agg_constraint.holds_all
                (Dart_repair.Update.apply corrupted rho)

@@ -1,0 +1,432 @@
+(* dart_faultsim tests: deterministic fault plans, frame/tokenizer fuzz,
+   pool crash-resilience, chaos serve->client round trips, TTL-evicted
+   sessions, and the end-to-end deadline regression. *)
+
+open Dart
+open Dart_datagen
+open Dart_rand
+open Dart_server
+module Faultsim = Dart_faultsim.Faultsim
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let t name f = Alcotest.test_case name `Quick f
+
+let all_scenarios =
+  [ ("cash-budget", Budget_scenario.scenario);
+    ("balance-sheet", Balance_scenario.scenario);
+    ("catalog", Catalog_scenario.scenario);
+    ("quarterly", Quarterly_scenario.scenario) ]
+
+let doc ?(years = 3) ?(noise = 0.1) seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years prng in
+  if noise = 0.0 then fst (Doc_render.cash_budget_html truth)
+  else
+    let channel =
+      { Dart_ocr.Noise.numeric_rate = noise; string_rate = 0.0; char_rate = 0.1 }
+    in
+    fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "/tmp/dart-chaos-%d-%d.sock" (Unix.getpid ()) !sock_counter
+
+let with_server ?(domains = 2) ?(queue = 16) ?ttl_s ?faults f =
+  let path = fresh_sock () in
+  let addr = Proto.Unix_sock path in
+  let cfg = Server.default_config ~scenarios:all_scenarios addr in
+  let cfg =
+    { cfg with
+      Server.domains; queue_capacity = queue;
+      session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl_s;
+      faults = Option.value ~default:cfg.Server.faults faults }
+  in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f addr)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let plan_tests =
+  [ t "spec_of_string parses a full spec" (fun () ->
+        match
+          Faultsim.spec_of_string
+            "seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.3,corrupt=0.4,delay=0.5,delay-ms=20"
+        with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+          Alcotest.(check int) "seed" 42 c.Faultsim.seed;
+          Alcotest.(check (float 1e-9)) "crash" 0.1 c.Faultsim.worker_crash;
+          Alcotest.(check (float 1e-9)) "stall" 0.2 c.Faultsim.worker_stall;
+          Alcotest.(check (float 1e-9)) "stall-ms" 50.0 c.Faultsim.worker_stall_ms;
+          Alcotest.(check (float 1e-9)) "truncate" 0.3 c.Faultsim.frame_truncate;
+          Alcotest.(check (float 1e-9)) "corrupt" 0.4 c.Faultsim.frame_corrupt;
+          Alcotest.(check (float 1e-9)) "delay" 0.5 c.Faultsim.io_delay;
+          Alcotest.(check (float 1e-9)) "delay-ms" 20.0 c.Faultsim.io_delay_ms);
+    t "spec_of_string rejects unknown keys and bad values" (fun () ->
+        Alcotest.(check bool) "unknown key" true
+          (Result.is_error (Faultsim.spec_of_string "frobnicate=1"));
+        Alcotest.(check bool) "bad value" true
+          (Result.is_error (Faultsim.spec_of_string "crash=often"));
+        Alcotest.(check bool) "negative" true
+          (Result.is_error (Faultsim.spec_of_string "crash=-0.5"));
+        Alcotest.(check bool) "no equals" true
+          (Result.is_error (Faultsim.spec_of_string "crash")));
+    t "the empty spec injects nothing" (fun () ->
+        match Faultsim.spec_of_string "" with
+        | Error e -> Alcotest.fail e
+        | Ok c -> Alcotest.(check bool) "disabled" false
+                    (Faultsim.enabled (Faultsim.create c)));
+    t "the same seed replays the same fault schedule" (fun () ->
+        let cfg =
+          { Faultsim.disabled with
+            Faultsim.seed = 99; frame_truncate = 0.3; frame_corrupt = 0.3 }
+        in
+        let payloads = List.init 200 (fun i -> String.make (1 + (i mod 40)) 'x') in
+        let schedule () =
+          let f = Faultsim.create cfg in
+          List.map
+            (fun p ->
+              match Faultsim.on_frame_write f p with
+              | Faultsim.Pass -> "pass"
+              | Faultsim.Truncate n -> Printf.sprintf "trunc:%d" n
+              | Faultsim.Corrupt s -> "corrupt:" ^ s)
+            payloads
+        in
+        Alcotest.(check (list string)) "identical" (schedule ()) (schedule ()));
+    t "none injects nothing, ever" (fun () ->
+        for _ = 1 to 100 do
+          Faultsim.on_worker_job Faultsim.none;
+          match Faultsim.on_frame_write Faultsim.none "payload" with
+          | Faultsim.Pass -> ()
+          | _ -> Alcotest.fail "none must pass everything"
+        done)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: Frame.read and the HTML tokenizer                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_bytes g n =
+  String.init n (fun _ -> Char.chr (Prng.int g 256))
+
+let fuzz_tests =
+  [ t "Frame.read survives 10k arbitrary byte strings" (fun () ->
+        (* Arbitrary bytes — random lengths, random headers — must yield
+           Ok or a structured error, never an exception or a hang. *)
+        let g = Prng.create 0xf8a3e in
+        for _ = 1 to 10_000 do
+          let s = random_bytes g (Prng.int g 64) in
+          let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try
+             ignore (Unix.write_substring a s 0 (String.length s));
+             Unix.close a;
+             (match Frame.read ~timeout:1.0 ~max_len:4096 b with
+              | Ok _ | Error (Frame.Eof | Frame.Timeout | Frame.Oversized _) -> ())
+           with e ->
+             Unix.close b;
+             Alcotest.failf "Frame.read raised on %S: %s" s (Printexc.to_string e));
+          Unix.close b
+        done);
+    t "the HTML tokenizer survives 10k arbitrary byte strings" (fun () ->
+        let g = Prng.create 0x70ce2 in
+        for _ = 1 to 10_000 do
+          let s = random_bytes g (Prng.int g 200) in
+          try ignore (Dart_html.Tokenizer.tokenize s)
+          with e ->
+            Alcotest.failf "tokenize raised on %S: %s" s (Printexc.to_string e)
+        done);
+    t "the tokenizer also survives hostile markup-shaped inputs" (fun () ->
+        let g = Prng.create 0x51ab7 in
+        let fragments =
+          [| "<"; ">"; "</"; "<td"; "<!--"; "-->"; "&"; "&amp"; ";"; "\""; "'";
+             "="; "<table"; "</td>"; "<x y"; "  "; "\x00"; "\xff"; "a" |]
+        in
+        for _ = 1 to 10_000 do
+          let n = 1 + Prng.int g 20 in
+          let b = Buffer.create 64 in
+          for _ = 1 to n do
+            Buffer.add_string b (Prng.choose g fragments)
+          done;
+          let s = Buffer.contents b in
+          try ignore (Dart_html.Tokenizer.tokenize s)
+          with e ->
+            Alcotest.failf "tokenize raised on %S: %s" s (Printexc.to_string e)
+        done)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool resilience                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Poll-based wait (like the server's), so a dead worker shows up as a
+   hang instead of being masked by await's inline claiming. *)
+let poll_until_done fut =
+  let deadline = Obs.now_ms () +. 5_000.0 in
+  let rec go () =
+    match Pool.poll fut with
+    | `Done r -> r
+    | `Cancelled -> Alcotest.fail "unexpected cancellation"
+    | `Pending_or_running ->
+      if Obs.now_ms () > deadline then Alcotest.fail "pool job never completed"
+      else begin
+        Thread.delay 0.001;
+        go ()
+      end
+  in
+  go ()
+
+exception Boom
+
+let pool_tests =
+  [ t "a worker exception resolves the future with Error, pool stays usable"
+      (fun () ->
+        let pool = Pool.create ~domains:1 ~queue_capacity:4 () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            (match Pool.try_submit pool (fun () -> raise Boom) with
+             | None -> Alcotest.fail "submit refused"
+             | Some fut ->
+               (match poll_until_done fut with
+                | Error Boom -> ()
+                | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+                | Ok () -> Alcotest.fail "expected an error"));
+            (* The same (sole) worker must still run jobs. *)
+            match Pool.try_submit pool (fun () -> 21 * 2) with
+            | None -> Alcotest.fail "submit refused after crash"
+            | Some fut ->
+              (match poll_until_done fut with
+               | Ok v -> Alcotest.(check int) "worker alive" 42 v
+               | Error e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))));
+    t "injected worker crashes resolve futures with Injected_fault, never poison"
+      (fun () ->
+        let faults =
+          Faultsim.create { Faultsim.disabled with Faultsim.seed = 5; worker_crash = 1.0 }
+        in
+        let pool = Pool.create ~faults ~domains:1 ~queue_capacity:4 () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            (* Every job crashes by injection; the sole worker must survive
+               all of them and keep draining the queue. *)
+            for i = 1 to 20 do
+              match Pool.try_submit pool (fun () -> i) with
+              | None -> Alcotest.fail "submit refused"
+              | Some fut ->
+                (match poll_until_done fut with
+                 | Error (Faultsim.Injected_fault "worker_crash") -> ()
+                 | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+                 | Ok _ -> Alcotest.fail "crash probability 1.0 must crash")
+            done));
+    t "request_cancel deschedules a queued job" (fun () ->
+        let pool = Pool.create ~domains:1 ~queue_capacity:8 () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            (* Occupy the sole worker, then cancel a queued job. *)
+            let gate = Atomic.make false in
+            let blocker =
+              Pool.try_submit pool (fun () ->
+                  while not (Atomic.get gate) do Thread.delay 0.001 done)
+            in
+            let queued = Pool.try_submit pool (fun () -> 1) in
+            (match queued with
+             | None -> Alcotest.fail "submit refused"
+             | Some fut ->
+               Alcotest.(check bool) "descheduled before running" true
+                 (Pool.request_cancel fut);
+               (match Pool.poll fut with
+                | `Cancelled -> ()
+                | _ -> Alcotest.fail "expected `Cancelled"));
+            Atomic.set gate true;
+            match blocker with
+            | Some fut -> (match poll_until_done fut with Ok () -> () | Error _ -> ())
+            | None -> Alcotest.fail "blocker refused"));
+    t "request_cancel on a running job fires its cooperative token" (fun () ->
+        let cancel = Dart_resilience.Cancel.create () in
+        let pool = Pool.create ~domains:1 ~queue_capacity:4 () in
+        Fun.protect
+          ~finally:(fun () -> Pool.shutdown pool)
+          (fun () ->
+            let started = Atomic.make false in
+            match
+              Pool.try_submit ~cancel pool (fun () ->
+                  Atomic.set started true;
+                  let deadline = Obs.now_ms () +. 5_000.0 in
+                  while
+                    (not (Dart_resilience.Cancel.is_cancelled cancel))
+                    && Obs.now_ms () < deadline
+                  do
+                    Thread.delay 0.001
+                  done;
+                  Dart_resilience.Cancel.is_cancelled cancel)
+            with
+            | None -> Alcotest.fail "submit refused"
+            | Some fut ->
+              while not (Atomic.get started) do Thread.delay 0.001 done;
+              Alcotest.(check bool) "already running" false (Pool.request_cancel fut);
+              (match poll_until_done fut with
+               | Ok saw_cancel ->
+                 Alcotest.(check bool) "job saw the token" true saw_cancel
+               | Error e -> Alcotest.failf "unexpected: %s" (Printexc.to_string e))))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos round trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_tests =
+  [ t "a chaos server never hangs and only returns structured outcomes"
+      (fun () ->
+        (* Frame truncation/corruption + worker stalls/crashes, all at
+           once.  Every round trip must finish quickly with either a
+           valid response or a transport-level error. *)
+        let faults =
+          Faultsim.create
+            { Faultsim.seed = 1; worker_stall = 0.3; worker_stall_ms = 5.0;
+              worker_crash = 0.3; frame_truncate = 0.2; frame_corrupt = 0.2;
+              io_delay = 0.2; io_delay_ms = 2.0 }
+        in
+        with_server ~domains:2 ~faults @@ fun addr ->
+        let document = doc ~years:1 7 in
+        let outcomes = ref [] in
+        for _ = 1 to 25 do
+          let r =
+            try
+              Client.with_connection ~timeout_s:10.0 addr @@ fun c ->
+              Client.repair c ~scenario:"cash-budget" ~document ()
+            with
+            | Unix.Unix_error _ | Sys_error _ -> Error "transport"
+          in
+          outcomes := (match r with Ok _ -> "ok" | Error _ -> "err") :: !outcomes
+        done;
+        Alcotest.(check int) "all 25 round trips settled" 25
+          (List.length !outcomes);
+        (* The server process survived the whole barrage. *)
+        match
+          try
+            Client.with_connection ~timeout_s:10.0 addr @@ fun c ->
+            Client.ping c
+          with Unix.Unix_error _ | Sys_error _ -> Error "transport"
+        with
+        | Ok () | Error _ -> ());
+    t "client retries ride out injected faults to a successful repair"
+      (fun () ->
+        let faults =
+          Faultsim.create
+            { Faultsim.disabled with
+              Faultsim.seed = 3; worker_crash = 0.4; frame_truncate = 0.3 }
+        in
+        with_server ~domains:2 ~faults @@ fun addr ->
+        let document = doc ~years:1 9 in
+        let policy =
+          { Dart_resilience.Retry.default_policy with
+            max_attempts = 25; base_delay_ms = 1.0; max_delay_ms = 5.0 }
+        in
+        match
+          Client.with_retries ~policy ~timeout_s:10.0 addr (fun c ->
+              match Client.repair c ~scenario:"cash-budget" ~document () with
+              (* An injected worker crash surfaces as a structured
+                 internal error; that attempt failed, so retry it. *)
+              | Error e when not (Client.transient_error e) ->
+                if String.length e >= 8 && String.sub e 0 8 = "internal" then
+                  Error ("busy: injected crash — " ^ e)
+                else Error e
+              | r -> r)
+        with
+        | Ok body ->
+          Alcotest.(check bool) "got a repair status" true
+            (Proto.string_field body "status" <> None)
+        | Error e -> Alcotest.failf "retries exhausted: %s" e)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Session TTL eviction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ttl_tests =
+  [ t "session/next and session/decide on an evicted session say session_not_found"
+      (fun () ->
+        with_server ~ttl_s:0.2 @@ fun addr ->
+        Client.with_connection addr @@ fun c ->
+        let document = doc 21 in
+        match Client.session_open c ~scenario:"cash-budget" ~document () with
+        | Error e -> Alcotest.fail e
+        | Ok body ->
+          let sid =
+            Option.value ~default:"?" (Proto.string_field body "session")
+          in
+          (* Outlive the TTL and at least one 1 s sweeper pass. *)
+          Thread.delay 1.6;
+          let expect_gone what = function
+            | Ok _ -> Alcotest.failf "%s: expected an error" what
+            | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s reports session_not_found (got %S)" what msg)
+                true
+                (String.length msg >= 17
+                 && String.sub msg 0 17 = "session_not_found")
+          in
+          expect_gone "session/next" (Client.session_next c ~session:sid);
+          expect_gone "session/decide"
+            (Client.session_decide c ~session:sid
+               [ { Proto.d_tid = 0; d_attr = "x"; d_kind = `Accept } ]))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end deadline regression                                      *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_tests =
+  [ t "an expiring deadline_ms answers near the deadline and frees the slot"
+      (fun () ->
+        (* The acceptance criterion: a repair whose deadline expires
+           mid-solve must answer (degraded result or deadline_exceeded)
+           within 250 ms of the deadline, and the worker slot must be
+           usable again.  CI slack: 750 ms. *)
+        with_server ~domains:1 @@ fun addr ->
+        Client.with_connection ~timeout_s:30.0 addr @@ fun c ->
+        let document = doc ~years:24 ~noise:0.15 31 in
+        let deadline_ms = 100.0 in
+        let t0 = Obs.now_ms () in
+        let r = Client.repair ~deadline_ms c ~scenario:"cash-budget" ~document () in
+        let elapsed = Obs.elapsed_ms ~since:t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "answered in %.0f ms (deadline %.0f)" elapsed deadline_ms)
+          true
+          (elapsed < deadline_ms +. 750.0);
+        (match r with
+         | Ok body ->
+           (* Degraded anytime answer: provenance must say so unless the
+              solve actually finished in time. *)
+           let status = Option.value ~default:"?" (Proto.string_field body "status") in
+           Alcotest.(check bool)
+             (Printf.sprintf "structured status (got %s)" status)
+             true
+             (List.mem status [ "repaired"; "consistent"; "no_repair"; "cancelled" ])
+         | Error e ->
+           Alcotest.(check bool)
+             (Printf.sprintf "deadline_exceeded (got %S)" e)
+             true
+             (String.length e >= 17 && String.sub e 0 17 = "deadline_exceeded"));
+        (* The sole worker slot must be free: a fresh cheap request on the
+           same server completes. *)
+        let small = doc ~years:1 32 in
+        match Client.repair c ~scenario:"cash-budget" ~document:small () with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "worker slot not freed: %s" e)
+  ]
+
+let suite =
+  plan_tests @ fuzz_tests @ pool_tests @ chaos_tests @ ttl_tests @ deadline_tests

@@ -20,4 +20,6 @@ let () =
       ("convert", Test_convert.suite);
       ("quarterly", Test_quarterly.suite);
       ("obs", Test_obs.suite);
-      ("server", Test_server.suite) ]
+      ("server", Test_server.suite);
+      ("resilience", Test_resilience.suite);
+      ("faultsim", Test_faultsim.suite) ]

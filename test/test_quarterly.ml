@@ -101,7 +101,7 @@ let triangulation_tests =
         let db = Quarterly.generate ~years:2 prng in
         let corrupted, log = Quarterly.corrupt ~errors:1 prng db in
         match log, Solver.card_minimal corrupted Quarterly.constraints with
-        | [ (tid, v, _) ], Solver.Repaired (rho, _) ->
+        | [ (tid, v, _) ], Solver.Repaired (rho, _, _) ->
           Alcotest.(check int) "one update" 1 (Repair.cardinality rho);
           let u = List.hd rho in
           Alcotest.(check int) "same cell" tid u.Update.tid;
@@ -156,7 +156,7 @@ let prop_triangulation =
          let truth = Quarterly.generate ~years:1 prng in
          let corrupted, log = Quarterly.corrupt ~errors:1 prng truth in
          match log, Solver.card_minimal corrupted Quarterly.constraints with
-         | [ (tid, v, _) ], Solver.Repaired (rho, _) ->
+         | [ (tid, v, _) ], Solver.Repaired (rho, _, _) ->
            (match rho with
             | [ u ] -> u.Update.tid = tid && u.Update.new_value = Value.Int v
             | _ -> false)

@@ -98,7 +98,7 @@ let solver_tests =
   [ t "Example 11: unique card-minimal repair is 250 -> 220" (fun () ->
         let db = Cash_budget.figure3 () in
         match Solver.card_minimal db Cash_budget.constraints with
-        | Solver.Repaired (rho, stats) ->
+        | Solver.Repaired (rho, _, stats) ->
           Alcotest.(check int) "one update" 1 (Repair.cardinality rho);
           let u = List.hd rho in
           let tid = find_cell db ~year:2003 ~sub:"total cash receipts" in
@@ -113,7 +113,7 @@ let solver_tests =
     t "repaired database satisfies AC" (fun () ->
         let db = Cash_budget.figure3 () in
         match Solver.card_minimal db Cash_budget.constraints with
-        | Solver.Repaired (rho, _) ->
+        | Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "holds" true
             (Agg_constraint.holds_all (Update.apply db rho) Cash_budget.constraints)
         | _ -> Alcotest.fail "expected a repair");
@@ -126,7 +126,7 @@ let solver_tests =
           Solver.card_minimal ~forced:[ ((tid, "Value"), Rat.of_int 250) ] db
             Cash_budget.constraints
         with
-        | Solver.Repaired (rho, _) ->
+        | Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "does not touch the pinned cell" true
             (List.for_all (fun u -> u.Update.tid <> tid) rho);
           Alcotest.(check bool) "still repairs" true
@@ -142,7 +142,7 @@ let solver_tests =
         let c1 = Solver.card_minimal ~decompose:true db Cash_budget.constraints in
         let c2 = Solver.card_minimal ~decompose:false db Cash_budget.constraints in
         match c1, c2 with
-        | Solver.Repaired (r1, s1), Solver.Repaired (r2, s2) ->
+        | Solver.Repaired (r1, _, s1), Solver.Repaired (r2, _, s2) ->
           Alcotest.(check int) "same card" (Repair.cardinality r1) (Repair.cardinality r2);
           Alcotest.(check bool) "decomposed into more components" true
             (s1.Solver.components >= s2.Solver.components)
@@ -153,7 +153,7 @@ let solver_tests =
         let corrupted, log = Cash_budget.corrupt ~errors:2 prng truth in
         Alcotest.(check int) "two corruptions" 2 (List.length log);
         match Solver.card_minimal corrupted Cash_budget.constraints with
-        | Solver.Repaired (rho, _) ->
+        | Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "at most 2 updates" true (Repair.cardinality rho <= 2);
           Alcotest.(check bool) "repaired holds" true
             (Agg_constraint.holds_all (Update.apply corrupted rho) Cash_budget.constraints)
@@ -185,7 +185,7 @@ let baseline_tests =
             ( Solver.card_minimal corrupted Cash_budget.constraints,
               Baseline.exhaustive corrupted Cash_budget.constraints )
           with
-          | Solver.Repaired (rho, _), Some rho_ex ->
+          | Solver.Repaired (rho, _, _), Some rho_ex ->
             Alcotest.(check int) "same cardinality" (Repair.cardinality rho_ex)
               (Repair.cardinality rho)
           | Solver.Consistent, Some [] -> ()
@@ -339,7 +339,7 @@ let semantics_tests =
   [ t "card-minimal repair is set-minimal (Figure 3)" (fun () ->
         let db = Cash_budget.figure3 () in
         match Solver.card_minimal db Cash_budget.constraints with
-        | Solver.Repaired (rho, _) ->
+        | Solver.Repaired (rho, _, _) ->
           Alcotest.(check bool) "set-minimal" true
             (Baseline.is_set_minimal db Cash_budget.constraints rho)
         | _ -> Alcotest.fail "expected repair");
@@ -365,7 +365,7 @@ let semantics_tests =
     t "repairing a repaired database is a no-op" (fun () ->
         let db = Cash_budget.figure3 () in
         match Solver.card_minimal db Cash_budget.constraints with
-        | Solver.Repaired (rho, _) ->
+        | Solver.Repaired (rho, _, _) ->
           let repaired = Update.apply db rho in
           Alcotest.(check bool) "idempotent" true
             (Solver.card_minimal repaired Cash_budget.constraints = Solver.Consistent)
@@ -415,7 +415,7 @@ let prop_single_error =
          let corrupted, _ = Cash_budget.corrupt ~errors:1 prng truth in
          match Solver.card_minimal corrupted Cash_budget.constraints with
          | Solver.Consistent -> true
-         | Solver.Repaired (rho, _) ->
+         | Solver.Repaired (rho, _, _) ->
            Repair.cardinality rho <= 1
            && Agg_constraint.holds_all (Update.apply corrupted rho) Cash_budget.constraints
          | _ -> false))

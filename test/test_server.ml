@@ -128,7 +128,7 @@ let frame_tests =
 
 let pool_tests =
   [ t "map preserves order and length" (fun () ->
-        let pool = Pool.create ~domains:3 ~queue_capacity:8 in
+        let pool = Pool.create ~domains:3 ~queue_capacity:8 () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
@@ -136,7 +136,7 @@ let pool_tests =
             let ys = Pool.map pool (fun x -> x * x) xs in
             Alcotest.(check (list int)) "squares" (List.map (fun x -> x * x) xs) ys));
     t "nested maps do not deadlock on a tiny pool" (fun () ->
-        let pool = Pool.create ~domains:1 ~queue_capacity:2 in
+        let pool = Pool.create ~domains:1 ~queue_capacity:2 () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
@@ -147,7 +147,7 @@ let pool_tests =
             in
             Alcotest.(check (list int)) "nested" [ 6; 12; 18; 24 ] ys));
     t "exceptions propagate out of map" (fun () ->
-        let pool = Pool.create ~domains:2 ~queue_capacity:4 in
+        let pool = Pool.create ~domains:2 ~queue_capacity:4 () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
@@ -155,7 +155,7 @@ let pool_tests =
             | _ -> Alcotest.fail "expected Failure"
             | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg));
     t "a full queue refuses submissions (backpressure)" (fun () ->
-        let pool = Pool.create ~domains:1 ~queue_capacity:1 in
+        let pool = Pool.create ~domains:1 ~queue_capacity:1 () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
@@ -184,7 +184,7 @@ let pool_tests =
             Pool.await f1;
             Pool.await f2));
     t "try_cancel stops queued jobs only" (fun () ->
-        let pool = Pool.create ~domains:1 ~queue_capacity:4 in
+        let pool = Pool.create ~domains:1 ~queue_capacity:4 () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->
@@ -273,7 +273,7 @@ let robustness_tests =
         expect_err "bad_request" (Client.rpc c ~op:"repair" []);
         expect_err "unknown_scenario"
           (Client.repair c ~scenario:"nope" ~document:"<html></html>" ());
-        expect_err "unknown_session" (Client.session_next c ~session:"s999");
+        expect_err "session_not_found" (Client.session_next c ~session:"s999");
         (* the connection survived all of it *)
         Alcotest.(check bool) "ping" true (Client.ping c = Ok ()));
     t "a tiny deadline yields deadline_exceeded" (fun () ->
