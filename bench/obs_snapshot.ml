@@ -9,9 +9,128 @@ open Dart
 open Dart_repair
 open Dart_datagen
 open Dart_rand
+open Dart_server
 module Obs = Dart_obs.Obs
 
 let out_file = "BENCH_obs.json"
+
+(* ------------------------------------------------------------------ *)
+(* Server-path tracing overhead                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The same wire workload three times: no sinks at all, the flight
+   recorder alone (ring writes, no I/O), and full tracing (flight ring +
+   Chrome exporter to a file).  Full tracing is expected to stay within
+   ~10% of the untraced baseline — the acceptance bar for "tracing is
+   cheap enough to leave on". *)
+
+let noisy_doc seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:3 prng in
+  let channel =
+    { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.0; char_rate = 0.1 }
+  in
+  fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let overhead_clients = 2
+let overhead_per_client = 4
+
+(* One timed run; [with_sinks] installs this mode's sinks and returns a
+   teardown closure.  Returns req/s. *)
+let overhead_run ~tag ~docs with_sinks =
+  let path =
+    Printf.sprintf "/tmp/dart-obsbench-%d-%s.sock" (Unix.getpid ()) tag
+  in
+  let scenarios = [ ("cash-budget", Budget_scenario.scenario) ] in
+  let cfg = Server.default_config ~scenarios (Proto.Unix_sock path) in
+  let cfg = { cfg with Server.domains = 2; queue_capacity = 16 } in
+  let teardown = with_sinks () in
+  Fun.protect ~finally:teardown (fun () ->
+      let srv = Server.create cfg in
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          Server.wait srv;
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ndocs = Array.length docs in
+          let failures = Atomic.make 0 in
+          let t0 = Obs.now_ms () in
+          let threads =
+            List.init overhead_clients (fun ci ->
+                Thread.create
+                  (fun () ->
+                    Client.with_connection (Proto.Unix_sock path) (fun c ->
+                        for r = 0 to overhead_per_client - 1 do
+                          let d = docs.((ci + (r * overhead_clients)) mod ndocs) in
+                          match
+                            Client.repair c ~scenario:"cash-budget" ~document:d ()
+                          with
+                          | Ok _ -> ()
+                          | Error _ -> Atomic.incr failures
+                        done))
+                  ())
+          in
+          List.iter Thread.join threads;
+          let wall_ms = Obs.elapsed_ms ~since:t0 in
+          let total = overhead_clients * overhead_per_client in
+          if Atomic.get failures > 0 then
+            Printf.printf "obs  WARNING: %d failed requests in mode %s\n%!"
+              (Atomic.get failures) tag;
+          float_of_int total /. (wall_ms /. 1000.0)))
+
+let server_overhead () =
+  let docs = [| noisy_doc 100; noisy_doc 101 |] in
+  let no_sinks () = fun () -> () in
+  let flight_only () =
+    let sink, _ = Obs.flight_recorder ~capacity:256 () in
+    Obs.install sink;
+    fun () -> Obs.uninstall sink
+  in
+  let full_tracing () =
+    let sink, _ = Obs.flight_recorder ~capacity:256 () in
+    Obs.install sink;
+    let trace_path = Filename.temp_file "dart_obsbench" ".trace.json" in
+    let oc = open_out trace_path in
+    let chrome = Obs.chrome_trace_sink oc in
+    Obs.install chrome;
+    fun () ->
+      Obs.uninstall chrome;
+      Obs.uninstall sink;
+      close_out oc;
+      (try Sys.remove trace_path with Sys_error _ -> ())
+  in
+  (* Untimed warm-up so the baseline does not absorb first-run costs. *)
+  ignore (overhead_run ~tag:"warmup" ~docs no_sinks);
+  let modes =
+    [ ("tracing_off", no_sinks); ("flight_only", flight_only);
+      ("full_tracing", full_tracing) ]
+  in
+  let results =
+    List.map
+      (fun (tag, with_sinks) ->
+        let rps = overhead_run ~tag ~docs with_sinks in
+        Printf.printf "obs  server overhead %-12s %.1f req/s\n%!" tag rps;
+        (tag, rps))
+      modes
+  in
+  let base = List.assoc "tracing_off" results in
+  Obs.Json.Obj
+    [ ("clients", Obs.Json.Int overhead_clients);
+      ("requests", Obs.Json.Int (overhead_clients * overhead_per_client));
+      ("modes",
+       Obs.Json.Obj
+         (List.map
+            (fun (tag, rps) ->
+              ( tag,
+                Obs.Json.Obj
+                  [ ("req_per_s", Obs.Json.Float rps);
+                    ("overhead_pct",
+                     Obs.Json.Float
+                       (if rps > 0.0 then ((base /. rps) -. 1.0) *. 100.0
+                        else 0.0)) ] ))
+            results)) ]
 
 (* Aggregate completed spans by name: count, total and max duration. *)
 let span_rollup events =
@@ -63,10 +182,15 @@ let run () =
       let operator = Validation.oracle ~truth:truth_db in
       let outcome = Pipeline.process scenario ~operator noisy_html in
       let events = (snd mem) () in
+      (* Measure the server path with the pipeline sink removed, so each
+         mode controls exactly which sinks are live. *)
+      Obs.uninstall (fst mem);
+      let overhead = server_overhead () in
       let json =
         Obs.Json.Obj
           [ ("converged", Obs.Json.Bool outcome.Pipeline.validation.Validation.converged);
             ("spans", span_rollup events);
+            ("server_overhead", overhead);
             ("metrics", Obs.Metrics.snapshot ()) ]
       in
       let text = Obs.Json.to_string json in

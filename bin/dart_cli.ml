@@ -54,9 +54,11 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Dump the metrics registry (counters, gauges, histograms) as JSON to $(docv).")
 
-(* Installs the requested sinks; sinks are closed (finalizing the Chrome
-   trace's JSON array) and the metrics snapshot written at process exit, so
-   the files are complete even on [exit 1] paths. *)
+(* Installs the requested sinks and returns an idempotent finalizer that
+   closes them (finalizing the Chrome trace's JSON array) and writes the
+   metrics snapshot.  Long-running commands (serve) call it explicitly on
+   their graceful-drain path so telemetry survives SIGINT/SIGTERM; an
+   [at_exit] backstop covers one-shot commands and [exit 1] paths. *)
 let obs_setup log_level trace_out metrics_out =
   (* Fail fast with a clean message on unwritable output paths, rather than
      crashing (--trace-out) or silently losing the snapshot at exit
@@ -72,21 +74,29 @@ let obs_setup log_level trace_out metrics_out =
    | Some lvl ->
      Obs.set_level lvl;
      Obs.install (Obs.text_sink ~min_level:lvl stderr));
-  (match trace_out with
-   | None -> ()
-   | Some path ->
-     let oc = open_or_die "trace" path in
-     Obs.install (Obs.chrome_trace_sink oc);
-     at_exit (fun () -> try close_out oc with Sys_error _ -> ()));
+  let trace_oc = Option.map (open_or_die "trace") trace_out in
+  (match trace_oc with
+   | Some oc -> Obs.install (Obs.chrome_trace_sink oc)
+   | None -> ());
   let metrics_oc = Option.map (open_or_die "metrics") metrics_out in
-  at_exit (fun () ->
+  let finalized = ref false in
+  let finalize () =
+    if not !finalized then begin
+      finalized := true;
       Obs.close_sinks ();
+      (match trace_oc with
+       | Some oc -> (try close_out oc with Sys_error _ -> ())
+       | None -> ());
       match metrics_oc with
       | None -> ()
       | Some oc ->
         output_string oc (Obs.Json.to_string (Obs.Metrics.snapshot ()));
         output_char oc '\n';
-        close_out oc)
+        (try close_out oc with Sys_error _ -> ())
+    end
+  in
+  at_exit finalize;
+  finalize
 
 let obs_term = Term.(const obs_setup $ log_level_arg $ trace_out_arg $ metrics_out_arg)
 
@@ -166,7 +176,7 @@ let gen_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT" ~doc:"Output file (default stdout).")
   in
-  let run () kind years seed noise out =
+  let run _finalize kind years seed noise out =
     let prng = Prng.create seed in
     let channel =
       if noise > 0.0 then
@@ -205,7 +215,7 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run () kind path =
+  let run _finalize kind path =
     let _scenario, acq = acquire_from kind path in
     let matched = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.instances in
     let total = List.length acq.Pipeline.extraction.Dart_wrapper.Extractor.reports in
@@ -222,7 +232,7 @@ let extract_cmd =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run () kind path =
+  let run _finalize kind path =
     let scenario, acq = acquire_from kind path in
     match Violation_report.of_constraints acq.Pipeline.db scenario.Scenario.constraints with
     | [] ->
@@ -249,7 +259,7 @@ let repair_cmd =
             "Abort the solve after $(docv) milliseconds, degrading to the best \
              answer found so far (provenance incumbent/greedy_fallback).")
   in
-  let run () kind path deadline_ms =
+  let run _finalize kind path deadline_ms =
     let scenario, acq = acquire_from kind path in
     let cancel =
       match deadline_ms with
@@ -285,7 +295,7 @@ let repair_cmd =
 (* ------------------------------------------------------------------ *)
 
 let export_cmd =
-  let run () kind path =
+  let run _finalize kind path =
     let scenario, acq = acquire_from kind path in
     let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
     let enc = Encode.build acq.Pipeline.db rows in
@@ -327,7 +337,7 @@ let run_cmd =
       value & flag
       & info [ "auto" ] ~doc:"Accept every suggested update without prompting.")
   in
-  let run () kind path auto =
+  let run _finalize kind path auto =
     let scenario, acq = acquire_from kind path in
     let operator : Validation.operator =
       if auto then fun ~cell:_ ~tuple:_ ~suggested:_ -> Validation.Accept
@@ -417,7 +427,36 @@ let serve_cmd =
              $(i,key=value) pairs: e.g. \
              $(b,seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.05,corrupt=0.05,delay=0.2,delay-ms=20).")
   in
-  let run () addr domains queue ttl chaos =
+  let telemetry_port =
+    Arg.(
+      value & opt (some int) None
+      & info [ "telemetry-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the metrics registry in Prometheus text format over HTTP on \
+             127.0.0.1:$(docv) (0 picks an ephemeral port; the bound address \
+             is printed at startup).  $(b,curl http://127.0.0.1:PORT/metrics) \
+             to scrape.")
+  in
+  let flight_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Enable the flight recorder: recent span/log events are kept in a \
+             bounded per-domain ring buffer, and any request ending in a \
+             deadline abort, worker crash or injected fault dumps its trace's \
+             events to $(docv)/flight-<trace_id>-<reason>.jsonl.")
+  in
+  let access_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request to $(docv): op, trace id, \
+             outcome, latency, queue wait, solve provenance, bytes in/out.")
+  in
+  let run finalize addr domains queue ttl chaos telemetry_port flight_dir
+      access_log =
     let cfg = Server.default_config ~scenarios:all_scenarios addr in
     let faults =
       match chaos with
@@ -434,7 +473,7 @@ let serve_cmd =
         Server.domains = Option.value ~default:cfg.Server.domains domains;
         queue_capacity = Option.value ~default:cfg.Server.queue_capacity queue;
         session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl;
-        faults }
+        faults; telemetry_port; flight_dir; access_log }
     in
     let t = Server.create cfg in
     Server.install_signal_handlers t;
@@ -442,7 +481,16 @@ let serve_cmd =
     Printf.eprintf "dart-cli serve: listening on %s (%d domains, queue %d)\n%!"
       (Proto.addr_to_string (Server.bound_addr t))
       cfg.Server.domains cfg.Server.queue_capacity;
+    (match Server.telemetry_addr t with
+     | Some (host, port) ->
+       Printf.eprintf "dart-cli serve: telemetry on http://%s:%d/metrics\n%!"
+         host port
+     | None -> ());
     Server.wait t;
+    (* Graceful-drain path: flush and close sinks (and write --metrics-out)
+       here, not in at_exit, so SIGINT/SIGTERM cannot lose buffered
+       telemetry. *)
+    finalize ();
     Printf.eprintf "dart-cli serve: stopped\n%!"
   in
   Cmd.v
@@ -450,7 +498,9 @@ let serve_cmd =
        ~doc:
          "Run the DART repair service: a concurrent server speaking the \
           length-prefixed JSON protocol, with all four scenarios registered.")
-    Term.(const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos)
+    Term.(
+      const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos
+      $ telemetry_port $ flight_dir $ access_log)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -546,7 +596,7 @@ let client_cmd =
              $(docv) times with exponential backoff and jitter, reconnecting \
              each attempt.")
   in
-  let run () addr op file kind auto deadline_ms retries =
+  let run _finalize addr op file kind auto deadline_ms retries =
     let need_file () =
       match file with
       | Some path -> path

@@ -47,8 +47,23 @@ type event =
       start_us : float;
       dur_us : float;
       depth : int;
+      trace_id : string;
+      span_id : string;
+      parent_id : string;  (* "" = root *)
+      did : int;           (* domain id the span ran on *)
     }
-  | Log of { level : level; name : string; attrs : attrs; ts_us : float; depth : int }
+  | Log of {
+      level : level;
+      name : string;
+      attrs : attrs;
+      ts_us : float;
+      depth : int;
+      trace_id : string;
+      did : int;
+    }
+
+let event_ts_us = function Span { start_us; _ } -> start_us | Log { ts_us; _ } -> ts_us
+let event_trace_id = function Span { trace_id; _ } -> trace_id | Log { trace_id; _ } -> trace_id
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -293,16 +308,19 @@ let json_of_value = function
 let json_of_attrs attrs = Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
 
 let json_of_event = function
-  | Span { name; attrs; start_us; dur_us; depth } ->
+  | Span { name; attrs; start_us; dur_us; depth; trace_id; span_id; parent_id; did } ->
     Json.Obj
       [ ("type", Json.Str "span"); ("name", Json.Str name);
         ("ts_us", Json.Float start_us); ("dur_us", Json.Float dur_us);
-        ("depth", Json.Int depth); ("attrs", json_of_attrs attrs) ]
-  | Log { level; name; attrs; ts_us; depth } ->
+        ("depth", Json.Int depth); ("trace_id", Json.Str trace_id);
+        ("span_id", Json.Str span_id); ("parent_id", Json.Str parent_id);
+        ("did", Json.Int did); ("attrs", json_of_attrs attrs) ]
+  | Log { level; name; attrs; ts_us; depth; trace_id; did } ->
     Json.Obj
       [ ("type", Json.Str "log"); ("level", Json.Str (level_to_string level));
         ("name", Json.Str name); ("ts_us", Json.Float ts_us);
-        ("depth", Json.Int depth); ("attrs", json_of_attrs attrs) ]
+        ("depth", Json.Int depth); ("trace_id", Json.Str trace_id);
+        ("did", Json.Int did); ("attrs", json_of_attrs attrs) ]
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
@@ -333,6 +351,34 @@ let now_ms () = now_us () /. 1e3
 
 let elapsed_us ~since = Float.max 0.0 (now_us () -. since)
 let elapsed_ms ~since = Float.max 0.0 (now_ms () -. since)
+
+(* ------------------------------------------------------------------ *)
+(* Trace/span identity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* 16-hex-digit ids from a splitmix64 stream over an atomic counter.
+   The seed mixes boot time and pid so two processes sharing a trace
+   (client and server) cannot collide on span ids; the counter makes ids
+   unique across domains without coordination beyond one fetch-and-add. *)
+let id_counter = Atomic.make 1
+
+let id_seed =
+  Int64.logxor
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L)
+
+let splitmix64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let fresh_id () =
+  let n = Atomic.fetch_and_add id_counter 1 in
+  Printf.sprintf "%016Lx" (splitmix64 (Int64.add id_seed (Int64.of_int n)))
+
+let did () = (Domain.self () :> int)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -393,7 +439,7 @@ let text_sink ?(min_level = Info) oc =
       (int_of_float (Float.rem (t *. 1000.0) 1000.0))
   in
   let emit = function
-    | Log { level; name; attrs; ts_us; depth } ->
+    | Log { level; name; attrs; ts_us; depth; _ } ->
       if severity level >= severity min_level then begin
         Printf.fprintf oc "[%s] %-5s %s%s%s\n" (stamp ts_us)
           (String.uppercase_ascii (level_to_string level))
@@ -401,7 +447,7 @@ let text_sink ?(min_level = Info) oc =
           (String.concat "" (List.map pp_attr_text attrs));
         flush oc
       end
-    | Span { name; attrs; start_us; dur_us; depth } ->
+    | Span { name; attrs; start_us; dur_us; depth; _ } ->
       if severity Debug >= severity min_level then begin
         Printf.fprintf oc "[%s] SPAN  %s%s %.3fms%s\n" (stamp start_us)
           (String.make (2 * depth) ' ') name (dur_us /. 1e3)
@@ -421,25 +467,45 @@ let jsonl_sink oc =
 let chrome_trace_sink oc =
   output_string oc "[";
   let first = ref true in
+  let pid = Unix.getpid () in
   let emit_json j =
     if !first then first := false else output_string oc ",\n";
     output_string oc (Json.to_string j)
   in
+  (* Each domain gets its own tid lane so pool concurrency is visible in
+     Perfetto; a thread_name metadata record labels the lane the first
+     time a domain emits. *)
+  let seen_tids : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let lane tid =
+    if not (Hashtbl.mem seen_tids tid) then begin
+      Hashtbl.add seen_tids tid ();
+      emit_json
+        (Json.Obj
+           [ ("name", Json.Str "thread_name"); ("ph", Json.Str "M");
+             ("pid", Json.Int pid); ("tid", Json.Int tid);
+             ("args", Json.Obj [ ("name", Json.Str ("domain-" ^ string_of_int tid)) ]) ])
+    end
+  in
   let emit = function
-    | Span { name; attrs; start_us; dur_us; depth = _ } ->
+    | Span { name; attrs; start_us; dur_us; trace_id; did; _ } ->
+      lane did;
       emit_json
         (Json.Obj
            [ ("name", Json.Str name); ("ph", Json.Str "X"); ("cat", Json.Str "dart");
              ("ts", Json.Float start_us); ("dur", Json.Float dur_us);
-             ("pid", Json.Int 1); ("tid", Json.Int 1); ("args", json_of_attrs attrs) ])
-    | Log { level; name; attrs; ts_us; depth = _ } ->
+             ("pid", Json.Int pid); ("tid", Json.Int did);
+             ("args", json_of_attrs (("trace_id", Str trace_id) :: attrs)) ])
+    | Log { level; name; attrs; ts_us; trace_id; did; _ } ->
+      lane did;
       emit_json
         (Json.Obj
            [ ("name", Json.Str name); ("ph", Json.Str "i"); ("cat", Json.Str "dart");
-             ("ts", Json.Float ts_us); ("pid", Json.Int 1); ("tid", Json.Int 1);
+             ("ts", Json.Float ts_us); ("pid", Json.Int pid); ("tid", Json.Int did);
              ("s", Json.Str "t");
              ("args",
-              json_of_attrs (("level", Str (level_to_string level)) :: attrs)) ])
+              json_of_attrs
+                (("level", Str (level_to_string level))
+                 :: ("trace_id", Str trace_id) :: attrs)) ])
   in
   let close () =
     output_string oc "]\n";
@@ -452,11 +518,69 @@ let memory_sink () =
   let emit ev = acc := ev :: !acc in
   ({ emit; close = (fun () -> ()) }, fun () -> List.rev !acc)
 
+(* The flight recorder keeps one bounded ring per domain, so a busy pool
+   cannot evict another domain's recent history.  Emission is already
+   serialized by [sink_mu]; the recorder's own mutex only exists so
+   [snapshot] (called from a connection thread while workers keep
+   emitting) reads a consistent ring. *)
+let flight_recorder ?(capacity = 256) () =
+  let capacity = max 1 capacity in
+  let mu = Mutex.create () in
+  let rings : (int, event option array * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let emit ev =
+    let d = did () in
+    Mutex.lock mu;
+    let buf, next =
+      match Hashtbl.find_opt rings d with
+      | Some r -> r
+      | None ->
+        let r = (Array.make capacity None, ref 0) in
+        Hashtbl.add rings d r;
+        r
+    in
+    buf.(!next mod capacity) <- Some ev;
+    incr next;
+    Mutex.unlock mu
+  in
+  let snapshot () =
+    Mutex.lock mu;
+    let per_ring =
+      Hashtbl.fold
+        (fun _ (buf, next) acc ->
+          let n = min !next capacity in
+          let start = !next - n in
+          let rec go i acc =
+            if i >= n then List.rev acc
+            else
+              match buf.((start + i) mod capacity) with
+              | Some ev -> go (i + 1) (ev :: acc)
+              | None -> go (i + 1) acc
+          in
+          go 0 [] :: acc)
+        rings []
+    in
+    Mutex.unlock mu;
+    (* Each ring is already oldest-first; a stable sort keeps emission
+       order for events that share a (microsecond) timestamp. *)
+    List.stable_sort
+      (fun a b -> compare (event_ts_us a) (event_ts_us b))
+      (List.concat per_ring)
+  in
+  ({ emit; close = (fun () -> ()) }, snapshot)
+
 (* ------------------------------------------------------------------ *)
 (* Spans and logs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type frame = { fname : string; fstart : float; mutable fattrs : attrs; fdepth : int }
+type frame = {
+  fname : string;
+  fstart : float;
+  mutable fattrs : attrs;
+  fdepth : int;
+  ftrace : string;  (* trace id inherited from parent / ambient context *)
+  fspan : string;   (* this span's own id *)
+  fparent : string; (* parent span id; "" = trace root *)
+}
 
 (* One span stack per domain: spans opened by concurrent worker domains
    nest independently instead of corrupting a shared stack.  Threads
@@ -472,14 +596,53 @@ let add_attr k v =
   | [] -> ()
   | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
 
+module Trace = struct
+  type context = { trace_id : string; parent_span_id : string }
+
+  (* The ambient context seeds trace identity for spans opened with an
+     empty stack — it is what carries a trace across a domain hop (pool
+     submit) or a process hop (the wire envelope).  Per-domain like the
+     stack itself. *)
+  let ambient_key : context option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let ambient () = Domain.DLS.get ambient_key
+
+  let fresh_trace_id () = fresh_id ()
+  let fresh_span_id () = fresh_id ()
+
+  let current () =
+    match !(stack ()) with
+    | fr :: _ -> Some { trace_id = fr.ftrace; parent_span_id = fr.fspan }
+    | [] -> !(ambient ())
+
+  let with_context ctx f =
+    let cell = ambient () in
+    let saved = !cell in
+    cell := ctx;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+end
+
+(* Trace identity for a new root-of-stack event: parent is the innermost
+   open span if any, else the ambient context, else a fresh trace. *)
+let identity_for_new stack =
+  match !stack with
+  | fr :: _ -> (fr.ftrace, fr.fspan)
+  | [] -> (
+    match !(Trace.ambient ()) with
+    | Some c -> (c.Trace.trace_id, c.Trace.parent_span_id)
+    | None -> (fresh_id (), ""))
+
 let span ?(attrs = []) name f =
   match !sinks with
   | [] -> f ()
   | _ :: _ ->
     let stack = stack () in
+    let trace_id, parent_id = identity_for_new stack in
     let fr =
       { fname = name; fstart = now_us (); fattrs = List.rev attrs;
-        fdepth = List.length !stack }
+        fdepth = List.length !stack; ftrace = trace_id; fspan = fresh_id ();
+        fparent = parent_id }
     in
     stack := fr :: !stack;
     let finish () =
@@ -487,7 +650,9 @@ let span ?(attrs = []) name f =
       emit
         (Span
            { name = fr.fname; attrs = List.rev fr.fattrs; start_us = fr.fstart;
-             dur_us = elapsed_us ~since:fr.fstart; depth = fr.fdepth })
+             dur_us = elapsed_us ~since:fr.fstart; depth = fr.fdepth;
+             trace_id = fr.ftrace; span_id = fr.fspan; parent_id = fr.fparent;
+             did = did () })
     in
     (match f () with
      | v -> finish (); v
@@ -496,12 +661,36 @@ let span ?(attrs = []) name f =
        finish ();
        raise e)
 
+let emit_span ?(attrs = []) ~start_us ~dur_us name =
+  match !sinks with
+  | [] -> ()
+  | _ :: _ ->
+    let stack = stack () in
+    let trace_id, parent_id = identity_for_new stack in
+    emit
+      (Span
+         { name; attrs; start_us; dur_us; depth = List.length !stack;
+           trace_id; span_id = fresh_id (); parent_id; did = did () })
+
 let log ?(attrs = []) level name =
   match !sinks with
   | [] -> ()
   | _ :: _ ->
-    if severity level >= severity !min_level then
-      emit (Log { level; name; attrs; ts_us = now_us (); depth = List.length !(stack ()) })
+    if severity level >= severity !min_level then begin
+      let stack = stack () in
+      let trace_id =
+        match !stack with
+        | fr :: _ -> fr.ftrace
+        | [] -> (
+          match !(Trace.ambient ()) with
+          | Some c -> c.Trace.trace_id
+          | None -> "" (* outside any trace *))
+      in
+      emit
+        (Log
+           { level; name; attrs; ts_us = now_us (); depth = List.length !stack;
+             trace_id; did = did () })
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -603,6 +792,118 @@ module Metrics = struct
     let c = Array.copy h.counts in
     Mutex.unlock h.hmu;
     c
+
+  let histogram_sum h =
+    Mutex.lock h.hmu;
+    let s = h.hsum in
+    Mutex.unlock h.hmu;
+    s
+
+  let histogram_count h =
+    Mutex.lock h.hmu;
+    let c = h.hcount in
+    Mutex.unlock h.hmu;
+    c
+
+  (* Quantile estimate from bucket counts with linear interpolation inside
+     the bucket the rank falls in (the standard Prometheus histogram_quantile
+     scheme).  The first bucket interpolates from 0; the overflow bucket has
+     no upper bound so its answer clamps to the last finite bound. *)
+  let quantile h q =
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let counts = bucket_counts h in
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then 0.0
+    else begin
+      let rank = q *. float_of_int total in
+      let nb = Array.length h.bounds in
+      let rec find i cum =
+        if i >= nb then nb
+        else
+          let cum' = cum + counts.(i) in
+          if float_of_int cum' >= rank && counts.(i) > 0 then i
+          else find (i + 1) cum'
+      in
+      let i = find 0 0 in
+      if i >= nb then if nb = 0 then 0.0 else h.bounds.(nb - 1)
+      else begin
+        let lower = if i = 0 then 0.0 else h.bounds.(i - 1) in
+        let upper = h.bounds.(i) in
+        let prev_cum = ref 0 in
+        for j = 0 to i - 1 do prev_cum := !prev_cum + counts.(j) done;
+        lower
+        +. (upper -. lower)
+           *. ((rank -. float_of_int !prev_cum) /. float_of_int counts.(i))
+      end
+    end
+
+  (* Prometheus text exposition (format version 0.0.4).  Metric names are
+     sanitized (dots and other invalid characters become underscores);
+     histograms render cumulative [_bucket{le=...}] series plus [_sum] /
+     [_count] and derived [_p50]/[_p95]/[_p99] gauges so a plain curl shows
+     latency quantiles without PromQL. *)
+  let sanitize name =
+    let b = Bytes.of_string name in
+    Bytes.iteri
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+        | _ -> Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    if s = "" then "_"
+    else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+  let pm_num f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.9g" f
+
+  let prometheus () =
+    let buf = Buffer.create 2048 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let entries =
+      locked (fun () ->
+          List.filter_map
+            (fun n ->
+              Option.map (fun m -> (n, m)) (Hashtbl.find_opt registry n))
+            (List.rev !order))
+    in
+    List.iter
+      (fun (n, m) ->
+        let pn = sanitize n in
+        match m with
+        | C c ->
+          p "# TYPE %s counter\n" pn;
+          p "%s %d\n" pn (Atomic.get c)
+        | G g ->
+          p "# TYPE %s gauge\n" pn;
+          p "%s %s\n" pn (pm_num (Atomic.get g))
+        | H h ->
+          Mutex.lock h.hmu;
+          let counts = Array.copy h.counts in
+          let hsum = h.hsum and hcount = h.hcount in
+          Mutex.unlock h.hmu;
+          p "# TYPE %s histogram\n" pn;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cum := !cum + counts.(i);
+              p "%s_bucket{le=\"%s\"} %d\n" pn (pm_num b) !cum)
+            h.bounds;
+          cum := !cum + counts.(Array.length counts - 1);
+          p "%s_bucket{le=\"+Inf\"} %d\n" pn !cum;
+          p "%s_sum %s\n" pn (pm_num hsum);
+          p "%s_count %d\n" pn hcount;
+          List.iter
+            (fun (suffix, q) ->
+              p "# TYPE %s_%s gauge\n" pn suffix;
+              p "%s_%s %s\n" pn suffix (pm_num (quantile h q)))
+            [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ])
+      entries;
+    Buffer.contents buf
 
   let snapshot () =
     locked @@ fun () ->

@@ -49,11 +49,28 @@ type event =
   | Span of {
       name : string;
       attrs : attrs;
-      start_us : float;  (** wall-clock start, microseconds since epoch *)
-      dur_us : float;    (** duration, microseconds *)
-      depth : int;       (** nesting depth at entry; 0 = root *)
+      start_us : float;   (** wall-clock start, microseconds since epoch *)
+      dur_us : float;     (** duration, microseconds *)
+      depth : int;        (** nesting depth at entry; 0 = root *)
+      trace_id : string;  (** request-scoped trace this span belongs to *)
+      span_id : string;   (** this span's unique id *)
+      parent_id : string; (** parent span id; [""] at the trace root *)
+      did : int;          (** domain id the span ran on *)
     }
-  | Log of { level : level; name : string; attrs : attrs; ts_us : float; depth : int }
+  | Log of {
+      level : level;
+      name : string;
+      attrs : attrs;
+      ts_us : float;
+      depth : int;
+      trace_id : string;  (** enclosing trace; [""] outside any trace *)
+      did : int;
+    }
+
+val event_ts_us : event -> float
+(** The event's timestamp ([start_us] for spans, [ts_us] for logs). *)
+
+val event_trace_id : event -> string
 
 (** {1 JSON}
 
@@ -132,6 +149,14 @@ val memory_sink : unit -> sink * (unit -> event list)
 (** In-memory accumulator for tests; the getter returns events in emission
     order. *)
 
+val flight_recorder : ?capacity:int -> unit -> sink * (unit -> event list)
+(** Bounded ring buffer of recent events, one ring of [capacity] (default
+    256) events per domain so a busy pool domain cannot evict another's
+    history.  The getter snapshots every ring, merged in timestamp order;
+    filter by {!event_trace_id} to post-mortem one request.  Dropping old
+    events is the point: install it permanently and dump only when a
+    request ends badly. *)
+
 val install : sink -> unit
 val uninstall : sink -> unit
 (** Remove (and close) one sink; unknown sinks are ignored. *)
@@ -156,6 +181,48 @@ val add_attr : string -> value -> unit
 
 val log : ?attrs:attrs -> level -> string -> unit
 (** Emit a {!Log} event to all sinks, subject to {!set_level}. *)
+
+val emit_span : ?attrs:attrs -> start_us:float -> dur_us:float -> string -> unit
+(** Emit a pre-timed {!Span} event without running a thunk, parented like a
+    span opened right now (innermost open span, else ambient
+    {!Trace.context}).  For intervals whose duration elapsed before the
+    observing code ran — e.g. the server's queue-wait span, emitted by the
+    worker that finally dequeues the job.  No-op with no sink installed. *)
+
+(** {1 Trace context}
+
+    Every span carries a [trace_id] (stable across one logical request,
+    even across domains and processes), a [span_id] and a [parent_id],
+    so exporters can stitch the exact tree.  Identity is ambient: a span
+    opened under another span inherits its trace and parents onto it; a
+    span opened on an empty stack consults the domain-local ambient
+    context; with neither, it starts a fresh trace.
+
+    [with_context] is the rebinding primitive: the server pool captures
+    {!Trace.current} when a job is submitted and rebinds it in the worker
+    domain, and the wire protocol carries the same pair in the request
+    envelope so client and server halves of a request share one trace. *)
+
+module Trace : sig
+  type context = {
+    trace_id : string;
+    parent_span_id : string; (** span new children parent onto; may be [""] *)
+  }
+
+  val fresh_trace_id : unit -> string
+  (** A new 16-hex-digit trace id (process-unique, seeded per process). *)
+
+  val fresh_span_id : unit -> string
+
+  val current : unit -> context option
+  (** The identity a child span opened right now would inherit: the
+      innermost open span on this domain's stack, else the ambient context
+      set by {!with_context}, else [None]. *)
+
+  val with_context : context option -> (unit -> 'a) -> 'a
+  (** [with_context ctx f] runs [f] with the domain's ambient context set
+      to [ctx], restoring the previous value afterwards (also on raise). *)
+end
 
 (** {1 Metrics} *)
 
@@ -186,6 +253,28 @@ module Metrics : sig
   val observe : histogram -> float -> unit
   val bucket_counts : histogram -> int array
   (** Per-bucket counts; the last entry is the overflow bucket. *)
+
+  val histogram_sum : histogram -> float
+  val histogram_count : histogram -> int
+
+  val quantile : histogram -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([0.0 <= q <= 1.0]) from
+      the bucket counts, linearly interpolating inside the bucket the rank
+      falls in (first bucket interpolates from [0.0]; ranks landing in the
+      overflow bucket clamp to the last finite bound).  [0.0] on an empty
+      histogram. *)
+
+  val sanitize : string -> string
+  (** Map a registry name to a valid Prometheus metric name: characters
+      outside [[a-zA-Z0-9_:]] become [_], and a leading digit is
+      prefixed with [_]. *)
+
+  val prometheus : unit -> string
+  (** The whole registry in Prometheus text exposition format (0.0.4):
+      names sanitized (non-[[a-zA-Z0-9_:]] characters become [_]),
+      counters and gauges as single samples, histograms as cumulative
+      [_bucket{le="..."}] series plus [_sum]/[_count] and derived
+      [_p50]/[_p95]/[_p99] gauges computed with {!quantile}. *)
 
   val snapshot : unit -> Json.t
   (** The whole registry as JSON:

@@ -228,7 +228,8 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
   if satisfied_now then Consistent
   else begin
     let comps = if decompose then components rows else [ rows ] in
-    let solve_comp comp =
+    let comps = List.mapi (fun i comp -> (i, comp)) comps in
+    let solve_comp (ci, comp) =
       (* Skip components already satisfied (cheap check avoids a MILP). *)
       let comp_forced =
         List.filter
@@ -249,7 +250,8 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
         `Solved
           (Obs.span "repair.component"
              ~attrs:
-               [ ("rows", Obs.Int (List.length comp));
+               [ ("component", Obs.Int ci);
+                 ("rows", Obs.Int (List.length comp));
                  ("cells", Obs.Int (List.length (Ground.cells comp))) ]
              (fun () ->
                let r =

@@ -4,7 +4,8 @@
     Used by [dart-cli client] for scripting and CI, by the serve bench,
     and by the protocol tests. *)
 
-module Json = Dart_obs.Obs.Json
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
 
 type t = {
   fd : Unix.file_descr;
@@ -58,16 +59,36 @@ let roundtrip c (req : Json.t) : (Json.t, string) result =
 let rpc ?deadline_ms c ~op params : (Json.t, string) result =
   let id = c.next_id in
   c.next_id <- id + 1;
-  match roundtrip c (Proto.request_to_json ~id:(Json.Int id) ?deadline_ms ~op params) with
-  | Error _ as e -> e
-  | Ok resp ->
-    if Proto.response_ok resp then Ok resp
-    else
-      let code, msg = Proto.response_error resp in
-      Error
-        (Printf.sprintf "%s: %s"
-           (Option.value ~default:"error" code)
-           (Option.value ~default:"(no message)" msg))
+  (* When tracing is on, the whole round trip is a [client.rpc] span and
+     the request envelope carries its identity, so the server's spans
+     stitch underneath it.  Responses never carry trace data (they must
+     stay byte-identical to an in-process solve). *)
+  let call () =
+    let trace =
+      if Obs.enabled () then
+        Option.map
+          (fun ctx ->
+            (ctx.Obs.Trace.trace_id, ctx.Obs.Trace.parent_span_id))
+          (Obs.Trace.current ())
+      else None
+    in
+    match
+      roundtrip c
+        (Proto.request_to_json ~id:(Json.Int id) ?deadline_ms ?trace ~op params)
+    with
+    | Error _ as e -> e
+    | Ok resp ->
+      if Proto.response_ok resp then Ok resp
+      else
+        let code, msg = Proto.response_error resp in
+        Error
+          (Printf.sprintf "%s: %s"
+             (Option.value ~default:"error" code)
+             (Option.value ~default:"(no message)" msg))
+  in
+  if Obs.enabled () then
+    Obs.span "client.rpc" ~attrs:[ ("op", Obs.Str op) ] call
+  else call ()
 
 (* ------------------------------------------------------------------ *)
 (* Retry                                                               *)
@@ -97,6 +118,13 @@ let with_retries ?policy ?sleep_ms ?timeout_s addr f =
 
 let ping c = Result.map (fun _ -> ()) (rpc c ~op:"ping" [])
 let stats c = rpc c ~op:"stats" []
+
+(** Prometheus text exposition fetched over the wire protocol. *)
+let metrics c =
+  Result.bind (rpc c ~op:"metrics" []) (fun body ->
+      match Proto.string_field body "prometheus" with
+      | Some text -> Ok text
+      | None -> Error "malformed response: missing \"prometheus\"")
 let shutdown c = Result.map (fun _ -> ()) (rpc c ~op:"shutdown" [])
 
 let doc_params ~scenario ~document ?format () =

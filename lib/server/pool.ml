@@ -206,6 +206,16 @@ let map pool f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | xs ->
+    (* Capture the caller's trace context (e.g. the repair.card_minimal
+       span) and rebind it in whichever domain ends up running each item,
+       so per-component spans stitch into the request's tree instead of
+       starting orphan traces on the worker domains. *)
+    let ctx = Dart_obs.Obs.Trace.current () in
+    let f =
+      match ctx with
+      | None -> f
+      | Some _ -> fun x -> Dart_obs.Obs.Trace.with_context ctx (fun () -> f x)
+    in
     let futs = List.map (fun x -> future (fun () -> f x)) xs in
     (* Best effort: offer every item to the pool; refusals stay local and
        will be claimed inline below. *)

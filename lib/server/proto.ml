@@ -59,8 +59,21 @@ type request = {
   op : string;
   id : Json.t option;          (** echoed verbatim in the response *)
   deadline_ms : float option;  (** relative deadline for heavy ops *)
+  trace : (string * string) option;
+  (** [(trace_id, parent_span_id)] propagated from the client so the
+      server's spans stitch under the client's tree.  Requests only:
+      responses stay a pure function of the input (byte-determinism). *)
   body : Json.t;               (** the whole request object *)
 }
+
+let trace_of_json j =
+  match member "trace" j with
+  | Some t -> (
+    match (string_field t "trace_id", string_field t "parent_span_id") with
+    | Some tid, Some psid -> Some (tid, psid)
+    | Some tid, None -> Some (tid, "")
+    | _ -> None)
+  | None -> None
 
 let request_of_json j : (request, string) result =
   match j with
@@ -68,14 +81,21 @@ let request_of_json j : (request, string) result =
     (match string_field j "op" with
      | None -> Error "request must carry a string \"op\" field"
      | Some op ->
-       Ok { op; id = member "id" j; deadline_ms = float_field j "deadline_ms"; body = j })
+       Ok { op; id = member "id" j; deadline_ms = float_field j "deadline_ms";
+            trace = trace_of_json j; body = j })
   | _ -> Error "request must be a JSON object"
 
-let request_to_json ?id ?deadline_ms ~op params =
+let request_to_json ?id ?deadline_ms ?trace ~op params =
   Json.Obj
     (("op", Json.Str op)
      :: (match id with Some i -> [ ("id", i) ] | None -> [])
      @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+     @ (match trace with
+        | Some (tid, psid) ->
+          [ ("trace",
+             Json.Obj
+               [ ("trace_id", Json.Str tid); ("parent_span_id", Json.Str psid) ]) ]
+        | None -> [])
      @ params)
 
 (* ------------------------------------------------------------------ *)

@@ -49,6 +49,12 @@ type config = {
   cancel_grace_ms : float;        (** wait this long after firing a running
                                       job's cancel token before abandoning it *)
   faults : Faultsim.t;            (** chaos-testing fault plan (default none) *)
+  telemetry_port : int option;    (** Prometheus text endpoint on 127.0.0.1
+                                      (0 = ephemeral; see {!telemetry_addr}) *)
+  flight_dir : string option;     (** enable the flight recorder and dump
+                                      post-mortems for bad requests here *)
+  flight_capacity : int;          (** ring size per domain (events) *)
+  access_log : string option;     (** one JSON line per request, appended *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -58,7 +64,9 @@ let default_config ?(scenarios = []) addr =
     queue_capacity = 64; session_ttl_s = 600.0; max_sessions = 256;
     max_frame_bytes = 16 * 1024 * 1024; idle_timeout_s = 300.0;
     drain_timeout_s = 30.0; max_nodes = 2_000_000; max_iterations = 50;
-    cancel_grace_ms = 200.0; faults = Faultsim.none; scenarios }
+    cancel_grace_ms = 200.0; faults = Faultsim.none;
+    telemetry_port = None; flight_dir = None; flight_capacity = 256;
+    access_log = None; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -69,10 +77,33 @@ let m_errors = Obs.Metrics.counter "server.errors"
 let m_busy = Obs.Metrics.counter "server.busy_rejections"
 let m_deadline = Obs.Metrics.counter "server.deadline_exceeded"
 let m_conn_total = Obs.Metrics.counter "server.connections_total"
+let m_bytes_in = Obs.Metrics.counter "server.bytes_in"
+let m_bytes_out = Obs.Metrics.counter "server.bytes_out"
+let m_flight_dumps = Obs.Metrics.counter "server.flight_dumps"
 let g_connections = Obs.Metrics.gauge "server.connections"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let g_sessions = Obs.Metrics.gauge "server.sessions"
+let g_inflight = Obs.Metrics.gauge "server.inflight"
 let h_latency = Obs.Metrics.histogram "server.latency_ms"
+let h_queue_wait = Obs.Metrics.histogram "server.queue_wait_ms"
+
+(* Per-verb latency histograms, registered lazily on first use so the
+   registry only carries verbs the deployment actually serves. *)
+let verb_hists : (string, Obs.Metrics.histogram) Hashtbl.t = Hashtbl.create 8
+let verb_mu = Mutex.create ()
+
+let verb_latency op =
+  Mutex.lock verb_mu;
+  let h =
+    match Hashtbl.find_opt verb_hists op with
+    | Some h -> h
+    | None ->
+      let h = Obs.Metrics.histogram ("server.latency_ms." ^ op) in
+      Hashtbl.add verb_hists op h;
+      h
+  in
+  Mutex.unlock verb_mu;
+  h
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
@@ -84,16 +115,38 @@ type t = {
   store : Session.Store.t;
   stopping : bool Atomic.t;
   active_conns : int Atomic.t;
+  inflight : int Atomic.t;        (* requests currently inside [process] *)
   started_at_ms : float;
   wake_r : Unix.file_descr;       (* self-pipe: wakes the accept select *)
   wake_w : Unix.file_descr;
+  flight : (Obs.sink * (unit -> Obs.event list)) option;
+  access_mu : Mutex.t;
+  mutable access_oc : out_channel option;
   mutable listen_fd : Unix.file_descr option;
   mutable accept_thread : Thread.t option;
+  mutable telemetry_fd : Unix.file_descr option;
+  mutable telemetry_thread : Thread.t option;
 }
 
 let create cfg =
   if cfg.scenarios = [] then invalid_arg "Server.create: no scenarios registered";
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let flight =
+    match cfg.flight_dir with
+    | None -> None
+    | Some dir ->
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> () | Unix.Unix_error _ -> ());
+      let recorder = Obs.flight_recorder ~capacity:cfg.flight_capacity () in
+      Obs.install (fst recorder);
+      Some recorder
+  in
+  let access_oc =
+    Option.map
+      (fun path ->
+        open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path)
+      cfg.access_log
+  in
   { cfg;
     pool =
       Pool.create ~faults:cfg.faults ~domains:cfg.domains
@@ -102,8 +155,9 @@ let create cfg =
       Session.Store.create ~ttl_ms:(cfg.session_ttl_s *. 1000.0)
         ~max_sessions:cfg.max_sessions ();
     stopping = Atomic.make false; active_conns = Atomic.make 0;
-    started_at_ms = Obs.now_ms (); wake_r; wake_w; listen_fd = None;
-    accept_thread = None }
+    inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
+    flight; access_mu = Mutex.create (); access_oc; listen_fd = None;
+    accept_thread = None; telemetry_fd = None; telemetry_thread = None }
 
 let stopping t = Atomic.get t.stopping
 
@@ -222,10 +276,16 @@ let handle_session_open t ~cancel req =
       (Proto.int_field req.Proto.body "max_iterations")
   in
   let id = Session.Store.fresh_id t.store in
+  let origin_trace =
+    match Obs.Trace.current () with
+    | Some ctx -> ctx.Obs.Trace.trace_id
+    | None -> ""
+  in
   let s =
-    Session.create ~id ~scenario ~db:acq.Pipeline.db ~max_nodes:t.cfg.max_nodes
-      ~max_iterations ~mapper:(Pool.solver_mapper t.pool) ~cancel
-      ~now_ms:(Obs.now_ms ()) ~ttl_ms:(Session.Store.ttl_ms t.store) ()
+    Session.create ~id ~origin_trace ~scenario ~db:acq.Pipeline.db
+      ~max_nodes:t.cfg.max_nodes ~max_iterations
+      ~mapper:(Pool.solver_mapper t.pool) ~cancel ~now_ms:(Obs.now_ms ())
+      ~ttl_ms:(Session.Store.ttl_ms t.store) ()
   in
   (match Session.Store.put t.store s with
    | Ok () -> ()
@@ -287,12 +347,18 @@ let handle_stats t req =
            ("domains", Json.Int (Pool.size t.pool));
            ("queue_depth", Json.Int (Pool.depth t.pool));
            ("connections", Json.Int (Atomic.get t.active_conns));
+           ("inflight", Json.Int (Atomic.get t.inflight));
            ("sessions", Json.Int (Session.Store.count t.store)) ]);
       ("metrics", Obs.Metrics.snapshot ()) ]
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Per-request bookkeeping that outlives the handler: the worker records
+   how long the job sat queued; the access log and flight-dump decision
+   read it after the response is built. *)
+type req_meta = { mutable queue_wait_ms : float option }
 
 (* Heavy handlers run on the worker pool; the connection thread waits,
    polling cheaply, until completion or the request's deadline.
@@ -305,7 +371,7 @@ let handle_stats t req =
    still queued — and only after [cancel_grace_ms] of unresponsiveness
    does it abandon the job (answering the client while the slot finishes
    in the background). *)
-let run_on_pool t req handler =
+let run_on_pool t meta req handler =
   let cancel =
     match req.Proto.deadline_ms with
     | Some d -> Cancel.create ~deadline_ms:(Float.max 0.0 d) ()
@@ -314,7 +380,25 @@ let run_on_pool t req handler =
   let deadline =
     Option.map (fun d -> Obs.now_ms () +. Float.max 0.0 d) req.Proto.deadline_ms
   in
-  match Pool.try_submit ~cancel t.pool (fun () -> handler t ~cancel req) with
+  (* Capture the connection thread's trace context (the server.request
+     span) and rebind it inside the worker domain, so the queue-wait and
+     worker spans — and everything the solver opens below them — stitch
+     into the request's tree instead of starting orphan traces. *)
+  let ctx = Obs.Trace.current () in
+  let submitted_us = Obs.now_us () in
+  let job () =
+    Obs.Trace.with_context ctx (fun () ->
+        let wait_us = Float.max 0.0 (Obs.now_us () -. submitted_us) in
+        let wait_ms = wait_us /. 1e3 in
+        meta.queue_wait_ms <- Some wait_ms;
+        Obs.Metrics.observe h_queue_wait wait_ms;
+        Obs.emit_span "server.queue_wait"
+          ~attrs:[ ("op", Obs.Str req.Proto.op) ]
+          ~start_us:submitted_us ~dur_us:wait_us;
+        Obs.span "server.worker" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
+          (fun () -> handler t ~cancel req))
+  in
+  match Pool.try_submit ~cancel t.pool job with
   | None ->
     Obs.Metrics.incr m_busy;
     Proto.error ?id:req.Proto.id Proto.Busy
@@ -369,51 +453,180 @@ let run_on_pool t req handler =
     in
     wait ~grace:None
 
-let dispatch t req =
+let dispatch t meta req =
   match req.Proto.op with
   | "ping" -> Proto.ok ?id:req.Proto.id [ ("pong", Json.Bool true) ]
   | "stats" -> handle_stats t req
+  | "metrics" ->
+    (* Prometheus text exposition over the wire protocol, for clients
+       that already speak frames; [--telemetry-port] serves the same body
+       over plain HTTP for curl/scrapers. *)
+    Proto.ok ?id:req.Proto.id
+      [ ("prometheus", Json.Str (Obs.Metrics.prometheus ())) ]
   | "shutdown" ->
     stop t;
     Proto.ok ?id:req.Proto.id [ ("stopping", Json.Bool true) ]
   | "session/next" -> handle_session_next t req
   | "session/close" -> handle_session_close t req
-  | "acquire" -> run_on_pool t req handle_acquire
-  | "detect" -> run_on_pool t req handle_detect
-  | "repair" -> run_on_pool t req handle_repair
-  | "session/open" -> run_on_pool t req handle_session_open
-  | "session/decide" -> run_on_pool t req handle_session_decide
+  | "acquire" -> run_on_pool t meta req handle_acquire
+  | "detect" -> run_on_pool t meta req handle_detect
+  | "repair" -> run_on_pool t meta req handle_repair
+  | "session/open" -> run_on_pool t meta req handle_session_open
+  | "session/decide" -> run_on_pool t meta req handle_session_decide
   | other ->
     Proto.error ?id:req.Proto.id Proto.Unknown_op
       (Printf.sprintf "unknown op %S" other)
 
-(* Parse one frame payload and produce the response document. *)
+(* One JSON line per finished request.  The channel is shared by every
+   connection thread, so writes are serialized by [access_mu]. *)
+let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance
+    ~bytes_in ~bytes_out =
+  match t.access_oc with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Json.to_string
+        (Json.Obj
+           ([ ("ts_ms", Json.Float (Obs.now_ms ())); ("op", Json.Str op);
+              ("trace_id", Json.Str trace_id); ("outcome", Json.Str outcome);
+              ("ms", Json.Float ms); ("bytes_in", Json.Int bytes_in);
+              ("bytes_out", Json.Int bytes_out) ]
+            @ (match queue_wait with
+               | Some w -> [ ("queue_wait_ms", Json.Float w) ]
+               | None -> [])
+            @ (match provenance with
+               | Some p -> [ ("provenance", Json.Str p) ]
+               | None -> [])))
+    in
+    Mutex.lock t.access_mu;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> ());
+    Mutex.unlock t.access_mu
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  || (let found = ref false in
+      for i = 0 to nh - nn do
+        if (not !found) && String.sub hay i nn = needle then found := true
+      done;
+      !found)
+
+(* Which bad endings deserve a post-mortem dump: deadline aborts, worker
+   crashes (anything surfaced as [internal]) and injected faults (mapped
+   to a retryable [busy], so matched by message). *)
+let dump_reason ~outcome ~msg =
+  match outcome with
+  | "deadline_exceeded" -> Some "deadline"
+  | "internal" -> Some "crash"
+  | "busy"
+    when (match msg with
+          | Some m -> contains_substring m "injected fault"
+          | None -> false) ->
+    Some "fault"
+  | _ -> None
+
+let maybe_dump_flight t ~trace_id ~outcome ~msg =
+  match (t.flight, t.cfg.flight_dir) with
+  | Some (_, snapshot), Some dir -> (
+    match dump_reason ~outcome ~msg with
+    | None -> ()
+    | Some reason ->
+      let events =
+        List.filter (fun e -> Obs.event_trace_id e = trace_id) (snapshot ())
+      in
+      let tid = if trace_id = "" then "untraced" else trace_id in
+      let path =
+        Filename.concat dir (Printf.sprintf "flight-%s-%s.jsonl" tid reason)
+      in
+      (try
+         let oc = open_out path in
+         output_string oc
+           (Json.to_string
+              (Json.Obj
+                 [ ("type", Json.Str "flight"); ("trace_id", Json.Str trace_id);
+                   ("reason", Json.Str reason);
+                   ("events", Json.Int (List.length events)) ]));
+         output_char oc '\n';
+         List.iter
+           (fun e ->
+             output_string oc (Json.to_string (Obs.json_of_event e));
+             output_char oc '\n')
+           events;
+         close_out oc;
+         Obs.Metrics.incr m_flight_dumps;
+         Obs.log Obs.Warn "server.flight_dump"
+           ~attrs:
+             [ ("path", Obs.Str path); ("reason", Obs.Str reason);
+               ("events", Obs.Int (List.length events)) ]
+       with Sys_error _ -> ()))
+  | _ -> ()
+
+(* Parse one frame payload and produce the serialized response.  Trace
+   identity is decided here: a trace context carried in the request wins
+   (the client started the trace); a bare request gets a fresh trace id
+   at admission.  Serialization happens here too so the access log can
+   record exact bytes-out. *)
 let process t payload =
   let t0 = Obs.now_ms () in
-  let resp, op =
+  Obs.Metrics.add m_bytes_in (String.length payload);
+  Obs.Metrics.set g_inflight
+    (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
+  let meta = { queue_wait_ms = None } in
+  let resp, op, trace_id =
     match Json.of_string payload with
-    | Error msg -> (Proto.error Proto.Parse_error msg, "<parse>")
+    | Error msg -> (Proto.error Proto.Parse_error msg, "<parse>", "")
     | Ok j ->
       (match Proto.request_of_json j with
-       | Error msg -> (Proto.error ?id:(Proto.member "id" j) Proto.Parse_error msg, "<parse>")
+       | Error msg ->
+         (Proto.error ?id:(Proto.member "id" j) Proto.Parse_error msg, "<parse>", "")
        | Ok req ->
-         let resp =
-           Obs.span "server.request" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
-             (fun () ->
-               try dispatch t req with
-               | Reply resp -> resp
-               | e -> Proto.error ?id:req.Proto.id Proto.Internal (Printexc.to_string e))
+         let ctx =
+           match req.Proto.trace with
+           | Some (tid, psid) ->
+             { Obs.Trace.trace_id = tid; parent_span_id = psid }
+           | None ->
+             { Obs.Trace.trace_id = Obs.Trace.fresh_trace_id ();
+               parent_span_id = "" }
          in
-         (resp, req.Proto.op))
+         let resp =
+           Obs.Trace.with_context (Some ctx) (fun () ->
+               Obs.span "server.request" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
+                 (fun () ->
+                   try dispatch t meta req with
+                   | Reply resp -> resp
+                   | e ->
+                     Proto.error ?id:req.Proto.id Proto.Internal
+                       (Printexc.to_string e)))
+         in
+         (resp, req.Proto.op, ctx.Obs.Trace.trace_id))
   in
   Obs.Metrics.incr m_requests;
+  Obs.Metrics.set g_inflight
+    (float_of_int (Atomic.fetch_and_add t.inflight (-1) - 1));
   let dt = Obs.elapsed_ms ~since:t0 in
   Obs.Metrics.observe h_latency dt;
-  if not (Proto.response_ok resp) then Obs.Metrics.incr m_errors;
+  Obs.Metrics.observe (verb_latency op) dt;
+  let ok = Proto.response_ok resp in
+  if not ok then Obs.Metrics.incr m_errors;
+  let out = Json.to_string resp in
+  Obs.Metrics.add m_bytes_out (String.length out);
+  let code, msg = if ok then (None, None) else Proto.response_error resp in
+  let outcome =
+    match code with Some c -> c | None -> if ok then "ok" else "error"
+  in
   if Obs.enabled () then
     Obs.log Obs.Debug "server.response"
       ~attrs:[ ("op", Obs.Str op); ("ms", Obs.Float dt) ];
-  resp
+  access_log_line t ~op ~trace_id ~outcome ~ms:dt
+    ~queue_wait:meta.queue_wait_ms
+    ~provenance:(Proto.string_field resp "provenance")
+    ~bytes_in:(String.length payload) ~bytes_out:(String.length out);
+  maybe_dump_flight t ~trace_id ~outcome ~msg;
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
@@ -448,8 +661,8 @@ let read_request t fd =
 (* An injected truncation leaves the stream unsynchronizable, exactly
    like a real short write before a crash: report failure so the
    connection closes. *)
-let send t fd json =
-  try Frame.write ~faults:t.cfg.faults fd (Json.to_string json); true
+let send t fd payload =
+  try Frame.write ~faults:t.cfg.faults fd payload; true
   with Unix.Unix_error _ | Sys_error _ | Faultsim.Injected_fault _ -> false
 
 let handle_connection t fd =
@@ -460,15 +673,19 @@ let handle_connection t fd =
     | `Eof | `Idle -> ()
     | `Stop ->
       (* Refuse new work during drain, politely. *)
-      ignore (send t fd (Proto.error Proto.Shutting_down "server is shutting down"))
+      ignore
+        (send t fd
+           (Json.to_string
+              (Proto.error Proto.Shutting_down "server is shutting down")))
     | `Oversized n ->
       (* The stream cannot be resynchronized after an untrusted length:
          answer once, then close. *)
       ignore
         (send t fd
-           (Proto.error Proto.Oversized_frame
-              (Printf.sprintf "frame of %d bytes exceeds limit %d" n
-                 t.cfg.max_frame_bytes)))
+           (Json.to_string
+              (Proto.error Proto.Oversized_frame
+                 (Printf.sprintf "frame of %d bytes exceeds limit %d" n
+                    t.cfg.max_frame_bytes))))
     | `Request payload ->
       let resp = process t payload in
       (* After answering the in-flight request, a draining server closes
@@ -541,9 +758,19 @@ let accept_loop t fd =
       if Obs.elapsed_ms ~since:!last_sweep > 1000.0 then begin
         last_sweep := Obs.now_ms ();
         let evicted = Session.Store.sweep t.store in
-        if evicted > 0 && Obs.enabled () then
+        if evicted <> [] && Obs.enabled () then
           Obs.log Obs.Info "server.sessions_evicted"
-            ~attrs:[ ("count", Obs.Int evicted) ];
+            ~attrs:
+              [ ("count", Obs.Int (List.length evicted));
+                (* "<session>:<origin trace>" pairs so an evicted
+                   session can be tied back to its opener's trace. *)
+                ("sessions",
+                 Obs.Str
+                   (String.concat ","
+                      (List.map
+                         (fun (sid, tr) ->
+                           if tr = "" then sid else sid ^ ":" ^ tr)
+                         evicted))) ];
         Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
         Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool))
       end;
@@ -556,21 +783,94 @@ let accept_loop t fd =
    | Proto.Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
    | Proto.Tcp _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry endpoint                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately tiny HTTP/1.0 responder: whatever the request line
+   says, the answer is the Prometheus rendering of the metrics registry.
+   One short-lived connection per scrape, handled inline on the
+   telemetry thread — rendering is a registry walk, microseconds. *)
+let telemetry_response t =
+  Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
+  Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+  Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+  let body = Obs.Metrics.prometheus () in
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+let telemetry_loop t fd =
+  let rec loop () =
+    if stopping t then ()
+    else begin
+      (match Unix.select [ fd ] [] [] 0.5 with
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept ~cloexec:true fd with
+         | conn, _ ->
+           (try
+              Unix.setsockopt_float conn Unix.SO_RCVTIMEO 1.0;
+              let buf = Bytes.create 1024 in
+              ignore (try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0);
+              let resp = telemetry_response t in
+              ignore (Unix.write_substring conn resp 0 (String.length resp))
+            with Unix.Unix_error _ -> ());
+           (try Unix.close conn with Unix.Unix_error _ -> ())
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(** Where the telemetry endpoint is listening ([Some (host, port)] once
+    started with [telemetry_port]; resolves an ephemeral port 0). *)
+let telemetry_addr t =
+  match t.telemetry_fd with
+  | None -> None
+  | Some fd ->
+    (match Unix.getsockname fd with
+     | Unix.ADDR_INET (inet, port) -> Some (Unix.string_of_inet_addr inet, port)
+     | Unix.ADDR_UNIX _ -> None)
+
+let start_telemetry t port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  t.telemetry_fd <- Some fd;
+  t.telemetry_thread <- Some (Thread.create (fun () -> telemetry_loop t fd) ())
+
 (** Bind and start accepting (non-blocking; see {!wait}). *)
 let start t =
   if t.accept_thread <> None then invalid_arg "Server.start: already started";
   let fd = bind_listener t.cfg in
   t.listen_fd <- Some fd;
+  (match t.cfg.telemetry_port with
+   | Some port -> start_telemetry t port
+   | None -> ());
   if Obs.enabled () then
     Obs.log Obs.Info "server.listening"
       ~attrs:
-        [ ("addr", Obs.Str (Proto.addr_to_string (bound_addr t)));
-          ("domains", Obs.Int t.cfg.domains);
-          ("queue", Obs.Int t.cfg.queue_capacity) ];
+        ([ ("addr", Obs.Str (Proto.addr_to_string (bound_addr t)));
+           ("domains", Obs.Int t.cfg.domains);
+           ("queue", Obs.Int t.cfg.queue_capacity) ]
+         @ (match telemetry_addr t with
+            | Some (host, port) ->
+              [ ("telemetry", Obs.Str (Printf.sprintf "http://%s:%d/metrics" host port)) ]
+            | None -> []));
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t fd) ())
 
 (** Wait for shutdown: joins the accept loop, drains connections (up to
-    [drain_timeout_s]), then joins the worker pool. *)
+    [drain_timeout_s]), then joins the worker pool and releases the
+    telemetry listener, access log and flight recorder. *)
 let wait t =
   (match t.accept_thread with
    | None -> invalid_arg "Server.wait: not started"
@@ -580,6 +880,15 @@ let wait t =
     Thread.delay 0.01
   done;
   Pool.shutdown t.pool;
+  (match t.telemetry_thread with
+   | Some th -> Thread.join th; t.telemetry_thread <- None; t.telemetry_fd <- None
+   | None -> ());
+  (match t.access_oc with
+   | Some oc ->
+     t.access_oc <- None;
+     (try flush oc; close_out oc with Sys_error _ -> ())
+   | None -> ());
+  (match t.flight with Some (sink, _) -> Obs.uninstall sink | None -> ());
   if Obs.enabled () then
     Obs.log Obs.Info "server.stopped"
       ~attrs:[ ("undrained_connections", Obs.Int (Atomic.get t.active_conns)) ]

@@ -29,6 +29,11 @@ type phase =
 
 type t = {
   id : string;
+  origin_trace : string;                 (** trace id of the request that
+                                             opened the session; links the
+                                             session's lifetime back to the
+                                             opener's span tree ("" when the
+                                             opener was untraced) *)
   scenario : Scenario.t;
   db : Database.t;                       (** the acquired instance D *)
   rows : Ground.row list;                (** ground system, computed once *)
@@ -112,10 +117,10 @@ let resolve ~mapper ?cancel s =
 
 (** Open a session on an acquired instance and compute the first
     proposal. *)
-let create ~id ~scenario ~db ?(max_nodes = 2_000_000) ?(max_iterations = 50)
-    ~mapper ?cancel ~now_ms ~ttl_ms () =
+let create ~id ?(origin_trace = "") ~scenario ~db ?(max_nodes = 2_000_000)
+    ?(max_iterations = 50) ~mapper ?cancel ~now_ms ~ttl_ms () =
   let s =
-    { id; scenario; db;
+    { id; origin_trace; scenario; db;
       rows = Ground.of_constraints db scenario.Scenario.constraints;
       max_nodes; max_iterations; pins = []; validated = []; iterations = 0;
       examined = 0; phase = Proposing []; expires_at_ms = now_ms +. ttl_ms;
@@ -267,15 +272,17 @@ module Store = struct
     Hashtbl.remove st.tbl id;
     existed
 
-  (** Evict every expired session; returns how many were dropped. *)
+  (** Evict every expired session; returns [(id, origin_trace)] per
+      dropped session so the caller can log which traces lost state. *)
   let sweep st =
     locked st @@ fun () ->
     let now = st.clock_ms () in
     let dead =
       Hashtbl.fold
-        (fun id s acc -> if s.expires_at_ms < now then id :: acc else acc)
+        (fun id s acc ->
+          if s.expires_at_ms < now then (id, s.origin_trace) :: acc else acc)
         st.tbl []
     in
-    List.iter (Hashtbl.remove st.tbl) dead;
-    List.length dead
+    List.iter (fun (id, _) -> Hashtbl.remove st.tbl id) dead;
+    dead
 end

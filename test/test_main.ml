@@ -21,5 +21,6 @@ let () =
       ("quarterly", Test_quarterly.suite);
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
+      ("trace", Test_trace.suite);
       ("resilience", Test_resilience.suite);
       ("faultsim", Test_faultsim.suite) ]

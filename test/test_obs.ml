@@ -177,17 +177,186 @@ let chrome_trace_test =
           close_in ic;
           match Obs.Json.of_string (String.trim text) with
           | Ok (Obs.Json.List entries) ->
-            Alcotest.(check int) "three trace entries" 3 (List.length entries);
+            (* One thread_name metadata record (first sighting of the lane)
+               plus the three events. *)
+            Alcotest.(check int) "four trace entries" 4 (List.length entries);
+            let pid = Unix.getpid () in
+            (match entries with
+             | Obs.Json.Obj kvs :: _ ->
+               Alcotest.(check bool) "first entry is metadata" true
+                 (List.assoc_opt "ph" kvs = Some (Obs.Json.Str "M"));
+               Alcotest.(check bool) "metadata names the lane" true
+                 (List.assoc_opt "name" kvs = Some (Obs.Json.Str "thread_name"))
+             | _ -> Alcotest.fail "first trace entry is not an object");
             List.iter
               (fun e ->
                 match e with
                 | Obs.Json.Obj kvs ->
                   Alcotest.(check bool) "has ph" true (List.mem_assoc "ph" kvs);
-                  Alcotest.(check bool) "has ts" true (List.mem_assoc "ts" kvs)
+                  Alcotest.(check bool) "real pid" true
+                    (List.assoc_opt "pid" kvs = Some (Obs.Json.Int pid));
+                  Alcotest.(check bool) "has tid" true (List.mem_assoc "tid" kvs)
                 | _ -> Alcotest.fail "trace entry is not an object")
               entries
           | Ok _ -> Alcotest.fail "trace is not a JSON array"
           | Error e -> Alcotest.fail e))
+
+(* Two lanes in one trace: a span from the test domain and one from a
+   spawned domain must land on distinct tids, each introduced by its own
+   thread_name metadata record. *)
+let chrome_two_domain_test =
+  t "chrome trace separates domains into tid lanes" (fun () ->
+      let path = Filename.temp_file "dart_obs" ".trace2.json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out path in
+          let sink = Obs.chrome_trace_sink oc in
+          Obs.install sink;
+          (try
+             Obs.span "main-side" (fun () -> ());
+             Domain.join
+               (Domain.spawn (fun () -> Obs.span "worker-side" (fun () -> ())))
+           with e -> Obs.uninstall sink; raise e);
+          Obs.uninstall sink;
+          close_out oc;
+          let ic = open_in_bin path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Obs.Json.of_string (String.trim text) with
+          | Ok (Obs.Json.List entries) ->
+            let field k = function
+              | Obs.Json.Obj kvs -> List.assoc_opt k kvs
+              | _ -> None
+            in
+            let metas, events =
+              List.partition
+                (fun e -> field "ph" e = Some (Obs.Json.Str "M"))
+                entries
+            in
+            Alcotest.(check int) "one metadata record per lane" 2
+              (List.length metas);
+            let tids =
+              List.sort_uniq compare (List.filter_map (field "tid") events)
+            in
+            Alcotest.(check int) "two distinct tids" 2 (List.length tids);
+            List.iter
+              (fun m ->
+                match (field "tid" m, field "args" m) with
+                | Some (Obs.Json.Int tid), Some (Obs.Json.Obj args) ->
+                  Alcotest.(check bool) "lane is named after the domain" true
+                    (List.assoc_opt "name" args
+                     = Some (Obs.Json.Str (Printf.sprintf "domain-%d" tid)))
+                | _ -> Alcotest.fail "metadata record missing tid/args")
+              metas
+          | Ok _ -> Alcotest.fail "trace is not a JSON array"
+          | Error e -> Alcotest.fail e))
+
+let is_hex_id s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let trace_tests =
+  [ t "nested spans share a trace and parent onto each other" (fun () ->
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> ())))
+        in
+        match events with
+        | [ Obs.Span inner; Obs.Span outer ] ->
+          Alcotest.(check bool) "trace id is 16 hex digits" true
+            (is_hex_id outer.trace_id);
+          Alcotest.(check string) "same trace" outer.trace_id inner.trace_id;
+          Alcotest.(check string) "child parents onto outer" outer.span_id
+            inner.parent_id;
+          Alcotest.(check string) "root has no parent" "" outer.parent_id;
+          Alcotest.(check bool) "span ids differ" true
+            (inner.span_id <> outer.span_id)
+        | _ -> Alcotest.fail "expected exactly two span events");
+    t "with_context rebinds the ambient trace identity" (fun () ->
+        let ctx =
+          Some
+            { Obs.Trace.trace_id = "00000000000000ca";
+              parent_span_id = "00000000000000fe" }
+        in
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.Trace.with_context ctx (fun () ->
+                  Obs.span "s" (fun () -> Obs.log Obs.Error "inside")))
+        in
+        List.iter
+          (fun ev ->
+            match ev with
+            | Obs.Span { trace_id; parent_id; _ } ->
+              Alcotest.(check string) "span adopts the trace" "00000000000000ca"
+                trace_id;
+              Alcotest.(check string) "span parents onto the context"
+                "00000000000000fe" parent_id
+            | Obs.Log { trace_id; _ } ->
+              Alcotest.(check string) "log adopts the trace" "00000000000000ca"
+                trace_id)
+          events;
+        Alcotest.(check bool) "context restored afterwards" true
+          (Obs.Trace.current () = None));
+    t "emit_span records a pre-timed interval under the ambient trace"
+      (fun () ->
+        let ctx =
+          Some { Obs.Trace.trace_id = "00000000000000ab"; parent_span_id = "" }
+        in
+        let (), events =
+          with_memory_sink (fun () ->
+              Obs.Trace.with_context ctx (fun () ->
+                  Obs.emit_span ~start_us:100.0 ~dur_us:50.0 "waited"))
+        in
+        match events with
+        | [ Obs.Span { name; start_us; dur_us; trace_id; _ } ] ->
+          Alcotest.(check string) "name" "waited" name;
+          Alcotest.(check (float 0.0)) "start" 100.0 start_us;
+          Alcotest.(check (float 0.0)) "dur" 50.0 dur_us;
+          Alcotest.(check string) "trace" "00000000000000ab" trace_id
+        | _ -> Alcotest.fail "expected exactly one span event");
+    t "fresh ids are unique" (fun () ->
+        let ids = List.init 1000 (fun _ -> Obs.Trace.fresh_trace_id ()) in
+        Alcotest.(check int) "no collisions" 1000
+          (List.length (List.sort_uniq compare ids));
+        List.iter
+          (fun id ->
+            Alcotest.(check bool) "well-formed" true (is_hex_id id))
+          ids);
+  ]
+
+let flight_tests =
+  [ t "flight recorder keeps only the newest events" (fun () ->
+        let sink, snapshot = Obs.flight_recorder ~capacity:4 () in
+        Obs.install sink;
+        Fun.protect
+          ~finally:(fun () -> Obs.uninstall sink)
+          (fun () ->
+            for i = 1 to 10 do
+              Obs.span (Printf.sprintf "s%d" i) (fun () -> ())
+            done);
+        let events = snapshot () in
+        Alcotest.(check int) "bounded by capacity" 4 (List.length events);
+        Alcotest.(check (list string)) "newest four, oldest first"
+          [ "s7"; "s8"; "s9"; "s10" ]
+          (List.filter_map span_name events));
+    t "flight snapshot preserves trace ids" (fun () ->
+        let sink, snapshot = Obs.flight_recorder ~capacity:8 () in
+        Obs.install sink;
+        Fun.protect
+          ~finally:(fun () -> Obs.uninstall sink)
+          (fun () ->
+            Obs.Trace.with_context
+              (Some { Obs.Trace.trace_id = "00000000000000aa"; parent_span_id = "" })
+              (fun () -> Obs.span "a" (fun () -> Obs.log Obs.Error "l")));
+        List.iter
+          (fun ev ->
+            Alcotest.(check string) "trace id retained" "00000000000000aa"
+              (Obs.event_trace_id ev))
+          (snapshot ()));
+  ]
 
 let metrics_tests =
   [ t "counters accumulate and alias by name" (fun () ->
@@ -223,6 +392,90 @@ let metrics_tests =
         | _ -> Alcotest.fail "snapshot is not an object");
   ]
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let quantile_tests =
+  [ t "quantiles interpolate within the target bucket" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 10.0; 20.0; 30.0; 40.0 |]
+            "test.obs.quantile"
+        in
+        for i = 1 to 40 do
+          Obs.Metrics.observe h (float_of_int i)
+        done;
+        let check_q q expect =
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "q=%.2f" q)
+            expect (Obs.Metrics.quantile h q)
+        in
+        check_q 0.5 20.0;
+        check_q 0.95 38.0;
+        check_q 0.99 39.6);
+    t "quantile of an empty histogram is zero" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.obs.quantile.empty"
+        in
+        Alcotest.(check (float 0.0)) "empty" 0.0 (Obs.Metrics.quantile h 0.5));
+    t "overflow observations clamp to the last finite bound" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.obs.quantile.inf"
+        in
+        List.iter (Obs.Metrics.observe h) [ 100.0; 200.0; 300.0 ];
+        Alcotest.(check (float 0.0)) "clamped" 2.0 (Obs.Metrics.quantile h 0.99));
+    t "quantile arguments are clamped to [0,1]" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 1.0; 2.0 |] "test.obs.quantile.clamp"
+        in
+        List.iter (Obs.Metrics.observe h) [ 0.5; 1.5 ];
+        Alcotest.(check (float 1e-9)) "q > 1 behaves as q = 1"
+          (Obs.Metrics.quantile h 1.0)
+          (Obs.Metrics.quantile h 2.0);
+        Alcotest.(check bool) "q < 0 behaves as q = 0" true
+          (Obs.Metrics.quantile h (-1.0) = Obs.Metrics.quantile h 0.0));
+    t "histogram sum and count track observations" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 10.0 |] "test.obs.quantile.sumcount"
+        in
+        List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.5 ];
+        Alcotest.(check int) "count" 3 (Obs.Metrics.histogram_count h);
+        Alcotest.(check (float 1e-9)) "sum" 6.5 (Obs.Metrics.histogram_sum h));
+  ]
+
+let prometheus_tests =
+  [ t "prometheus exposition renders all metric kinds" (fun () ->
+        let c = Obs.Metrics.counter "test.obs.prom.counter" in
+        Obs.Metrics.add c 3;
+        let g = Obs.Metrics.gauge "test.obs.prom.gauge" in
+        Obs.Metrics.set g 1.5;
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 5.0; 50.0 |] "test.obs.prom.hist"
+        in
+        List.iter (Obs.Metrics.observe h) [ 1.0; 7.0; 100.0 ];
+        let text = Obs.Metrics.prometheus () in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains text needle))
+          [ "# TYPE test_obs_prom_counter counter";
+            "test_obs_prom_counter 3";
+            "# TYPE test_obs_prom_gauge gauge";
+            "test_obs_prom_gauge 1.5";
+            "# TYPE test_obs_prom_hist histogram";
+            "test_obs_prom_hist_bucket{le=\"5\"} 1";
+            "test_obs_prom_hist_bucket{le=\"50\"} 2";
+            "test_obs_prom_hist_bucket{le=\"+Inf\"} 3";
+            "test_obs_prom_hist_sum 108";
+            "test_obs_prom_hist_count 3";
+            "test_obs_prom_hist_p50";
+            "test_obs_prom_hist_p95";
+            "test_obs_prom_hist_p99" ]);
+    t "prometheus names are sanitized" (fun () ->
+        Alcotest.(check string) "dots become underscores" "a_b_c"
+          (Obs.Metrics.sanitize "a.b-c"));
+  ]
+
 let level_tests =
   [ t "level strings round-trip" (fun () ->
         List.iter
@@ -239,4 +492,8 @@ let level_tests =
         | Ok _ -> Alcotest.fail "nonsense level accepted");
   ]
 
-let suite = span_tests @ json_tests @ [ chrome_trace_test ] @ metrics_tests @ level_tests
+let suite =
+  span_tests @ json_tests
+  @ [ chrome_trace_test; chrome_two_domain_test ]
+  @ trace_tests @ flight_tests @ metrics_tests @ quantile_tests
+  @ prometheus_tests @ level_tests

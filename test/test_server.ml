@@ -389,9 +389,11 @@ let store_tests =
         ignore (Session.Store.put store (make_session store !clock));
         ignore (Session.Store.put store (make_session store !clock));
         Alcotest.(check int) "live" 2 (Session.Store.count store);
-        Alcotest.(check int) "nothing to sweep" 0 (Session.Store.sweep store);
+        Alcotest.(check int) "nothing to sweep" 0
+          (List.length (Session.Store.sweep store));
         clock := 2000.0;
-        Alcotest.(check int) "swept" 2 (Session.Store.sweep store);
+        Alcotest.(check int) "swept" 2
+          (List.length (Session.Store.sweep store));
         Alcotest.(check int) "empty" 0 (Session.Store.count store));
     t "the store caps live sessions" (fun () ->
         let clock = ref 0.0 in

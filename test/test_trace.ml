@@ -1,0 +1,414 @@
+(* End-to-end tracing tests: the wire path must produce one stitched
+   span tree (client -> server -> queue -> worker -> solver) that is
+   isomorphic, below the transport spans, to an in-process solve; the
+   telemetry endpoint must serve parseable Prometheus; a deadline abort
+   must leave a flight dump keyed by the request's trace id; and every
+   request must produce one structured access-log line. *)
+
+open Dart
+open Dart_datagen
+open Dart_rand
+open Dart_server
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let t name f = Alcotest.test_case name `Quick f
+
+let scenario = Budget_scenario.scenario
+let all_scenarios = [ ("cash-budget", Budget_scenario.scenario) ]
+
+let doc seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:3 prng in
+  let channel =
+    { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.0; char_rate = 0.1 }
+  in
+  fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "/tmp/dart-trace-%d-%d.sock" (Unix.getpid ()) !sock_counter
+
+(* Like test_server's [with_server], but the caller can adjust the
+   config (telemetry port, flight dir, access log) before start. *)
+let with_server_cfg ?(adjust = fun c -> c) f =
+  let path = fresh_sock () in
+  let addr = Proto.Unix_sock path in
+  let cfg = Server.default_config ~scenarios:all_scenarios addr in
+  let cfg = adjust { cfg with Server.domains = 2; queue_capacity = 8 } in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f srv addr)
+
+let with_memory_sink f =
+  let sink, events = Obs.memory_sink () in
+  Obs.install sink;
+  let result = Fun.protect ~finally:(fun () -> Obs.uninstall sink) f in
+  (result, events ())
+
+(* (name, span_id, parent_id, trace_id) for every span event. *)
+let span_rows events =
+  List.filter_map
+    (function
+      | Obs.Span { name; span_id; parent_id; trace_id; _ } ->
+        Some (name, span_id, parent_id, trace_id)
+      | Obs.Log _ -> None)
+    events
+
+let find_span name rows =
+  match List.find_opt (fun (n, _, _, _) -> n = name) rows with
+  | Some r -> r
+  | None -> Alcotest.failf "span %S not emitted" name
+
+(* Canonical string form of the subtree rooted at [id]: the name plus
+   the sorted canonical forms of the children.  Two trees are isomorphic
+   iff their canonical forms are equal. *)
+let rec canon rows id name =
+  let kids =
+    List.filter_map
+      (fun (n, sid, pid, _) -> if pid = id then Some (n, sid) else None)
+      rows
+  in
+  let sub = List.map (fun (n, sid) -> canon rows sid n) kids in
+  name ^ "(" ^ String.concat "," (List.sort compare sub) ^ ")"
+
+let transport_spans =
+  [ "client.rpc"; "server.request"; "server.queue_wait"; "server.worker" ]
+
+(* Names along the parent chain from [id] to the root, innermost first. *)
+let parent_chain rows id =
+  let rec go id acc =
+    match List.find_opt (fun (_, sid, _, _) -> sid = id) rows with
+    | None -> List.rev acc
+    | Some (name, _, pid, _) -> go pid (name :: acc)
+  in
+  go id []
+
+let rec ends_with suffix l =
+  l = suffix || match l with [] -> false | _ :: tl -> ends_with suffix tl
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree stitching and parity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stitching_tests =
+  [ t "a wire repair yields one stitched span tree" (fun () ->
+        let html = doc 4242 in
+        let (), events =
+          with_memory_sink (fun () ->
+              with_server_cfg (fun _srv addr ->
+                  Client.with_connection addr (fun c ->
+                      match
+                        Client.repair c ~scenario:"cash-budget" ~document:html ()
+                      with
+                      | Ok _ -> ()
+                      | Error e -> Alcotest.fail e)))
+        in
+        let rows = span_rows events in
+        (* Every span of the request belongs to one trace, started by the
+           client. *)
+        let _, rpc_id, rpc_parent, rpc_trace = find_span "client.rpc" rows in
+        Alcotest.(check string) "client.rpc is the root" "" rpc_parent;
+        List.iter
+          (fun (n, _, _, tr) ->
+            Alcotest.(check string) (n ^ " shares the trace") rpc_trace tr)
+          rows;
+        (* Transport chain: request under rpc; queue wait and worker under
+           request; the solver root under the worker. *)
+        let _, req_id, req_parent, _ = find_span "server.request" rows in
+        Alcotest.(check string) "server.request under client.rpc" rpc_id
+          req_parent;
+        let _, _, qw_parent, _ = find_span "server.queue_wait" rows in
+        Alcotest.(check string) "queue wait under the request" req_id qw_parent;
+        let _, _, worker_parent, _ = find_span "server.worker" rows in
+        Alcotest.(check string) "worker under the request" req_id worker_parent;
+        (* The solver's span reaches the client through the whole
+           transport chain. *)
+        let _, solve_id, _, _ = find_span "repair.card_minimal" rows in
+        let chain = parent_chain rows solve_id in
+        Alcotest.(check bool)
+          (Printf.sprintf "chain %s runs through the transport"
+             (String.concat " -> " chain))
+          true
+          (ends_with
+             [ "pipeline.repair"; "server.worker"; "server.request";
+               "client.rpc" ]
+             chain));
+    t "wire and in-process trees are isomorphic below the transport" (fun () ->
+        let html = doc 4242 in
+        (* In process: the same acquire + sequential repair the handler
+           runs, so the span multisets are directly comparable. *)
+        let (), local_events =
+          with_memory_sink (fun () ->
+              let acq = Pipeline.acquire scenario html in
+              ignore (Pipeline.repair scenario acq.Pipeline.db))
+        in
+        let local = span_rows local_events in
+        let _, local_root, _, _ = find_span "pipeline.repair" local in
+        (* Over the wire: same document, same scenario. *)
+        let (), wire_events =
+          with_memory_sink (fun () ->
+              with_server_cfg (fun _srv addr ->
+                  Client.with_connection addr (fun c ->
+                      match
+                        Client.repair c ~scenario:"cash-budget" ~document:html ()
+                      with
+                      | Ok _ -> ()
+                      | Error e -> Alcotest.fail e)))
+        in
+        let wire = span_rows wire_events in
+        let _, wire_root, _, _ = find_span "pipeline.repair" wire in
+        Alcotest.(check string) "repair subtrees are isomorphic"
+          (canon local local_root "pipeline.repair")
+          (canon wire wire_root "pipeline.repair");
+        (* The wire run adds exactly the transport hop and nothing else. *)
+        let names rows =
+          List.sort compare (List.map (fun (n, _, _, _) -> n) rows)
+        in
+        let wire_extra =
+          List.filter (fun (n, _, _, _) -> not (List.mem n transport_spans)) wire
+        in
+        Alcotest.(check (list string)) "only transport spans are extra"
+          (names local) (names wire_extra));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry exposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+let http_get_metrics host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let req = "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let counter_value text name =
+  let lines = String.split_on_char '\n' text in
+  List.find_map
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | [ n; v ] when n = name -> int_of_string_opt v
+      | _ -> None)
+    lines
+
+let telemetry_tests =
+  [ t "the metrics verb answers Prometheus text over the wire" (fun () ->
+        with_server_cfg (fun _srv addr ->
+            Client.with_connection addr (fun c ->
+                (match Client.ping c with
+                 | Ok () -> ()
+                 | Error e -> Alcotest.fail e);
+                match Client.metrics c with
+                | Error e -> Alcotest.fail e
+                | Ok text ->
+                  Alcotest.(check bool) "typed counter" true
+                    (contains text "# TYPE server_requests counter");
+                  Alcotest.(check bool) "latency histogram" true
+                    (contains text "# TYPE server_latency_ms histogram");
+                  (match counter_value text "server_requests" with
+                   | Some n -> Alcotest.(check bool) "requests counted" true (n > 0)
+                   | None -> Alcotest.fail "no server_requests sample"))));
+    t "the HTTP endpoint serves well-formed Prometheus" (fun () ->
+        with_server_cfg
+          ~adjust:(fun c -> { c with Server.telemetry_port = Some 0 })
+          (fun srv addr ->
+            Client.with_connection addr (fun c ->
+                match Client.ping c with
+                | Ok () -> ()
+                | Error e -> Alcotest.fail e);
+            match Server.telemetry_addr srv with
+            | None -> Alcotest.fail "telemetry listener did not start"
+            | Some (host, port) ->
+              let raw = http_get_metrics host port in
+              Alcotest.(check bool) "200" true (contains raw "200 OK");
+              Alcotest.(check bool) "content type" true
+                (contains raw "text/plain; version=0.0.4");
+              (* The body follows the first blank line. *)
+              let body =
+                let marker = "\r\n\r\n" in
+                let rec find i =
+                  if i + 4 > String.length raw then raw
+                  else if String.sub raw i 4 = marker then
+                    String.sub raw (i + 4) (String.length raw - i - 4)
+                  else find (i + 1)
+                in
+                find 0
+              in
+              Alcotest.(check bool) "typed counter" true
+                (contains body "# TYPE server_requests counter");
+              Alcotest.(check bool) "p95 gauge" true
+                (contains body "server_latency_ms_p95");
+              Alcotest.(check bool) "queue-wait histogram" true
+                (contains body "server_queue_wait_ms_bucket");
+              (match counter_value body "server_requests" with
+               | Some n -> Alcotest.(check bool) "requests counted" true (n > 0)
+               | None -> Alcotest.fail "no server_requests sample")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder dumps                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dart-flight-%d-%d" (Unix.getpid ())
+         (incr sock_counter; !sock_counter))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go [])
+
+let flight_tests =
+  [ t "a deadline abort dumps flight events sharing the trace id" (fun () ->
+        with_temp_dir @@ fun dir ->
+        with_server_cfg
+          ~adjust:(fun c -> { c with Server.flight_dir = Some dir })
+          (fun _srv addr ->
+            Client.with_connection addr (fun c ->
+                match
+                  Client.repair ~deadline_ms:0.001 c ~scenario:"cash-budget"
+                    ~document:(doc 4242) ()
+                with
+                | Error e ->
+                  Alcotest.(check bool) "deadline_exceeded" true
+                    (contains e "deadline_exceeded")
+                | Ok _ -> Alcotest.fail "expected deadline_exceeded"));
+        let dumps =
+          List.filter
+            (fun f -> contains f "-deadline.jsonl")
+            (Array.to_list (Sys.readdir dir))
+        in
+        match dumps with
+        | [ file ] -> (
+          match read_lines (Filename.concat dir file) with
+          | [] -> Alcotest.fail "empty flight dump"
+          | header :: events ->
+            (match Json.of_string header with
+             | Ok h ->
+               Alcotest.(check (option string)) "reason" (Some "deadline")
+                 (Proto.string_field h "reason");
+               let trace =
+                 Option.value ~default:"" (Proto.string_field h "trace_id")
+               in
+               Alcotest.(check int) "trace id is 16 hex digits" 16
+                 (String.length trace);
+               Alcotest.(check (option int)) "event count matches"
+                 (Some (List.length events))
+                 (Proto.int_field h "events");
+               Alcotest.(check bool) "at least the request span" true
+                 (List.length events >= 1);
+               List.iter
+                 (fun line ->
+                   match Json.of_string line with
+                   | Ok ev ->
+                     Alcotest.(check (option string)) "event shares the trace"
+                       (Some trace)
+                       (Proto.string_field ev "trace_id")
+                   | Error e -> Alcotest.fail e)
+                 events
+             | Error e -> Alcotest.fail e))
+        | [] -> Alcotest.fail "no flight dump written"
+        | _ -> Alcotest.fail "expected exactly one flight dump");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Access log                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let access_log_tests =
+  [ t "each request appends one structured access-log line" (fun () ->
+        let log = Filename.temp_file "dart_access" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+          (fun () ->
+            with_server_cfg
+              ~adjust:(fun c -> { c with Server.access_log = Some log })
+              (fun _srv addr ->
+                Client.with_connection addr (fun c ->
+                    (match Client.ping c with
+                     | Ok () -> ()
+                     | Error e -> Alcotest.fail e);
+                    match
+                      Client.repair c ~scenario:"cash-budget"
+                        ~document:(doc 4242) ()
+                    with
+                    | Ok _ -> ()
+                    | Error e -> Alcotest.fail e));
+            let lines = read_lines log in
+            Alcotest.(check int) "two lines" 2 (List.length lines);
+            let parsed =
+              List.map
+                (fun l ->
+                  match Json.of_string l with
+                  | Ok j -> j
+                  | Error e -> Alcotest.fail e)
+                lines
+            in
+            List.iter
+              (fun j ->
+                List.iter
+                  (fun field ->
+                    Alcotest.(check bool) field true
+                      (Proto.member field j <> None))
+                  [ "ts_ms"; "op"; "trace_id"; "outcome"; "ms"; "bytes_in";
+                    "bytes_out" ];
+                Alcotest.(check (option string)) "outcome ok" (Some "ok")
+                  (Proto.string_field j "outcome"))
+              parsed;
+            match parsed with
+            | [ ping_line; repair_line ] ->
+              Alcotest.(check (option string)) "first is the ping" (Some "ping")
+                (Proto.string_field ping_line "op");
+              Alcotest.(check (option string)) "second is the repair"
+                (Some "repair")
+                (Proto.string_field repair_line "op");
+              Alcotest.(check bool) "repair records queue wait" true
+                (Proto.member "queue_wait_ms" repair_line <> None);
+              Alcotest.(check bool) "repair records provenance" true
+                (Proto.member "provenance" repair_line <> None)
+            | _ -> Alcotest.fail "expected ping then repair"));
+  ]
+
+let suite = stitching_tests @ telemetry_tests @ flight_tests @ access_log_tests
