@@ -66,12 +66,29 @@ type request = {
   body : Json.t;               (** the whole request object *)
 }
 
+(* Trace/span ids are [Obs.fresh_id]-style hex tokens.  The wire parse
+   must enforce that shape: the trace id ends up in span records, access
+   log lines and — critically — flight-dump {e filenames}, so accepting
+   an arbitrary string would let a client pick filesystem paths. *)
+let valid_trace_id s =
+  let n = String.length s in
+  n >= 1 && n <= 32
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+         || (c >= 'A' && c <= 'F'))
+       s
+
 let trace_of_json j =
   match member "trace" j with
   | Some t -> (
     match (string_field t "trace_id", string_field t "parent_span_id") with
-    | Some tid, Some psid -> Some (tid, psid)
-    | Some tid, None -> Some (tid, "")
+    | Some tid, _ when not (valid_trace_id tid) ->
+      (* Malformed trace id: treat the request as untraced (the server
+         starts a fresh trace) rather than failing it. *)
+      None
+    | Some tid, Some psid when valid_trace_id psid -> Some (tid, psid)
+    | Some tid, _ -> Some (tid, "")
     | _ -> None)
   | None -> None
 

@@ -88,11 +88,21 @@ let h_latency = Obs.Metrics.histogram "server.latency_ms"
 let h_queue_wait = Obs.Metrics.histogram "server.queue_wait_ms"
 
 (* Per-verb latency histograms, registered lazily on first use so the
-   registry only carries verbs the deployment actually serves. *)
+   registry only carries verbs the deployment actually serves.  Only the
+   known dispatch verbs (plus "<parse>" for unparseable requests) get
+   their own series; every other op shares one "unknown" bucket, so a
+   client sending random op names cannot grow the registry — and the
+   stats/Prometheus output — without bound. *)
+let known_verbs =
+  [ "ping"; "stats"; "metrics"; "shutdown"; "acquire"; "detect"; "repair";
+    "session/open"; "session/next"; "session/decide"; "session/close";
+    "<parse>" ]
+
 let verb_hists : (string, Obs.Metrics.histogram) Hashtbl.t = Hashtbl.create 8
 let verb_mu = Mutex.create ()
 
 let verb_latency op =
+  let op = if List.mem op known_verbs then op else "unknown" in
   Mutex.lock verb_mu;
   let h =
     match Hashtbl.find_opt verb_hists op with
@@ -340,6 +350,8 @@ let handle_session_close t req =
 let handle_stats t req =
   Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
   Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+  Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
+  Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
   Proto.ok ?id:req.Proto.id
     [ ("server",
        Json.Obj
@@ -356,9 +368,11 @@ let handle_stats t req =
 (* ------------------------------------------------------------------ *)
 
 (* Per-request bookkeeping that outlives the handler: the worker records
-   how long the job sat queued; the access log and flight-dump decision
-   read it after the response is built. *)
-type req_meta = { mutable queue_wait_ms : float option }
+   how long the job sat queued; the access log reads it after the
+   response is built.  Atomic because the read can race the worker's
+   write when a job is abandoned past [cancel_grace_ms] (the worker
+   domain may still be running while the connection thread answers). *)
+type req_meta = { queue_wait_ms : float option Atomic.t }
 
 (* Heavy handlers run on the worker pool; the connection thread waits,
    polling cheaply, until completion or the request's deadline.
@@ -390,7 +404,7 @@ let run_on_pool t meta req handler =
     Obs.Trace.with_context ctx (fun () ->
         let wait_us = Float.max 0.0 (Obs.now_us () -. submitted_us) in
         let wait_ms = wait_us /. 1e3 in
-        meta.queue_wait_ms <- Some wait_ms;
+        Atomic.set meta.queue_wait_ms (Some wait_ms);
         Obs.Metrics.observe h_queue_wait wait_ms;
         Obs.emit_span "server.queue_wait"
           ~attrs:[ ("op", Obs.Str req.Proto.op) ]
@@ -538,7 +552,12 @@ let maybe_dump_flight t ~trace_id ~outcome ~msg =
       let events =
         List.filter (fun e -> Obs.event_trace_id e = trace_id) (snapshot ())
       in
-      let tid = if trace_id = "" then "untraced" else trace_id in
+      (* [Proto.trace_of_json] already rejects non-hex trace ids, but a
+         wire-supplied string must never name a filesystem path: anything
+         that is not a plain hex token dumps as "untraced". *)
+      let tid =
+        if Proto.valid_trace_id trace_id then trace_id else "untraced"
+      in
       let path =
         Filename.concat dir (Printf.sprintf "flight-%s-%s.jsonl" tid reason)
       in
@@ -573,9 +592,11 @@ let maybe_dump_flight t ~trace_id ~outcome ~msg =
 let process t payload =
   let t0 = Obs.now_ms () in
   Obs.Metrics.add m_bytes_in (String.length payload);
-  Obs.Metrics.set g_inflight
-    (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
-  let meta = { queue_wait_ms = None } in
+  (* [g_inflight] is refreshed from [t.inflight] at read time
+     (stats/telemetry) rather than here: two concurrent requests'
+     gauge-set calls could land out of order and leave it stale. *)
+  ignore (Atomic.fetch_and_add t.inflight 1);
+  let meta = { queue_wait_ms = Atomic.make None } in
   let resp, op, trace_id =
     match Json.of_string payload with
     | Error msg -> (Proto.error Proto.Parse_error msg, "<parse>", "")
@@ -605,8 +626,7 @@ let process t payload =
          (resp, req.Proto.op, ctx.Obs.Trace.trace_id))
   in
   Obs.Metrics.incr m_requests;
-  Obs.Metrics.set g_inflight
-    (float_of_int (Atomic.fetch_and_add t.inflight (-1) - 1));
+  ignore (Atomic.fetch_and_add t.inflight (-1));
   let dt = Obs.elapsed_ms ~since:t0 in
   Obs.Metrics.observe h_latency dt;
   Obs.Metrics.observe (verb_latency op) dt;
@@ -622,7 +642,7 @@ let process t payload =
     Obs.log Obs.Debug "server.response"
       ~attrs:[ ("op", Obs.Str op); ("ms", Obs.Float dt) ];
   access_log_line t ~op ~trace_id ~outcome ~ms:dt
-    ~queue_wait:meta.queue_wait_ms
+    ~queue_wait:(Atomic.get meta.queue_wait_ms)
     ~provenance:(Proto.string_field resp "provenance")
     ~bytes_in:(String.length payload) ~bytes_out:(String.length out);
   maybe_dump_flight t ~trace_id ~outcome ~msg;
@@ -795,6 +815,7 @@ let telemetry_response t =
   Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
   Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
   Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+  Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
   let body = Obs.Metrics.prometheus () in
   Printf.sprintf
     "HTTP/1.0 200 OK\r\n\
@@ -804,6 +825,15 @@ let telemetry_response t =
      \r\n\
      %s"
     (String.length body) body
+
+(* The exposition outgrows a socket buffer once per-verb histograms fill
+   in, and a partial [write] would silently truncate the scrape despite
+   the Content-Length header — so loop until every byte is out. *)
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
 
 let telemetry_loop t fd =
   let rec loop () =
@@ -819,7 +849,7 @@ let telemetry_loop t fd =
               let buf = Bytes.create 1024 in
               ignore (try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0);
               let resp = telemetry_response t in
-              ignore (Unix.write_substring conn resp 0 (String.length resp))
+              write_all conn resp 0 (String.length resp)
             with Unix.Unix_error _ -> ());
            (try Unix.close conn with Unix.Unix_error _ -> ())
          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())

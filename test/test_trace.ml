@@ -270,6 +270,55 @@ let telemetry_tests =
               (match counter_value body "server_requests" with
                | Some n -> Alcotest.(check bool) "requests counted" true (n > 0)
                | None -> Alcotest.fail "no server_requests sample")));
+    t "random op names share one latency histogram" (fun () ->
+        with_server_cfg (fun _srv addr ->
+            Client.with_connection addr (fun c ->
+                List.iter
+                  (fun op ->
+                    match
+                      Client.roundtrip c (Proto.request_to_json ~op [])
+                    with
+                    | Ok resp ->
+                      Alcotest.(check bool) "unknown op rejected" false
+                        (Proto.response_ok resp)
+                    | Error e -> Alcotest.fail e)
+                  [ "zzz-bogus-0"; "zzz-bogus-1"; "zzz-bogus-2" ];
+                match Client.metrics c with
+                | Error e -> Alcotest.fail e
+                | Ok text ->
+                  Alcotest.(check bool) "no per-junk-op series" false
+                    (contains text "zzz_bogus");
+                  Alcotest.(check bool) "bucketed as unknown" true
+                    (contains text "server_latency_ms_unknown"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace envelope validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_trace ~tid ~psid =
+  match
+    Proto.request_of_json (Proto.request_to_json ~trace:(tid, psid) ~op:"ping" [])
+  with
+  | Ok req -> req.Proto.trace
+  | Error e -> Alcotest.fail e
+
+let envelope_tests =
+  [ t "hex trace ids round-trip through the envelope" (fun () ->
+        Alcotest.(check (option (pair string string)))
+          "valid pair" (Some ("00deadbeef00cafe", "0123456789abcDEF"))
+          (parse_trace ~tid:"00deadbeef00cafe" ~psid:"0123456789abcDEF"));
+    t "a path-shaped trace id is rejected at parse time" (fun () ->
+        List.iter
+          (fun tid ->
+            Alcotest.(check (option (pair string string)))
+              tid None (parse_trace ~tid ~psid:""))
+          [ "../../../home/user/x"; "/etc/passwd"; "a b"; "flight-..";
+            ""; String.make 33 'a' ]);
+    t "an invalid parent span id degrades to none" (fun () ->
+        Alcotest.(check (option (pair string string)))
+          "trace kept, parent dropped" (Some ("00deadbeef00cafe", ""))
+          (parse_trace ~tid:"00deadbeef00cafe" ~psid:"../x"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -351,6 +400,47 @@ let flight_tests =
              | Error e -> Alcotest.fail e))
         | [] -> Alcotest.fail "no flight dump written"
         | _ -> Alcotest.fail "expected exactly one flight dump");
+    t "a hostile trace id cannot choose the dump path" (fun () ->
+        with_temp_dir @@ fun dir ->
+        with_server_cfg
+          ~adjust:(fun c -> { c with Server.flight_dir = Some dir })
+          (fun _srv addr ->
+            Client.with_connection addr (fun c ->
+                (* Hand-built envelope: a real [Client.rpc] only ever
+                   sends its own hex trace ids. *)
+                match
+                  Client.roundtrip c
+                    (Proto.request_to_json
+                       ~trace:("../../../tmp/dart-escape", "")
+                       ~deadline_ms:0.001 ~op:"repair"
+                       [ ("scenario", Json.Str "cash-budget");
+                         ("document", Json.Str (doc 4242)) ])
+                with
+                | Error e -> Alcotest.fail e
+                | Ok resp ->
+                  Alcotest.(check bool) "deadline_exceeded" false
+                    (Proto.response_ok resp)));
+        (* The dump lands inside [dir] under a server-minted hex id; the
+           attacker string names nothing anywhere. *)
+        let is_hex s = s <> "" && String.for_all (fun ch ->
+            (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')) s
+        in
+        match Array.to_list (Sys.readdir dir) with
+        | [ file ] ->
+          (match String.index_opt file '-' with
+           | Some i ->
+             let rest = String.sub file (i + 1) (String.length file - i - 1) in
+             let tid =
+               match String.index_opt rest '-' with
+               | Some j -> String.sub rest 0 j
+               | None -> rest
+             in
+             Alcotest.(check bool)
+               (Printf.sprintf "dump id %S is server-minted hex" tid)
+               true (is_hex tid)
+           | None -> Alcotest.failf "unexpected dump name %S" file)
+        | [] -> Alcotest.fail "no flight dump written"
+        | _ -> Alcotest.fail "expected exactly one flight dump");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -411,4 +501,6 @@ let access_log_tests =
             | _ -> Alcotest.fail "expected ping then repair"));
   ]
 
-let suite = stitching_tests @ telemetry_tests @ flight_tests @ access_log_tests
+let suite =
+  stitching_tests @ telemetry_tests @ envelope_tests @ flight_tests
+  @ access_log_tests
