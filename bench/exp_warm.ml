@@ -1,0 +1,172 @@
+(* warm — warm-started incremental re-solves vs cold.
+
+   Two measurements, written to BENCH_warm.json:
+
+   1. Validation loop.  Oracle-driven Validation.run on seeded corrupted
+      cash budgets, warm on vs off.  The loop only ever adds operator
+      pins, so the warm path appends rows to the previous encoding and
+      restarts each component from its last basis instead of re-encoding
+      and solving cold.  We report total simplex pivots per mode (the
+      lp.simplex.pivots counter, which includes dual-simplex pivots),
+      wall time, and whether the final databases are identical — the
+      warm path must be semantically invisible.
+
+   2. One-shot B&B.  Solver.card_minimal warm vs cold on the same
+      instances: within a single tree, children re-solve from the parent
+      basis via a bounded dual simplex.  Reported from Solver.stats. *)
+
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let out_file = "BENCH_warm.json"
+let seeds = [ 1101; 1102; 1103; 1104; 1105; 1106 ]
+
+let instance seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years:4 prng in
+  let corrupted, _log = Cash_budget.corrupt ~errors:3 prng truth in
+  (truth, corrupted)
+
+let pivots () = Obs.Metrics.value (Obs.Metrics.counter "lp.simplex.pivots")
+
+(* ------------------------------------------------------------------ *)
+(* 1. Validation loop, warm vs cold                                    *)
+(* ------------------------------------------------------------------ *)
+
+let validation_mode ~warm ~truth corrupted =
+  let operator = Validation.oracle ~truth in
+  let p0 = pivots () in
+  let t0 = Obs.now_ms () in
+  let outcome =
+    Validation.run ~warm ~operator corrupted Cash_budget.constraints
+  in
+  let ms = Obs.elapsed_ms ~since:t0 in
+  (outcome, pivots () - p0, ms)
+
+let measure_validation () =
+  let per_seed =
+    List.map
+      (fun seed ->
+        let truth, corrupted = instance seed in
+        let on, on_pivots, on_ms = validation_mode ~warm:true ~truth corrupted in
+        let off, off_pivots, off_ms =
+          validation_mode ~warm:false ~truth corrupted
+        in
+        let identical =
+          Database.equal_contents on.Validation.final_db
+            off.Validation.final_db
+        in
+        Printf.printf
+          "  seed %d: warm %d pivots %.1fms | cold %d pivots %.1fms | %d \
+           iterations | identical=%b\n%!"
+          seed on_pivots on_ms off_pivots off_ms on.Validation.iterations
+          identical;
+        (seed, on, on_pivots, on_ms, off_pivots, off_ms, identical))
+      seeds
+  in
+  let sum f = List.fold_left (fun acc x -> acc + f x) 0 per_seed in
+  let warm_total = sum (fun (_, _, p, _, _, _, _) -> p) in
+  let cold_total = sum (fun (_, _, _, _, p, _, _) -> p) in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, i) -> i) per_seed
+  in
+  Printf.printf
+    "  validation totals: warm=%d cold=%d pivots (%.1fx), identical \
+     databases: %b\n%!"
+    warm_total cold_total
+    (float_of_int cold_total /. float_of_int (max 1 warm_total))
+    all_identical;
+  Json.Obj
+    [ ("seeds", Json.Int (List.length per_seed));
+      ("warm_total_pivots", Json.Int warm_total);
+      ("cold_total_pivots", Json.Int cold_total);
+      ("warm_fewer_pivots", Json.Bool (warm_total < cold_total));
+      ("identical_final_databases", Json.Bool all_identical);
+      ("per_seed",
+       Json.List
+         (List.map
+            (fun (seed, on, wp, wms, cp, cms, identical) ->
+              Json.Obj
+                [ ("seed", Json.Int seed);
+                  ("iterations", Json.Int on.Validation.iterations);
+                  ("converged", Json.Bool on.Validation.converged);
+                  ("warm_pivots", Json.Int wp);
+                  ("cold_pivots", Json.Int cp);
+                  ("warm_ms", Json.Float wms);
+                  ("cold_ms", Json.Float cms);
+                  ("identical_final_db", Json.Bool identical) ])
+            per_seed)) ]
+
+(* ------------------------------------------------------------------ *)
+(* 2. One-shot B&B, warm vs cold                                       *)
+(* ------------------------------------------------------------------ *)
+
+let solve_stats ~warm db =
+  match Solver.card_minimal ~warm db Cash_budget.constraints with
+  | Solver.Repaired (_, _, s) | Solver.No_repair s
+  | Solver.Node_budget_exceeded s ->
+    Some s
+  | Solver.Consistent | Solver.Cancelled _ -> None
+
+let measure_one_shot () =
+  let per_seed =
+    List.filter_map
+      (fun seed ->
+        let _, corrupted = instance seed in
+        match (solve_stats ~warm:true corrupted,
+               solve_stats ~warm:false corrupted)
+        with
+        | Some w, Some c -> Some (seed, w, c)
+        | _ -> None)
+      seeds
+  in
+  let total f = List.fold_left (fun acc (_, w, c) -> acc + f w c) 0 per_seed in
+  let warm_total = total (fun w _ -> w.Solver.simplex_pivots) in
+  let cold_total = total (fun _ c -> c.Solver.simplex_pivots) in
+  let warm_starts = total (fun w _ -> w.Solver.warm_starts) in
+  Printf.printf
+    "  one-shot totals: warm=%d cold=%d pivots over %d instances (%d warm \
+     starts)\n%!"
+    warm_total cold_total (List.length per_seed) warm_starts;
+  Json.Obj
+    [ ("instances", Json.Int (List.length per_seed));
+      ("warm_total_pivots", Json.Int warm_total);
+      ("cold_total_pivots", Json.Int cold_total);
+      ("warm_fewer_pivots", Json.Bool (warm_total < cold_total));
+      ("per_instance",
+       Json.List
+         (List.map
+            (fun (seed, w, c) ->
+              Json.Obj
+                [ ("seed", Json.Int seed);
+                  ("warm_pivots", Json.Int w.Solver.simplex_pivots);
+                  ("warm_dual_pivots", Json.Int w.Solver.dual_pivots);
+                  ("warm_starts", Json.Int w.Solver.warm_starts);
+                  ("warm_fallbacks", Json.Int w.Solver.warm_fallbacks);
+                  ("warm_nodes", Json.Int w.Solver.nodes);
+                  ("cold_pivots", Json.Int c.Solver.simplex_pivots);
+                  ("cold_nodes", Json.Int c.Solver.nodes) ])
+            per_seed)) ]
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  Printf.printf "warm: incremental re-solve pivot counts -> %s\n%!" out_file;
+  let validation_json = measure_validation () in
+  let one_shot_json = measure_one_shot () in
+  let json =
+    Json.Obj
+      [ ("validation_loop", validation_json); ("one_shot", one_shot_json) ]
+  in
+  let text = Json.to_string json in
+  (match Json.of_string text with
+   | Ok _ -> ()
+   | Error msg -> failwith ("BENCH_warm.json is not valid JSON: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc

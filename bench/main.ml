@@ -17,13 +17,14 @@ let experiments =
     ("obs", Obs_snapshot.run);
     ("serve", Exp_serve.run);
     ("fault", Exp_fault.run);
+    ("warm", Exp_warm.run);
     ("micro", Micro.run) ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> List.map String.lowercase_ascii args
-    | _ -> [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve" ] (* micro is opt-in *)
+    | _ -> [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve"; "warm" ] (* micro is opt-in *)
   in
   List.iter
     (fun id ->

@@ -6,7 +6,15 @@
     branched on, taking the branch nearest the fractional value first so
     that incumbents appear early.  With [integral_objective:true] (the case
     for DART's card-minimality objective, which is a sum of binaries) the
-    bound test is sharpened to [ceil(relaxation) >= incumbent]. *)
+    bound test is sharpened to [ceil(relaxation) >= incumbent].
+
+    Branching is expressed as appended rows ([x <= floor] / [x >= ceil]) on
+    one mutable working problem, pushed before recursing into a child and
+    popped on the way out.  Appended rows leave the parent's columns and
+    rows untouched, so each child re-solves warm from its parent's optimal
+    basis ({!Simplex.Make.solve_warm}): a short dual-simplex phase instead
+    of two cold phases.  A stalled dual phase falls back to a cold solve
+    (counted in [warm_fallbacks]), so warm starts never change the answer. *)
 
 module Obs = Dart_obs.Obs
 module Cancel = Dart_resilience.Cancel
@@ -28,6 +36,14 @@ module Make (F : Field.S) = struct
     assignment : F.t array option;
     nodes_explored : int;
     simplex_pivots : int;  (** pivot work summed over all node relaxations *)
+    dual_pivots : int;     (** of which dual pivots in warm restarts *)
+    warm_starts : int;     (** nodes whose relaxation reused the parent basis *)
+    warm_fallbacks : int;  (** nodes that fell back to a cold solve *)
+    root_snapshot : S.snapshot option;
+        (** basis of the root relaxation, for warm-starting a future solve
+            of this problem extended by appended rows (e.g. the validation
+            loop's next operator pin).  [None] when the root relaxation was
+            not optimal or [warm] was off. *)
     cancelled : bool;      (** the search was aborted by a cancellation token;
                                [status]/[assignment] reflect the best incumbent
                                found before the abort *)
@@ -39,32 +55,38 @@ module Make (F : Field.S) = struct
   let m_prune_infeasible = Obs.Metrics.counter "milp.prune.infeasible"
   let m_prune_unbounded = Obs.Metrics.counter "milp.prune.unbounded"
 
-  let max_compare a b = if F.compare a b >= 0 then a else b
   let min_compare a b = if F.compare a b <= 0 then a else b
 
   let solve ?(max_nodes = 1_000_000) ?(integral_objective = false)
-      ?(cancel = Cancel.none) (p : P.t) : outcome =
+      ?(cancel = Cancel.none) ?(warm = true) ?warm_from (p : P.t) : outcome =
     Obs.span "milp.solve"
       ~attrs:[ ("vars", Obs.Int (P.num_vars p)) ]
       (fun () ->
     let minimize = P.minimize p in
     let integers = P.var_integers p in
-    let base_lo = P.var_lowers p and base_hi = P.var_uppers p in
-    let nvars = P.num_vars p in
     let pivots = ref 0 in
-    (* Fresh problem with overridden bounds, sharing constraint structure. *)
-    let relax lo hi =
-      let q = P.create () in
-      let names = P.var_names p in
-      for v = 0 to nvars - 1 do
-        ignore (P.add_var ~name:names.(v) ?lower:lo.(v) ?upper:hi.(v) q)
-      done;
-      Array.iter (fun (c : P.constr) -> P.add_constraint ~label:c.label q c.terms c.op c.rhs)
-        (P.constraints p);
-      P.set_objective ~minimize q (P.objective p);
-      let result, st = S.solve_stats ~cancel q in
-      pivots := !pivots + st.S.pivots;
-      result
+    let dual_pivots = ref 0 in
+    let warm_starts = ref 0 in
+    let warm_fallbacks = ref 0 in
+    let root_snapshot = ref None in
+    (* One mutable working problem for the whole tree: an O(1) copy, so the
+       caller's problem is never disturbed. *)
+    let q = P.copy p in
+    let relax ~from ~depth =
+      if warm then begin
+        let w = S.solve_warm ~cancel ?from q in
+        pivots := !pivots + w.S.stats.S.pivots;
+        dual_pivots := !dual_pivots + w.S.stats.S.dual_pivots;
+        if w.S.warm_used then incr warm_starts;
+        if w.S.fell_back then incr warm_fallbacks;
+        if depth = 0 then root_snapshot := w.S.snapshot;
+        (w.S.result, w.S.snapshot)
+      end
+      else begin
+        let result, st = S.solve_stats ~cancel q in
+        pivots := !pivots + st.S.pivots;
+        (result, None)
+      end
     in
     let incumbent = ref None in (* (objective, assignment) *)
     let better_than_incumbent obj =
@@ -100,7 +122,7 @@ module Make (F : Field.S) = struct
     let truncated = ref false in
     let any_relaxation_unbounded = ref false in
     let root_infeasible = ref false in
-    let rec explore lo hi depth =
+    let rec explore ~from depth =
       if !nodes >= max_nodes then truncated := true
       else begin
         (* Node-entry cancellation point; {!Simplex} also polls inside
@@ -111,16 +133,16 @@ module Make (F : Field.S) = struct
         Obs.Metrics.incr m_nodes;
         if Obs.enabled () then
           Obs.log Debug "milp.node" ~attrs:[ ("depth", Obs.Int depth) ];
-        match relax lo hi with
-        | S.Infeasible ->
+        match relax ~from ~depth with
+        | S.Infeasible, _ ->
           Obs.Metrics.incr m_prune_infeasible;
           if depth = 0 then root_infeasible := true
-        | S.Unbounded ->
+        | S.Unbounded, _ ->
           (* An unbounded relaxation at the root means the MILP itself may be
              unbounded or infeasible; we report unbounded conservatively. *)
           Obs.Metrics.incr m_prune_unbounded;
           any_relaxation_unbounded := true
-        | S.Optimal { objective; assignment } ->
+        | S.Optimal { objective; assignment }, snap ->
           if bound_prunes objective then Obs.Metrics.incr m_prune_bound
           else begin
             match most_fractional assignment with
@@ -136,16 +158,18 @@ module Make (F : Field.S) = struct
               end
             | Some (v, x, _) ->
               let fl = F.floor x and ce = F.ceil x in
-              let down () =
-                let hi' = Array.copy hi in
-                hi' .(v) <- Some (match hi.(v) with None -> fl | Some h -> min_compare h fl);
-                explore lo hi' (depth + 1)
+              (* Push the branching row, recurse, pop it on the way out —
+                 exception-safe so cancellation unwinds cleanly and the
+                 working problem stays prefix-compatible with every live
+                 ancestor snapshot. *)
+              let branch op rhs =
+                P.add_constraint ~label:"branch" q [ (F.one, v) ] op rhs;
+                Fun.protect
+                  ~finally:(fun () -> P.pop_constraint q)
+                  (fun () -> explore ~from:snap (depth + 1))
               in
-              let up () =
-                let lo' = Array.copy lo in
-                lo' .(v) <- Some (match lo.(v) with None -> ce | Some l -> max_compare l ce);
-                explore lo' hi (depth + 1)
-              in
+              let down () = branch Lp_problem.Le fl in
+              let up () = branch Lp_problem.Ge ce in
               (* Explore the branch nearest the fractional value first. *)
               let frac = F.sub x fl in
               if F.compare frac (F.sub F.one frac) <= 0 then begin down (); up () end
@@ -154,17 +178,22 @@ module Make (F : Field.S) = struct
       end
     in
     let cancelled = ref false in
-    (try explore (Array.copy base_lo) (Array.copy base_hi) 0
+    (try explore ~from:(if warm then warm_from else None) 0
      with Cancel.Cancelled -> cancelled := true);
     Obs.add_attr "nodes" (Obs.Int !nodes);
     Obs.add_attr "pivots" (Obs.Int !pivots);
     if !cancelled then Obs.add_attr "cancelled" (Obs.Bool true);
+    let finish status objective assignment =
+      { status; objective; assignment; nodes_explored = !nodes;
+        simplex_pivots = !pivots; dual_pivots = !dual_pivots;
+        warm_starts = !warm_starts; warm_fallbacks = !warm_fallbacks;
+        root_snapshot = !root_snapshot; cancelled = !cancelled }
+    in
     match !incumbent with
     | Some (objective, assignment) ->
-      { status = (if !truncated || !cancelled then Feasible else Optimal);
-        objective = Some objective; assignment = Some assignment;
-        nodes_explored = !nodes; simplex_pivots = !pivots;
-        cancelled = !cancelled }
+      finish
+        (if !truncated || !cancelled then Feasible else Optimal)
+        (Some objective) (Some assignment)
     | None ->
       let status =
         if !any_relaxation_unbounded then Unbounded
@@ -173,6 +202,5 @@ module Make (F : Field.S) = struct
         else if !truncated || !cancelled then Feasible
         else Infeasible
       in
-      { status; objective = None; assignment = None; nodes_explored = !nodes;
-        simplex_pivots = !pivots; cancelled = !cancelled })
+      finish status None None)
 end

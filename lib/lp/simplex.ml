@@ -1,10 +1,22 @@
-(** Two-phase primal simplex over an arbitrary ordered field.
+(** Two-phase primal simplex over an arbitrary ordered field, with warm
+    restarts.
 
     The implementation is the classic dense full-tableau method with Bland's
     anti-cycling rule.  General variable bounds are removed up front by
     substitution (shifted, reflected or split into positive/negative parts),
     inequality rows gain slack/surplus columns, and phase 1 introduces
     artificial columns only for rows that lack a natural basic slack.
+
+    A cold solve can additionally capture a {!snapshot} of its final
+    tableau.  {!solve_warm} re-solves a problem that extends the snapshot's
+    problem by appended [<=]/[>=] rows (branching cuts, operator pins)
+    without re-running phase 1: the new rows are expressed over the parent
+    basis with their slacks basic, and the resulting primal infeasibility is
+    repaired by a bounded dual-simplex phase that preserves dual
+    feasibility.  Any structural mismatch — different variables, bounds,
+    objective, edited prefix rows, appended equality rows — silently falls
+    back to a cold solve, so a stale snapshot can cost time but never
+    correctness.
 
     Performance is adequate for DART's repair MILPs (hundreds of rows); the
     point of the functor is that instantiating with {!Field_rat} gives an
@@ -27,12 +39,17 @@ module Make (F : Field.S) = struct
     mutable pivots : int;         (** total pivot operations, all phases *)
     mutable phase1_pivots : int;  (** pivots spent reaching feasibility *)
     mutable phase2_pivots : int;  (** pivots spent optimizing *)
+    mutable dual_pivots : int;    (** pivots spent repairing primal
+                                      feasibility after a warm restart *)
   }
 
-  let fresh_stats () = { pivots = 0; phase1_pivots = 0; phase2_pivots = 0 }
+  let fresh_stats () =
+    { pivots = 0; phase1_pivots = 0; phase2_pivots = 0; dual_pivots = 0 }
 
   let m_solves = Obs.Metrics.counter "lp.simplex.solves"
   let m_pivots = Obs.Metrics.counter "lp.simplex.pivots"
+  let m_warm_starts = Obs.Metrics.counter "lp.simplex.warm_starts"
+  let m_dual_pivots = Obs.Metrics.counter "lp.simplex.dual_pivots"
 
   (* How an original variable is represented over the non-negative standard
      variables. *)
@@ -46,7 +63,29 @@ module Make (F : Field.S) = struct
     mutable basis : int array;      (* basic variable of each row *)
     obj : F.t array;                (* reduced-cost row, length ncols + 1 *)
     ncols : int;
-    first_artificial : int;         (* columns >= this are artificial *)
+    is_artificial : bool array;     (* per-column artificial flag; artificials
+                                       never (re-)enter the basis in phase 2
+                                       or in the dual phase *)
+  }
+
+  (** The final state of an optimal solve, sufficient to warm-start a
+      re-solve of the same problem extended by appended inequality rows.
+      Everything needed to validate compatibility is carried along
+      ([s_lowers]/[s_uppers]/[s_objective]/[s_constrs]) so a mismatched
+      snapshot is detected, never trusted. *)
+  type snapshot = {
+    s_nvars : int;
+    s_lowers : F.t option array;
+    s_uppers : F.t option array;
+    s_minimize : bool;
+    s_objective : (F.t * int) list;
+    s_constrs : P.constr array;       (* problem rows covered by the basis *)
+    s_encodings : encoding array;
+    s_rows : F.t array array;         (* final tableau rows *)
+    s_obj : F.t array;                (* final reduced-cost row *)
+    s_basis : int array;
+    s_is_artificial : bool array;
+    s_ncols : int;
   }
 
   let pivot t ~row ~col =
@@ -73,10 +112,10 @@ module Make (F : Field.S) = struct
   (* Bland's rule: entering = lowest-index column with negative reduced cost
      (artificials are never allowed to re-enter once phase 1 is done). *)
   let entering_column t ~allow_artificial =
-    let limit = if allow_artificial then t.ncols else t.first_artificial in
     let rec go j =
-      if j >= limit then None
-      else if F.compare t.obj.(j) F.zero < 0 then Some j
+      if j >= t.ncols then None
+      else if (allow_artificial || not t.is_artificial.(j))
+              && F.compare t.obj.(j) F.zero < 0 then Some j
       else go (j + 1)
     in
     go 0
@@ -117,6 +156,57 @@ module Make (F : Field.S) = struct
          if !pivots land cancel_poll_mask = 0 then Cancel.check cancel;
          iterate t ~allow_artificial ~pivots ~cancel)
 
+  (* Dual simplex: starting from a dual-feasible tableau (all non-artificial
+     reduced costs >= 0) with some negative rhs entries, restore primal
+     feasibility while keeping dual feasibility.  Anti-cycling by the dual
+     Bland rule: leaving row = smallest basic-variable index among
+     infeasible rows; entering column = smallest index among the minimum
+     ratio obj_j / -a_rj over a_rj < 0.  [budget] bounds the pivot count
+     (the caller falls back to a cold solve on a stall). *)
+  type dual_outcome = Primal_feasible | Dual_infeasible_row | Stalled
+
+  let dual_iterate t ~pivots ~budget ~cancel =
+    let m = Array.length t.rows in
+    let rec go () =
+      if !pivots >= budget then Stalled
+      else begin
+        let leave = ref (-1) in
+        for i = 0 to m - 1 do
+          if F.compare t.rows.(i).(t.ncols) F.zero < 0
+             && (!leave < 0 || t.basis.(i) < t.basis.(!leave))
+          then leave := i
+        done;
+        if !leave < 0 then Primal_feasible
+        else begin
+          let r = t.rows.(!leave) in
+          let best = ref (-1) in
+          let best_ratio = ref F.zero in
+          for j = 0 to t.ncols - 1 do
+            if (not t.is_artificial.(j)) && F.compare r.(j) F.zero < 0 then begin
+              let ratio = F.div t.obj.(j) (F.neg r.(j)) in
+              if !best < 0 || F.compare ratio !best_ratio < 0 then begin
+                best := j;
+                best_ratio := ratio
+              end
+            end
+          done;
+          if !best < 0 then
+            (* rhs < 0 with every real coefficient >= 0: no non-negative
+               assignment can satisfy the row (artificials are 0 in any
+               solution of the original problem), so it is a certificate of
+               primal infeasibility. *)
+            Dual_infeasible_row
+          else begin
+            pivot t ~row:!leave ~col:!best;
+            incr pivots;
+            if !pivots land cancel_poll_mask = 0 then Cancel.check cancel;
+            go ()
+          end
+        end
+      end
+    in
+    go ()
+
   (* Install a cost vector into the reduced-cost row and re-eliminate the
      basic columns so the row is expressed over nonbasic variables only. *)
   let install_costs t (costs : F.t array) =
@@ -138,32 +228,136 @@ module Make (F : Field.S) = struct
   (* Current objective value: the rhs cell of the reduced-cost row holds -z. *)
   let objective_value t = F.neg t.obj.(t.ncols)
 
-  (** Solve, also reporting the pivot effort.  The plain {!solve} below
-      keeps the historical signature; branch & bound uses this one to
-      attribute simplex work to nodes. *)
-  let rec solve_stats_body ~cancel (p : P.t) : result * stats =
-    let st = fresh_stats () in
-    Obs.Metrics.incr m_solves;
-    let nvars = P.num_vars p in
-    let lowers = P.var_lowers p and uppers = P.var_uppers p in
-    let infeasible_bounds =
-      let rec go j =
-        j < nvars
-        && (match lowers.(j), uppers.(j) with
-            | Some lo, Some hi when F.compare hi lo < 0 -> true
-            | _ -> go (j + 1))
-      in
-      go 0
-    in
-    let result =
-      if infeasible_bounds then Infeasible
-      else solve_with_bounds p ~lowers ~uppers ~st ~cancel
-    in
-    st.pivots <- st.phase1_pivots + st.phase2_pivots;
-    Obs.Metrics.add m_pivots st.pivots;
-    (result, st)
+  (* Substitute the variable encodings into a term list.
+     Returns (std terms, rhs adjustment to subtract). *)
+  let encode_terms (encodings : encoding array) terms =
+    let adjust = ref F.zero in
+    let out = ref [] in
+    List.iter
+      (fun (c, v) ->
+        match encodings.(v) with
+        | Shifted (u, lo) ->
+          out := (c, u) :: !out;
+          adjust := F.add !adjust (F.mul c lo)
+        | Reflected (u, hi) ->
+          out := (F.neg c, u) :: !out;
+          adjust := F.add !adjust (F.mul c hi)
+        | Split (up, un) -> out := (c, up) :: (F.neg c, un) :: !out)
+      terms;
+    (!out, !adjust)
 
-  and solve_with_bounds (p : P.t) ~lowers ~uppers ~st ~cancel : result =
+  (* Read the original-variable solution off a primal-feasible tableau. *)
+  let read_solution (p : P.t) ~(encodings : encoding array) t =
+    let std = Array.make t.ncols F.zero in
+    Array.iteri (fun i b -> std.(b) <- t.rows.(i).(t.ncols)) t.basis;
+    let assignment =
+      Array.init (P.num_vars p) (fun j ->
+          match encodings.(j) with
+          | Shifted (u, lo) -> F.add std.(u) lo
+          | Reflected (u, hi) -> F.sub hi std.(u)
+          | Split (up, un) -> F.sub std.(up) std.(un))
+    in
+    (* Objective constant part comes from the variable substitutions:
+       recompute the true objective directly for robustness. *)
+    let objective = P.eval_terms (P.objective p) assignment in
+    Optimal { objective; assignment }
+
+  let capture (p : P.t) ~(encodings : encoding array) t : snapshot =
+    { s_nvars = P.num_vars p;
+      s_lowers = P.var_lowers p;
+      s_uppers = P.var_uppers p;
+      s_minimize = P.minimize p;
+      s_objective = P.objective p;
+      s_constrs = P.constraints p;
+      s_encodings = Array.copy encodings;
+      s_rows = Array.map Array.copy t.rows;
+      s_obj = Array.copy t.obj;
+      s_basis = Array.copy t.basis;
+      s_is_artificial = Array.copy t.is_artificial;
+      s_ncols = t.ncols }
+
+  (** Does the snapshot's basis satisfy the warm-start invariants?  Primal:
+      every basic value (tableau rhs) is non-negative.  Dual: every
+      non-artificial reduced cost is non-negative.  Both hold after any
+      optimal solve; the warm path relies on the dual half.  Exposed for
+      the property tests that pin the invariants. *)
+  let snapshot_primal_feasible (s : snapshot) =
+    Array.for_all (fun r -> F.compare r.(s.s_ncols) F.zero >= 0) s.s_rows
+
+  let snapshot_dual_feasible (s : snapshot) =
+    let ok = ref true in
+    for j = 0 to s.s_ncols - 1 do
+      if (not s.s_is_artificial.(j)) && F.compare s.s_obj.(j) F.zero < 0 then
+        ok := false
+    done;
+    !ok
+
+  (** Number of appended rows a problem adds on top of a snapshot (only
+      meaningful when {!compatible}). *)
+  let snapshot_extra_rows (s : snapshot) (p : P.t) =
+    P.num_constraints p - Array.length s.s_constrs
+
+  (* ------------------------------------------------------------------ *)
+  (* Snapshot compatibility                                              *)
+  (* ------------------------------------------------------------------ *)
+
+  let bound_equal a b =
+    match a, b with
+    | None, None -> true
+    | Some x, Some y -> F.equal x y
+    | _ -> false
+
+  let rec terms_equal a b =
+    match a, b with
+    | [], [] -> true
+    | (c1, v1) :: ra, (c2, v2) :: rb ->
+      v1 = v2 && F.equal c1 c2 && terms_equal ra rb
+    | _ -> false
+
+  let constr_equal (c1 : P.constr) (c2 : P.constr) =
+    c1 == c2
+    || (c1.op = c2.op && F.equal c1.rhs c2.rhs && terms_equal c1.terms c2.terms)
+
+  (** Is [p] the snapshot's problem plus appended [<=]/[>=] rows?  Checks
+      variables, bounds, objective sense and terms, that the snapshot's
+      rows are an unchanged prefix of [p]'s rows, and that every extra row
+      is an inequality (equality rows have no slack to make basic).  Any
+      mismatch means the basis cannot be reused. *)
+  let compatible (s : snapshot) (p : P.t) =
+    P.num_vars p = s.s_nvars
+    && P.minimize p = s.s_minimize
+    && terms_equal (P.objective p) s.s_objective
+    &&
+    let lowers = P.var_lowers p and uppers = P.var_uppers p in
+    let rec bounds_ok j =
+      j >= s.s_nvars
+      || (bound_equal lowers.(j) s.s_lowers.(j)
+          && bound_equal uppers.(j) s.s_uppers.(j)
+          && bounds_ok (j + 1))
+    in
+    bounds_ok 0
+    &&
+    let constrs = P.constraints p in
+    let base = Array.length s.s_constrs in
+    Array.length constrs >= base
+    &&
+    let rec prefix_ok i =
+      i >= base || (constr_equal constrs.(i) s.s_constrs.(i) && prefix_ok (i + 1))
+    in
+    prefix_ok 0
+    &&
+    let rec extras_ok i =
+      i >= Array.length constrs
+      || (constrs.(i).op <> Lp_problem.Eq && extras_ok (i + 1))
+    in
+    extras_ok base
+
+  (* ------------------------------------------------------------------ *)
+  (* Cold solve                                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  let solve_with_bounds (p : P.t) ~lowers ~uppers ~st ~cancel ~want_capture
+      : result * snapshot option =
     let nvars = P.num_vars p in
     (* --- 1. encode variables over non-negative standard variables ------- *)
     let next = ref 0 in
@@ -183,23 +377,6 @@ module Make (F : Field.S) = struct
             let un = fresh () in
             Split (up, un))
     in
-    let encode_terms terms =
-      (* Returns (std terms, rhs adjustment to subtract). *)
-      let adjust = ref F.zero in
-      let out = ref [] in
-      List.iter
-        (fun (c, v) ->
-          match encodings.(v) with
-          | Shifted (u, lo) ->
-            out := (c, u) :: !out;
-            adjust := F.add !adjust (F.mul c lo)
-          | Reflected (u, hi) ->
-            out := (F.neg c, u) :: !out;
-            adjust := F.add !adjust (F.mul c hi)
-          | Split (up, un) -> out := (c, up) :: (F.neg c, un) :: !out)
-        terms;
-      (!out, !adjust)
-    in
     (* --- 2. build equality rows with slack columns ---------------------- *)
     let constrs = P.constraints p in
     let rows_spec = ref [] in (* (terms over std vars incl. slack, rhs) *)
@@ -216,12 +393,19 @@ module Make (F : Field.S) = struct
         slack_cols := s :: !slack_cols;
         rows_spec := ((F.neg F.one, s) :: terms, rhs) :: !rows_spec
     in
+    (* Bound-cap rows come first so that their slack columns sit directly
+       after the encoding columns: constraint rows then occupy the highest
+       columns in declaration order, which keeps a snapshot's column
+       layout a prefix of any extended problem's layout (warm starts
+       append columns, never reshuffle them). *)
+    List.iter
+      (fun (u, cap) -> add_row [ (F.one, u) ] Lp_problem.Le cap)
+      (List.rev !extra_rows);
     Array.iter
       (fun (c : P.constr) ->
-        let terms, adjust = encode_terms c.terms in
+        let terms, adjust = encode_terms encodings c.terms in
         add_row terms c.op (F.sub c.rhs adjust))
       constrs;
-    List.iter (fun (u, cap) -> add_row [ (F.one, u) ] Lp_problem.Le cap) !extra_rows;
     let rows_spec = List.rev !rows_spec in
     begin
       let nstd = !next in
@@ -273,9 +457,10 @@ module Make (F : Field.S) = struct
           rows.(i).(col) <- F.one;
           basis0.(i) <- col)
         (List.rev !needs_artificial);
+      let is_artificial = Array.init ncols (fun j -> j >= nstd) in
       let t =
         { rows; basis = basis0; obj = Array.make (ncols + 1) F.zero; ncols;
-          first_artificial = nstd }
+          is_artificial }
       in
       (* --- 4. phase 1 ----------------------------------------------------- *)
       let phase1_needed = nart > 0 in
@@ -295,12 +480,12 @@ module Make (F : Field.S) = struct
           F.is_zero (objective_value t)
         end
       in
-      if not feasible then Infeasible
+      if not feasible then (Infeasible, None)
       else begin
         (* Drive surviving artificials out of the basis (they sit at 0). *)
         Array.iteri
           (fun i b ->
-            if b >= nstd then begin
+            if t.is_artificial.(b) then begin
               let r = t.rows.(i) in
               let col = ref (-1) in
               for j = 0 to nstd - 1 do
@@ -311,8 +496,8 @@ module Make (F : Field.S) = struct
                 st.phase1_pivots <- st.phase1_pivots + 1
               end
               (* else: redundant 0 = 0 row; the artificial stays basic at 0
-                 and can never become positive because it cannot re-enter
-                 elsewhere and its row rhs is 0. *)
+                 and can never become positive: its row has no nonzero real
+                 coefficient, so pivots on real columns leave it untouched. *)
             end)
           (Array.copy t.basis);
         (* --- 5. phase 2 --------------------------------------------------- *)
@@ -333,24 +518,134 @@ module Make (F : Field.S) = struct
         let outcome = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
         st.phase2_pivots <- st.phase2_pivots + !p2;
         match outcome with
-        | Unbounded_direction -> Unbounded
+        | Unbounded_direction -> (Unbounded, None)
         | Finished ->
           (* --- 6. read the solution back -------------------------------- *)
-          let std = Array.make ncols F.zero in
-          Array.iteri (fun i b -> std.(b) <- t.rows.(i).(ncols)) t.basis;
-          let assignment =
-            Array.init nvars (fun j ->
-                match encodings.(j) with
-                | Shifted (u, lo) -> F.add std.(u) lo
-                | Reflected (u, hi) -> F.sub hi std.(u)
-                | Split (up, un) -> F.sub std.(up) std.(un))
-          in
-          (* Objective constant part comes from the variable substitutions:
-             recompute the true objective directly for robustness. *)
-          let objective = P.eval_terms (P.objective p) assignment in
-          Optimal { objective; assignment }
+          let result = read_solution p ~encodings t in
+          let snap = if want_capture then Some (capture p ~encodings t) else None in
+          (result, snap)
       end
     end
+
+  let solve_cold (p : P.t) ~st ~cancel ~want_capture : result * snapshot option =
+    let nvars = P.num_vars p in
+    let lowers = P.var_lowers p and uppers = P.var_uppers p in
+    let infeasible_bounds =
+      let rec go j =
+        j < nvars
+        && (match lowers.(j), uppers.(j) with
+            | Some lo, Some hi when F.compare hi lo < 0 -> true
+            | _ -> go (j + 1))
+      in
+      go 0
+    in
+    if infeasible_bounds then (Infeasible, None)
+    else solve_with_bounds p ~lowers ~uppers ~st ~cancel ~want_capture
+
+  (* ------------------------------------------------------------------ *)
+  (* Warm solve                                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Extend the snapshot's final tableau with [p]'s appended rows: widen
+     every row by one slack column per appended row, express each appended
+     row over the current basis by Gaussian elimination, and make its slack
+     basic.  Dual feasibility is inherited from the parent's optimality
+     (appended slacks have zero cost); primal feasibility generally is not
+     — the rhs of an appended row may come out negative — which is exactly
+     what the dual phase then repairs.  Returns [None] when the dual phase
+     stalls (budget) or the cleanup detects drift: caller goes cold. *)
+  let warm_attempt (s : snapshot) (p : P.t) ~st ~budget ~cancel
+      : (result * snapshot option) option =
+    let constrs = P.constraints p in
+    let base_rows = Array.length s.s_rows in
+    let base = Array.length s.s_constrs in
+    let k = Array.length constrs - base in
+    let ncols = s.s_ncols + k in
+    let widen src =
+      let nr = Array.make (ncols + 1) F.zero in
+      Array.blit src 0 nr 0 s.s_ncols;
+      nr.(ncols) <- src.(s.s_ncols);
+      nr
+    in
+    let rows = Array.make (base_rows + k) [||] in
+    for i = 0 to base_rows - 1 do rows.(i) <- widen s.s_rows.(i) done;
+    let basis = Array.make (base_rows + k) (-1) in
+    Array.blit s.s_basis 0 basis 0 base_rows;
+    let is_artificial = Array.make ncols false in
+    Array.blit s.s_is_artificial 0 is_artificial 0 s.s_ncols;
+    let t = { rows; basis; obj = widen s.s_obj; ncols; is_artificial } in
+    for e = 0 to k - 1 do
+      let c = constrs.(base + e) in
+      let terms, adjust = encode_terms s.s_encodings c.terms in
+      let r = Array.make (ncols + 1) F.zero in
+      List.iter (fun (coef, u) -> r.(u) <- F.add r.(u) coef) terms;
+      r.(ncols) <- F.sub c.rhs adjust;
+      let slack = s.s_ncols + e in
+      (match c.op with
+       | Lp_problem.Le -> r.(slack) <- F.one
+       | Lp_problem.Ge -> r.(slack) <- F.neg F.one
+       | Lp_problem.Eq -> assert false (* excluded by [compatible] *));
+      (* Express the row over the current basis. *)
+      let mrow = base_rows + e in
+      for i = 0 to mrow - 1 do
+        let b = basis.(i) in
+        let factor = r.(b) in
+        if not (F.is_zero factor) then begin
+          let br = rows.(i) in
+          for j = 0 to ncols do
+            if not (F.is_zero br.(j)) then r.(j) <- F.sub r.(j) (F.mul factor br.(j))
+          done;
+          r.(b) <- F.zero
+        end
+      done;
+      (* Normalize a Ge row so its slack is basic with coefficient +1. *)
+      if c.op = Lp_problem.Ge then
+        for j = 0 to ncols do r.(j) <- F.neg r.(j) done;
+      rows.(mrow) <- r;
+      basis.(mrow) <- slack
+    done;
+    (* The parent's optimality gives dual feasibility; verify cheaply in
+       case the snapshot predates numeric drift (floats). *)
+    let dual_ok = ref true in
+    for j = 0 to ncols - 1 do
+      if (not is_artificial.(j)) && F.compare t.obj.(j) F.zero < 0 then
+        dual_ok := false
+    done;
+    if not !dual_ok then None
+    else begin
+      let dp = ref 0 in
+      let outcome = dual_iterate t ~pivots:dp ~budget ~cancel in
+      st.dual_pivots <- st.dual_pivots + !dp;
+      match outcome with
+      | Stalled -> None
+      | Dual_infeasible_row -> Some (Infeasible, None)
+      | Primal_feasible ->
+        (* Optimality cleanup: with exact arithmetic the tableau is already
+           optimal and this performs zero pivots; with floats it absorbs
+           any residual negative reduced cost. *)
+        let p2 = ref 0 in
+        let cleanup = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
+        st.phase2_pivots <- st.phase2_pivots + !p2;
+        (match cleanup with
+         | Unbounded_direction ->
+           (* Cannot happen on a well-posed extension; be safe, go cold. *)
+           None
+         | Finished ->
+           let result = read_solution p ~encodings:s.s_encodings t in
+           Some (result, Some (capture p ~encodings:s.s_encodings t)))
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Entry points                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  let solve_stats_body ~cancel (p : P.t) : result * stats =
+    let st = fresh_stats () in
+    Obs.Metrics.incr m_solves;
+    let result, _ = solve_cold p ~st ~cancel ~want_capture:false in
+    st.pivots <- st.phase1_pivots + st.phase2_pivots;
+    Obs.Metrics.add m_pivots st.pivots;
+    (result, st)
 
   let solve_stats ?(cancel = Cancel.none) (p : P.t) : result * stats =
     Obs.span "simplex.solve" (fun () ->
@@ -359,4 +654,62 @@ module Make (F : Field.S) = struct
         r)
 
   let solve ?cancel (p : P.t) : result = fst (solve_stats ?cancel p)
+
+  (** Outcome of a {!solve_warm} call.  [warm_used] means the result came
+      from the warm path (snapshot accepted, dual phase converged);
+      [fell_back] means a snapshot was offered but a cold solve produced
+      the result (incompatible snapshot, dual-phase stall, or drift).
+      [snapshot] captures the final basis of an optimal solve — warm or
+      cold — for the next re-solve. *)
+  type warm_outcome = {
+    result : result;
+    stats : stats;
+    warm_used : bool;
+    fell_back : bool;
+    snapshot : snapshot option;
+  }
+
+  (** Solve [p], optionally warm-starting [?from] a snapshot of a previous
+      optimal solve of a prefix problem.  The default dual-pivot budget
+      scales with the tableau height; a stall falls back to a cold solve,
+      so a warm start can never yield a different answer than a cold one —
+      only fewer (or, pathologically, more) pivots. *)
+  let solve_warm ?(cancel = Cancel.none) ?from ?max_dual_pivots (p : P.t)
+      : warm_outcome =
+    Obs.span "simplex.solve" (fun () ->
+        let st = fresh_stats () in
+        Obs.Metrics.incr m_solves;
+        let warm_used = ref false and fell_back = ref false in
+        let cold () = solve_cold p ~st ~cancel ~want_capture:true in
+        let result, snapshot =
+          match from with
+          | None -> cold ()
+          | Some s ->
+            if not (compatible s p) then begin
+              fell_back := true;
+              cold ()
+            end
+            else begin
+              let budget =
+                match max_dual_pivots with
+                | Some b -> b
+                | None -> 64 + (4 * (Array.length s.s_rows + snapshot_extra_rows s p))
+              in
+              match warm_attempt s p ~st ~budget ~cancel with
+              | Some (result, snap) ->
+                warm_used := true;
+                Obs.Metrics.incr m_warm_starts;
+                (result, snap)
+              | None ->
+                fell_back := true;
+                cold ()
+            end
+        in
+        st.pivots <- st.phase1_pivots + st.phase2_pivots + st.dual_pivots;
+        Obs.Metrics.add m_pivots st.pivots;
+        if st.dual_pivots > 0 then Obs.Metrics.add m_dual_pivots st.dual_pivots;
+        Obs.add_attr "pivots" (Obs.Int st.pivots);
+        if !warm_used then Obs.add_attr "warm" (Obs.Bool true);
+        { result; stats = st; warm_used = !warm_used; fell_back = !fell_back;
+          snapshot })
 end

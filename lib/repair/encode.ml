@@ -137,6 +137,27 @@ let build ?(cancel = Dart_resilience.Cancel.none) ?big_m ?(forced = []) db
     (Array.to_list (Array.map (fun d -> (Rat.one, d)) delta));
   { problem = p; cells; z; y; delta; big_m; originals }
 
+(** Append an operator pin [z = v] to an existing instance — the delta API
+    of the incremental validation loop.  The pin is emitted as a [<=]/[>=]
+    row {e pair} rather than one equality row: appended inequality rows
+    each carry a slack that can enter the basis, which is what lets
+    {!Dart_lp.Simplex} warm-start the re-solve from the previous optimal
+    basis (equality rows would force a cold phase 1).  Returns [false]
+    when the cell is not part of the system (nothing to pin, matching
+    [build]'s treatment of unknown forced cells). *)
+let add_pin (t : t) ((cell, value) : Ground.cell * Rat.t) : bool =
+  let n = Array.length t.cells in
+  let rec find i = if i >= n then -1 else if t.cells.(i) = cell then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    P.add_constraint ~label:"operator" t.problem [ (Rat.one, t.z.(i)) ]
+      Lp_problem.Le value;
+    P.add_constraint ~label:"operator" t.problem [ (Rat.one, t.z.(i)) ]
+      Lp_problem.Ge value;
+    true
+  end
+
 (** Read a repair off a MILP assignment: one atomic update per cell whose z
     differs from the original value. *)
 let decode db (t : t) (assignment : Rat.t array) : Repair.t =

@@ -43,6 +43,13 @@ val build : ?cancel:Dart_resilience.Cancel.t -> ?big_m:Rat.t ->
     polled while emitting rows.
     @raise Dart_resilience.Cancel.Cancelled if the token fires. *)
 
+val add_pin : t -> Ground.cell * Rat.t -> bool
+(** Append an operator pin [z = v] to an existing instance as a [<=]/[>=]
+    row pair (each row carries a slack, so {!Dart_lp.Simplex} can
+    warm-start the re-solve from the previous basis; a single equality row
+    would force a cold phase 1).  [false] when the cell is not part of the
+    system. *)
+
 val decode : Database.t -> t -> Rat.t array -> Repair.t
 (** Read a repair off a solution: one atomic update per cell whose z value
     differs from the original. *)

@@ -9,7 +9,13 @@
     Each component is encoded by {!Encode} and solved by the exact-rational
     branch & bound.  If the incumbent presses against the practical big-M,
     the component is re-solved with a larger M (doubling the exponent) so
-    the practical bound never silently compromises optimality. *)
+    the practical bound never silently compromises optimality.
+
+    {!card_minimal} is the one-shot entry point.  {!Warm} is the
+    incremental variant for the validation loop: it keeps each component's
+    MILP encoding and root basis across calls, so adding an operator pin
+    appends two rows and re-solves warm instead of re-encoding and
+    re-solving the whole system from scratch. *)
 
 open Dart_numeric
 open Dart_constraints
@@ -25,6 +31,9 @@ type stats = {
   milp_rows : int;     (** total constraint rows across component MILPs *)
   nodes : int;         (** total branch & bound nodes *)
   simplex_pivots : int; (** total simplex pivots across all node relaxations *)
+  dual_pivots : int;   (** of which dual pivots spent in warm restarts *)
+  warm_starts : int;   (** B&B nodes re-solved from their parent's basis *)
+  warm_fallbacks : int; (** warm attempts that fell back to a cold solve *)
   m_retries : int;     (** how many times a component re-solved with larger M *)
   ground_rows : int;   (** size of S(AC) *)
   cells : int;         (** N: number of repairable cells involved *)
@@ -33,12 +42,19 @@ type stats = {
 
 let empty_stats =
   { components = 0; milp_vars = 0; milp_rows = 0; nodes = 0; simplex_pivots = 0;
+    dual_pivots = 0; warm_starts = 0; warm_fallbacks = 0;
     m_retries = 0; ground_rows = 0; cells = 0; solve_ms = 0.0 }
 
 let m_big_m_retries = Obs.Metrics.counter "repair.big_m_retries"
 let m_components = Obs.Metrics.counter "repair.components_solved"
 let m_degraded = Obs.Metrics.counter "repair.degraded"
 let m_cancelled = Obs.Metrics.counter "repair.cancelled"
+
+(* Repair-layer warm-state invalidations: a {!Warm} solve that had to
+   throw away incremental state (shrinking/changed pin set, or a big-M
+   retry rewriting the instance's coefficients).  LP-layer fallbacks
+   (dual-phase stalls) are counted separately in [stats.warm_fallbacks]. *)
+let m_warm_fallbacks = Obs.Metrics.counter "repair.warm_fallbacks"
 
 (** How a repair was obtained — the anytime degradation ladder.  [Exact]
     is the card-minimal optimum; [Incumbent] is the best integral
@@ -129,59 +145,196 @@ let components (rows : Ground.row list) : Ground.row list list =
   List.rev_map (fun root -> List.rev !(Hashtbl.find buckets root)) !order
 
 (* ------------------------------------------------------------------ *)
-(* Solving                                                             *)
+(* Shared pieces of the solve paths                                    *)
 (* ------------------------------------------------------------------ *)
+
+(* Pins restricted to the cells a row set actually constrains. *)
+let restrict_forced forced rows =
+  List.filter
+    (fun (cell, _) ->
+      List.exists
+        (fun r -> List.exists (fun (_, c) -> c = cell) r.Ground.terms)
+        rows)
+    forced
+
+(* D (restricted to [rows]) already satisfies the system and the pins. *)
+let rows_satisfied db rows forced =
+  List.for_all (Ground.row_satisfied (Ground.db_valuation db)) rows
+  && List.for_all
+       (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
+       forced
+
+(* Per-component solver effort, aggregated into {!stats}. *)
+type work = {
+  wk_nodes : int;
+  wk_pivots : int;
+  wk_dual : int;
+  wk_warm : int;
+  wk_fallbacks : int;
+}
+
+let no_work = { wk_nodes = 0; wk_pivots = 0; wk_dual = 0; wk_warm = 0; wk_fallbacks = 0 }
+
+let add_work a b =
+  { wk_nodes = a.wk_nodes + b.wk_nodes;
+    wk_pivots = a.wk_pivots + b.wk_pivots;
+    wk_dual = a.wk_dual + b.wk_dual;
+    wk_warm = a.wk_warm + b.wk_warm;
+    wk_fallbacks = a.wk_fallbacks + b.wk_fallbacks }
+
+let work_of (o : M.outcome) =
+  { wk_nodes = o.M.nodes_explored; wk_pivots = o.M.simplex_pivots;
+    wk_dual = o.M.dual_pivots; wk_warm = o.M.warm_starts;
+    wk_fallbacks = o.M.warm_fallbacks }
+
+(** Result of one component's (possibly retried) solve. *)
+type comp_solved =
+  (Repair.t * provenance * Encode.t * work * int * bool,
+   [ `Infeasible of Encode.t * work * int
+   | `Budget of Encode.t * work * int
+   | `Cancelled of Encode.t * work * int ])
+  Stdlib.result
+
+type comp_outcome = [ `Satisfied | `Solved of comp_solved ]
 
 let grow_m m = Rat.mul (Rat.of_int 64) m
 
-(** Solve one component, retrying with a larger M when the solution makes
-    big-M look binding, or when the instance is infeasible only because M
-    clipped it.  Returns [Ok (repair, provenance, enc, work, retries,
-    was_cancelled)] or [Error reason]. *)
-let solve_component ?(max_nodes = 2_000_000) ?(cancel = Cancel.none) ~forced db
-    rows =
-  Obs.Metrics.incr m_components;
-  let rec attempt big_m retries acc_nodes acc_pivots =
+(** The big-M retry loop, shared by the one-shot and the incremental
+    paths.  [initial] is the first instance to try, with an optional MILP
+    warm-start snapshot; on a retry [rebuild] must produce a fresh
+    instance under the given (larger) bound.  [note] observes every
+    instance actually solved together with its outcome — the {!Warm} path
+    uses it to persist the latest encoding and root basis. *)
+let solve_attempts ~max_nodes ~cancel ~warm ~db ~rebuild ~note
+    ((enc0 : Encode.t), snap0) : comp_solved =
+  let rec attempt (enc : Encode.t) snap retries acc =
     if retries > 0 then Obs.Metrics.incr m_big_m_retries;
-    let enc = Encode.build ~cancel ?big_m ~forced db rows in
-    Obs.add_attr "milp_vars" (Obs.Int (Encode.num_vars enc));
-    Obs.add_attr "milp_rows" (Obs.Int (Encode.num_rows enc));
     let outcome =
-      M.solve ~max_nodes ~integral_objective:true ~cancel enc.Encode.problem
+      M.solve ~max_nodes ~integral_objective:true ~cancel ~warm ?warm_from:snap
+        enc.Encode.problem
     in
-    let nodes = acc_nodes + outcome.M.nodes_explored in
-    let pivots = acc_pivots + outcome.M.simplex_pivots in
+    note enc outcome;
+    let acc = add_work acc (work_of outcome) in
     (* Once the token fired there is no budget for second-guessing M. *)
     let may_retry = retries < max_big_m_retries && not (Cancel.is_cancelled cancel) in
+    let retry () =
+      attempt (rebuild ~big_m:(grow_m enc.Encode.big_m)) None (retries + 1) acc
+    in
     match outcome.M.status, outcome.M.assignment with
     | M.Optimal, Some assignment ->
-      if Encode.near_big_m enc assignment && may_retry then
-        attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
+      if Encode.near_big_m enc assignment && may_retry then retry ()
       else
-        Ok (Encode.decode db enc assignment, Exact, enc, (nodes, pivots),
-            retries, outcome.M.cancelled)
+        Ok (Encode.decode db enc assignment, Exact, enc, acc, retries,
+            outcome.M.cancelled)
     | M.Feasible, Some assignment ->
       (* Truncated or cancelled search: take the best integral incumbent
          as an anytime answer rather than failing. *)
-      Ok (Encode.decode db enc assignment, Incumbent, enc, (nodes, pivots),
-          retries, outcome.M.cancelled)
+      Ok (Encode.decode db enc assignment, Incumbent, enc, acc, retries,
+          outcome.M.cancelled)
     | M.Infeasible, _ ->
-      if may_retry then attempt (Some (grow_m enc.Encode.big_m)) (retries + 1) nodes pivots
-      else Error (`Infeasible (enc, (nodes, pivots), retries))
+      if may_retry then retry () else Error (`Infeasible (enc, acc, retries))
     | M.Feasible, None ->
-      if outcome.M.cancelled then Error (`Cancelled (enc, (nodes, pivots), retries))
-      else Error (`Budget (enc, (nodes, pivots), retries))
+      if outcome.M.cancelled then Error (`Cancelled (enc, acc, retries))
+      else Error (`Budget (enc, acc, retries))
     | (M.Optimal | M.Unbounded), _ ->
       (* Optimal always carries an assignment; Unbounded cannot happen since
          the objective is a sum of binaries. *)
-      Error (`Budget (enc, (nodes, pivots), retries))
+      Error (`Budget (enc, acc, retries))
   in
-  attempt None 0 0 0
+  attempt enc0 snap0 0 no_work
+
+(** Solve one component from scratch, retrying with a larger M when the
+    solution makes big-M look binding, or when the instance is infeasible
+    only because M clipped it. *)
+let solve_component ?(max_nodes = 2_000_000) ?(cancel = Cancel.none)
+    ?(warm = true) ~forced db rows : comp_solved =
+  Obs.Metrics.incr m_components;
+  let rebuild ~big_m = Encode.build ~cancel ~big_m ~forced db rows in
+  let note enc _outcome =
+    Obs.add_attr "milp_vars" (Obs.Int (Encode.num_vars enc));
+    Obs.add_attr "milp_rows" (Obs.Int (Encode.num_rows enc))
+  in
+  solve_attempts ~max_nodes ~cancel ~warm ~db ~rebuild ~note
+    (Encode.build ~cancel ~forced db rows, None)
+
+(* The degradation ladder's last rung: when exact search could not finish
+   (budget or deadline) and no incumbent exists, fall back to the greedy
+   baseline — unless the operator pinned cells, which greedy cannot
+   honour.  Degraded repairs still satisfy every constraint. *)
+let degrade ~forced ~db ~constraints why stats_v =
+  let hard_failure () =
+    match why with
+    | `Budget -> Node_budget_exceeded stats_v
+    | `Cancelled -> Cancelled stats_v
+  in
+  if why = `Cancelled then Obs.Metrics.incr m_cancelled;
+  if forced <> [] then hard_failure ()
+  else
+    match Baseline.greedy db constraints with
+    | Some rho ->
+      Obs.Metrics.incr m_degraded;
+      Repaired (rho, Greedy_fallback, stats_v)
+    | None -> hard_failure ()
+
+(* Fold the per-component outcomes in component order: accumulate stats,
+   concatenate repairs, and let the first failure decide.  Shared by
+   {!card_minimal} and {!Warm.solve}, so both paths degrade identically. *)
+let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows
+    (outcomes : comp_outcome list) : result =
+  let stats = ref { empty_stats with
+                    components = ncomps;
+                    ground_rows = List.length rows;
+                    cells = List.length (Ground.cells rows) } in
+  let add_enc enc wk retries =
+    stats := { !stats with
+               milp_vars = !stats.milp_vars + Encode.num_vars enc;
+               milp_rows = !stats.milp_rows + Encode.num_rows enc;
+               nodes = !stats.nodes + wk.wk_nodes;
+               simplex_pivots = !stats.simplex_pivots + wk.wk_pivots;
+               dual_pivots = !stats.dual_pivots + wk.wk_dual;
+               warm_starts = !stats.warm_starts + wk.wk_warm;
+               warm_fallbacks = !stats.warm_fallbacks + wk.wk_fallbacks;
+               m_retries = !stats.m_retries + retries }
+  in
+  let finish_stats () = { !stats with solve_ms = Obs.elapsed_ms ~since:t0 } in
+  let saw_cancel = ref false in
+  let rec combine acc degraded = function
+    | [] ->
+      let provenance = if degraded then Incumbent else Exact in
+      if degraded then Obs.Metrics.incr m_degraded;
+      if !saw_cancel then Obs.Metrics.incr m_cancelled;
+      Repaired (List.concat (List.rev acc), provenance, finish_stats ())
+    | `Satisfied :: rest -> combine acc degraded rest
+    | `Solved outcome :: rest ->
+      (match outcome with
+       | Ok (repair, prov, enc, wk, retries, was_cancelled) ->
+         add_enc enc wk retries;
+         if was_cancelled then saw_cancel := true;
+         combine (repair :: acc) (degraded || prov <> Exact) rest
+       | Error (`Infeasible (enc, wk, retries)) ->
+         (* Infeasibility is definitive (within the M bound): no repair
+            exists, so there is nothing to degrade to. *)
+         add_enc enc wk retries;
+         No_repair (finish_stats ())
+       | Error (`Budget (enc, wk, retries)) ->
+         add_enc enc wk retries;
+         degrade ~forced ~db ~constraints `Budget (finish_stats ())
+       | Error (`Cancelled (enc, wk, retries)) ->
+         add_enc enc wk retries;
+         degrade ~forced ~db ~constraints `Cancelled (finish_stats ()))
+  in
+  combine [] false outcomes
+
+(* ------------------------------------------------------------------ *)
+(* One-shot solving                                                    *)
+(* ------------------------------------------------------------------ *)
 
 (** Compute a card-minimal repair for [db] w.r.t. [constraints].
 
     [forced] pins cells to exact values (operator instructions).
     [decompose:false] disables the connected-component split (ablation).
+    [warm:false] disables warm starts inside branch & bound (ablation;
+    the answer is identical either way).
     [mapper] runs the per-component solves (parallel when pool-backed).
     [cancel] aborts the solve cooperatively; on cancellation or budget
     exhaustion the result degrades (incumbent, then greedy) instead of
@@ -191,61 +344,20 @@ let solve_component ?(max_nodes = 2_000_000) ?(cancel = Cancel.none) ~forced db
     by the first failing component in component order, so the outcome is
     independent of the mapper. *)
 let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
-    ?(mapper = sequential) ?(cancel = Cancel.none) db
+    ?(warm = true) ?(mapper = sequential) ?(cancel = Cancel.none) db
     (constraints : Agg_constraint.t list) : result =
   let t0 = Obs.now_ms () in
-  (* The degradation ladder's last rung: when exact search could not
-     finish (budget or deadline) and no incumbent exists, fall back to
-     the greedy baseline — unless the operator pinned cells, which greedy
-     cannot honour.  Degraded repairs still satisfy every constraint. *)
-  let degrade why stats_v =
-    let hard_failure () =
-      match why with
-      | `Budget -> Node_budget_exceeded stats_v
-      | `Cancelled -> Cancelled stats_v
-    in
-    if why = `Cancelled then Obs.Metrics.incr m_cancelled;
-    if forced <> [] then hard_failure ()
-    else
-      match Baseline.greedy db constraints with
-      | Some rho ->
-        Obs.Metrics.incr m_degraded;
-        Repaired (rho, Greedy_fallback, stats_v)
-      | None -> hard_failure ()
-  in
   Obs.span "repair.card_minimal" (fun () ->
   try
   let rows = Ground.of_constraints db constraints in
-  let satisfied_now =
-    List.for_all (Ground.row_satisfied (Ground.db_valuation db)) rows
-    && List.for_all
-         (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
-         (List.filter
-            (fun (cell, _) -> List.exists (fun r ->
-                 List.exists (fun (_, c) -> c = cell) r.Ground.terms) rows)
-            forced)
-  in
-  if satisfied_now then Consistent
+  if rows_satisfied db rows (restrict_forced forced rows) then Consistent
   else begin
     let comps = if decompose then components rows else [ rows ] in
     let comps = List.mapi (fun i comp -> (i, comp)) comps in
     let solve_comp (ci, comp) =
       (* Skip components already satisfied (cheap check avoids a MILP). *)
-      let comp_forced =
-        List.filter
-          (fun (cell, _) ->
-            List.exists
-              (fun r -> List.exists (fun (_, c) -> c = cell) r.Ground.terms)
-              comp)
-          forced
-      in
-      let comp_ok =
-        List.for_all (Ground.row_satisfied (Ground.db_valuation db)) comp
-        && List.for_all
-             (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
-             comp_forced
-      in
-      if comp_ok then `Satisfied
+      let comp_forced = restrict_forced forced comp in
+      if rows_satisfied db comp comp_forced then `Satisfied
       else
         `Solved
           (Obs.span "repair.component"
@@ -255,66 +367,200 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                  ("cells", Obs.Int (List.length (Ground.cells comp))) ]
              (fun () ->
                let r =
-                 solve_component ~max_nodes ~cancel ~forced:comp_forced db comp
+                 solve_component ~max_nodes ~cancel ~warm ~forced:comp_forced
+                   db comp
                in
                (match r with
-                | Ok (_, _, _, (nodes, pivots), retries, _)
-                | Error (`Infeasible (_, (nodes, pivots), retries))
-                | Error (`Budget (_, (nodes, pivots), retries))
-                | Error (`Cancelled (_, (nodes, pivots), retries)) ->
-                  Obs.add_attr "nodes" (Obs.Int nodes);
-                  Obs.add_attr "pivots" (Obs.Int pivots);
+                | Ok (_, _, _, wk, retries, _)
+                | Error (`Infeasible (_, wk, retries))
+                | Error (`Budget (_, wk, retries))
+                | Error (`Cancelled (_, wk, retries)) ->
+                  Obs.add_attr "nodes" (Obs.Int wk.wk_nodes);
+                  Obs.add_attr "pivots" (Obs.Int wk.wk_pivots);
                   Obs.add_attr "m_retries" (Obs.Int retries));
                r))
     in
     let outcomes = mapper.map solve_comp comps in
-    (* Fold the per-component outcomes in component order: accumulate
-       stats, concatenate repairs, and let the first failure decide. *)
-    let stats = ref { empty_stats with
-                      components = List.length comps;
-                      ground_rows = List.length rows;
-                      cells = List.length (Ground.cells rows) } in
-    let add_enc enc (nodes, pivots) retries =
-      stats := { !stats with
-                 milp_vars = !stats.milp_vars + Encode.num_vars enc;
-                 milp_rows = !stats.milp_rows + Encode.num_rows enc;
-                 nodes = !stats.nodes + nodes;
-                 simplex_pivots = !stats.simplex_pivots + pivots;
-                 m_retries = !stats.m_retries + retries }
-    in
-    let finish_stats () = { !stats with solve_ms = Obs.elapsed_ms ~since:t0 } in
-    let saw_cancel = ref false in
-    let rec combine acc degraded = function
-      | [] ->
-        let provenance = if degraded then Incumbent else Exact in
-        if degraded then Obs.Metrics.incr m_degraded;
-        if !saw_cancel then Obs.Metrics.incr m_cancelled;
-        Repaired (List.concat (List.rev acc), provenance, finish_stats ())
-      | `Satisfied :: rest -> combine acc degraded rest
-      | `Solved outcome :: rest ->
-        (match outcome with
-         | Ok (repair, prov, enc, work, retries, was_cancelled) ->
-           add_enc enc work retries;
-           if was_cancelled then saw_cancel := true;
-           combine (repair :: acc) (degraded || prov <> Exact) rest
-         | Error (`Infeasible (enc, work, retries)) ->
-           (* Infeasibility is definitive (within the M bound): no repair
-              exists, so there is nothing to degrade to. *)
-           add_enc enc work retries;
-           No_repair (finish_stats ())
-         | Error (`Budget (enc, work, retries)) ->
-           add_enc enc work retries;
-           degrade `Budget (finish_stats ())
-         | Error (`Cancelled (enc, work, retries)) ->
-           add_enc enc work retries;
-           degrade `Cancelled (finish_stats ()))
-    in
-    combine [] false outcomes
+    combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps:(List.length comps)
+      ~rows outcomes
   end
   with Cancel.Cancelled ->
     (* The token fired outside branch & bound (grounding, encoding, or a
        pooled component job): same ladder, with whatever time was spent. *)
-    degrade `Cancelled { empty_stats with solve_ms = Obs.elapsed_ms ~since:t0 })
+    degrade ~forced ~db ~constraints `Cancelled
+      { empty_stats with solve_ms = Obs.elapsed_ms ~since:t0 })
+
+(* ------------------------------------------------------------------ *)
+(* Incremental solving (the validation loop's warm path)               *)
+(* ------------------------------------------------------------------ *)
+
+module Warm = struct
+  (** Incremental card-minimal solving for a fixed [(db, constraints)]
+      pair under a growing pin set — the shape of the §6.3 validation
+      loop and of the server's [session/*] requests.
+
+      Each connected component keeps its MILP encoding, its accumulated
+      pins and the root basis of its last solve.  A re-solve under a pin
+      superset appends two rows per new pin ({!Encode.add_pin}) and
+      warm-starts branch & bound from the saved basis; components whose
+      pin set did not change return their cached outcome without solving
+      at all.  A pin set that is not a superset of the previous one
+      resets every component (counted in the [repair.warm_fallbacks]
+      metric), as does a big-M retry (which rewrites the instance's
+      coefficients).  Results are always the same as {!card_minimal}'s
+      on the same instance-plus-pins problem. *)
+
+  type comp = {
+    crows : Ground.row list;
+    mutable enc : Encode.t option;   (* incremental instance, pins appended *)
+    mutable pins : (Ground.cell * Rat.t) list; (* pins baked into [enc] *)
+    mutable snap : M.S.snapshot option; (* root basis of the last solve *)
+    mutable last : comp_solved option;  (* cached while pins unchanged *)
+  }
+
+  type t = {
+    db : Dart_relational.Database.t;
+    constraints : Agg_constraint.t list;
+    rows : Ground.row list;
+    comps : comp list;
+    max_nodes : int;
+    mutable applied : (Ground.cell * Rat.t) list; (* pins of the last solve *)
+  }
+
+  let create ?(max_nodes = 2_000_000) ?rows db constraints =
+    let rows =
+      match rows with Some r -> r | None -> Ground.of_constraints db constraints
+    in
+    let comps =
+      List.map
+        (fun c -> { crows = c; enc = None; pins = []; snap = None; last = None })
+        (components rows)
+    in
+    { db; constraints; rows; comps; max_nodes; applied = [] }
+
+  let reset_comp c =
+    c.enc <- None;
+    c.pins <- [];
+    c.snap <- None;
+    c.last <- None
+
+  (* Re-emit a cached outcome with its work zeroed: the stats of a solve
+     call report the work done by THAT call, and a cache hit did none. *)
+  let cached_again : comp_solved -> comp_solved = function
+    | Ok (r, p, e, _, retries, c) -> Ok (r, p, e, no_work, retries, c)
+    | Error (`Infeasible (e, _, r)) -> Error (`Infeasible (e, no_work, r))
+    | Error (`Budget (e, _, r)) -> Error (`Budget (e, no_work, r))
+    | Error (`Cancelled (e, _, r)) -> Error (`Cancelled (e, no_work, r))
+
+  let solve_comp ~cancel w (ci, comp) : comp_outcome =
+    let comp_forced = restrict_forced w.applied comp.crows in
+    if rows_satisfied w.db comp.crows comp_forced then `Satisfied
+    else begin
+      let new_pins =
+        List.filter (fun p -> not (List.mem p comp.pins)) comp_forced
+      in
+      match comp.last with
+      | Some r when new_pins = [] -> `Solved (cached_again r)
+      | _ ->
+        `Solved
+          (Obs.span "repair.component"
+             ~attrs:
+               [ ("component", Obs.Int ci);
+                 ("rows", Obs.Int (List.length comp.crows));
+                 ("cells", Obs.Int (List.length (Ground.cells comp.crows)));
+                 ("warm", Obs.Bool (comp.enc <> None)) ]
+             (fun () ->
+               Obs.Metrics.incr m_components;
+               let initial =
+                 match comp.enc with
+                 | None ->
+                   let enc =
+                     Encode.build ~cancel ~forced:comp_forced w.db comp.crows
+                   in
+                   comp.enc <- Some enc;
+                   comp.pins <- comp_forced;
+                   (enc, None)
+                 | Some enc ->
+                   (* Delta path: append the new pins as row pairs; the
+                      instance's existing rows — and therefore the saved
+                      basis — stay valid. *)
+                   List.iter (fun pin -> ignore (Encode.add_pin enc pin)) new_pins;
+                   comp.pins <- comp_forced;
+                   comp.last <- None;
+                   (enc, comp.snap)
+               in
+               let rebuild ~big_m =
+                 (* Growing M rewrites the |y| <= M·δ coefficients: the
+                    incremental instance and its basis are stale now. *)
+                 Obs.Metrics.incr m_warm_fallbacks;
+                 let enc =
+                   Encode.build ~cancel ~big_m ~forced:comp.pins w.db comp.crows
+                 in
+                 comp.enc <- Some enc;
+                 comp.snap <- None;
+                 enc
+               in
+               let note enc (outcome : M.outcome) =
+                 comp.enc <- Some enc;
+                 comp.snap <- outcome.M.root_snapshot;
+                 Obs.add_attr "milp_vars" (Obs.Int (Encode.num_vars enc));
+                 Obs.add_attr "milp_rows" (Obs.Int (Encode.num_rows enc))
+               in
+               let r =
+                 solve_attempts ~max_nodes:w.max_nodes ~cancel ~warm:true
+                   ~db:w.db ~rebuild ~note initial
+               in
+               (* Cache deterministic outcomes only: a cancelled solve was
+                  cut short by a deadline, so the next call must retry. *)
+               let transient =
+                 match r with
+                 | Ok (_, _, _, _, _, was_cancelled) -> was_cancelled
+                 | Error (`Cancelled _) -> true
+                 | Error _ -> false
+               in
+               if not transient then comp.last <- Some r;
+               (match r with
+                | Ok (_, _, _, wk, retries, _)
+                | Error (`Infeasible (_, wk, retries))
+                | Error (`Budget (_, wk, retries))
+                | Error (`Cancelled (_, wk, retries)) ->
+                  Obs.add_attr "nodes" (Obs.Int wk.wk_nodes);
+                  Obs.add_attr "pivots" (Obs.Int wk.wk_pivots);
+                  Obs.add_attr "m_retries" (Obs.Int retries));
+               r))
+    end
+
+  let solve ?(mapper = sequential) ?(cancel = Cancel.none) (w : t) ~forced :
+      result =
+    let t0 = Obs.now_ms () in
+    Obs.span "repair.card_minimal" ~attrs:[ ("warm", Obs.Bool true) ]
+      (fun () ->
+        try
+          (* Incremental reuse requires the pin set to only ever grow (the
+             validation loop's invariant); anything else invalidates every
+             basis and cached outcome. *)
+          if not (List.for_all (fun pin -> List.mem pin forced) w.applied)
+          then begin
+            Obs.Metrics.incr m_warm_fallbacks;
+            List.iter reset_comp w.comps
+          end;
+          w.applied <- forced;
+          if rows_satisfied w.db w.rows (restrict_forced forced w.rows) then
+            Consistent
+          else begin
+            let jobs = List.mapi (fun i c -> (i, c)) w.comps in
+            let outcomes = mapper.map (solve_comp ~cancel w) jobs in
+            combine_outcomes ~t0 ~forced ~db:w.db ~constraints:w.constraints
+              ~ncomps:(List.length w.comps) ~rows:w.rows outcomes
+          end
+        with Cancel.Cancelled ->
+          degrade ~forced ~db:w.db ~constraints:w.constraints `Cancelled
+            { empty_stats with solve_ms = Obs.elapsed_ms ~since:t0 })
+end
+
+(* ------------------------------------------------------------------ *)
+(* Display ordering (§6.3)                                             *)
+(* ------------------------------------------------------------------ *)
 
 (** Involvement count of each cell: in how many ground rows its variable
     occurs.  This drives the §6.3 display-order heuristic (most-involved

@@ -18,6 +18,9 @@ type stats = {
   milp_rows : int;
   nodes : int;
   simplex_pivots : int;  (** total simplex pivots across all node relaxations *)
+  dual_pivots : int;     (** of which dual pivots spent in warm restarts *)
+  warm_starts : int;     (** B&B nodes re-solved from their parent's basis *)
+  warm_fallbacks : int;  (** warm attempts that fell back to a cold solve *)
   m_retries : int;
   ground_rows : int;
   cells : int;
@@ -67,19 +70,54 @@ val sequential : mapper
 
 val card_minimal :
   ?decompose:bool -> ?max_nodes:int -> ?forced:(Ground.cell * Rat.t) list ->
-  ?mapper:mapper -> ?cancel:Dart_resilience.Cancel.t ->
+  ?warm:bool -> ?mapper:mapper -> ?cancel:Dart_resilience.Cancel.t ->
   Database.t -> Agg_constraint.t list -> result
 (** Compute a card-minimal repair.  [forced] pins cells to exact values
     (the operator instructions of §6.3); [decompose:false] disables the
     component split (ablation E9a); [max_nodes] bounds branch & bound per
-    component; [mapper] (default {!sequential}) schedules the component
-    solves; [cancel] aborts the solve cooperatively (checked every few
-    dozen pivots / every B&B node).  On cancellation or budget
-    exhaustion the result degrades — best incumbent, then
-    {!Baseline.greedy} (unless [forced] pins are present, which greedy
-    cannot honour) — and the repair carries its {!provenance}; the token
-    never makes this function raise.  Thread-safe: concurrent calls from
-    different domains do not share any mutable state. *)
+    component; [warm:false] disables warm starts inside branch & bound
+    (ablation — the answer is identical either way); [mapper] (default
+    {!sequential}) schedules the component solves; [cancel] aborts the
+    solve cooperatively (checked every few dozen pivots / every B&B
+    node).  On cancellation or budget exhaustion the result degrades —
+    best incumbent, then {!Baseline.greedy} (unless [forced] pins are
+    present, which greedy cannot honour) — and the repair carries its
+    {!provenance}; the token never makes this function raise.
+    Thread-safe: concurrent calls from different domains do not share any
+    mutable state. *)
+
+(** Incremental card-minimal solving for a fixed [(db, constraints)] pair
+    under a growing pin set — the shape of the §6.3 validation loop and of
+    the server's [session/*] requests.  Each connected component keeps its
+    MILP encoding and the root basis of its last solve; a re-solve under a
+    pin superset appends the new pins as rows ({!Encode.add_pin}) and
+    warm-starts from the saved basis, and components whose pin set did not
+    change return their cached outcome without solving at all.  A pin set
+    that is not a superset of the previous one resets all incremental
+    state (counted in the [repair.warm_fallbacks] metric).  Results always
+    agree with {!card_minimal} on the same instance-plus-pins problem.
+
+    A value of type {!Warm.t} is NOT thread-safe: callers that share one
+    across domains (the server session) must serialise whole [solve]
+    calls.  The [mapper] passed to [solve] is safe because each component
+    job touches only its own component's state. *)
+module Warm : sig
+  type t
+
+  val create :
+    ?max_nodes:int -> ?rows:Ground.row list ->
+    Database.t -> Agg_constraint.t list -> t
+  (** Ground the constraints (or accept pre-computed [rows]) and set up
+      per-component incremental state.  No solving happens yet. *)
+
+  val solve :
+    ?mapper:mapper -> ?cancel:Dart_resilience.Cancel.t ->
+    t -> forced:(Ground.cell * Rat.t) list -> result
+  (** Solve under the given pins, reusing encodings/bases from the
+      previous call when [forced] is a superset of the pins last passed.
+      [stats] report only the work done by this call (cache hits
+      contribute zero nodes/pivots). *)
+end
 
 val involvement : Ground.row list -> (Ground.cell, int) Hashtbl.t
 (** How many ground rows each cell occurs in (drives the §6.3 display

@@ -88,9 +88,18 @@ type outcome = {
 }
 
 (** Run the loop.  [batch] caps how many updates the operator examines per
-    iteration (None = all).  [max_iterations] guards non-oracle operators. *)
-let run ?batch ?(max_iterations = 50) ?cancel ~operator db constraints : outcome =
+    iteration (None = all).  [max_iterations] guards non-oracle operators.
+    [warm] (default on) re-solves each iteration incrementally via
+    {!Solver.Warm}: the pin set only ever grows here, so every iteration
+    after the first appends its new pins to the previous MILPs and
+    warm-starts from the saved bases instead of re-encoding and re-solving
+    cold. *)
+let run ?batch ?(max_iterations = 50) ?(warm = true) ?cancel ~operator db
+    constraints : outcome =
   let rows = Ground.of_constraints db constraints in
+  let warm_state =
+    if warm then Some (Solver.Warm.create ~rows db constraints) else None
+  in
   let rec loop pins validated iterations examined =
     if iterations >= max_iterations then
       { final_db = db; iterations; examined; pins = List.length pins; converged = false }
@@ -99,7 +108,10 @@ let run ?batch ?(max_iterations = 50) ?cancel ~operator db constraints : outcome
       let resolve =
         Obs.span "validation.resolve"
           ~attrs:[ ("iteration", Obs.Int iterations); ("pins", Obs.Int (List.length pins)) ]
-          (fun () -> Solver.card_minimal ~forced:pins ?cancel db constraints)
+          (fun () ->
+            match warm_state with
+            | Some w -> Solver.Warm.solve ?cancel w ~forced:pins
+            | None -> Solver.card_minimal ~warm:false ~forced:pins ?cancel db constraints)
       in
       match resolve with
       | Solver.Consistent ->

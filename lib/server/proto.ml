@@ -199,6 +199,9 @@ let stats_json (s : Solver.stats) =
       ("milp_rows", Json.Int s.Solver.milp_rows);
       ("nodes", Json.Int s.Solver.nodes);
       ("simplex_pivots", Json.Int s.Solver.simplex_pivots);
+      ("dual_pivots", Json.Int s.Solver.dual_pivots);
+      ("warm_starts", Json.Int s.Solver.warm_starts);
+      ("warm_fallbacks", Json.Int s.Solver.warm_fallbacks);
       ("m_retries", Json.Int s.Solver.m_retries);
       ("ground_rows", Json.Int s.Solver.ground_rows);
       ("cells", Json.Int s.Solver.cells) ]

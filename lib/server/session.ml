@@ -37,6 +37,10 @@ type t = {
   scenario : Scenario.t;
   db : Database.t;                       (** the acquired instance D *)
   rows : Ground.row list;                (** ground system, computed once *)
+  warm : Solver.Warm.t;                  (** incremental solver state: pins
+                                             only grow across [decide]s, so
+                                             every re-solve appends rows and
+                                             warm-starts from the last bases *)
   max_nodes : int;
   max_iterations : int;
   mutable pins : (Ground.cell * Rat.t) list;
@@ -91,9 +95,7 @@ let resolve ~mapper ?cancel s =
     let result =
       Obs.span "server.session.resolve"
         ~attrs:[ ("session", Obs.Str s.id); ("pins", Obs.Int (List.length s.pins)) ]
-        (fun () ->
-          Solver.card_minimal ~max_nodes:s.max_nodes ~forced:s.pins ?cancel
-            ~mapper s.db s.scenario.Scenario.constraints)
+        (fun () -> Solver.Warm.solve ~mapper ?cancel s.warm ~forced:s.pins)
     in
     match result with
     | Solver.Consistent -> s.phase <- Converged (apply_pins s)
@@ -119,9 +121,10 @@ let resolve ~mapper ?cancel s =
     proposal. *)
 let create ~id ?(origin_trace = "") ~scenario ~db ?(max_nodes = 2_000_000)
     ?(max_iterations = 50) ~mapper ?cancel ~now_ms ~ttl_ms () =
+  let rows = Ground.of_constraints db scenario.Scenario.constraints in
   let s =
-    { id; origin_trace; scenario; db;
-      rows = Ground.of_constraints db scenario.Scenario.constraints;
+    { id; origin_trace; scenario; db; rows;
+      warm = Solver.Warm.create ~max_nodes ~rows db scenario.Scenario.constraints;
       max_nodes; max_iterations; pins = []; validated = []; iterations = 0;
       examined = 0; phase = Proposing []; expires_at_ms = now_ms +. ttl_ms;
       smu = Mutex.create () }

@@ -1,0 +1,44 @@
+(** Deterministic QCheck → Alcotest bridge.
+
+    [QCheck_alcotest.to_alcotest] defaults to a self-initialised random
+    state, so a property failure seen in CI could not be replayed locally.
+    Every property test in this suite goes through {!to_alcotest} instead:
+
+    - generation is seeded with a fixed default, overridable with
+      [QCHECK_SEED=<int>] (so a CI failure is reproduced by exporting the
+      seed the failing run printed);
+    - on failure the seed in effect is printed to stderr next to
+      QCheck's own counterexample report;
+    - [DART_QCHECK_LONG=1] switches QCheck to long mode, multiplying each
+      test's iteration count by its [~long_factor] (the nightly-style CI
+      job uses this). *)
+
+let default_seed = 421_874_337
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "[qcheck] ignoring unparsable QCHECK_SEED=%S\n%!" s;
+      default_seed)
+  | None -> default_seed
+
+let long =
+  match Sys.getenv_opt "DART_QCHECK_LONG" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~long ~rand:(Random.State.make [| seed |]) test
+  in
+  let run' arg =
+    try run arg
+    with e ->
+      Printf.eprintf "[qcheck] seed=%d (set QCHECK_SEED=%d to reproduce)\n%!"
+        seed seed;
+      raise e
+  in
+  (name, speed, run')

@@ -84,7 +84,7 @@ let gen_nat_pair = QCheck.Gen.pair gen_small gen_small
 
 let arb_pair = QCheck.make ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b) gen_nat_pair
 
-let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+let prop name arb f = Qcheck_util.to_alcotest (QCheck.Test.make ~long_factor:10 ~count:500 ~name arb f)
 
 let property_tests =
   [ prop "add matches int" arb_pair (fun (a, b) ->

@@ -170,8 +170,8 @@ let table_tests =
 (* Property: grids from generated spanning tables are always rectangular and
    fully covered when spans tile exactly. *)
 let prop_rectangular =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:100 ~name:"expanded grids are rectangular"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:100 ~name:"expanded grids are rectangular"
        QCheck.(make Gen.(pair (int_range 1 5) (int_range 1 5)))
        (fun (nrows, ncols) ->
          let rows =
@@ -190,8 +190,8 @@ let prop_rectangular =
 (* Fuzz: the tokenizer and parser are total on arbitrary byte strings —
    error-tolerant acquisition must never crash on malformed markup. *)
 let prop_total_on_garbage =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:500 ~name:"tokenizer/parser never raise on arbitrary input"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:500 ~name:"tokenizer/parser never raise on arbitrary input"
        QCheck.(make Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200)))
        (fun s ->
          let _ = Tokenizer.tokenize s in
@@ -201,8 +201,8 @@ let prop_total_on_garbage =
 
 (* Fuzz with markup-looking input, which stresses the tag paths harder. *)
 let prop_total_on_taggy =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:500 ~name:"parser total on tag-soup input"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:500 ~name:"parser total on tag-soup input"
        QCheck.(
          make
            Gen.(

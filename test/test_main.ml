@@ -7,6 +7,7 @@ let () =
       ("rat", Test_rat.suite);
       ("simplex", Test_simplex.suite);
       ("milp", Test_milp.suite);
+      ("warm", Test_warm.suite);
       ("relational", Test_relational.suite);
       ("constraints", Test_constraints.suite);
       ("repair", Test_repair.suite);

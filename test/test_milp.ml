@@ -118,8 +118,8 @@ let gen_knapsack =
     pair (list_size (return 4) (pair w v)) (int_range 5 25))
 
 let knapsack_matches_bruteforce =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:60 ~name:"0/1 knapsack MILP = brute force"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:60 ~name:"0/1 knapsack MILP = brute force"
        (QCheck.make gen_knapsack)
        (fun (items, cap) ->
          let fi = Field_rat.of_int in

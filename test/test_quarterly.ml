@@ -148,8 +148,8 @@ let pipeline_tests =
    1-cell card-minimal repair restoring the truth — the triangulation
    property, for arbitrary seeds. *)
 let prop_triangulation =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:30 ~name:"triangulation: single errors always repair to truth"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:30 ~name:"triangulation: single errors always repair to truth"
        (QCheck.make (QCheck.Gen.int_range 1 100_000))
        (fun seed ->
          let prng = Prng.create seed in

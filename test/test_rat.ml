@@ -70,7 +70,7 @@ let arb_triple =
       String.concat ", " [ Rat.to_string a; Rat.to_string b; Rat.to_string c ])
     (QCheck.Gen.triple gen_rat gen_rat gen_rat)
 
-let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb f)
+let prop name arb f = Qcheck_util.to_alcotest (QCheck.Test.make ~long_factor:10 ~count:300 ~name arb f)
 
 let property_tests =
   [ prop "add commutative" arb_pair (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a));

@@ -376,8 +376,8 @@ let semantics_tests =
    the ground system — which cells occur in which rows, with which
    coefficients — does not change when measure values change. *)
 let prop_steady_structure =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:50
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:50
        ~name:"steady constraints: grounding structure invariant under measure updates"
        (QCheck.make
           QCheck.Gen.(pair (int_range 1 1_000_000) (int_range (-10_000) 10_000)))
@@ -406,8 +406,8 @@ let prop_steady_structure =
    MILP repair has cardinality <= 1 (one error is always 1-repairable when
    it breaks anything) and the repaired db satisfies AC. *)
 let prop_single_error =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:25 ~name:"single corruption -> card-minimal repair of card <= 1"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:25 ~name:"single corruption -> card-minimal repair of card <= 1"
        (QCheck.make (QCheck.Gen.int_range 1 10_000))
        (fun seed ->
          let prng = Prng.create seed in

@@ -175,8 +175,8 @@ let gen_problem =
     pair (list_size (int_range 1 4) (pair small small)) (pair pos pos))
 
 let random_lp_sound =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:100 ~name:"random LP: solution is feasible and optimal vs corners"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:100 ~name:"random LP: solution is feasible and optimal vs corners"
        (QCheck.make gen_problem)
        (fun (rows, (bx, by)) ->
          let fi = Field_rat.of_int in
@@ -211,8 +211,8 @@ module FP = Lp_problem.Make (Field_float)
 module FS = Simplex.Make (Field_float)
 
 let rat_float_agree =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:100 ~name:"exact and float simplex agree on random LPs"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:100 ~name:"exact and float simplex agree on random LPs"
        (QCheck.make gen_problem)
        (fun (rows, (bx, by)) ->
          let build_rat () =

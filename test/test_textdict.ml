@@ -29,30 +29,30 @@ let distance_tests =
 let gen_word = QCheck.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 0 8))
 
 let distance_properties =
-  [ QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~count:300 ~name:"levenshtein symmetry"
+  [ Qcheck_util.to_alcotest
+      (QCheck.Test.make ~long_factor:10 ~count:300 ~name:"levenshtein symmetry"
          QCheck.(make Gen.(pair gen_word gen_word))
          (fun (a, b) -> Edit_distance.levenshtein a b = Edit_distance.levenshtein b a));
-    QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~count:300 ~name:"levenshtein triangle inequality"
+    Qcheck_util.to_alcotest
+      (QCheck.Test.make ~long_factor:10 ~count:300 ~name:"levenshtein triangle inequality"
          QCheck.(make Gen.(triple gen_word gen_word gen_word))
          (fun (a, b, c) ->
            Edit_distance.levenshtein a c
            <= Edit_distance.levenshtein a b + Edit_distance.levenshtein b c));
-    QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~count:300 ~name:"damerau <= levenshtein"
+    Qcheck_util.to_alcotest
+      (QCheck.Test.make ~long_factor:10 ~count:300 ~name:"damerau <= levenshtein"
          QCheck.(make Gen.(pair gen_word gen_word))
          (fun (a, b) ->
            Edit_distance.damerau_levenshtein a b <= Edit_distance.levenshtein a b));
-    QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~count:300 ~name:"identity of indiscernibles"
+    Qcheck_util.to_alcotest
+      (QCheck.Test.make ~long_factor:10 ~count:300 ~name:"identity of indiscernibles"
          QCheck.(make Gen.(pair gen_word gen_word))
          (fun (a, b) -> Edit_distance.damerau_levenshtein a b = 0 = (a = b)));
     (* The BK-tree's pruning is only sound over a metric; the OSA variant of
        Damerau-Levenshtein breaks this (d("ca","abc") = 3 > 1 + 1), which
        used to make the "query = linear scan" property below flake. *)
-    QCheck_alcotest.to_alcotest
-      (QCheck.Test.make ~count:500 ~name:"damerau triangle inequality"
+    Qcheck_util.to_alcotest
+      (QCheck.Test.make ~long_factor:10 ~count:500 ~name:"damerau triangle inequality"
          QCheck.(make Gen.(triple gen_word gen_word gen_word))
          (fun (a, b, c) ->
            Edit_distance.damerau_levenshtein a c
@@ -91,8 +91,8 @@ let bk_tests =
 
 (* Property: BK-tree query = brute-force scan. *)
 let bk_matches_bruteforce =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:200 ~name:"BK-tree query = linear scan"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:200 ~name:"BK-tree query = linear scan"
        QCheck.(make Gen.(pair (list_size (int_range 1 20) gen_word) gen_word))
        (fun (ws, q) ->
          let ws = List.sort_uniq compare ws in

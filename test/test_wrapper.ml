@@ -228,8 +228,8 @@ let product_tnorm_tests =
 (* Round-trip property: any generated budget, rendered to HTML with spans
    and re-acquired, reproduces exactly the same tuple values. *)
 let prop_roundtrip =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:25 ~name:"render -> extract -> db round-trip is lossless"
+  Qcheck_util.to_alcotest
+    (QCheck.Test.make ~long_factor:10 ~count:25 ~name:"render -> extract -> db round-trip is lossless"
        (QCheck.make QCheck.Gen.(pair (int_range 1 1_000_000) (int_range 1 5)))
        (fun (seed, years) ->
          let prng = Dart_rand.Prng.create seed in
