@@ -1,0 +1,157 @@
+(* score — the standing perf-regression scoreboard.
+
+   Solves a fixed set of seeded corrupted instances of every scenario
+   sequentially (no worker pool, default warm starts) and writes
+   BENCH_scoreboard.json, schema "dart-scoreboard/1", with two sections:
+
+   - "deterministic": everything derived from the solves themselves —
+     repair cardinality, provenance, B&B effort counters, final gaps.
+     The solver is exact rational arithmetic on a deterministic search
+     order, so two runs of this experiment on the same tree must produce
+     BYTE-IDENTICAL deterministic sections.  A scoreboard diff
+     (bench/main.exe -- diff BASE CURRENT) hard-fails on any drift here:
+     pivots or nodes changing is a behaviour change that needs a commit
+     message, not a flaky benchmark.
+
+   - "timings": wall-clock per scenario.  Machine-dependent; diffs only
+     warn on these. *)
+
+open Dart_relational
+open Dart_repair
+open Dart_datagen
+open Dart_rand
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let out_file = "BENCH_scoreboard.json"
+let schema_version = "dart-scoreboard/1"
+let seeds = [ 2101; 2102; 2103 ]
+
+type scen = {
+  name : string;
+  generate : Prng.t -> Database.t;
+  corrupt : errors:int -> Prng.t -> Database.t -> Database.t;
+  constraints : Dart_constraints.Agg_constraint.t list;
+  errors : int;
+}
+
+let scenarios =
+  [ { name = "cash-budget";
+      generate = (fun p -> Cash_budget.generate ~years:2 p);
+      corrupt = (fun ~errors p db -> fst (Cash_budget.corrupt ~errors p db));
+      constraints = Cash_budget.constraints; errors = 2 };
+    { name = "balance-sheet";
+      generate = (fun p -> Balance_sheet.generate ~years:1 p);
+      corrupt = (fun ~errors p db -> fst (Balance_sheet.corrupt ~errors p db));
+      constraints = Balance_sheet.constraints; errors = 2 };
+    { name = "catalog";
+      generate = Catalog.generate;
+      corrupt = (fun ~errors p db -> fst (Catalog.corrupt ~errors p db));
+      constraints = Catalog.constraints; errors = 2 };
+    { name = "quarterly";
+      generate = (fun p -> Quarterly.generate ~years:2 p);
+      corrupt = (fun ~errors p db -> fst (Quarterly.corrupt ~errors p db));
+      constraints = Quarterly.constraints; errors = 2 } ]
+
+(* One seeded solve -> (deterministic json, solve wall ms). *)
+let solve_one scen seed =
+  let prng = Prng.create seed in
+  let truth = scen.generate prng in
+  let corrupted = scen.corrupt ~errors:scen.errors prng truth in
+  let t0 = Obs.now_ms () in
+  let result = Solver.card_minimal corrupted scen.constraints in
+  let ms = Obs.elapsed_ms ~since:t0 in
+  let provenance, card =
+    match result with
+    | Solver.Consistent -> ("consistent", 0)
+    | Solver.Repaired (rho, p, _) ->
+      (Solver.provenance_to_string p, Repair.cardinality rho)
+    | Solver.No_repair _ -> ("no_repair", 0)
+    | Solver.Node_budget_exceeded _ -> ("budget", 0)
+    | Solver.Cancelled _ -> ("cancelled", 0)
+  in
+  let s =
+    Option.value ~default:Solver.empty_stats (Solver.result_stats result)
+  in
+  let det =
+    Json.Obj
+      [ ("seed", Json.Int seed);
+        ("provenance", Json.Str provenance);
+        ("repair_cardinality", Json.Int card);
+        ("components", Json.Int s.Solver.components);
+        ("ground_rows", Json.Int s.Solver.ground_rows);
+        ("cells", Json.Int s.Solver.cells);
+        ("milp_vars", Json.Int s.Solver.milp_vars);
+        ("milp_rows", Json.Int s.Solver.milp_rows);
+        ("nodes", Json.Int s.Solver.nodes);
+        ("simplex_pivots", Json.Int s.Solver.simplex_pivots);
+        ("dual_pivots", Json.Int s.Solver.dual_pivots);
+        ("warm_starts", Json.Int s.Solver.warm_starts);
+        ("warm_fallbacks", Json.Int s.Solver.warm_fallbacks);
+        ("m_retries", Json.Int s.Solver.m_retries);
+        ("gap",
+         match Solver.report_gap s with
+         | Some g -> Json.Float g
+         | None -> Json.Null) ]
+  in
+  (det, ms)
+
+let int_field obj k =
+  match obj with
+  | Json.Obj fields -> (
+    match List.assoc_opt k fields with Some (Json.Int i) -> i | _ -> 0)
+  | _ -> 0
+
+let measure_scenario scen =
+  let per_seed = List.map (solve_one scen) seeds in
+  let dets = List.map fst per_seed in
+  let ms = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 per_seed in
+  let sum k = List.fold_left (fun acc d -> acc + int_field d k) 0 dets in
+  Printf.printf
+    "  %-13s: %d seeds, %d nodes, %d pivots, %d repaired cells, %.1f ms\n%!"
+    scen.name (List.length seeds) (sum "nodes") (sum "simplex_pivots")
+    (sum "repair_cardinality") ms;
+  let det =
+    Json.Obj
+      [ ("seeds", Json.Int (List.length seeds));
+        ("repair_cardinality", Json.Int (sum "repair_cardinality"));
+        ("components", Json.Int (sum "components"));
+        ("ground_rows", Json.Int (sum "ground_rows"));
+        ("cells", Json.Int (sum "cells"));
+        ("milp_vars", Json.Int (sum "milp_vars"));
+        ("milp_rows", Json.Int (sum "milp_rows"));
+        ("nodes", Json.Int (sum "nodes"));
+        ("simplex_pivots", Json.Int (sum "simplex_pivots"));
+        ("dual_pivots", Json.Int (sum "dual_pivots"));
+        ("warm_starts", Json.Int (sum "warm_starts"));
+        ("warm_fallbacks", Json.Int (sum "warm_fallbacks"));
+        ("m_retries", Json.Int (sum "m_retries"));
+        ("per_seed", Json.List dets) ]
+  in
+  (det, ms)
+
+let run () =
+  Printf.printf "score: perf-regression scoreboard -> %s\n%!" out_file;
+  let t0 = Obs.now_ms () in
+  let measured = List.map (fun s -> (s.name, measure_scenario s)) scenarios in
+  let total_ms = Obs.elapsed_ms ~since:t0 in
+  let json =
+    Json.Obj
+      [ ("schema", Json.Str schema_version);
+        ("deterministic",
+         Json.Obj (List.map (fun (n, (det, _)) -> (n, det)) measured));
+        ("timings",
+         Json.Obj
+           (List.map (fun (n, (_, ms)) -> (n, Json.Obj [ ("ms", Json.Float ms) ]))
+              measured
+            @ [ ("total_ms", Json.Float total_ms) ])) ]
+  in
+  let text = Json.to_string json in
+  (match Json.of_string text with
+   | Ok _ -> ()
+   | Error msg -> failwith (out_file ^ " is not valid JSON: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  total %.1f ms\n%!" total_ms

@@ -3,7 +3,16 @@
    Usage:
      dune exec bench/main.exe            run all experiments (E1-E9)
      dune exec bench/main.exe -- e4 e6   run a subset
-     dune exec bench/main.exe -- micro   run the bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- micro   run the bechamel micro-benchmarks
+     dune exec bench/main.exe -- score   write BENCH_scoreboard.json
+     dune exec bench/main.exe -- diff BASE CURRENT
+                                         compare two scoreboards (exit 1 on
+                                         deterministic drift; timings only
+                                         warn)
+
+   Any experiment raising makes the harness exit nonzero after the
+   remaining experiments have run, so CI catches a broken scenario even
+   when a later one succeeds. *)
 
 let experiments =
   [ ("e1", Exp_running_example.run);
@@ -18,22 +27,47 @@ let experiments =
     ("serve", Exp_serve.run);
     ("fault", Exp_fault.run);
     ("warm", Exp_warm.run);
+    ("score", Exp_score.run);
     ("micro", Micro.run) ]
 
 let () =
-  let requested =
+  let args =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> List.map String.lowercase_ascii args
-    | _ -> [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve"; "warm" ] (* micro is opt-in *)
+    | _ :: args -> List.map String.lowercase_ascii args
+    | [] -> []
   in
-  List.iter
-    (fun id ->
-      match List.assoc_opt id experiments with
-      | Some run ->
-        let _, elapsed = Report.time run in
-        Printf.printf "  [%s done in %.1fs]\n%!" id elapsed
-      | None ->
-        Printf.eprintf "unknown experiment %S; available: %s\n" id
-          (String.concat ", " (List.map fst experiments));
-        exit 1)
-    requested
+  match args with
+  | [ "diff"; base; current ] -> exit (Report.scoreboard_diff base current)
+  | "diff" :: _ ->
+    Printf.eprintf "usage: main.exe -- diff BASE_SCOREBOARD CURRENT_SCOREBOARD\n";
+    exit 2
+  | requested ->
+    let requested =
+      match requested with
+      | [] ->
+        (* micro and score are opt-in *)
+        [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve";
+          "warm" ]
+      | rs -> rs
+    in
+    let failures = ref [] in
+    List.iter
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some run -> (
+          match Report.time run with
+          | _, elapsed -> Printf.printf "  [%s done in %.1fs]\n%!" id elapsed
+          | exception e ->
+            failures := id :: !failures;
+            Printf.eprintf "  [%s FAILED: %s]\n%!" id (Printexc.to_string e))
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" id
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+      requested;
+    match List.rev !failures with
+    | [] -> ()
+    | fs ->
+      Printf.eprintf "%d experiment(s) failed: %s\n" (List.length fs)
+        (String.concat ", " fs);
+      exit 1

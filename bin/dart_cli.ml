@@ -259,36 +259,69 @@ let repair_cmd =
             "Abort the solve after $(docv) milliseconds, degrading to the best \
              answer found so far (provenance incumbent/greedy_fallback).")
   in
-  let run _finalize kind path deadline_ms =
+  let solve_report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "solve-report" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable solve report (schema \
+             $(b,dart-solve-report/1)) to $(docv): per-component phase-time \
+             attribution, branch-and-bound effort and gap-convergence \
+             timelines.  Render it with $(b,dart-cli report).")
+  in
+  let run _finalize kind path deadline_ms solve_report =
     let scenario, acq = acquire_from kind path in
     let cancel =
       match deadline_ms with
       | Some ms -> Dart_resilience.Cancel.create ~deadline_ms:ms ()
       | None -> Dart_resilience.Cancel.none
     in
-    if Pipeline.detect scenario acq.Pipeline.db = [] then
+    let write_report result =
+      match solve_report with
+      | None -> ()
+      | Some out ->
+        let stats =
+          Option.value ~default:Solver.empty_stats (Solver.result_stats result)
+        in
+        let oc =
+          try open_out out
+          with Sys_error msg ->
+            Printf.eprintf "dart-cli repair: cannot open solve-report file: %s\n" msg;
+            exit 2
+        in
+        output_string oc (Obs.Json.to_string (Solver.report_json stats));
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "solve report written to %s\n" out
+    in
+    if Pipeline.detect scenario acq.Pipeline.db = [] then begin
+      write_report Solver.Consistent;
       print_endline "already consistent; no repair needed"
-    else
-    match Pipeline.repair ~cancel scenario acq.Pipeline.db with
-    | Solver.Consistent -> print_endline "already consistent; no repair needed"
-    | Solver.Repaired (rho, prov, stats) ->
-      Printf.printf
-        "card-minimal repair (%s): %d update(s) [%d components, %d nodes, %d pivots, %.2f ms]\n"
-        (Solver.provenance_to_string prov) (Repair.cardinality rho)
-        stats.Solver.components stats.Solver.nodes
-        stats.Solver.simplex_pivots stats.Solver.solve_ms;
-      let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
-      List.iter
-        (fun u -> Format.printf "  %a@." (Update.pp acq.Pipeline.db) u)
-        (Solver.display_order rows rho)
-    | Solver.No_repair _ -> print_endline "no repair exists"; exit 1
-    | Solver.Node_budget_exceeded _ -> print_endline "search truncated"; exit 1
-    | Solver.Cancelled _ ->
-      print_endline "deadline exceeded; no repair available"; exit 1
+    end
+    else begin
+      let result = Pipeline.repair ~cancel scenario acq.Pipeline.db in
+      write_report result;
+      match result with
+      | Solver.Consistent -> print_endline "already consistent; no repair needed"
+      | Solver.Repaired (rho, prov, stats) ->
+        Printf.printf
+          "card-minimal repair (%s): %d update(s) [%d components, %d nodes, %d pivots, %.2f ms]\n"
+          (Solver.provenance_to_string prov) (Repair.cardinality rho)
+          stats.Solver.components stats.Solver.nodes
+          stats.Solver.simplex_pivots stats.Solver.solve_ms;
+        let rows = Ground.of_constraints acq.Pipeline.db scenario.Scenario.constraints in
+        List.iter
+          (fun u -> Format.printf "  %a@." (Update.pp acq.Pipeline.db) u)
+          (Solver.display_order rows rho)
+      | Solver.No_repair _ -> print_endline "no repair exists"; exit 1
+      | Solver.Node_budget_exceeded _ -> print_endline "search truncated"; exit 1
+      | Solver.Cancelled _ ->
+        print_endline "deadline exceeded; no repair available"; exit 1
+    end
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Propose a card-minimal repair for an inconsistent document.")
-    Term.(const run $ obs_term $ scenario_arg $ input_arg $ deadline)
+    Term.(const run $ obs_term $ scenario_arg $ input_arg $ deadline $ solve_report)
 
 (* ------------------------------------------------------------------ *)
 (* export-milp                                                         *)
@@ -468,10 +501,20 @@ let serve_cmd =
       & info [ "access-log" ] ~docv:"FILE"
           ~doc:
             "Append one JSON line per request to $(docv): op, trace id, \
-             outcome, latency, queue wait, solve provenance, bytes in/out.")
+             outcome, latency, queue wait, solve provenance, final \
+             branch-and-bound gap (gap at deadline for degraded repairs), \
+             bytes in/out.")
+  in
+  let access_log_max_bytes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "access-log-max-bytes" ] ~docv:"N"
+          ~doc:
+            "Rotate the access log once it exceeds $(docv) bytes, keeping \
+             one rotated generation (FILE.1). 0 disables rotation.")
   in
   let run finalize addr domains queue ttl chaos telemetry_port flight_dir
-      access_log =
+      access_log access_log_max_bytes =
     let cfg = Server.default_config ~scenarios:all_scenarios addr in
     let faults =
       match chaos with
@@ -488,7 +531,10 @@ let serve_cmd =
         Server.domains = Option.value ~default:cfg.Server.domains domains;
         queue_capacity = Option.value ~default:cfg.Server.queue_capacity queue;
         session_ttl_s = Option.value ~default:cfg.Server.session_ttl_s ttl;
-        faults; telemetry_port; flight_dir; access_log }
+        faults; telemetry_port; flight_dir; access_log;
+        access_log_max_bytes =
+          Option.value ~default:cfg.Server.access_log_max_bytes
+            access_log_max_bytes }
     in
     let t = Server.create cfg in
     Server.install_signal_handlers t;
@@ -515,7 +561,7 @@ let serve_cmd =
           length-prefixed JSON protocol, with all four scenarios registered.")
     Term.(
       const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos
-      $ telemetry_port $ flight_dir $ access_log)
+      $ telemetry_port $ flight_dir $ access_log $ access_log_max_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -686,12 +732,205 @@ let client_cmd =
       $ deadline $ retries)
 
 (* ------------------------------------------------------------------ *)
+(* report (render a solve report)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Rendering helpers for `dart-cli report`: a fixed-width table printer
+   and a bar-chart timeline, all plain ASCII so the output pastes into
+   issues and commit messages. *)
+
+let render_table headers rows =
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2
+         (fun w c -> Printf.sprintf "%*s" w c)
+         widths cells)
+  in
+  print_endline (line headers);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows
+
+(* A gap-over-time bar chart: time on the x axis (resampled to [w]
+   columns, carrying the last seen gap forward), gap on the y axis. *)
+let render_gap_timeline pts =
+  match pts with
+  | [] -> ()
+  | _ ->
+    let gmax = List.fold_left (fun a (_, g) -> Float.max a g) 0.0 pts in
+    let tmax = List.fold_left (fun a (t, _) -> Float.max a t) 0.0 pts in
+    if gmax <= 0.0 then
+      Printf.printf "  gap closed to 0 immediately (%d point(s), %.2f ms)\n"
+        (List.length pts) (tmax /. 1000.0)
+    else begin
+      let w = 60 and h = 8 in
+      let cols = Array.make w 0.0 in
+      let filled = Array.make w false in
+      List.iter
+        (fun (t, g) ->
+          let c =
+            if tmax <= 0.0 then 0
+            else min (w - 1) (int_of_float (t /. tmax *. float_of_int (w - 1)))
+          in
+          cols.(c) <- g;
+          filled.(c) <- true)
+        pts;
+      (* Carry the last known gap forward through unsampled columns. *)
+      let last = ref (match pts with (_, g) :: _ -> g | [] -> 0.0) in
+      for c = 0 to w - 1 do
+        if filled.(c) then last := cols.(c) else cols.(c) <- !last
+      done;
+      for row = h downto 1 do
+        let threshold = float_of_int row /. float_of_int h *. gmax in
+        let label =
+          if row = h then Printf.sprintf "%8.4f " gmax
+          else if row = 1 then Printf.sprintf "%8.4f " (threshold)
+          else String.make 9 ' '
+        in
+        let bars =
+          String.init w (fun c ->
+              if cols.(c) +. 1e-12 >= threshold then '#' else ' ')
+        in
+        Printf.printf "  %s|%s\n" label bars
+      done;
+      Printf.printf "  %s+%s\n" (String.make 9 ' ') (String.make w '-');
+      Printf.printf "  %s0 ms%*s%.2f ms\n" (String.make 10 ' ')
+        (w - 10) "" (tmax /. 1000.0)
+    end
+
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"REPORT"
+          ~doc:"Solve-report JSON written by $(b,dart-cli repair --solve-report).")
+  in
+  let run _finalize path =
+    let die fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "dart-cli report: %s\n" msg;
+          exit 2)
+        fmt
+    in
+    let j =
+      match Obs.Json.of_string (read_file path) with
+      | Ok j -> j
+      | Error msg -> die "%s: %s" path msg
+    in
+    (match Proto.string_field j "schema" with
+     | Some "dart-solve-report/1" -> ()
+     | Some other -> die "unsupported report schema %S" other
+     | None -> die "%s is not a solve report (missing \"schema\")" path);
+    let inum o k = Option.value ~default:0 (Proto.int_field o k) in
+    let fnum o k = Option.value ~default:0.0 (Proto.float_field o k) in
+    let totals = Option.value ~default:(Obs.Json.Obj []) (Proto.member "totals" j) in
+    Printf.printf
+      "solve report: %d component(s), %d ground row(s), %d cell(s)\n"
+      (inum totals "components") (inum totals "ground_rows") (inum totals "cells");
+    Printf.printf
+      "  MILP: %d vars, %d rows; B&B: %d node(s), %d simplex pivot(s) (%d dual)\n"
+      (inum totals "milp_vars") (inum totals "milp_rows") (inum totals "nodes")
+      (inum totals "simplex_pivots") (inum totals "dual_pivots");
+    Printf.printf
+      "  warm starts %d (fallbacks %d), big-M retries %d, wall clock %.2f ms\n"
+      (inum totals "warm_starts") (inum totals "warm_fallbacks")
+      (inum totals "m_retries") (fnum totals "solve_ms");
+    (match Option.bind (Proto.member "gap" totals) Proto.as_float with
+     | Some g -> Printf.printf "  final gap: %.6f\n" g
+     | None -> ());
+    (* Phase breakdown. *)
+    let phase_rows phases =
+      let total =
+        List.fold_left (fun acc (_, p) -> acc +. fnum p "total_us") 0.0 phases
+      in
+      List.map
+        (fun (name, p) ->
+          let us = fnum p "total_us" in
+          [ name; string_of_int (inum p "count");
+            Printf.sprintf "%.3f" (us /. 1000.0);
+            (if total > 0.0 then Printf.sprintf "%.1f%%" (100.0 *. us /. total)
+             else "-") ])
+        phases
+    in
+    (match Proto.member "phases" j with
+     | Some (Obs.Json.Obj phases) when phases <> [] ->
+       Printf.printf "\nphase breakdown (all components):\n";
+       render_table [ "phase"; "calls"; "total ms"; "share" ] (phase_rows phases)
+     | _ -> ());
+    (* Per-component summary. *)
+    let comps =
+      Option.value ~default:[]
+        (Option.bind (Proto.member "components" j) Proto.as_list)
+    in
+    if comps <> [] then begin
+      Printf.printf "\nper-component summary:\n";
+      render_table
+        [ "comp"; "rows"; "cells"; "vars"; "nodes"; "pivots"; "retries";
+          "status"; "gap" ]
+        (List.map
+           (fun c ->
+             [ string_of_int (inum c "component");
+               string_of_int (inum c "rows"); string_of_int (inum c "cells");
+               string_of_int (inum c "milp_vars");
+               string_of_int (inum c "nodes");
+               string_of_int (inum c "simplex_pivots");
+               string_of_int (inum c "m_retries");
+               Option.value ~default:"?" (Proto.string_field c "status");
+               (match Option.bind (Proto.member "gap" c) Proto.as_float with
+                | Some g -> Printf.sprintf "%.4f" g
+                | None -> "-") ])
+           comps)
+    end;
+    (* Gap timelines. *)
+    List.iter
+      (fun c ->
+        let pts =
+          Option.value ~default:[]
+            (Option.bind (Proto.member "gap_timeline" c) Proto.as_list)
+        in
+        let pts =
+          List.filter_map
+            (fun p ->
+              match Proto.as_list p with
+              | Some [ t; g ] -> (
+                match (Proto.as_float t, Proto.as_float g) with
+                | Some t, Some g -> Some (t, g)
+                | _ -> None)
+              | _ -> None)
+            pts
+        in
+        if pts <> [] then begin
+          Printf.printf "\ncomponent %d gap timeline (%d point(s)):\n"
+            (inum c "component") (List.length pts);
+          render_gap_timeline pts
+        end)
+      comps
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a solve report written by $(b,repair --solve-report): phase \
+          breakdown, per-component summary and ASCII gap-convergence \
+          timelines.")
+    Term.(const run $ obs_term $ file)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
     (Cmd.info "dart-cli" ~version:"1.0.0"
        ~doc:"DART: data acquisition and repairing tool (EDBT 2006 reproduction).")
     [ gen_cmd; extract_cmd; check_cmd; repair_cmd; export_cmd; run_cmd;
-      serve_cmd; client_cmd ]
+      serve_cmd; client_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -34,22 +34,49 @@ module Make (F : Field.S) = struct
     | Unbounded
 
   (** Effort counters for one [solve] call (satellite of the dart_obs PR:
-      solver work must be measurable, not silent). *)
+      solver work must be measurable, not silent).  [phases] attributes the
+      wall-clock time of the same call across the named phases ["phase1"],
+      ["phase2"], ["dual"] and ["snapshot"], so a profile can say not just
+      how many pivots were spent but {e where} the microseconds went. *)
   type stats = {
     mutable pivots : int;         (** total pivot operations, all phases *)
     mutable phase1_pivots : int;  (** pivots spent reaching feasibility *)
     mutable phase2_pivots : int;  (** pivots spent optimizing *)
     mutable dual_pivots : int;    (** pivots spent repairing primal
                                       feasibility after a warm restart *)
+    phases : Obs.Phases.t;        (** per-phase wall-clock attribution *)
   }
 
   let fresh_stats () =
-    { pivots = 0; phase1_pivots = 0; phase2_pivots = 0; dual_pivots = 0 }
+    { pivots = 0; phase1_pivots = 0; phase2_pivots = 0; dual_pivots = 0;
+      phases = Obs.Phases.create () }
+
+  let phase_phase1 = "phase1"
+  let phase_phase2 = "phase2"
+  let phase_dual = "dual"
+  let phase_snapshot = "snapshot"
 
   let m_solves = Obs.Metrics.counter "lp.simplex.solves"
   let m_pivots = Obs.Metrics.counter "lp.simplex.pivots"
   let m_warm_starts = Obs.Metrics.counter "lp.simplex.warm_starts"
   let m_dual_pivots = Obs.Metrics.counter "lp.simplex.dual_pivots"
+
+  (* Phase-time histograms (milliseconds, one observation per solve that
+     ran the phase).  These flow through [Obs.Metrics.snapshot] and the
+     Prometheus exposition unchanged, so the server's existing stats
+     endpoints pick them up without new plumbing. *)
+  let h_phase1_ms = Obs.Metrics.histogram "lp.simplex.phase1_ms"
+  let h_phase2_ms = Obs.Metrics.histogram "lp.simplex.phase2_ms"
+  let h_dual_ms = Obs.Metrics.histogram "lp.simplex.dual_ms"
+  let h_snapshot_ms = Obs.Metrics.histogram "lp.simplex.snapshot_ms"
+
+  let observe_phase_histograms (st : stats) =
+    List.iter
+      (fun (name, h) ->
+        if Obs.Phases.count st.phases name > 0 then
+          Obs.Metrics.observe h (Obs.Phases.total_us st.phases name /. 1000.0))
+      [ (phase_phase1, h_phase1_ms); (phase_phase2, h_phase2_ms);
+        (phase_dual, h_dual_ms); (phase_snapshot, h_snapshot_ms) ]
 
   (* How an original variable is represented over the non-negative standard
      variables. *)
@@ -466,63 +493,77 @@ module Make (F : Field.S) = struct
       let phase1_needed = nart > 0 in
       let feasible =
         if not phase1_needed then true
-        else begin
-          let costs = Array.make (ncols + 1) F.zero in
-          for j = nstd to ncols - 1 do costs.(j) <- F.one done;
-          install_costs t costs;
-          let p1 = ref 0 in
-          (match iterate t ~allow_artificial:true ~pivots:p1 ~cancel with
-           | Unbounded_direction ->
-             (* Phase-1 objective is bounded below by 0; cannot happen. *)
-             assert false
-           | Finished -> ());
-          st.phase1_pivots <- st.phase1_pivots + !p1;
-          F.is_zero (objective_value t)
-        end
+        else
+          Obs.Phases.time st.phases phase_phase1 (fun () ->
+              let costs = Array.make (ncols + 1) F.zero in
+              for j = nstd to ncols - 1 do costs.(j) <- F.one done;
+              install_costs t costs;
+              let p1 = ref 0 in
+              (match iterate t ~allow_artificial:true ~pivots:p1 ~cancel with
+               | Unbounded_direction ->
+                 (* Phase-1 objective is bounded below by 0; cannot happen. *)
+                 assert false
+               | Finished -> ());
+              st.phase1_pivots <- st.phase1_pivots + !p1;
+              F.is_zero (objective_value t))
       in
       if not feasible then (Infeasible, None)
       else begin
-        (* Drive surviving artificials out of the basis (they sit at 0). *)
-        Array.iteri
-          (fun i b ->
-            if t.is_artificial.(b) then begin
-              let r = t.rows.(i) in
-              let col = ref (-1) in
-              for j = 0 to nstd - 1 do
-                if !col < 0 && not (F.is_zero r.(j)) then col := j
-              done;
-              if !col >= 0 then begin
-                pivot t ~row:i ~col:!col;
-                st.phase1_pivots <- st.phase1_pivots + 1
-              end
-              (* else: redundant 0 = 0 row; the artificial stays basic at 0
-                 and can never become positive: its row has no nonzero real
-                 coefficient, so pivots on real columns leave it untouched. *)
-            end)
-          (Array.copy t.basis);
+        (* Drive surviving artificials out of the basis (they sit at 0).
+           Still phase-1 work for attribution purposes. *)
+        if phase1_needed then
+          Obs.Phases.time st.phases phase_phase1 (fun () ->
+              Array.iteri
+                (fun i b ->
+                  if t.is_artificial.(b) then begin
+                    let r = t.rows.(i) in
+                    let col = ref (-1) in
+                    for j = 0 to nstd - 1 do
+                      if !col < 0 && not (F.is_zero r.(j)) then col := j
+                    done;
+                    if !col >= 0 then begin
+                      pivot t ~row:i ~col:!col;
+                      st.phase1_pivots <- st.phase1_pivots + 1
+                    end
+                    (* else: redundant 0 = 0 row; the artificial stays basic
+                       at 0 and can never become positive: its row has no
+                       nonzero real coefficient, so pivots on real columns
+                       leave it untouched. *)
+                  end)
+                (Array.copy t.basis));
         (* --- 5. phase 2 --------------------------------------------------- *)
-        let costs = Array.make (ncols + 1) F.zero in
-        let sense = if P.minimize p then F.one else F.neg F.one in
-        List.iter
-          (fun (c, v) ->
-            let c = F.mul sense c in
-            match encodings.(v) with
-            | Shifted (u, _) -> costs.(u) <- F.add costs.(u) c
-            | Reflected (u, _) -> costs.(u) <- F.sub costs.(u) c
-            | Split (up, un) ->
-              costs.(up) <- F.add costs.(up) c;
-              costs.(un) <- F.sub costs.(un) c)
-          (P.objective p);
-        install_costs t costs;
-        let p2 = ref 0 in
-        let outcome = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
-        st.phase2_pivots <- st.phase2_pivots + !p2;
+        let outcome =
+          Obs.Phases.time st.phases phase_phase2 (fun () ->
+              let costs = Array.make (ncols + 1) F.zero in
+              let sense = if P.minimize p then F.one else F.neg F.one in
+              List.iter
+                (fun (c, v) ->
+                  let c = F.mul sense c in
+                  match encodings.(v) with
+                  | Shifted (u, _) -> costs.(u) <- F.add costs.(u) c
+                  | Reflected (u, _) -> costs.(u) <- F.sub costs.(u) c
+                  | Split (up, un) ->
+                    costs.(up) <- F.add costs.(up) c;
+                    costs.(un) <- F.sub costs.(un) c)
+                (P.objective p);
+              install_costs t costs;
+              let p2 = ref 0 in
+              let outcome = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
+              st.phase2_pivots <- st.phase2_pivots + !p2;
+              outcome)
+        in
         match outcome with
         | Unbounded_direction -> (Unbounded, None)
         | Finished ->
           (* --- 6. read the solution back -------------------------------- *)
           let result = read_solution p ~encodings t in
-          let snap = if want_capture then Some (capture p ~encodings t) else None in
+          let snap =
+            if want_capture then
+              Some
+                (Obs.Phases.time st.phases phase_snapshot (fun () ->
+                     capture p ~encodings t))
+            else None
+          in
           (result, snap)
       end
     end
@@ -613,9 +654,13 @@ module Make (F : Field.S) = struct
     done;
     if not !dual_ok then None
     else begin
-      let dp = ref 0 in
-      let outcome = dual_iterate t ~pivots:dp ~budget ~cancel in
-      st.dual_pivots <- st.dual_pivots + !dp;
+      let outcome =
+        Obs.Phases.time st.phases phase_dual (fun () ->
+            let dp = ref 0 in
+            let outcome = dual_iterate t ~pivots:dp ~budget ~cancel in
+            st.dual_pivots <- st.dual_pivots + !dp;
+            outcome)
+      in
       match outcome with
       | Stalled -> None
       | Dual_infeasible_row -> Some (Infeasible, None)
@@ -623,16 +668,24 @@ module Make (F : Field.S) = struct
         (* Optimality cleanup: with exact arithmetic the tableau is already
            optimal and this performs zero pivots; with floats it absorbs
            any residual negative reduced cost. *)
-        let p2 = ref 0 in
-        let cleanup = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
-        st.phase2_pivots <- st.phase2_pivots + !p2;
+        let cleanup =
+          Obs.Phases.time st.phases phase_phase2 (fun () ->
+              let p2 = ref 0 in
+              let cleanup = iterate t ~allow_artificial:false ~pivots:p2 ~cancel in
+              st.phase2_pivots <- st.phase2_pivots + !p2;
+              cleanup)
+        in
         (match cleanup with
          | Unbounded_direction ->
            (* Cannot happen on a well-posed extension; be safe, go cold. *)
            None
          | Finished ->
            let result = read_solution p ~encodings:s.s_encodings t in
-           Some (result, Some (capture p ~encodings:s.s_encodings t)))
+           let snap =
+             Obs.Phases.time st.phases phase_snapshot (fun () ->
+                 capture p ~encodings:s.s_encodings t)
+           in
+           Some (result, Some snap))
     end
 
   (* ------------------------------------------------------------------ *)
@@ -645,6 +698,7 @@ module Make (F : Field.S) = struct
     let result, _ = solve_cold p ~st ~cancel ~want_capture:false in
     st.pivots <- st.phase1_pivots + st.phase2_pivots;
     Obs.Metrics.add m_pivots st.pivots;
+    observe_phase_histograms st;
     (result, st)
 
   let solve_stats ?(cancel = Cancel.none) (p : P.t) : result * stats =
@@ -708,6 +762,7 @@ module Make (F : Field.S) = struct
         st.pivots <- st.phase1_pivots + st.phase2_pivots + st.dual_pivots;
         Obs.Metrics.add m_pivots st.pivots;
         if st.dual_pivots > 0 then Obs.Metrics.add m_dual_pivots st.dual_pivots;
+        observe_phase_histograms st;
         Obs.add_attr "pivots" (Obs.Int st.pivots);
         if !warm_used then Obs.add_attr "warm" (Obs.Bool true);
         { result; stats = st; warm_used = !warm_used; fell_back = !fell_back;

@@ -963,3 +963,132 @@ module Metrics = struct
           Mutex.unlock h.hmu)
       registry
 end
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Timeline = struct
+  (* A bounded (elapsed_us, value) series.  Offered samples are admitted
+     every [stride]-th call; when the buffer fills, every other retained
+     point is dropped and the stride doubles.  The retained set is a
+     deterministic function of the offered sequence (no randomness), the
+     memory is O(capacity) however long the solve runs, and the series
+     always spans the full observation window (the oldest retained point
+     only moves forward by halving, never by eviction). *)
+  type t = {
+    cap : int;
+    t0 : float;
+    times : float array;
+    values : float array;
+    mutable n : int;
+    mutable stride : int;
+    mutable seen : int;
+  }
+
+  let create ?(capacity = 256) () =
+    let cap = max 2 capacity in
+    { cap; t0 = now_us (); times = Array.make cap 0.0;
+      values = Array.make cap 0.0; n = 0; stride = 1; seen = 0 }
+
+  let halve t =
+    (* Keep even indices (the older half of each pair), so the very first
+       point — the start of the series — is always preserved. *)
+    let k = ref 0 in
+    let i = ref 0 in
+    while !i < t.n do
+      t.times.(!k) <- t.times.(!i);
+      t.values.(!k) <- t.values.(!i);
+      incr k;
+      i := !i + 2
+    done;
+    t.n <- !k;
+    t.stride <- t.stride * 2
+
+  let push t el v =
+    if t.n >= t.cap then halve t;
+    t.times.(t.n) <- el;
+    t.values.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let record ?elapsed_us ?(force = false) t v =
+    let el =
+      match elapsed_us with Some e -> e | None -> Float.max 0.0 (now_us () -. t.t0)
+    in
+    let admit = force || t.seen mod t.stride = 0 in
+    t.seen <- t.seen + 1;
+    if admit then push t el v
+
+  let length t = t.n
+  let capacity t = t.cap
+  let seen t = t.seen
+
+  let points t = List.init t.n (fun i -> (t.times.(i), t.values.(i)))
+
+  let to_json t =
+    Json.List
+      (List.init t.n (fun i ->
+           Json.List [ Json.Float t.times.(i); Json.Float t.values.(i) ]))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Phases = struct
+  (* Named wall-clock accumulators for attributing one computation's time
+     across its internal phases.  An assoc list in first-use order keeps
+     serialization deterministic; instances are per-solve and single-domain
+     (NOT thread-safe — unlike the registry above, these are values the
+     caller owns, not process-wide state). *)
+  type cell = { mutable pc_count : int; mutable pc_total_us : float }
+
+  type t = { mutable entries : (string * cell) list (* reverse first-use order *) }
+
+  let create () = { entries = [] }
+
+  let cell t name =
+    match List.assoc_opt name t.entries with
+    | Some c -> c
+    | None ->
+      let c = { pc_count = 0; pc_total_us = 0.0 } in
+      t.entries <- (name, c) :: t.entries;
+      c
+
+  let add_us t name us =
+    let c = cell t name in
+    c.pc_count <- c.pc_count + 1;
+    c.pc_total_us <- c.pc_total_us +. Float.max 0.0 us
+
+  let time t name f =
+    let start = now_us () in
+    Fun.protect ~finally:(fun () -> add_us t name (Float.max 0.0 (now_us () -. start))) f
+
+  let count t name =
+    match List.assoc_opt name t.entries with Some c -> c.pc_count | None -> 0
+
+  let total_us t name =
+    match List.assoc_opt name t.entries with
+    | Some c -> c.pc_total_us
+    | None -> 0.0
+
+  let merge_into ~dst src =
+    List.iter
+      (fun (name, c) ->
+        let d = cell dst name in
+        d.pc_count <- d.pc_count + c.pc_count;
+        d.pc_total_us <- d.pc_total_us +. c.pc_total_us)
+      (List.rev src.entries)
+
+  let to_list t =
+    List.rev_map (fun (name, c) -> (name, (c.pc_count, c.pc_total_us))) t.entries
+
+  let to_json t =
+    Json.Obj
+      (List.map
+         (fun (name, (count, total)) ->
+           (name,
+            Json.Obj
+              [ ("count", Json.Int count); ("total_us", Json.Float total) ]))
+         (to_list t))
+end

@@ -285,3 +285,79 @@ module Metrics : sig
   (** Zero every registered metric in place (existing handles stay
       valid — they are the same mutable cells). *)
 end
+
+(** {1 Timelines}
+
+    A bounded sampled series of [(elapsed_us, value)] points — how a
+    quantity (a branch-and-bound gap, an open-node count) evolved over
+    one computation.  Admission is decimated deterministically: every
+    [stride]-th offered sample is retained, and when the buffer fills,
+    every other retained point is dropped and the stride doubles, so
+    memory stays O(capacity) for arbitrarily long runs while the series
+    always spans the whole observation window.  Not thread-safe: a
+    timeline belongs to the single computation it instruments. *)
+
+module Timeline : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** A fresh timeline whose clock starts now ([capacity] >= 2,
+      default 256 points). *)
+
+  val record : ?elapsed_us:float -> ?force:bool -> t -> float -> unit
+  (** Offer a sample.  [elapsed_us] overrides the implicit
+      time-since-[create] stamp (for callers with their own clock);
+      [force] bypasses stride decimation for must-keep points (e.g. a new
+      incumbent) — forced points are still subject to halving when the
+      buffer later fills. *)
+
+  val length : t -> int
+  (** Points currently retained. *)
+
+  val capacity : t -> int
+
+  val seen : t -> int
+  (** Samples offered so far (retained or not). *)
+
+  val points : t -> (float * float) list
+  (** Retained [(elapsed_us, value)] points in record order. *)
+
+  val to_json : t -> Json.t
+  (** [[[elapsed_us, value], ...]] — a JSON list of two-element lists. *)
+end
+
+(** {1 Phase timers}
+
+    Named wall-clock accumulators for attributing one computation's time
+    across its internal phases (simplex phase-1 vs phase-2 vs dual
+    restore, etc.).  A cheap owned value, not process-global state like
+    {!Metrics} — create one per solve, merge children upward.  Not
+    thread-safe. *)
+
+module Phases : sig
+  type t
+
+  val create : unit -> t
+
+  val time : t -> string -> (unit -> 'a) -> 'a
+  (** Run the thunk, adding its wall-clock duration (and one call) to the
+      named phase; exception-safe. *)
+
+  val add_us : t -> string -> float -> unit
+  (** Credit a pre-measured duration (clamped at [0.0]) to the named
+      phase, counting one call. *)
+
+  val count : t -> string -> int
+  val total_us : t -> string -> float
+  (** [0] / [0.0] for a phase never credited. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Fold a child's phases into an aggregate (summing counts and
+      totals), preserving first-use order across the merge. *)
+
+  val to_list : t -> (string * (int * float)) list
+  (** [(name, (count, total_us))] in first-use order. *)
+
+  val to_json : t -> Json.t
+  (** [{"name":{"count":n,"total_us":t},...}] in first-use order. *)
+end

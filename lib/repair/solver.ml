@@ -25,6 +25,33 @@ module M = Milp.Make (Field_rat)
 module Obs = Dart_obs.Obs
 module Cancel = Dart_resilience.Cancel
 
+(** Everything the observatory knows about one component's solve: effort
+    counters, per-phase wall-clock attribution, and the branch-and-bound
+    convergence trace.  Components skipped as already satisfied get a
+    ["satisfied"] entry with zero work, so the report always has exactly
+    [components] entries in component order. *)
+type comp_report = {
+  cr_component : int;               (** component index (solve order) *)
+  cr_rows : int;                    (** ground rows in this component *)
+  cr_cells : int;                   (** repairable cells in this component *)
+  cr_vars : int;                    (** MILP variables (0 when satisfied) *)
+  cr_milp_rows : int;               (** MILP constraint rows *)
+  cr_nodes : int;
+  cr_pivots : int;
+  cr_dual_pivots : int;
+  cr_warm_starts : int;
+  cr_warm_fallbacks : int;
+  cr_retries : int;                 (** big-M retries *)
+  cr_status : string;
+      (** ["satisfied"], a {!provenance} string, or ["infeasible"] /
+          ["budget"] / ["cancelled"] for a failed component *)
+  cr_gap : float option;            (** final B&B gap; [0.0] when proved *)
+  cr_phases : (string * (int * float)) list;
+      (** [(phase, (calls, total_us))] — simplex phase attribution *)
+  cr_gap_timeline : (float * float) list;
+      (** [(elapsed_us, gap)] convergence series of the component's B&B *)
+}
+
 type stats = {
   components : int;
   milp_vars : int;     (** total variables across component MILPs *)
@@ -38,12 +65,15 @@ type stats = {
   ground_rows : int;   (** size of S(AC) *)
   cells : int;         (** N: number of repairable cells involved *)
   solve_ms : float;    (** wall-clock time of the whole card-minimal solve *)
+  report : comp_report list;
+      (** per-component solve reports in component order (empty when the
+          instance was consistent or the solve failed before grounding) *)
 }
 
 let empty_stats =
   { components = 0; milp_vars = 0; milp_rows = 0; nodes = 0; simplex_pivots = 0;
     dual_pivots = 0; warm_starts = 0; warm_fallbacks = 0;
-    m_retries = 0; ground_rows = 0; cells = 0; solve_ms = 0.0 }
+    m_retries = 0; ground_rows = 0; cells = 0; solve_ms = 0.0; report = [] }
 
 let m_big_m_retries = Obs.Metrics.counter "repair.big_m_retries"
 let m_components = Obs.Metrics.counter "repair.components_solved"
@@ -164,28 +194,54 @@ let rows_satisfied db rows forced =
        (fun (cell, v) -> Rat.equal (Ground.db_valuation db cell) v)
        forced
 
-(* Per-component solver effort, aggregated into {!stats}. *)
+(* Per-component solver effort, aggregated into {!stats}.  Deliberately
+   immutable (phases as a snapshot list, not a live [Obs.Phases.t]) so the
+   shared [no_work] value and cached outcomes cannot alias mutable state. *)
 type work = {
   wk_nodes : int;
   wk_pivots : int;
   wk_dual : int;
   wk_warm : int;
   wk_fallbacks : int;
+  wk_phases : (string * (int * float)) list;
+  wk_gap : float option;           (* final gap of the last attempt *)
+  wk_gap_tl : (float * float) list; (* gap timeline, attempts concatenated *)
 }
 
-let no_work = { wk_nodes = 0; wk_pivots = 0; wk_dual = 0; wk_warm = 0; wk_fallbacks = 0 }
+let no_work =
+  { wk_nodes = 0; wk_pivots = 0; wk_dual = 0; wk_warm = 0; wk_fallbacks = 0;
+    wk_phases = []; wk_gap = None; wk_gap_tl = [] }
+
+let add_phase_lists a b =
+  List.fold_left
+    (fun acc (name, (c, t)) ->
+      if List.mem_assoc name acc then
+        List.map
+          (fun (n, (c0, t0)) ->
+            if String.equal n name then (n, (c0 + c, t0 +. t)) else (n, (c0, t0)))
+          acc
+      else acc @ [ (name, (c, t)) ])
+    a b
 
 let add_work a b =
   { wk_nodes = a.wk_nodes + b.wk_nodes;
     wk_pivots = a.wk_pivots + b.wk_pivots;
     wk_dual = a.wk_dual + b.wk_dual;
     wk_warm = a.wk_warm + b.wk_warm;
-    wk_fallbacks = a.wk_fallbacks + b.wk_fallbacks }
+    wk_fallbacks = a.wk_fallbacks + b.wk_fallbacks;
+    wk_phases = add_phase_lists a.wk_phases b.wk_phases;
+    (* The later attempt's convergence wins (a big-M retry supersedes the
+       clipped search); timelines concatenate so the retry history stays
+       visible. *)
+    wk_gap = (match b.wk_gap with Some _ -> b.wk_gap | None -> a.wk_gap);
+    wk_gap_tl = a.wk_gap_tl @ b.wk_gap_tl }
 
 let work_of (o : M.outcome) =
   { wk_nodes = o.M.nodes_explored; wk_pivots = o.M.simplex_pivots;
     wk_dual = o.M.dual_pivots; wk_warm = o.M.warm_starts;
-    wk_fallbacks = o.M.warm_fallbacks }
+    wk_fallbacks = o.M.warm_fallbacks;
+    wk_phases = Obs.Phases.to_list o.M.phases;
+    wk_gap = o.M.final_gap; wk_gap_tl = o.M.gap_timeline }
 
 (** Result of one component's (possibly retried) solve. *)
 type comp_solved =
@@ -278,13 +334,32 @@ let degrade ~forced ~db ~constraints why stats_v =
 
 (* Fold the per-component outcomes in component order: accumulate stats,
    concatenate repairs, and let the first failure decide.  Shared by
-   {!card_minimal} and {!Warm.solve}, so both paths degrade identically. *)
-let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows
+   {!card_minimal} and {!Warm.solve}, so both paths degrade identically.
+   [comp_meta] carries each component's (ground rows, cells) in the same
+   order as [outcomes], feeding the per-component report. *)
+let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows ~comp_meta
     (outcomes : comp_outcome list) : result =
   let stats = ref { empty_stats with
                     components = ncomps;
                     ground_rows = List.length rows;
                     cells = List.length (Ground.cells rows) } in
+  let reports = ref [] in (* reverse component order *)
+  let add_report ~index ~meta ~status ~enc ~wk ~retries =
+    let crows, ccells = meta in
+    let vars, mrows =
+      match enc with
+      | Some e -> (Encode.num_vars e, Encode.num_rows e)
+      | None -> (0, 0)
+    in
+    reports :=
+      { cr_component = index; cr_rows = crows; cr_cells = ccells;
+        cr_vars = vars; cr_milp_rows = mrows; cr_nodes = wk.wk_nodes;
+        cr_pivots = wk.wk_pivots; cr_dual_pivots = wk.wk_dual;
+        cr_warm_starts = wk.wk_warm; cr_warm_fallbacks = wk.wk_fallbacks;
+        cr_retries = retries; cr_status = status; cr_gap = wk.wk_gap;
+        cr_phases = wk.wk_phases; cr_gap_timeline = wk.wk_gap_tl }
+      :: !reports
+  in
   let add_enc enc wk retries =
     stats := { !stats with
                milp_vars = !stats.milp_vars + Encode.num_vars enc;
@@ -296,34 +371,53 @@ let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows
                warm_fallbacks = !stats.warm_fallbacks + wk.wk_fallbacks;
                m_retries = !stats.m_retries + retries }
   in
-  let finish_stats () = { !stats with solve_ms = Obs.elapsed_ms ~since:t0 } in
+  let finish_stats () =
+    { !stats with solve_ms = Obs.elapsed_ms ~since:t0;
+                  report = List.rev !reports }
+  in
   let saw_cancel = ref false in
-  let rec combine acc degraded = function
+  let meta_of metas =
+    match metas with m :: rest -> (m, rest) | [] -> ((0, 0), [])
+  in
+  let rec combine acc degraded metas index = function
     | [] ->
       let provenance = if degraded then Incumbent else Exact in
       if degraded then Obs.Metrics.incr m_degraded;
       if !saw_cancel then Obs.Metrics.incr m_cancelled;
       Repaired (List.concat (List.rev acc), provenance, finish_stats ())
-    | `Satisfied :: rest -> combine acc degraded rest
+    | `Satisfied :: rest ->
+      let meta, metas = meta_of metas in
+      add_report ~index ~meta ~status:"satisfied" ~enc:None ~wk:no_work
+        ~retries:0;
+      combine acc degraded metas (index + 1) rest
     | `Solved outcome :: rest ->
+      let meta, metas = meta_of metas in
       (match outcome with
        | Ok (repair, prov, enc, wk, retries, was_cancelled) ->
          add_enc enc wk retries;
+         add_report ~index ~meta ~status:(provenance_to_string prov)
+           ~enc:(Some enc) ~wk ~retries;
          if was_cancelled then saw_cancel := true;
-         combine (repair :: acc) (degraded || prov <> Exact) rest
+         combine (repair :: acc) (degraded || prov <> Exact) metas (index + 1)
+           rest
        | Error (`Infeasible (enc, wk, retries)) ->
          (* Infeasibility is definitive (within the M bound): no repair
             exists, so there is nothing to degrade to. *)
          add_enc enc wk retries;
+         add_report ~index ~meta ~status:"infeasible" ~enc:(Some enc) ~wk
+           ~retries;
          No_repair (finish_stats ())
        | Error (`Budget (enc, wk, retries)) ->
          add_enc enc wk retries;
+         add_report ~index ~meta ~status:"budget" ~enc:(Some enc) ~wk ~retries;
          degrade ~forced ~db ~constraints `Budget (finish_stats ())
        | Error (`Cancelled (enc, wk, retries)) ->
          add_enc enc wk retries;
+         add_report ~index ~meta ~status:"cancelled" ~enc:(Some enc) ~wk
+           ~retries;
          degrade ~forced ~db ~constraints `Cancelled (finish_stats ()))
   in
-  combine [] false outcomes
+  combine [] false comp_meta 0 outcomes
 
 (* ------------------------------------------------------------------ *)
 (* One-shot solving                                                    *)
@@ -381,8 +475,14 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
                r))
     in
     let outcomes = mapper.map solve_comp comps in
+    let comp_meta =
+      List.map
+        (fun (_, comp) ->
+          (List.length comp, List.length (Ground.cells comp)))
+        comps
+    in
     combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps:(List.length comps)
-      ~rows outcomes
+      ~rows ~comp_meta outcomes
   end
   with Cancel.Cancelled ->
     (* The token fired outside branch & bound (grounding, encoding, or a
@@ -550,8 +650,14 @@ module Warm = struct
           else begin
             let jobs = List.mapi (fun i c -> (i, c)) w.comps in
             let outcomes = mapper.map (solve_comp ~cancel w) jobs in
+            let comp_meta =
+              List.map
+                (fun c ->
+                  (List.length c.crows, List.length (Ground.cells c.crows)))
+                w.comps
+            in
             combine_outcomes ~t0 ~forced ~db:w.db ~constraints:w.constraints
-              ~ncomps:(List.length w.comps) ~rows:w.rows outcomes
+              ~ncomps:(List.length w.comps) ~rows:w.rows ~comp_meta outcomes
           end
         with Cancel.Cancelled ->
           degrade ~forced ~db:w.db ~constraints:w.constraints `Cancelled
@@ -575,6 +681,71 @@ let involvement rows =
         r.terms)
     rows;
   tbl
+
+(* ------------------------------------------------------------------ *)
+(* Solve reports                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let result_stats = function
+  | Consistent -> None
+  | Repaired (_, _, s) | No_repair s | Node_budget_exceeded s | Cancelled s ->
+    Some s
+
+let report_gap (s : stats) =
+  List.fold_left
+    (fun acc c ->
+      match (c.cr_gap, acc) with
+      | Some g, Some a -> Some (Float.max g a)
+      | Some g, None -> Some g
+      | None, a -> a)
+    None s.report
+
+let report_json (s : stats) : Obs.Json.t =
+  let module J = Obs.Json in
+  let phases_json l =
+    J.Obj
+      (List.map
+         (fun (n, (c, t)) ->
+           (n, J.Obj [ ("count", J.Int c); ("total_us", J.Float t) ]))
+         l)
+  in
+  let timeline_json tl =
+    J.List (List.map (fun (t, g) -> J.List [ J.Float t; J.Float g ]) tl)
+  in
+  let opt_float = function Some f -> J.Float f | None -> J.Null in
+  let comp c =
+    J.Obj
+      [ ("component", J.Int c.cr_component); ("rows", J.Int c.cr_rows);
+        ("cells", J.Int c.cr_cells); ("milp_vars", J.Int c.cr_vars);
+        ("milp_rows", J.Int c.cr_milp_rows); ("nodes", J.Int c.cr_nodes);
+        ("simplex_pivots", J.Int c.cr_pivots);
+        ("dual_pivots", J.Int c.cr_dual_pivots);
+        ("warm_starts", J.Int c.cr_warm_starts);
+        ("warm_fallbacks", J.Int c.cr_warm_fallbacks);
+        ("m_retries", J.Int c.cr_retries); ("status", J.Str c.cr_status);
+        ("gap", opt_float c.cr_gap); ("phases", phases_json c.cr_phases);
+        ("gap_timeline", timeline_json c.cr_gap_timeline) ]
+  in
+  let total_phases =
+    List.fold_left (fun acc c -> add_phase_lists acc c.cr_phases) [] s.report
+  in
+  J.Obj
+    [ ("schema", J.Str "dart-solve-report/1");
+      ("totals",
+       J.Obj
+         [ ("components", J.Int s.components);
+           ("milp_vars", J.Int s.milp_vars);
+           ("milp_rows", J.Int s.milp_rows); ("nodes", J.Int s.nodes);
+           ("simplex_pivots", J.Int s.simplex_pivots);
+           ("dual_pivots", J.Int s.dual_pivots);
+           ("warm_starts", J.Int s.warm_starts);
+           ("warm_fallbacks", J.Int s.warm_fallbacks);
+           ("m_retries", J.Int s.m_retries);
+           ("ground_rows", J.Int s.ground_rows); ("cells", J.Int s.cells);
+           ("solve_ms", J.Float s.solve_ms);
+           ("gap", opt_float (report_gap s)) ]);
+      ("phases", phases_json total_phases);
+      ("components", J.List (List.map comp s.report)) ]
 
 (** Order a repair's updates for display: updates on cells involved in more
     ground constraints come first (§6.3). Ties break on cell identity for

@@ -12,6 +12,33 @@ open Dart_numeric
 open Dart_relational
 open Dart_constraints
 
+(** One component's solve, as seen by the observatory: size, effort
+    counters, per-phase time attribution and the branch-and-bound gap
+    convergence series.  Reports come back in component order, one entry
+    per component (satisfied components included with zero work). *)
+type comp_report = {
+  cr_component : int;    (** component index, in solve order *)
+  cr_rows : int;         (** ground rows in the component *)
+  cr_cells : int;        (** repairable cells in the component *)
+  cr_vars : int;         (** MILP variables (0 when satisfied) *)
+  cr_milp_rows : int;    (** MILP constraint rows *)
+  cr_nodes : int;
+  cr_pivots : int;
+  cr_dual_pivots : int;
+  cr_warm_starts : int;
+  cr_warm_fallbacks : int;
+  cr_retries : int;      (** big-M retries *)
+  cr_status : string;
+      (** ["satisfied"], a {!provenance} string, or
+          ["infeasible"]/["budget"]/["cancelled"] *)
+  cr_gap : float option; (** final relative gap; [0.0] when proved optimal *)
+  cr_phases : (string * (int * float)) list;
+      (** [(phase, (calls, total_us))]: ["phase1"], ["phase2"], ["dual"],
+          ["snapshot"] — where this component's solve time went *)
+  cr_gap_timeline : (float * float) list;
+      (** [(elapsed_us, gap)] — how the incumbent closed on the bound *)
+}
+
 type stats = {
   components : int;
   milp_vars : int;
@@ -25,6 +52,9 @@ type stats = {
   ground_rows : int;
   cells : int;
   solve_ms : float;      (** wall-clock time of the whole card-minimal solve *)
+  report : comp_report list;
+      (** per-component solve reports in component order; [[]] when the
+          instance was consistent or the solve failed before grounding *)
 }
 
 val empty_stats : stats
@@ -118,6 +148,26 @@ module Warm : sig
       [stats] report only the work done by this call (cache hits
       contribute zero nodes/pivots). *)
 end
+
+val result_stats : result -> stats option
+(** The stats carried by a result; [None] for [Consistent] (which did no
+    solver work). *)
+
+val report_gap : stats -> float option
+(** The worst final branch-and-bound gap across components — [Some 0.0]
+    when every solved component was proved optimal, positive when some
+    component was truncated or cancelled with an incumbent ("gap at
+    abort"), [None] when nothing produced a gap (all satisfied, or
+    failure without an incumbent). *)
+
+val report_json : stats -> Dart_obs.Obs.Json.t
+(** The machine-readable solve report (schema ["dart-solve-report/1"]):
+    aggregate totals, aggregate phase-time attribution, and one entry per
+    component with its counters, phase breakdown and gap timeline.  This
+    is what [dart-cli repair --solve-report] writes and [dart-cli report]
+    renders.  Wall-clock fields mean the report is {e not}
+    byte-deterministic — it never travels on the wire (see
+    {!Dart_server.Proto}-level determinism). *)
 
 val involvement : Ground.row list -> (Ground.cell, int) Hashtbl.t
 (** How many ground rows each cell occurs in (drives the §6.3 display

@@ -55,6 +55,10 @@ type config = {
                                       post-mortems for bad requests here *)
   flight_capacity : int;          (** ring size per domain (events) *)
   access_log : string option;     (** one JSON line per request, appended *)
+  access_log_max_bytes : int;     (** rotate the access log once it exceeds
+                                      this many bytes (0 = never rotate);
+                                      one rotated generation ([FILE.1]) is
+                                      kept *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -66,7 +70,7 @@ let default_config ?(scenarios = []) addr =
     drain_timeout_s = 30.0; max_nodes = 2_000_000; max_iterations = 50;
     cancel_grace_ms = 200.0; faults = Faultsim.none;
     telemetry_port = None; flight_dir = None; flight_capacity = 256;
-    access_log = None; scenarios }
+    access_log = None; access_log_max_bytes = 64 * 1024 * 1024; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -132,6 +136,9 @@ type t = {
   flight : (Obs.sink * (unit -> Obs.event list)) option;
   access_mu : Mutex.t;
   mutable access_oc : out_channel option;
+  mutable access_bytes : int;     (* size of the current access-log file,
+                                     tracked under [access_mu] to drive
+                                     rotation without a stat per line *)
   mutable listen_fd : Unix.file_descr option;
   mutable accept_thread : Thread.t option;
   mutable telemetry_fd : Unix.file_descr option;
@@ -166,7 +173,10 @@ let create cfg =
         ~max_sessions:cfg.max_sessions ();
     stopping = Atomic.make false; active_conns = Atomic.make 0;
     inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
-    flight; access_mu = Mutex.create (); access_oc; listen_fd = None;
+    flight; access_mu = Mutex.create (); access_oc;
+    access_bytes =
+      (match access_oc with Some oc -> out_channel_length oc | None -> 0);
+    listen_fd = None;
     accept_thread = None; telemetry_fd = None; telemetry_thread = None }
 
 let stopping t = Atomic.get t.stopping
@@ -190,6 +200,19 @@ let install_signal_handlers t =
 
 exception Reply of Json.t
 (* Handlers raise [Reply] for early error exits; [dispatch] catches it. *)
+
+(* Per-request bookkeeping that outlives the handler: the worker records
+   how long the job sat queued and the repair handler records the final
+   B&B gap; the access log reads both after the response is built.
+   Atomic because the read can race the worker's write when a job is
+   abandoned past [cancel_grace_ms] (the worker domain may still be
+   running while the connection thread answers). *)
+type req_meta = {
+  queue_wait_ms : float option Atomic.t;
+  gap : float option Atomic.t;
+      (* worst final B&B gap of a repair solve — positive exactly when the
+         answer was degraded (deadline/budget), i.e. "gap at deadline" *)
+}
 
 let reply_error ?id code msg = raise (Reply (Proto.error ?id code msg))
 
@@ -247,7 +270,7 @@ let handle_detect t ~cancel req =
                   ("groundings", Json.Int (List.length thetas)) ])
             violated)) ]
 
-let handle_repair t ~cancel req =
+let handle_repair t meta ~cancel req =
   let scenario, acq = acquire_db t ~cancel req in
   let db = acq.Pipeline.db in
   let rows = Ground.of_constraints db scenario.Scenario.constraints in
@@ -255,6 +278,8 @@ let handle_repair t ~cancel req =
     Pipeline.repair ~mapper:(Pool.solver_mapper t.pool) ~max_nodes:t.cfg.max_nodes
       ~cancel scenario db
   in
+  Atomic.set meta.gap
+    (Option.bind (Solver.result_stats result) Solver.report_gap);
   match result with
   | Solver.Cancelled _ ->
     (* Deadline fired and degradation had nothing to fall back to. *)
@@ -367,13 +392,6 @@ let handle_stats t req =
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-request bookkeeping that outlives the handler: the worker records
-   how long the job sat queued; the access log reads it after the
-   response is built.  Atomic because the read can race the worker's
-   write when a job is abandoned past [cancel_grace_ms] (the worker
-   domain may still be running while the connection thread answers). *)
-type req_meta = { queue_wait_ms : float option Atomic.t }
-
 (* Heavy handlers run on the worker pool; the connection thread waits,
    polling cheaply, until completion or the request's deadline.
 
@@ -484,20 +502,49 @@ let dispatch t meta req =
   | "session/close" -> handle_session_close t req
   | "acquire" -> run_on_pool t meta req handle_acquire
   | "detect" -> run_on_pool t meta req handle_detect
-  | "repair" -> run_on_pool t meta req handle_repair
+  | "repair" ->
+    run_on_pool t meta req (fun t ~cancel req -> handle_repair t meta ~cancel req)
   | "session/open" -> run_on_pool t meta req handle_session_open
   | "session/decide" -> run_on_pool t meta req handle_session_decide
   | other ->
     Proto.error ?id:req.Proto.id Proto.Unknown_op
       (Printf.sprintf "unknown op %S" other)
 
+(* Size-based rotation: once the current file exceeds
+   [access_log_max_bytes], rename it to [FILE.1] (clobbering the previous
+   generation) and start a fresh file — exactly one rotated generation is
+   kept, bounding disk use at ~2x the threshold.  Called with [access_mu]
+   held. *)
+let rotate_access_log_locked t =
+  match (t.access_oc, t.cfg.access_log) with
+  | Some oc, Some path ->
+    (try
+       flush oc;
+       close_out oc;
+       Sys.rename path (path ^ ".1");
+       t.access_oc <-
+         Some (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path);
+       t.access_bytes <- 0
+     with Sys_error _ ->
+       (* Rotation failing (e.g. permissions on the directory) must not
+          lose the log: reopen the original path and carry on appending. *)
+       (try
+          t.access_oc <-
+            Some (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path);
+          t.access_bytes <-
+            (match t.access_oc with
+             | Some oc -> out_channel_length oc
+             | None -> 0)
+        with Sys_error _ -> t.access_oc <- None))
+  | _ -> ()
+
 (* One JSON line per finished request.  The channel is shared by every
    connection thread, so writes are serialized by [access_mu]. *)
-let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance
+let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance ~gap
     ~bytes_in ~bytes_out =
   match t.access_oc with
   | None -> ()
-  | Some oc ->
+  | Some _ ->
     let line =
       Json.to_string
         (Json.Obj
@@ -510,14 +557,24 @@ let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance
                | None -> [])
             @ (match provenance with
                | Some p -> [ ("provenance", Json.Str p) ]
+               | None -> [])
+            @ (match gap with
+               | Some g -> [ ("gap", Json.Float g) ]
                | None -> [])))
     in
     Mutex.lock t.access_mu;
-    (try
-       output_string oc line;
-       output_char oc '\n';
-       flush oc
-     with Sys_error _ -> ());
+    (match t.access_oc with
+     | None -> ()
+     | Some oc ->
+       (try
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          t.access_bytes <- t.access_bytes + String.length line + 1;
+          if t.cfg.access_log_max_bytes > 0
+             && t.access_bytes >= t.cfg.access_log_max_bytes
+          then rotate_access_log_locked t
+        with Sys_error _ -> ()));
     Mutex.unlock t.access_mu
 
 let contains_substring hay needle =
@@ -596,7 +653,7 @@ let process t payload =
      (stats/telemetry) rather than here: two concurrent requests'
      gauge-set calls could land out of order and leave it stale. *)
   ignore (Atomic.fetch_and_add t.inflight 1);
-  let meta = { queue_wait_ms = Atomic.make None } in
+  let meta = { queue_wait_ms = Atomic.make None; gap = Atomic.make None } in
   let resp, op, trace_id =
     match Json.of_string payload with
     | Error msg -> (Proto.error Proto.Parse_error msg, "<parse>", "")
@@ -644,6 +701,7 @@ let process t payload =
   access_log_line t ~op ~trace_id ~outcome ~ms:dt
     ~queue_wait:(Atomic.get meta.queue_wait_ms)
     ~provenance:(Proto.string_field resp "provenance")
+    ~gap:(Atomic.get meta.gap)
     ~bytes_in:(String.length payload) ~bytes_out:(String.length out);
   maybe_dump_flight t ~trace_id ~outcome ~msg;
   out

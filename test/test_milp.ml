@@ -187,6 +187,44 @@ let node_events_match_outcome =
       Alcotest.(check int) "event count" outcome.M.nodes_explored node_events;
       Alcotest.(check bool) "pivots counted" true (outcome.M.simplex_pivots > 0))
 
+(* Convergence observability: the node log and gap timeline carried on
+   the outcome must be populated and consistent on a multi-node solve. *)
+let convergence_observability =
+  Alcotest.test_case "node log and gap timeline populated on multi-node B&B"
+    `Quick (fun () ->
+      let fi = Field_rat.of_int in
+      let p = P.create () in
+      let x = P.add_var ~name:"x" ~lower:Field_rat.zero ~integer:true p in
+      let y = P.add_var ~name:"y" ~lower:Field_rat.zero ~integer:true p in
+      P.add_constraint p [ (fi 6, x); (fi 4, y) ] Lp_problem.Le (fi 24);
+      P.add_constraint p [ (Field_rat.one, x); (fi 2, y) ] Lp_problem.Le (fi 6);
+      P.set_objective ~minimize:false p [ (fi 5, x); (fi 4, y) ];
+      let o = M.solve ~integral_objective:true p in
+      Alcotest.(check bool) "multi-node" true (o.M.nodes_explored > 1);
+      Alcotest.(check bool) "optimal" true (o.M.status = M.Optimal);
+      (* Proved optimal => the reported final gap is exactly zero, and it
+         is the last point of the timeline. *)
+      (match o.M.final_gap with
+       | Some g -> Alcotest.(check (float 0.0)) "final gap" 0.0 g
+       | None -> Alcotest.fail "no final gap on an optimal solve");
+      (match List.rev o.M.gap_timeline with
+       | (_, last) :: _ -> Alcotest.(check (float 0.0)) "last point" 0.0 last
+       | [] -> Alcotest.fail "empty gap timeline");
+      Alcotest.(check bool) "root bound recorded" true (o.M.root_bound <> None);
+      (* The node log is bounded, non-empty, and in exploration order. *)
+      Alcotest.(check bool) "node log non-empty" true (o.M.node_log <> []);
+      let nodes = List.map (fun e -> e.Milp.ne_node) o.M.node_log in
+      Alcotest.(check bool) "node ids increase" true
+        (List.sort compare nodes = nodes);
+      List.iter
+        (fun (e : Milp.node_event) ->
+          Alcotest.(check bool) "open count never negative" true
+            (e.Milp.ne_open >= 0))
+        o.M.node_log;
+      (* Phase attribution: a solve that pivots spends time somewhere. *)
+      Alcotest.(check bool) "phases recorded" true
+        (Obs.Phases.to_list o.M.phases <> []))
+
 (* LP-format export sanity. *)
 module Io = Lp_io.Make (Field_rat)
 
@@ -223,4 +261,6 @@ let lp_io_tests =
 
 let suite =
   Rat_scenarios.tests "rat" @ Float_scenarios.tests "float"
-  @ [ knapsack_matches_bruteforce; node_events_match_outcome ] @ lp_io_tests
+  @ [ knapsack_matches_bruteforce; node_events_match_outcome;
+      convergence_observability ]
+  @ lp_io_tests

@@ -442,6 +442,124 @@ let quantile_tests =
         List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.5 ];
         Alcotest.(check int) "count" 3 (Obs.Metrics.histogram_count h);
         Alcotest.(check (float 1e-9)) "sum" 6.5 (Obs.Metrics.histogram_sum h));
+    t "single-sample histogram puts every quantile in its bucket" (fun () ->
+        let h =
+          Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0 |]
+            "test.obs.quantile.single"
+        in
+        Obs.Metrics.observe h 1.5;
+        (* One observation in (1,2]: interpolation never leaves the
+           bucket, whatever q is. *)
+        List.iter
+          (fun q ->
+            let v = Obs.Metrics.quantile h q in
+            Alcotest.(check bool)
+              (Printf.sprintf "q=%.2f within bucket" q)
+              true
+              (v >= 1.0 && v <= 2.0))
+          [ 0.0; 0.5; 0.95; 0.99; 1.0 ]);
+    Qcheck_util.to_alcotest
+      (QCheck.Test.make ~count:200 ~long_factor:5
+         ~name:"histogram quantiles are monotone (p50 <= p95 <= p99)"
+         QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 2000.0))
+         (fun samples ->
+           (* A private (unregistered-name-collision-free) histogram per
+              property case would bloat the registry: reuse one and reset
+              it by observing into a fresh one each time instead. *)
+           let h =
+             Obs.Metrics.histogram
+               ~buckets:[| 0.1; 1.0; 5.0; 10.0; 50.0; 100.0; 500.0; 1000.0 |]
+               "test.obs.quantile.qcheck"
+           in
+           Obs.Metrics.reset ();
+           List.iter (Obs.Metrics.observe h) samples;
+           let p50 = Obs.Metrics.quantile h 0.50 in
+           let p95 = Obs.Metrics.quantile h 0.95 in
+           let p99 = Obs.Metrics.quantile h 0.99 in
+           p50 <= p95 && p95 <= p99));
+  ]
+
+let timeline_tests =
+  [ t "timeline stays within capacity and keeps the first point" (fun () ->
+        let tl = Obs.Timeline.create ~capacity:16 () in
+        for i = 0 to 999 do
+          Obs.Timeline.record tl ~elapsed_us:(float_of_int i) (float_of_int i)
+        done;
+        Alcotest.(check bool) "bounded" true (Obs.Timeline.length tl <= 16);
+        Alcotest.(check int) "seen counts admitted points" 1000
+          (Obs.Timeline.seen tl);
+        (match Obs.Timeline.points tl with
+         | (t0, v0) :: _ ->
+           Alcotest.(check (float 0.0)) "first point time" 0.0 t0;
+           Alcotest.(check (float 0.0)) "first point value" 0.0 v0
+         | [] -> Alcotest.fail "timeline empty after 1000 records"));
+    t "timeline points are in time order after decimation" (fun () ->
+        let tl = Obs.Timeline.create ~capacity:8 () in
+        for i = 0 to 499 do
+          Obs.Timeline.record tl ~elapsed_us:(float_of_int i) 1.0
+        done;
+        let ts = List.map fst (Obs.Timeline.points tl) in
+        Alcotest.(check bool) "sorted" true (List.sort compare ts = ts));
+    t "forced records are admitted regardless of stride" (fun () ->
+        let tl = Obs.Timeline.create ~capacity:8 () in
+        for i = 0 to 99 do
+          Obs.Timeline.record tl ~elapsed_us:(float_of_int i) 0.5
+        done;
+        let n = Obs.Timeline.length tl in
+        Obs.Timeline.record tl ~elapsed_us:1000.0 ~force:true 9.9;
+        let pts = Obs.Timeline.points tl in
+        Alcotest.(check bool) "forced point present" true
+          (List.exists (fun (_, v) -> v = 9.9) pts);
+        Alcotest.(check bool) "length grew or halved, still bounded" true
+          (Obs.Timeline.length tl <= 8 && Obs.Timeline.length tl >= min 1 n));
+    t "timeline json is a list of [t, v] pairs" (fun () ->
+        let tl = Obs.Timeline.create ~capacity:4 () in
+        Obs.Timeline.record tl ~elapsed_us:1.0 2.0;
+        Obs.Timeline.record tl ~elapsed_us:3.0 4.0;
+        match Obs.Timeline.to_json tl with
+        | Obs.Json.List [ Obs.Json.List [ _; _ ]; Obs.Json.List [ _; _ ] ] -> ()
+        | j -> Alcotest.fail ("unexpected shape: " ^ Obs.Json.to_string j));
+  ]
+
+let phases_tests =
+  [ t "phases accumulate counts and totals in first-use order" (fun () ->
+        let p = Obs.Phases.create () in
+        Obs.Phases.add_us p "b" 10.0;
+        Obs.Phases.add_us p "a" 5.0;
+        Obs.Phases.add_us p "b" 2.5;
+        Alcotest.(check (list string)) "order"
+          [ "b"; "a" ]
+          (List.map (fun (n, _) -> n) (Obs.Phases.to_list p));
+        Alcotest.(check int) "b count" 2 (Obs.Phases.count p "b");
+        Alcotest.(check (float 1e-9)) "b total" 12.5 (Obs.Phases.total_us p "b");
+        Alcotest.(check int) "missing phase count" 0 (Obs.Phases.count p "zz"));
+    t "negative durations clamp to zero" (fun () ->
+        let p = Obs.Phases.create () in
+        Obs.Phases.add_us p "x" (-3.0);
+        Alcotest.(check (float 0.0)) "clamped" 0.0 (Obs.Phases.total_us p "x");
+        Alcotest.(check int) "still counted" 1 (Obs.Phases.count p "x"));
+    t "time runs the thunk and records even on raise" (fun () ->
+        let p = Obs.Phases.create () in
+        let v = Obs.Phases.time p "ok" (fun () -> 7) in
+        Alcotest.(check int) "value" 7 v;
+        (try
+           ignore (Obs.Phases.time p "boom" (fun () -> failwith "x"));
+           Alcotest.fail "exception swallowed"
+         with Failure _ -> ());
+        Alcotest.(check int) "ok counted" 1 (Obs.Phases.count p "ok");
+        Alcotest.(check int) "raised phase still counted" 1
+          (Obs.Phases.count p "boom"));
+    t "merge_into adds phase-wise and preserves destination order" (fun () ->
+        let a = Obs.Phases.create () and b = Obs.Phases.create () in
+        Obs.Phases.add_us a "p1" 1.0;
+        Obs.Phases.add_us b "p1" 2.0;
+        Obs.Phases.add_us b "p2" 3.0;
+        Obs.Phases.merge_into ~dst:a b;
+        Alcotest.(check (float 1e-9)) "p1 merged" 3.0 (Obs.Phases.total_us a "p1");
+        Alcotest.(check int) "p1 count" 2 (Obs.Phases.count a "p1");
+        Alcotest.(check (float 1e-9)) "p2 adopted" 3.0 (Obs.Phases.total_us a "p2");
+        Alcotest.(check (list string)) "order" [ "p1"; "p2" ]
+          (List.map fst (Obs.Phases.to_list a)));
   ]
 
 let prometheus_tests =
@@ -496,4 +614,4 @@ let suite =
   span_tests @ json_tests
   @ [ chrome_trace_test; chrome_two_domain_test ]
   @ trace_tests @ flight_tests @ metrics_tests @ quantile_tests
-  @ prometheus_tests @ level_tests
+  @ timeline_tests @ phases_tests @ prometheus_tests @ level_tests

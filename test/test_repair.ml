@@ -161,6 +161,45 @@ let solver_tests =
           (* Possible if the corruption accidentally preserved consistency. *)
           ()
         | _ -> Alcotest.fail "expected a repair");
+    t "solve report covers every component and round-trips as JSON" (fun () ->
+        let module Obs = Dart_obs.Obs in
+        let prng = Prng.create 11 in
+        let truth = Cash_budget.generate ~years:3 prng in
+        let corrupted, _log = Cash_budget.corrupt ~errors:3 prng truth in
+        match Solver.card_minimal corrupted Cash_budget.constraints with
+        | Solver.Repaired (_, _, stats) ->
+          Alcotest.(check int) "one report entry per component"
+            stats.Solver.components
+            (List.length stats.Solver.report);
+          (* Proved-optimal components report gap zero, and some solved
+             component must carry a non-empty gap timeline. *)
+          (match Solver.report_gap stats with
+           | Some g -> Alcotest.(check (float 0.0)) "gap zero" 0.0 g
+           | None -> Alcotest.fail "no gap on a solved instance");
+          Alcotest.(check bool) "a gap timeline is populated" true
+            (List.exists
+               (fun cr -> cr.Solver.cr_gap_timeline <> [])
+               stats.Solver.report);
+          Alcotest.(check bool) "phase attribution present" true
+            (List.exists
+               (fun cr -> cr.Solver.cr_phases <> [])
+               stats.Solver.report);
+          (* The machine-readable report round-trips and has the schema
+             the CLI renderer checks for. *)
+          let j = Solver.report_json stats in
+          (match Obs.Json.of_string (Obs.Json.to_string j) with
+           | Error e -> Alcotest.fail ("report not valid JSON: " ^ e)
+           | Ok (Obs.Json.Obj fields) ->
+             Alcotest.(check bool) "schema" true
+               (List.assoc_opt "schema" fields
+                = Some (Obs.Json.Str "dart-solve-report/1"));
+             (match List.assoc_opt "components" fields with
+              | Some (Obs.Json.List comps) ->
+                Alcotest.(check int) "json component entries"
+                  stats.Solver.components (List.length comps)
+              | _ -> Alcotest.fail "components missing from report json")
+           | Ok _ -> Alcotest.fail "report json is not an object")
+        | _ -> Alcotest.fail "expected a repair");
   ]
 
 let baseline_tests =

@@ -583,6 +583,94 @@ let session_tests =
           (List.length (pending ())))
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Access log: rotation and solve-gap logging                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let access_log_tests =
+  [ t "access log rotates at the size threshold, keeping one generation"
+      (fun () ->
+        let sock = fresh_sock () in
+        let log_path =
+          Printf.sprintf "/tmp/dart-test-access-%d-%d.log" (Unix.getpid ())
+            !sock_counter
+        in
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ log_path; log_path ^ ".1" ];
+        let cfg =
+          { (Server.default_config ~scenarios:all_scenarios
+               (Proto.Unix_sock sock))
+            with
+            Server.domains = 2;
+            access_log = Some log_path;
+            (* Each line is ~150-200 bytes: a handful of requests crosses
+               this threshold several times. *)
+            access_log_max_bytes = 400 }
+        in
+        let srv = Server.create cfg in
+        Server.start srv;
+        Fun.protect
+          ~finally:(fun () ->
+            Server.stop srv;
+            Server.wait srv;
+            (try Unix.unlink sock with Unix.Unix_error _ -> ());
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ log_path; log_path ^ ".1" ])
+          (fun () ->
+            Client.with_connection (Proto.Unix_sock sock) (fun c ->
+                (* Enough pings to force several rotations, then one
+                   repair LAST — only one rotated generation is kept, so
+                   the gap-carrying line must be among the newest. *)
+                for _ = 1 to 20 do
+                  Alcotest.(check bool) "ping" true (Client.ping c = Ok ())
+                done;
+                match
+                  Client.repair c ~scenario:"cash-budget" ~document:(doc 31) ()
+                with
+                | Ok _ -> ()
+                | Error msg -> Alcotest.fail ("repair failed: " ^ msg));
+            Alcotest.(check bool) "current file exists" true
+              (Sys.file_exists log_path);
+            Alcotest.(check bool) "rotated generation exists" true
+              (Sys.file_exists (log_path ^ ".1"));
+            Alcotest.(check bool) "current file restarted under threshold" true
+              ((Unix.stat log_path).Unix.st_size
+               <= cfg.Server.access_log_max_bytes);
+            let lines = read_lines log_path @ read_lines (log_path ^ ".1") in
+            (* Retention is bounded by design: current + one generation
+               hold only the newest ~2x threshold of lines. *)
+            Alcotest.(check bool) "retained lines present" true (lines <> []);
+            Alcotest.(check bool) "older generations were dropped" true
+              (List.length lines < 21);
+            (* Every line in both generations is a JSON object with the
+               mandatory fields; the repair line carries the gap. *)
+            let saw_gap = ref false in
+            List.iter
+              (fun line ->
+                match Json.of_string line with
+                | Error e -> Alcotest.fail ("unparseable access line: " ^ e)
+                | Ok j ->
+                  Alcotest.(check bool) "has op" true
+                    (Proto.string_field j "op" <> None);
+                  if Proto.member "gap" j <> None then saw_gap := true)
+              lines;
+            Alcotest.(check bool) "a line recorded the solve gap" true
+              !saw_gap))
+  ]
+
 let suite =
   frame_tests @ pool_tests @ robustness_tests @ parity_tests @ store_tests
-  @ session_tests
+  @ session_tests @ access_log_tests
