@@ -1,0 +1,271 @@
+(* serve2 — the durable server: solve-cache effectiveness and crash
+   recovery cost.
+
+   Part 1 drives an in-process dart_server with 8 concurrent clients
+   issuing [repair] requests drawn from a small set of template documents
+   (each repeated many times — the "same monthly report, new upload"
+   shape), once with the cross-request solve cache disabled and once with
+   a 64 MB budget.  Coalescing is off in both runs so the comparison
+   isolates the cache.  Part 2 populates a durable data dir with n live
+   sessions and times a cold [Server.create] (= WAL/snapshot replay +
+   deterministic re-solve) against the WAL length.
+
+   Writes BENCH_serve2.json: req/s and p50/p99 for both cache modes, the
+   cache hit rate, and recovery wall time per WAL size. *)
+
+open Dart
+open Dart_datagen
+open Dart_rand
+open Dart_server
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+module Solver = Dart_repair.Solver
+module Wal = Dart_durable.Wal
+
+let out_file = "BENCH_serve2.json"
+
+let clients = 8
+let requests_per_client = 5
+
+(* Few distinct templates, many repeats: the workload the cache is for.
+   Seeds are chosen so the noisy documents are actually inconsistent. *)
+let template_seeds = [ 100; 101; 10; 12 ]
+
+let doc ?(years = 3) seed =
+  let prng = Prng.create seed in
+  let truth = Cash_budget.generate ~years prng in
+  let channel =
+    { Dart_ocr.Noise.numeric_rate = 0.1; string_rate = 0.0; char_rate = 0.1 }
+  in
+  fst (Doc_render.cash_budget_html ~channel ~prng truth)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let scenarios = [ ("cash-budget", Budget_scenario.scenario) ]
+
+let c_hits = Obs.Metrics.counter "repair.cache_hits"
+let c_misses = Obs.Metrics.counter "repair.cache_misses"
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let n_domains = max 2 (min 8 (Domain.recommended_domain_count () - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: cache on/off ablation                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ~cache_mb ~docs =
+  let path =
+    Printf.sprintf "/tmp/dart-bench2-%d-%d.sock" (Unix.getpid ()) cache_mb
+  in
+  let cfg = Server.default_config ~scenarios (Proto.Unix_sock path) in
+  let cfg =
+    { cfg with
+      Server.domains = n_domains; queue_capacity = 64;
+      solve_cache_mb = cache_mb; coalesce = false }
+  in
+  let hits0 = Obs.Metrics.value c_hits in
+  let misses0 = Obs.Metrics.value c_misses in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ndocs = Array.length docs in
+      let latencies = Array.make (clients * requests_per_client) 0.0 in
+      let failures = Atomic.make 0 in
+      let t0 = Obs.now_ms () in
+      let threads =
+        List.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                Client.with_connection (Proto.Unix_sock path) (fun c ->
+                    for r = 0 to requests_per_client - 1 do
+                      let d = docs.((ci + (r * clients)) mod ndocs) in
+                      let rt0 = Obs.now_ms () in
+                      (match
+                         Client.repair c ~scenario:"cash-budget" ~document:d ()
+                       with
+                       | Ok _ -> ()
+                       | Error _ -> Atomic.incr failures);
+                      latencies.((ci * requests_per_client) + r) <-
+                        Obs.elapsed_ms ~since:rt0
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let wall_ms = Obs.elapsed_ms ~since:t0 in
+      let total = clients * requests_per_client in
+      Array.sort compare latencies;
+      let hits = Obs.Metrics.value c_hits - hits0 in
+      let misses = Obs.Metrics.value c_misses - misses0 in
+      let consults = hits + misses in
+      let hit_rate =
+        if consults = 0 then 0.0 else float_of_int hits /. float_of_int consults
+      in
+      let rps = float_of_int total /. (wall_ms /. 1000.0) in
+      ( Json.Obj
+          [ ("solve_cache_mb", Json.Int cache_mb);
+            ("requests", Json.Int total);
+            ("failures", Json.Int (Atomic.get failures));
+            ("wall_ms", Json.Float wall_ms);
+            ("req_per_s", Json.Float rps);
+            ("p50_ms", Json.Float (percentile latencies 50.0));
+            ("p99_ms", Json.Float (percentile latencies 99.0));
+            ("cache_hits", Json.Int hits);
+            ("cache_misses", Json.Int misses);
+            ("cache_hit_rate", Json.Float hit_rate) ],
+        rps,
+        hit_rate,
+        Atomic.get failures ))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: recovery time vs WAL length                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wal_events dir =
+  match Wal.meta_shards dir with
+  | None -> 0
+  | Some shards ->
+    let n = ref 0 in
+    for shard = 0 to shards - 1 do
+      n := !n + List.length (Wal.replay_shard ~dir ~shard).Wal.events
+    done;
+    !n
+
+let recovery_one ~sessions =
+  let dir =
+    Printf.sprintf "/tmp/dart-bench2-recover-%d-%d" (Unix.getpid ()) sessions
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let mk_cfg () =
+    let path =
+      Printf.sprintf "/tmp/dart-bench2-rec-%d-%d.sock" (Unix.getpid ()) sessions
+    in
+    let cfg = Server.default_config ~scenarios (Proto.Unix_sock path) in
+    ( path,
+      { cfg with
+        Server.domains = n_domains; queue_capacity = 64; data_dir = Some dir;
+        (* keep everything in the WAL so the replay cost is what we time *)
+        snapshot_every = 1_000_000 } )
+  in
+  (* populate: n sessions, each opened and advanced by one decision *)
+  let path, cfg = mk_cfg () in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Client.with_connection (Proto.Unix_sock path) (fun c ->
+          for i = 0 to sessions - 1 do
+            let d = doc (List.nth template_seeds (i mod List.length template_seeds)) in
+            match Client.session_open c ~scenario:"cash-budget" ~document:d () with
+            | Error e -> failwith ("session_open: " ^ e)
+            | Ok body ->
+              let sid = Option.get (Proto.string_field body "session") in
+              (match Client.session_next c ~session:sid with
+               | Ok next -> (
+                 match Option.bind (Proto.member "updates" next) Proto.as_list with
+                 | Some (u :: _) ->
+                   let d =
+                     { Proto.d_tid = Option.get (Proto.int_field u "tid");
+                       d_attr = Option.get (Proto.string_field u "attr");
+                       d_kind = `Accept }
+                   in
+                   ignore (Client.session_decide c ~session:sid [ d ])
+                 | _ -> ())
+               | Error _ -> ())
+          done);
+      Server.stop srv;
+      Server.wait srv);
+  let events = wal_events dir in
+  (* cold restart: Server.create replays and re-solves everything *)
+  let path2, cfg2 = mk_cfg () in
+  let t0 = Obs.now_ms () in
+  let srv2 = Server.create cfg2 in
+  let recover_ms = Obs.elapsed_ms ~since:t0 in
+  let recovered =
+    match Server.recovery srv2 with
+    | Some r -> r.Persist.rec_recovered
+    | None -> 0
+  in
+  Server.start srv2;
+  Server.stop srv2;
+  Server.wait srv2;
+  (try Unix.unlink path2 with Unix.Unix_error _ -> ());
+  Json.Obj
+    [ ("sessions", Json.Int sessions);
+      ("wal_events", Json.Int events);
+      ("recovered", Json.Int recovered);
+      ("recover_ms", Json.Float recover_ms) ]
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  Printf.printf "serve2: durable server cache + recovery -> %s\n%!" out_file;
+  let docs = Array.of_list (List.map (fun s -> doc s) template_seeds) in
+  Fun.protect ~finally:(fun () -> Solver.Cache.set_budget_bytes 0) @@ fun () ->
+  let off_json, off_rps, _, off_fail = run_one ~cache_mb:0 ~docs in
+  Printf.printf "  cache off: %.1f req/s (%d failures)\n%!" off_rps off_fail;
+  let on_json, on_rps, hit_rate, on_fail = run_one ~cache_mb:64 ~docs in
+  Printf.printf "  cache on:  %.1f req/s, hit rate %.2f (%d failures)\n%!" on_rps
+    hit_rate on_fail;
+  let recovery =
+    List.map
+      (fun sessions ->
+        let j = recovery_one ~sessions in
+        (match j with
+         | Json.Obj kvs ->
+           Printf.printf "  recovery: %d sessions, %s events, %sms\n%!" sessions
+             (match List.assoc_opt "wal_events" kvs with
+              | Some (Json.Int n) -> string_of_int n
+              | _ -> "?")
+             (match List.assoc_opt "recover_ms" kvs with
+              | Some (Json.Float ms) -> Printf.sprintf "%.0f" ms
+              | _ -> "?")
+         | _ -> ());
+        j)
+      [ 1; 3; 6 ]
+  in
+  let json =
+    Json.Obj
+      [ ("workload",
+         Json.Obj
+           [ ("scenario", Json.Str "cash-budget");
+             ("template_documents", Json.Int (Array.length docs));
+             ("clients", Json.Int clients);
+             ("requests_per_client", Json.Int requests_per_client);
+             ("domains", Json.Int n_domains);
+             ("coalesce", Json.Bool false) ]);
+        ("cache_off", off_json);
+        ("cache_on", on_json);
+        ("cache_speedup",
+         Json.Float (if off_rps > 0.0 then on_rps /. off_rps else 0.0));
+        ("recovery", Json.List recovery) ]
+  in
+  let text = Json.to_string json in
+  (match Json.of_string text with
+   | Ok _ -> ()
+   | Error msg -> failwith ("BENCH_serve2.json is not valid JSON: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  if off_fail + on_fail > 0 then
+    Printf.printf "  WARNING: %d failed requests\n%!" (off_fail + on_fail);
+  Printf.printf "  cache speedup: %.2fx, hit rate: %.2f\n%!"
+    (if off_rps > 0.0 then on_rps /. off_rps else 0.0)
+    hit_rate

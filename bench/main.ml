@@ -25,6 +25,7 @@ let experiments =
     ("e10", Exp_cqa.run);
     ("obs", Obs_snapshot.run);
     ("serve", Exp_serve.run);
+    ("serve2", Exp_serve2.run);
     ("fault", Exp_fault.run);
     ("warm", Exp_warm.run);
     ("score", Exp_score.run);
@@ -47,7 +48,7 @@ let () =
       | [] ->
         (* micro and score are opt-in *)
         [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve";
-          "warm" ]
+          "serve2"; "warm" ]
       | rs -> rs
     in
     let failures = ref [] in

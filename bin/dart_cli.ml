@@ -513,8 +513,47 @@ let serve_cmd =
             "Rotate the access log once it exceeds $(docv) bytes, keeping \
              one rotated generation (FILE.1). 0 disables rotation.")
   in
+  let data_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make validation sessions durable: session-shaping events \
+             (open, decisions, close) are logged to a sharded WAL under \
+             $(docv) with periodic compacting snapshots, and a restart \
+             replays them so clients resume mid-validation with identical \
+             state — even after $(b,kill -9).  Without it sessions are \
+             volatile (lost on restart).")
+  in
+  let wal_shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "wal-shards" ] ~docv:"N"
+          ~doc:
+            "WAL shard count for a fresh $(b,--data-dir) (an existing \
+             directory keeps its recorded layout).  Default 4.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot and truncate a WAL shard after $(docv) appended \
+             events; bounds recovery time and disk use.  Default 64.")
+  in
+  let solve_cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "solve-cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Budget (in MB) of the process-wide solve cache: repeated \
+             repair sub-instances (same constraints, values and pins) \
+             across requests reuse the earlier answer.  Answers are \
+             byte-identical either way.  0 disables.  Default 64.")
+  in
   let run finalize addr domains queue ttl chaos telemetry_port flight_dir
-      access_log access_log_max_bytes =
+      access_log access_log_max_bytes data_dir wal_shards snapshot_every
+      solve_cache_mb =
     let cfg = Server.default_config ~scenarios:all_scenarios addr in
     let faults =
       match chaos with
@@ -534,7 +573,12 @@ let serve_cmd =
         faults; telemetry_port; flight_dir; access_log;
         access_log_max_bytes =
           Option.value ~default:cfg.Server.access_log_max_bytes
-            access_log_max_bytes }
+            access_log_max_bytes;
+        data_dir;
+        wal_shards = Option.value ~default:cfg.Server.wal_shards wal_shards;
+        snapshot_every =
+          Option.value ~default:cfg.Server.snapshot_every snapshot_every;
+        solve_cache_mb }
     in
     let t = Server.create cfg in
     Server.install_signal_handlers t;
@@ -542,6 +586,17 @@ let serve_cmd =
     Printf.eprintf "dart-cli serve: listening on %s (%d domains, queue %d)\n%!"
       (Proto.addr_to_string (Server.bound_addr t))
       cfg.Server.domains cfg.Server.queue_capacity;
+    (match Server.recovery t with
+     | Some r ->
+       Printf.eprintf
+         "dart-cli serve: recovered %d session(s) from %s (%d expired, %d \
+          failed, %d damaged shard(s))\n\
+          %!"
+         r.Dart_server.Persist.rec_recovered
+         (Option.value ~default:"?" cfg.Server.data_dir)
+         r.Dart_server.Persist.rec_expired r.Dart_server.Persist.rec_failed
+         r.Dart_server.Persist.rec_damaged_shards
+     | None -> ());
     (match Server.telemetry_addr t with
      | Some (host, port) ->
        Printf.eprintf "dart-cli serve: telemetry on http://%s:%d/metrics\n%!"
@@ -561,7 +616,8 @@ let serve_cmd =
           length-prefixed JSON protocol, with all four scenarios registered.")
     Term.(
       const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos
-      $ telemetry_port $ flight_dir $ access_log $ access_log_max_bytes)
+      $ telemetry_port $ flight_dir $ access_log $ access_log_max_bytes
+      $ data_dir $ wal_shards $ snapshot_every $ solve_cache_mb)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)

@@ -1,0 +1,104 @@
+(* Checksummed record framing: see codec.mli for the on-disk format. *)
+
+let magic = "DRT1"
+let header_bytes = 12 (* magic 4 + length 4 + crc 4 *)
+
+(* Practical per-record ceiling: a length above this is treated as
+   corruption rather than an allocation request.  Documents travel inside
+   WAL records, so the bound is generous. *)
+let max_record_bytes = 256 * 1024 * 1024
+
+let record_bytes payload = header_bytes + String.length payload
+
+(* CRC-32, IEEE 802.3 reflected polynomial 0xEDB88320, table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let write_record oc payload =
+  let n = String.length payload in
+  let hdr = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 hdr 0 4;
+  Bytes.set_int32_be hdr 4 (Int32.of_int n);
+  Bytes.set_int32_be hdr 8 (crc32 payload);
+  output_bytes oc hdr;
+  output_string oc payload;
+  flush oc
+
+type tail =
+  | Clean
+  | Truncated of int
+  | Corrupt of int * string
+
+let tail_to_string = function
+  | Clean -> "clean"
+  | Truncated off -> Printf.sprintf "truncated at byte %d" off
+  | Corrupt (off, why) -> Printf.sprintf "corrupt at byte %d (%s)" off why
+
+(* Read exactly [n] bytes; [None] when the channel ends first. *)
+let really_read ic n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.unsafe_to_string buf)
+    else
+      let k = input ic buf off (n - off) in
+      if k = 0 then None else go (off + k)
+  in
+  go 0
+
+let read_records ic =
+  let rec go acc offset =
+    match really_read ic header_bytes with
+    | None ->
+      (* Between 1 and header_bytes-1 leftover bytes is a torn header;
+         exactly 0 is a clean end.  [really_read] cannot tell them apart,
+         so probe: if we are at EOF with nothing consumed, it is clean. *)
+      let here = pos_in ic in
+      if here = offset then (List.rev acc, Clean)
+      else (List.rev acc, Truncated offset)
+    | Some hdr ->
+      if String.sub hdr 0 4 <> magic then
+        (List.rev acc, Corrupt (offset, "bad magic"))
+      else begin
+        let len = Int32.to_int (String.get_int32_be hdr 4) in
+        if len < 0 || len > max_record_bytes then
+          (List.rev acc, Corrupt (offset, Printf.sprintf "absurd length %d" len))
+        else
+          match really_read ic len with
+          | None -> (List.rev acc, Truncated offset)
+          | Some payload ->
+            let want = String.get_int32_be hdr 8 in
+            if crc32 payload <> want then
+              (List.rev acc, Corrupt (offset, "checksum mismatch"))
+            else go (payload :: acc) (offset + header_bytes + len)
+      end
+  in
+  let start = pos_in ic in
+  go [] start
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () -> Ok (read_records ic))

@@ -1,0 +1,52 @@
+(** Checksummed record framing for durable files (WAL segments and
+    snapshots).
+
+    A record on disk is
+
+    {v  magic "DRT1" (4 bytes) | payload length (4 bytes, big-endian)
+        | CRC-32 of the payload (4 bytes, big-endian) | payload  v}
+
+    so a reader can detect both {e truncation} (the file ends inside a
+    header or payload — the normal shape after a [kill -9] mid-append)
+    and {e corruption} (bit rot, a torn sector, garbage appended by
+    another process).  Reads are prefix-tolerant: every record up to the
+    first bad one is returned, together with a {!tail} describing what
+    stopped the scan, and recovery proceeds from the last good record. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) of a string. *)
+
+val header_bytes : int
+(** Size of the per-record header (magic + length + checksum). *)
+
+val record_bytes : string -> int
+(** Total on-disk size of a record carrying this payload. *)
+
+val write_record : out_channel -> string -> unit
+(** Append one framed record and flush the channel (the bytes reach the
+    OS, so they survive a process crash; media-level durability would
+    additionally need fsync). *)
+
+(** Why a scan stopped before end-of-file. *)
+type tail =
+  | Clean                          (** the file ends exactly on a record
+                                       boundary *)
+  | Truncated of int               (** the file ends mid-record; carries
+                                       the byte offset of the partial
+                                       record *)
+  | Corrupt of int * string        (** a record at this byte offset is
+                                       damaged (bad magic, absurd length
+                                       or checksum mismatch); carries a
+                                       reason *)
+
+val tail_to_string : tail -> string
+
+val read_records : in_channel -> string list * tail
+(** Scan a channel from its current position: every well-formed record's
+    payload in file order, plus how the scan ended.  Anything after the
+    first bad record is ignored (an append-only log cannot be
+    resynchronized past damage). *)
+
+val read_file : string -> (string list * tail, string) result
+(** {!read_records} on a whole file; [Error] when the file cannot be
+    opened. *)

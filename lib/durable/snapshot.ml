@@ -1,0 +1,38 @@
+(* Atomic per-shard snapshots; see snapshot.mli. *)
+
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let m_snapshots = Obs.Metrics.counter "durable.snapshots"
+
+let path ~dir ~shard = Filename.concat dir (Printf.sprintf "snap-%02d.snap" shard)
+
+let save ~dir ~shard json =
+  let final = path ~dir ~shard in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+  (try Codec.write_record oc (Json.to_string json)
+   with e ->
+     (try close_out oc with Sys_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp final;
+  Obs.Metrics.incr m_snapshots
+
+let load ~dir ~shard =
+  let file = path ~dir ~shard in
+  if not (Sys.file_exists file) then None
+  else
+    let damaged why =
+      Obs.log Obs.Warn "durable.snapshot_damaged"
+        ~attrs:[ ("shard", Obs.Int shard); ("why", Obs.Str why) ];
+      None
+    in
+    match Codec.read_file file with
+    | Error msg -> damaged msg
+    | Ok ([ payload ], Codec.Clean) -> (
+      match Json.of_string payload with
+      | Ok j -> Some j
+      | Error msg -> damaged ("unparseable: " ^ msg))
+    | Ok (_, tail) -> damaged (Codec.tail_to_string tail)

@@ -1,0 +1,19 @@
+(** Atomic per-shard snapshots.
+
+    A snapshot is one {!Codec}-framed JSON value in [DIR/snap-NN.snap],
+    written to a temporary file and [rename]d into place so a reader (or
+    a crash) never observes a half-written snapshot.  Together with
+    {!Wal.truncate_shard} this compacts a shard's history: recovery loads
+    the snapshot first, then replays whatever the WAL accumulated after
+    it. *)
+
+module Json = Dart_obs.Obs.Json
+
+val path : dir:string -> shard:int -> string
+
+val save : dir:string -> shard:int -> Json.t -> unit
+(** Atomically replace the shard's snapshot. *)
+
+val load : dir:string -> shard:int -> Json.t option
+(** [None] when there is no snapshot, or when the file is damaged
+    (logged as a warning — recovery then falls back to the WAL alone). *)

@@ -1,0 +1,171 @@
+(* Sharded append-only WAL; see wal.mli. *)
+
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+
+let default_shards = 4
+
+let m_appends = Obs.Metrics.counter "durable.wal_appends"
+let m_bytes = Obs.Metrics.counter "durable.wal_bytes"
+let m_skipped = Obs.Metrics.counter "durable.wal_skipped_records"
+
+type shard_state = {
+  mutable oc : out_channel option; (* opened lazily, append mode *)
+  mutable count : int;             (* appends since open/truncate *)
+}
+
+type t = {
+  dir : string;
+  nshards : int;
+  states : shard_state array;
+  mu : Mutex.t;
+}
+
+let dir t = t.dir
+let shards t = t.nshards
+
+let segment_path dir shard = Filename.concat dir (Printf.sprintf "wal-%02d.log" shard)
+let meta_path dir = Filename.concat dir "wal.meta"
+
+let mkdir_p dir =
+  (* One level is enough for data dirs like /tmp/x; create the parent too
+     so `--data-dir a/b` works out of the box. *)
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let meta_shards dir =
+  match open_in_bin (meta_path dir) with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> try close_in ic with Sys_error _ -> ())
+      (fun () ->
+        match input_line ic with
+        | line -> int_of_string_opt (String.trim line)
+        | exception End_of_file -> None)
+
+let create ?(shards = default_shards) dir =
+  if shards < 1 then invalid_arg "Wal.create: shards must be >= 1";
+  mkdir_p dir;
+  let nshards =
+    match meta_shards dir with
+    | Some n when n >= 1 -> n  (* the directory's layout wins *)
+    | _ ->
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 (meta_path dir) in
+      output_string oc (string_of_int shards);
+      output_char oc '\n';
+      close_out oc;
+      shards
+  in
+  { dir; nshards;
+    states = Array.init nshards (fun _ -> { oc = None; count = 0 });
+    mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* FNV-1a 64-bit, stable across processes (unlike Hashtbl.hash). *)
+let fnv1a s =
+  let h = ref (-0x340d631b7bdddcdb) (* 0xcbf29ce484222325 as an OCaml int *) in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h
+
+let shard_of t key = abs (fnv1a key) mod t.nshards
+
+let shard_oc t shard =
+  let st = t.states.(shard) in
+  match st.oc with
+  | Some oc -> oc
+  | None ->
+    let oc =
+      open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644
+        (segment_path t.dir shard)
+    in
+    st.oc <- Some oc;
+    oc
+
+let append t ~key event =
+  let payload = Json.to_string event in
+  locked t (fun () ->
+      let shard = shard_of t key in
+      let oc = shard_oc t shard in
+      Codec.write_record oc payload;
+      t.states.(shard).count <- t.states.(shard).count + 1;
+      Obs.Metrics.incr m_appends;
+      Obs.Metrics.add m_bytes (Codec.record_bytes payload))
+
+let appended t shard = locked t (fun () -> t.states.(shard).count)
+
+let truncate_shard t shard =
+  locked t (fun () ->
+      let st = t.states.(shard) in
+      (match st.oc with
+       | Some oc ->
+         st.oc <- None;
+         (try close_out oc with Sys_error _ -> ())
+       | None -> ());
+      (try Sys.remove (segment_path t.dir shard) with Sys_error _ -> ());
+      st.count <- 0)
+
+let close t =
+  locked t (fun () ->
+      Array.iter
+        (fun st ->
+          match st.oc with
+          | Some oc ->
+            st.oc <- None;
+            (try flush oc; close_out oc with Sys_error _ -> ())
+          | None -> ())
+        t.states)
+
+type replayed = {
+  events : Json.t list;
+  skipped : int;
+  damage : string option;
+}
+
+let replay_shard ~dir ~shard =
+  let path = segment_path dir shard in
+  if not (Sys.file_exists path) then { events = []; skipped = 0; damage = None }
+  else
+    match Codec.read_file path with
+    | Error msg -> { events = []; skipped = 0; damage = Some msg }
+    | Ok (payloads, tail) ->
+      (* A payload that frames correctly but no longer parses as JSON is
+         treated like tail damage: drop it and everything after it (later
+         events may depend on the dropped one). *)
+      let rec parse acc skipped = function
+        | [] -> (List.rev acc, skipped, None)
+        | p :: rest -> (
+          match Json.of_string p with
+          | Ok j -> parse (j :: acc) skipped rest
+          | Error msg ->
+            (List.rev acc, skipped + 1 + List.length rest,
+             Some ("unparseable record: " ^ msg)))
+      in
+      let events, skipped, parse_damage = parse [] 0 payloads in
+      let damage =
+        match (parse_damage, tail) with
+        | Some d, _ -> Some d
+        | None, Codec.Clean -> None
+        | None, t -> Some (Codec.tail_to_string t)
+      in
+      if skipped > 0 then Obs.Metrics.add m_skipped skipped;
+      (match damage with
+       | Some why ->
+         Obs.Metrics.incr m_skipped;
+         Obs.log Obs.Warn "durable.wal_damaged_tail"
+           ~attrs:[ ("shard", Obs.Int shard); ("why", Obs.Str why) ]
+       | None -> ());
+      { events; skipped; damage }

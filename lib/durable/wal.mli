@@ -1,0 +1,59 @@
+(** Sharded append-only write-ahead log of JSON events.
+
+    Events are routed to one of [shards] segment files
+    ([DIR/wal-NN.log]) by a stable hash of their key (a session id), so
+    independent keys never contend on one file and a future multi-process
+    deployment can split shards across servers.  Appends are
+    {!Codec}-framed and flushed, so everything appended before a crash is
+    recovered; replay is deterministic (same files ⇒ same events in the
+    same order) and tolerates a damaged tail by skipping it with a
+    warning (see {!Codec.tail}).
+
+    The WAL itself is schema-agnostic: callers append any JSON value and
+    fold replayed events themselves (the server's session schema lives in
+    [Dart_server.Persist]). *)
+
+module Json = Dart_obs.Obs.Json
+
+type t
+
+val default_shards : int
+
+val create : ?shards:int -> string -> t
+(** Open (creating as needed) the log rooted at a directory.  [shards]
+    must match across runs of the same directory; {!create} persists it
+    in [DIR/wal.meta] and an existing meta wins over the argument. *)
+
+val dir : t -> string
+val shards : t -> int
+
+val shard_of : t -> string -> int
+(** The shard a key routes to (stable across processes: FNV-1a). *)
+
+val append : t -> key:string -> Json.t -> unit
+(** Append one event to the key's shard and flush it. *)
+
+val appended : t -> int -> int
+(** Events appended to a shard by this handle since it was opened or
+    since the shard's last {!truncate_shard} — the snapshot-cadence
+    counter. *)
+
+val truncate_shard : t -> int -> unit
+(** Drop a shard's segment (called right after its state was captured in
+    a snapshot) and reset its {!appended} count. *)
+
+val close : t -> unit
+
+(** One replayed shard: events in append order, plus the damage report
+    for the segment's tail ([None] when the scan was clean). *)
+type replayed = {
+  events : Json.t list;
+  skipped : int;          (** trailing records dropped: unparseable JSON *)
+  damage : string option; (** tail truncation/corruption, human-readable *)
+}
+
+val replay_shard : dir:string -> shard:int -> replayed
+(** Read one shard's segment from disk (missing file = no events). *)
+
+val meta_shards : string -> int option
+(** The shard count recorded in an existing log directory, if any. *)

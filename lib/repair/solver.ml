@@ -251,7 +251,249 @@ type comp_solved =
    | `Cancelled of Encode.t * work * int ])
   Stdlib.result
 
-type comp_outcome = [ `Satisfied | `Solved of comp_solved ]
+(** A process-wide cache hit: the component's answer was computed by an
+    earlier request on a structurally identical instance.  Carries enough
+    to feed the report (instance size, retries) but no {!Encode.t} — the
+    hit did not build one. *)
+type cached_hit = {
+  ch_answer : [ `Repaired of Repair.t * provenance | `Infeasible ];
+  ch_vars : int;
+  ch_milp_rows : int;
+  ch_retries : int;
+}
+
+type comp_outcome = [ `Satisfied | `Solved of comp_solved | `Cached of cached_hit ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-request solve cache                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  (** Process-wide bounded LRU memo of per-component solves, keyed by a
+      canonical content hash of the repair instance: ground rows
+      (coefficients over dense cell indices, op, rhs), the cells' current
+      values and integer-domain flags, the operator pins, the node budget
+      and the coefficient field.  Tuple ids are canonicalized away, so
+      structurally identical sub-instances from different documents (the
+      template-repeated workload of BENCH_serve2) share entries; a hit is
+      translated back through the live component's cell order.
+
+      Only deterministic outcomes are cached — proved optima, incumbents
+      of budget-truncated (not deadline-cancelled) searches, and
+      infeasibility — so a hit is byte-identical to re-solving (pinned by
+      the PR 5 determinism suite).  Disabled by default ([budget = 0]);
+      the server enables it via [--solve-cache-mb]. *)
+
+  module R = Dart_relational
+
+  let m_hits = Obs.Metrics.counter "repair.cache_hits"
+  let m_misses = Obs.Metrics.counter "repair.cache_misses"
+  let m_evictions = Obs.Metrics.counter "repair.cache_evictions"
+  let g_entries = Obs.Metrics.gauge "repair.cache_entries"
+  let g_bytes = Obs.Metrics.gauge "repair.cache_bytes"
+
+  (* Repairs are stored field-agnostically as dense-cell-index changes and
+     re-materialized against the live database at hit time. *)
+  type stored =
+    | S_repaired of provenance * (int * Rat.t) list * int * int * int
+        (** provenance, changes, vars, milp rows, retries *)
+    | S_infeasible of int * int * int  (** vars, milp rows, retries *)
+
+  type entry = { value : stored; cost : int; mutable used : int }
+
+  let mu = Mutex.create ()
+  let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64
+  let budget = ref 0 (* bytes; 0 = disabled *)
+  let used_bytes = ref 0
+  let clock = ref 0
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  let publish () =
+    Obs.Metrics.set g_entries (float_of_int (Hashtbl.length tbl));
+    Obs.Metrics.set g_bytes (float_of_int !used_bytes)
+
+  let entries () = locked (fun () -> Hashtbl.length tbl)
+  let bytes_used () = locked (fun () -> !used_bytes)
+  let budget_bytes () = locked (fun () -> !budget)
+
+  let evict_to limit =
+    (* Scan-for-oldest under the lock: the table is small (hundreds of
+       entries at typical budgets) and eviction is off the hit path. *)
+    while !used_bytes > limit && Hashtbl.length tbl > 0 do
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k e ->
+          match !victim with
+          | Some (_, e') when e'.used <= e.used -> ()
+          | _ -> victim := Some (k, e))
+        tbl;
+      match !victim with
+      | None -> ()
+      | Some (k, e) ->
+        Hashtbl.remove tbl k;
+        used_bytes := !used_bytes - e.cost;
+        Obs.Metrics.incr m_evictions
+    done
+
+  let clear () =
+    locked (fun () ->
+        Hashtbl.reset tbl;
+        used_bytes := 0;
+        publish ())
+
+  let set_budget_bytes n =
+    locked (fun () ->
+        budget := max 0 n;
+        if !budget = 0 then begin
+          Hashtbl.reset tbl;
+          used_bytes := 0
+        end
+        else evict_to !budget;
+        publish ())
+
+  (* The canonical form of one component instance.  Cells are named by
+     their first-appearance index; pins are sorted by that index so pin
+     order cannot split otherwise-identical keys. *)
+  let canonical ~max_nodes db rows forced =
+    let cells = Array.of_list (Ground.cells rows) in
+    let idx = Hashtbl.create (Array.length cells * 2) in
+    Array.iteri (fun i c -> Hashtbl.replace idx c i) cells;
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "rat;";
+    Buffer.add_string buf (string_of_int max_nodes);
+    Buffer.add_char buf ';';
+    Array.iter
+      (fun c ->
+        Buffer.add_char buf (if Encode.cell_is_integer db c then 'z' else 'r');
+        Buffer.add_string buf (Rat.to_string (Ground.db_valuation db c));
+        Buffer.add_char buf ';')
+      cells;
+    List.iter
+      (fun (r : Ground.row) ->
+        Buffer.add_char buf
+          (match r.op with
+           | Agg_constraint.Le -> '<'
+           | Agg_constraint.Ge -> '>'
+           | Agg_constraint.Eq -> '=');
+        Buffer.add_string buf (Rat.to_string r.rhs);
+        List.iter
+          (fun (coef, c) ->
+            Buffer.add_char buf ',';
+            Buffer.add_string buf (Rat.to_string coef);
+            Buffer.add_char buf '@';
+            Buffer.add_string buf (string_of_int (Hashtbl.find idx c)))
+          r.terms;
+        Buffer.add_char buf ';')
+      rows;
+    let pins =
+      List.sort compare
+        (List.map (fun (c, v) -> (Hashtbl.find idx c, v)) forced)
+    in
+    List.iter
+      (fun (i, v) ->
+        Buffer.add_char buf '!';
+        Buffer.add_string buf (string_of_int i);
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (Rat.to_string v))
+      pins;
+    (Digest.to_hex (Digest.string (Buffer.contents buf)), cells, idx)
+
+  let updates_of_changes db (cells : Ground.cell array) changes : Repair.t =
+    List.map
+      (fun (i, zv) ->
+        let tid, attr = cells.(i) in
+        let tu = R.Database.find db tid in
+        let rs = R.Schema.relation (R.Database.schema db) (R.Tuple.relation tu) in
+        let dom = R.Schema.attr_domain rs attr in
+        Update.make ~tid ~attr ~new_value:(R.Value.of_rat dom zv))
+      changes
+
+  (** Cache-side view of one component solve attempt.  [`Disabled] when
+      the budget is zero; [`Miss ctx] hands back the context needed to
+      {!remember} the eventual answer. *)
+  type consulted =
+    [ `Disabled
+    | `Hit of cached_hit
+    | `Miss of string * (Ground.cell, int) Hashtbl.t ]
+
+  let consult ~max_nodes db rows forced : consulted =
+    if locked (fun () -> !budget = 0) then `Disabled
+    else
+      let key, cells, idx = canonical ~max_nodes db rows forced in
+      let found =
+        locked (fun () ->
+            match Hashtbl.find_opt tbl key with
+            | Some e ->
+              incr clock;
+              e.used <- !clock;
+              Some e.value
+            | None -> None)
+      in
+      match found with
+      | Some (S_repaired (prov, changes, vars, mrows, retries)) ->
+        Obs.Metrics.incr m_hits;
+        `Hit
+          { ch_answer = `Repaired (updates_of_changes db cells changes, prov);
+            ch_vars = vars; ch_milp_rows = mrows; ch_retries = retries }
+      | Some (S_infeasible (vars, mrows, retries)) ->
+        Obs.Metrics.incr m_hits;
+        `Hit
+          { ch_answer = `Infeasible; ch_vars = vars; ch_milp_rows = mrows;
+            ch_retries = retries }
+      | None ->
+        Obs.Metrics.incr m_misses;
+        `Miss (key, idx)
+
+  (* Rough resident size of an entry: key, per-change index + rational
+     text, fixed bookkeeping. *)
+  let cost_of key = function
+    | S_infeasible _ -> String.length key + 96
+    | S_repaired (_, changes, _, _, _) ->
+      List.fold_left
+        (fun acc (_, v) -> acc + 24 + String.length (Rat.to_string v))
+        (String.length key + 96)
+        changes
+
+  let insert key value =
+    locked (fun () ->
+        if !budget > 0 then begin
+          let cost = cost_of key value in
+          if cost <= !budget then begin
+            (match Hashtbl.find_opt tbl key with
+             | Some old ->
+               Hashtbl.remove tbl key;
+               used_bytes := !used_bytes - old.cost
+             | None -> ());
+            incr clock;
+            Hashtbl.replace tbl key { value; cost; used = !clock };
+            used_bytes := !used_bytes + cost;
+            evict_to !budget;
+            publish ()
+          end
+        end)
+
+  (** Record a freshly solved component under the key {!consult} missed
+      on.  Deadline-cancelled answers are transient and never stored. *)
+  let remember (key, idx) (r : comp_solved) =
+    let index_of u = Hashtbl.find idx (Update.cell u) in
+    match r with
+    | Ok (repair, prov, enc, _, retries, false) ->
+      let changes =
+        List.map
+          (fun u -> (index_of u, R.Value.to_rat u.Update.new_value))
+          repair
+      in
+      insert key
+        (S_repaired
+           (prov, changes, Encode.num_vars enc, Encode.num_rows enc, retries))
+    | Error (`Infeasible (enc, _, retries)) ->
+      insert key
+        (S_infeasible (Encode.num_vars enc, Encode.num_rows enc, retries))
+    | Ok (_, _, _, _, _, true) | Error (`Budget _) | Error (`Cancelled _) -> ()
+end
 
 let grow_m m = Rat.mul (Rat.of_int 64) m
 
@@ -344,13 +586,8 @@ let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows ~comp_meta
                     ground_rows = List.length rows;
                     cells = List.length (Ground.cells rows) } in
   let reports = ref [] in (* reverse component order *)
-  let add_report ~index ~meta ~status ~enc ~wk ~retries =
+  let add_report ~index ~meta ~status ~sizes:(vars, mrows) ~wk ~retries =
     let crows, ccells = meta in
-    let vars, mrows =
-      match enc with
-      | Some e -> (Encode.num_vars e, Encode.num_rows e)
-      | None -> (0, 0)
-    in
     reports :=
       { cr_component = index; cr_rows = crows; cr_cells = ccells;
         cr_vars = vars; cr_milp_rows = mrows; cr_nodes = wk.wk_nodes;
@@ -360,10 +597,10 @@ let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows ~comp_meta
         cr_phases = wk.wk_phases; cr_gap_timeline = wk.wk_gap_tl }
       :: !reports
   in
-  let add_enc enc wk retries =
+  let add_sizes (vars, mrows) wk retries =
     stats := { !stats with
-               milp_vars = !stats.milp_vars + Encode.num_vars enc;
-               milp_rows = !stats.milp_rows + Encode.num_rows enc;
+               milp_vars = !stats.milp_vars + vars;
+               milp_rows = !stats.milp_rows + mrows;
                nodes = !stats.nodes + wk.wk_nodes;
                simplex_pivots = !stats.simplex_pivots + wk.wk_pivots;
                dual_pivots = !stats.dual_pivots + wk.wk_dual;
@@ -387,33 +624,52 @@ let combine_outcomes ~t0 ~forced ~db ~constraints ~ncomps ~rows ~comp_meta
       Repaired (List.concat (List.rev acc), provenance, finish_stats ())
     | `Satisfied :: rest ->
       let meta, metas = meta_of metas in
-      add_report ~index ~meta ~status:"satisfied" ~enc:None ~wk:no_work
+      add_report ~index ~meta ~status:"satisfied" ~sizes:(0, 0) ~wk:no_work
         ~retries:0;
       combine acc degraded metas (index + 1) rest
+    | `Cached hit :: rest ->
+      (* A process-wide cache hit: the answer is byte-identical to
+         re-solving, with zero work — the same contract as {!Warm}'s
+         per-session memo. *)
+      let meta, metas = meta_of metas in
+      let sizes = (hit.ch_vars, hit.ch_milp_rows) in
+      add_sizes sizes no_work hit.ch_retries;
+      (match hit.ch_answer with
+       | `Repaired (repair, prov) ->
+         add_report ~index ~meta ~status:(provenance_to_string prov) ~sizes
+           ~wk:no_work ~retries:hit.ch_retries;
+         combine (repair :: acc) (degraded || prov <> Exact) metas (index + 1)
+           rest
+       | `Infeasible ->
+         add_report ~index ~meta ~status:"infeasible" ~sizes ~wk:no_work
+           ~retries:hit.ch_retries;
+         No_repair (finish_stats ()))
     | `Solved outcome :: rest ->
       let meta, metas = meta_of metas in
+      let sizes_of enc = (Encode.num_vars enc, Encode.num_rows enc) in
       (match outcome with
        | Ok (repair, prov, enc, wk, retries, was_cancelled) ->
-         add_enc enc wk retries;
+         add_sizes (sizes_of enc) wk retries;
          add_report ~index ~meta ~status:(provenance_to_string prov)
-           ~enc:(Some enc) ~wk ~retries;
+           ~sizes:(sizes_of enc) ~wk ~retries;
          if was_cancelled then saw_cancel := true;
          combine (repair :: acc) (degraded || prov <> Exact) metas (index + 1)
            rest
        | Error (`Infeasible (enc, wk, retries)) ->
          (* Infeasibility is definitive (within the M bound): no repair
             exists, so there is nothing to degrade to. *)
-         add_enc enc wk retries;
-         add_report ~index ~meta ~status:"infeasible" ~enc:(Some enc) ~wk
-           ~retries;
+         add_sizes (sizes_of enc) wk retries;
+         add_report ~index ~meta ~status:"infeasible" ~sizes:(sizes_of enc)
+           ~wk ~retries;
          No_repair (finish_stats ())
        | Error (`Budget (enc, wk, retries)) ->
-         add_enc enc wk retries;
-         add_report ~index ~meta ~status:"budget" ~enc:(Some enc) ~wk ~retries;
+         add_sizes (sizes_of enc) wk retries;
+         add_report ~index ~meta ~status:"budget" ~sizes:(sizes_of enc) ~wk
+           ~retries;
          degrade ~forced ~db ~constraints `Budget (finish_stats ())
        | Error (`Cancelled (enc, wk, retries)) ->
-         add_enc enc wk retries;
-         add_report ~index ~meta ~status:"cancelled" ~enc:(Some enc) ~wk
+         add_sizes (sizes_of enc) wk retries;
+         add_report ~index ~meta ~status:"cancelled" ~sizes:(sizes_of enc) ~wk
            ~retries;
          degrade ~forced ~db ~constraints `Cancelled (finish_stats ()))
   in
@@ -453,26 +709,32 @@ let card_minimal ?(decompose = true) ?(max_nodes = 2_000_000) ?(forced = [])
       let comp_forced = restrict_forced forced comp in
       if rows_satisfied db comp comp_forced then `Satisfied
       else
-        `Solved
-          (Obs.span "repair.component"
-             ~attrs:
-               [ ("component", Obs.Int ci);
-                 ("rows", Obs.Int (List.length comp));
-                 ("cells", Obs.Int (List.length (Ground.cells comp))) ]
-             (fun () ->
-               let r =
-                 solve_component ~max_nodes ~cancel ~warm ~forced:comp_forced
-                   db comp
-               in
-               (match r with
-                | Ok (_, _, _, wk, retries, _)
-                | Error (`Infeasible (_, wk, retries))
-                | Error (`Budget (_, wk, retries))
-                | Error (`Cancelled (_, wk, retries)) ->
-                  Obs.add_attr "nodes" (Obs.Int wk.wk_nodes);
-                  Obs.add_attr "pivots" (Obs.Int wk.wk_pivots);
-                  Obs.add_attr "m_retries" (Obs.Int retries));
-               r))
+        match Cache.consult ~max_nodes db comp comp_forced with
+        | `Hit hit -> `Cached hit
+        | (`Disabled | `Miss _) as consulted ->
+          `Solved
+            (Obs.span "repair.component"
+               ~attrs:
+                 [ ("component", Obs.Int ci);
+                   ("rows", Obs.Int (List.length comp));
+                   ("cells", Obs.Int (List.length (Ground.cells comp))) ]
+               (fun () ->
+                 let r =
+                   solve_component ~max_nodes ~cancel ~warm ~forced:comp_forced
+                     db comp
+                 in
+                 (match consulted with
+                  | `Miss ctx -> Cache.remember ctx r
+                  | `Disabled -> ());
+                 (match r with
+                  | Ok (_, _, _, wk, retries, _)
+                  | Error (`Infeasible (_, wk, retries))
+                  | Error (`Budget (_, wk, retries))
+                  | Error (`Cancelled (_, wk, retries)) ->
+                    Obs.add_attr "nodes" (Obs.Int wk.wk_nodes);
+                    Obs.add_attr "pivots" (Obs.Int wk.wk_pivots);
+                    Obs.add_attr "m_retries" (Obs.Int retries));
+                 r))
     in
     let outcomes = mapper.map solve_comp comps in
     let comp_meta =
@@ -562,6 +824,13 @@ module Warm = struct
       match comp.last with
       | Some r when new_pins = [] -> `Solved (cached_again r)
       | _ ->
+      (* The per-session memo above missed; try the process-wide cache
+         before building (or extending) an encoding.  A hit leaves this
+         component's incremental state untouched — a later, deeper pin
+         set simply consults the cache again or cold-builds. *)
+      match Cache.consult ~max_nodes:w.max_nodes w.db comp.crows comp_forced with
+      | `Hit hit -> `Cached hit
+      | (`Disabled | `Miss _) as consulted ->
         `Solved
           (Obs.span "repair.component"
              ~attrs:
@@ -619,6 +888,9 @@ module Warm = struct
                  | Error _ -> false
                in
                if not transient then comp.last <- Some r;
+               (match consulted with
+                | `Miss ctx -> Cache.remember ctx r
+                | `Disabled -> ());
                (match r with
                 | Ok (_, _, _, wk, retries, _)
                 | Error (`Infeasible (_, wk, retries))

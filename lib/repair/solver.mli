@@ -149,6 +149,35 @@ module Warm : sig
       contribute zero nodes/pivots). *)
 end
 
+(** Process-wide bounded LRU cache of per-component solves, keyed by a
+    canonical content hash of the instance (ground rows over dense cell
+    indices, current cell values, integer-domain flags, pins, node
+    budget, coefficient field).  Tuple ids are canonicalized away, so
+    structurally identical sub-instances from different documents share
+    entries.  Only deterministic outcomes are stored (proved optima,
+    budget-truncated incumbents, infeasibility — never deadline-cancelled
+    answers), so a hit is byte-identical to re-solving; like {!Warm}'s
+    per-session memo, hits contribute zero nodes/pivots to [stats].
+
+    Disabled by default ([set_budget_bytes 0]); both {!card_minimal} and
+    {!Warm.solve} consult it when enabled.  Counters:
+    [repair.cache_hits] / [repair.cache_misses] /
+    [repair.cache_evictions]; gauges [repair.cache_entries] /
+    [repair.cache_bytes].  Thread-safe. *)
+module Cache : sig
+  val set_budget_bytes : int -> unit
+  (** Set the byte budget; [0] disables the cache and drops every entry.
+      Shrinking below current residency evicts least-recently-used
+      entries immediately. *)
+
+  val budget_bytes : unit -> int
+  val entries : unit -> int
+  val bytes_used : unit -> int
+
+  val clear : unit -> unit
+  (** Drop all entries (the budget is unchanged). *)
+end
+
 val result_stats : result -> stats option
 (** The stats carried by a result; [None] for [Consistent] (which did no
     solver work). *)

@@ -1,0 +1,338 @@
+(** Durable sessions: a sharded command log plus compacted snapshots.
+
+    The server appends one WAL event per session-shaping command {e after}
+    it succeeds — open (with the full source document), each applied
+    decision round, phase transitions (informational) and close.  Recovery
+    rebuilds {!Session.Store} by {e deterministic replay}: re-acquire the
+    document, re-create the session, re-apply each decision round in
+    order.  Solves are byte-reproducible (PR 5), so the recovered session
+    state — proposal, pins, iteration counts, final database — is
+    byte-identical to the pre-crash state.
+
+    Events are routed to [Wal] shards by session id.  Once a shard
+    accumulates [snapshot_every] events, its live sessions' compacted
+    histories are written as an atomic [Snapshot] and the shard's segment
+    is truncated, bounding both recovery time and disk use.  A damaged
+    WAL tail (torn append from a [kill -9]) is skipped with a warning and
+    recovery proceeds from the last good record.
+
+    Logging {e after} the state change (a command log, not a classical
+    write-ahead log) means a crash between applying a decision and
+    logging it forgets that round — but the client never got an answer
+    for it, so its retry against the recovered session re-applies the
+    round and converges to the same state. *)
+
+open Dart
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+module Wal = Dart_durable.Wal
+module Snapshot = Dart_durable.Snapshot
+
+let m_recovered = Obs.Metrics.counter "sessions.recovered"
+
+let schema_tag = "dart-durable-snapshot/1"
+
+(* ------------------------------------------------------------------ *)
+(* Compacted per-session history                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything needed to rebuild one session by replay: its open event
+   (scenario + document + knobs) and the decision rounds applied since. *)
+type hist = {
+  h_open : Json.t;
+  mutable h_decides : Json.t list; (* rounds, most recent first *)
+  mutable h_last_ms : float;       (* timestamp of the latest event *)
+}
+
+type t = {
+  wal : Wal.t;
+  snapshot_every : int;
+  mu : Mutex.t;
+  hists : (string, hist) Hashtbl.t;
+  mutable max_sid : int;           (* highest numeric "sN" ever seen *)
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let sid_number sid =
+  if String.length sid > 1 && sid.[0] = 's' then
+    int_of_string_opt (String.sub sid 1 (String.length sid - 1))
+  else None
+
+let note_sid t sid =
+  match sid_number sid with
+  | Some n when n > t.max_sid -> t.max_sid <- n
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ev_open ~sid ~ts_ms ~scenario ~format ~document ~max_iterations
+    ~origin_trace =
+  Json.Obj
+    [ ("ev", Json.Str "open"); ("sid", Json.Str sid);
+      ("ts_ms", Json.Float ts_ms); ("scenario", Json.Str scenario);
+      ("format", Json.Str format); ("document", Json.Str document);
+      ("max_iterations", Json.Int max_iterations);
+      ("origin_trace", Json.Str origin_trace) ]
+
+let ev_decide ~sid ~ts_ms decisions =
+  Json.Obj
+    [ ("ev", Json.Str "decide"); ("sid", Json.Str sid);
+      ("ts_ms", Json.Float ts_ms);
+      ("decisions", Json.List (List.map Proto.decision_to_json decisions)) ]
+
+let ev_phase ~sid ~ts_ms ~phase =
+  Json.Obj
+    [ ("ev", Json.Str "phase"); ("sid", Json.Str sid);
+      ("ts_ms", Json.Float ts_ms); ("phase", Json.Str phase) ]
+
+let ev_close ~sid ~ts_ms =
+  Json.Obj
+    [ ("ev", Json.Str "close"); ("sid", Json.Str sid);
+      ("ts_ms", Json.Float ts_ms) ]
+
+(* Fold one event into the history table (shared by live appends and
+   replay, so both walk the exact same state machine). *)
+let apply_event t ev =
+  match (Proto.string_field ev "ev", Proto.string_field ev "sid") with
+  | Some kind, Some sid ->
+    note_sid t sid;
+    let ts = Option.value ~default:0.0 (Proto.float_field ev "ts_ms") in
+    (match kind with
+     | "open" ->
+       Hashtbl.replace t.hists sid
+         { h_open = ev; h_decides = []; h_last_ms = ts }
+     | "decide" -> (
+       match Hashtbl.find_opt t.hists sid with
+       | Some h ->
+         h.h_decides <- ev :: h.h_decides;
+         h.h_last_ms <- ts
+       | None -> ())
+     | "phase" -> (
+       match Hashtbl.find_opt t.hists sid with
+       | Some h -> h.h_last_ms <- ts
+       | None -> ())
+     | "close" -> Hashtbl.remove t.hists sid
+     | _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (compacted histories)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let hist_to_json sid (h : hist) =
+  Json.Obj
+    [ ("sid", Json.Str sid); ("open", h.h_open);
+      ("decides", Json.List (List.rev h.h_decides));
+      ("last_ms", Json.Float h.h_last_ms) ]
+
+(* Called with [t.mu] held. *)
+let snapshot_shard_locked t shard =
+  let sessions =
+    Hashtbl.fold
+      (fun sid h acc ->
+        if Wal.shard_of t.wal sid = shard then hist_to_json sid h :: acc
+        else acc)
+      t.hists []
+  in
+  Snapshot.save ~dir:(Wal.dir t.wal) ~shard
+    (Json.Obj
+       [ ("schema", Json.Str schema_tag); ("max_sid", Json.Int t.max_sid);
+         ("sessions", Json.List sessions) ]);
+  Wal.truncate_shard t.wal shard
+
+let append t ~sid ev =
+  locked t (fun () ->
+      apply_event t ev;
+      Wal.append t.wal ~key:sid ev;
+      let shard = Wal.shard_of t.wal sid in
+      if Wal.appended t.wal shard >= t.snapshot_every then
+        snapshot_shard_locked t shard)
+
+(* ------------------------------------------------------------------ *)
+(* Public logging API                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let log_open t ~sid ~scenario ~format ~document ~max_iterations ~origin_trace =
+  append t ~sid
+    (ev_open ~sid ~ts_ms:(Obs.now_ms ()) ~scenario ~format ~document
+       ~max_iterations ~origin_trace)
+
+let log_decide t ~sid decisions =
+  append t ~sid (ev_decide ~sid ~ts_ms:(Obs.now_ms ()) decisions)
+
+let log_phase t ~sid ~phase =
+  append t ~sid (ev_phase ~sid ~ts_ms:(Obs.now_ms ()) ~phase)
+
+let log_close t ~sid = append t ~sid (ev_close ~sid ~ts_ms:(Obs.now_ms ()))
+
+let open_ ?(shards = Wal.default_shards) ?(snapshot_every = 64) dir =
+  { wal = Wal.create ~shards dir; snapshot_every; mu = Mutex.create ();
+    hists = Hashtbl.create 16; max_sid = 0 }
+
+let close t = locked t (fun () -> Wal.close t.wal)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  rec_recovered : int;     (** sessions rebuilt and registered *)
+  rec_expired : int;       (** sessions skipped: idle past the TTL *)
+  rec_failed : int;        (** sessions whose replay failed *)
+  rec_damaged_shards : int; (** shards with a skipped damaged tail *)
+  rec_next_id : int;       (** next session id after recovery *)
+}
+
+(* Load a snapshot's sessions into the history table (with [t.mu] held). *)
+let load_snapshot_locked t shard =
+  match Snapshot.load ~dir:(Wal.dir t.wal) ~shard with
+  | None -> ()
+  | Some j ->
+    (match Proto.int_field j "max_sid" with
+     | Some n when n > t.max_sid -> t.max_sid <- n
+     | _ -> ());
+    (match Option.bind (Proto.member "sessions" j) Proto.as_list with
+     | None -> ()
+     | Some sessions ->
+       List.iter
+         (fun sj ->
+           match (Proto.string_field sj "sid", Proto.member "open" sj) with
+           | Some sid, Some op ->
+             note_sid t sid;
+             let decides =
+               match Option.bind (Proto.member "decides" sj) Proto.as_list with
+               | Some l -> List.rev l
+               | None -> []
+             in
+             let last =
+               Option.value ~default:0.0 (Proto.float_field sj "last_ms")
+             in
+             Hashtbl.replace t.hists sid
+               { h_open = op; h_decides = decides; h_last_ms = last }
+           | _ -> ())
+         sessions)
+
+let format_of_string = function
+  | "csv" -> Convert.Csv
+  | "tsv" -> Convert.Tsv
+  | "fixed" -> Convert.Fixed_width
+  | _ -> Convert.Html
+
+(* Rebuild one session from its history by deterministic replay.  [None]
+   when the history is unusable (unknown scenario, malformed open event,
+   acquisition failure). *)
+let rebuild ~scenarios ~mapper ~max_nodes ~store sid (h : hist) =
+  match
+    ( Proto.string_field h.h_open "scenario",
+      Proto.string_field h.h_open "document" )
+  with
+  | Some scname, Some document -> (
+    match List.assoc_opt scname scenarios with
+    | None ->
+      Obs.log Obs.Warn "durable.recover_unknown_scenario"
+        ~attrs:[ ("sid", Obs.Str sid); ("scenario", Obs.Str scname) ];
+      None
+    | Some scenario -> (
+      try
+        let format =
+          format_of_string
+            (Option.value ~default:"html" (Proto.string_field h.h_open "format"))
+        in
+        let max_iterations =
+          Option.value ~default:50 (Proto.int_field h.h_open "max_iterations")
+        in
+        let origin_trace =
+          Option.value ~default:"" (Proto.string_field h.h_open "origin_trace")
+        in
+        let acq = Pipeline.acquire scenario ~format document in
+        let s =
+          Session.create ~id:sid ~origin_trace ~scenario ~db:acq.Pipeline.db
+            ~max_nodes ~max_iterations ~mapper ~now_ms:(Obs.now_ms ())
+            ~ttl_ms:(Session.Store.ttl_ms store) ()
+        in
+        List.iter
+          (fun dev ->
+            let decisions =
+              match Option.bind (Proto.member "decisions" dev) Proto.as_list with
+              | Some l ->
+                List.filter_map
+                  (fun d -> Result.to_option (Proto.decision_of_json d))
+                  l
+              | None -> []
+            in
+            if decisions <> [] then
+              match Session.decide ~mapper s decisions with
+              | Ok _ -> ()
+              | Error msg ->
+                (* The round succeeded before the crash, so this signals a
+                   scenario/config change since.  Keep what replayed so
+                   far: the operator resumes from a consistent prefix. *)
+                Obs.log Obs.Warn "durable.recover_decide_failed"
+                  ~attrs:[ ("sid", Obs.Str sid); ("why", Obs.Str msg) ])
+          (List.rev h.h_decides);
+        Some s
+      with e ->
+        Obs.log Obs.Warn "durable.recover_failed"
+          ~attrs:
+            [ ("sid", Obs.Str sid); ("why", Obs.Str (Printexc.to_string e)) ];
+        None))
+  | _ ->
+    Obs.log Obs.Warn "durable.recover_malformed_open"
+      ~attrs:[ ("sid", Obs.Str sid) ];
+    None
+
+(** Replay snapshots + WAL tails and register every still-live session in
+    [store].  Call once, after [open_] and before serving traffic. *)
+let recover t ~scenarios ~mapper ~max_nodes ~store =
+  locked t @@ fun () ->
+  let damaged = ref 0 in
+  for shard = 0 to Wal.shards t.wal - 1 do
+    load_snapshot_locked t shard;
+    let replayed = Wal.replay_shard ~dir:(Wal.dir t.wal) ~shard in
+    if replayed.Wal.damage <> None then incr damaged;
+    List.iter (apply_event t) replayed.Wal.events
+  done;
+  let now = Obs.now_ms () in
+  let ttl = Session.Store.ttl_ms store in
+  let recovered = ref 0 and expired = ref 0 and failed = ref 0 in
+  let drop = ref [] in
+  (* Deterministic rebuild order (sorted by sid), so recovery itself is
+     reproducible run to run. *)
+  let all =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hists [])
+  in
+  List.iter
+    (fun (sid, h) ->
+      if now -. h.h_last_ms > ttl then begin
+        incr expired;
+        drop := sid :: !drop
+      end
+      else
+        match rebuild ~scenarios ~mapper ~max_nodes ~store sid h with
+        | None ->
+          incr failed;
+          drop := sid :: !drop
+        | Some s -> (
+          match Session.Store.put store s with
+          | Ok () -> incr recovered
+          | Error msg ->
+            Obs.log Obs.Warn "durable.recover_store_full"
+              ~attrs:[ ("sid", Obs.Str sid); ("why", Obs.Str msg) ];
+            incr failed;
+            drop := sid :: !drop))
+    all;
+  List.iter (Hashtbl.remove t.hists) !drop;
+  Session.Store.set_next_id store (t.max_sid + 1);
+  Obs.Metrics.add m_recovered !recovered;
+  if !recovered + !expired + !failed > 0 || !damaged > 0 then
+    Obs.log Obs.Info "durable.recovered"
+      ~attrs:
+        [ ("recovered", Obs.Int !recovered); ("expired", Obs.Int !expired);
+          ("failed", Obs.Int !failed); ("damaged_shards", Obs.Int !damaged) ];
+  { rec_recovered = !recovered; rec_expired = !expired; rec_failed = !failed;
+    rec_damaged_shards = !damaged; rec_next_id = t.max_sid + 1 }

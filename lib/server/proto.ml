@@ -158,6 +158,14 @@ let error ?id code message =
             [ ("code", Json.Str (error_code_to_string code));
               ("message", Json.Str message) ]) ])
 
+(** Re-address a response: replace its [id] echo (if any) with [id].
+    Used by single-flight coalescing, where one computed response answers
+    several requests that differ only in their [id]. *)
+let reid ?id j =
+  match j with
+  | Json.Obj kvs -> Json.Obj (with_id id (List.filter (fun (k, _) -> k <> "id") kvs))
+  | j -> j
+
 let response_ok j = member "ok" j = Some (Json.Bool true)
 
 let response_error j =

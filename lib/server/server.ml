@@ -59,6 +59,16 @@ type config = {
                                       this many bytes (0 = never rotate);
                                       one rotated generation ([FILE.1]) is
                                       kept *)
+  data_dir : string option;       (** durable session WAL + snapshots live
+                                      here; [None] = volatile sessions *)
+  wal_shards : int;               (** WAL shard count for a fresh data dir
+                                      (an existing dir's layout wins) *)
+  snapshot_every : int;           (** snapshot + truncate a WAL shard after
+                                      this many appended events *)
+  solve_cache_mb : int;           (** process-wide solve cache budget in MB
+                                      (0 disables; see {!Solver.Cache}) *)
+  coalesce : bool;                (** single-flight identical in-flight
+                                      [detect]/[repair] requests *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -70,7 +80,13 @@ let default_config ?(scenarios = []) addr =
     drain_timeout_s = 30.0; max_nodes = 2_000_000; max_iterations = 50;
     cancel_grace_ms = 200.0; faults = Faultsim.none;
     telemetry_port = None; flight_dir = None; flight_capacity = 256;
-    access_log = None; access_log_max_bytes = 64 * 1024 * 1024; scenarios }
+    access_log = None; access_log_max_bytes = 64 * 1024 * 1024;
+    data_dir = None; wal_shards = Dart_durable.Wal.default_shards;
+    snapshot_every = 64;
+    (* Cache off by default: in-process callers comparing wire responses
+       against fresh solves (the byte-parity suite) must not see answers
+       computed by an earlier test's instance.  The CLI turns it on. *)
+    solve_cache_mb = 0; coalesce = true; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -84,6 +100,7 @@ let m_conn_total = Obs.Metrics.counter "server.connections_total"
 let m_bytes_in = Obs.Metrics.counter "server.bytes_in"
 let m_bytes_out = Obs.Metrics.counter "server.bytes_out"
 let m_flight_dumps = Obs.Metrics.counter "server.flight_dumps"
+let m_coalesced = Obs.Metrics.counter "server.coalesced"
 let g_connections = Obs.Metrics.gauge "server.connections"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let g_sessions = Obs.Metrics.gauge "server.sessions"
@@ -123,10 +140,22 @@ let verb_latency op =
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* One in-flight coalescable solve.  The leader publishes its outcome;
+   followers poll (OCaml's [Condition] has no timed wait, and followers
+   must honour their own deadlines). *)
+type flight_cell = {
+  mutable outcome : [ `Pending | `Done of Json.t | `Failed ];
+}
+
 type t = {
   cfg : config;
   pool : Pool.t;
   store : Session.Store.t;
+  persist : Persist.t option;
+  mutable recovery : Persist.recovery option;
+      (** populated by {!create} when [data_dir] is set *)
+  flights : (string, flight_cell) Hashtbl.t;
+  flights_mu : Mutex.t;
   stopping : bool Atomic.t;
   active_conns : int Atomic.t;
   inflight : int Atomic.t;        (* requests currently inside [process] *)
@@ -164,20 +193,47 @@ let create cfg =
         open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path)
       cfg.access_log
   in
-  { cfg;
-    pool =
-      Pool.create ~faults:cfg.faults ~domains:cfg.domains
-        ~queue_capacity:cfg.queue_capacity ();
-    store =
-      Session.Store.create ~ttl_ms:(cfg.session_ttl_s *. 1000.0)
-        ~max_sessions:cfg.max_sessions ();
-    stopping = Atomic.make false; active_conns = Atomic.make 0;
-    inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
-    flight; access_mu = Mutex.create (); access_oc;
-    access_bytes =
-      (match access_oc with Some oc -> out_channel_length oc | None -> 0);
-    listen_fd = None;
-    accept_thread = None; telemetry_fd = None; telemetry_thread = None }
+  (* The solve cache is process-wide; the server owning the process
+     decides its budget. *)
+  Solver.Cache.set_budget_bytes (cfg.solve_cache_mb * 1024 * 1024);
+  let t =
+    { cfg;
+      pool =
+        Pool.create ~faults:cfg.faults ~domains:cfg.domains
+          ~queue_capacity:cfg.queue_capacity ();
+      store =
+        Session.Store.create ~ttl_ms:(cfg.session_ttl_s *. 1000.0)
+          ~max_sessions:cfg.max_sessions ();
+      persist =
+        Option.map
+          (fun dir ->
+            Persist.open_ ~shards:cfg.wal_shards
+              ~snapshot_every:cfg.snapshot_every dir)
+          cfg.data_dir;
+      recovery = None;
+      flights = Hashtbl.create 8; flights_mu = Mutex.create ();
+      stopping = Atomic.make false; active_conns = Atomic.make 0;
+      inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
+      flight; access_mu = Mutex.create (); access_oc;
+      access_bytes =
+        (match access_oc with Some oc -> out_channel_length oc | None -> 0);
+      listen_fd = None;
+      accept_thread = None; telemetry_fd = None; telemetry_thread = None }
+  in
+  (match t.persist with
+   | Some p ->
+     let r =
+       Persist.recover p ~scenarios:cfg.scenarios
+         ~mapper:(Pool.solver_mapper t.pool) ~max_nodes:cfg.max_nodes
+         ~store:t.store
+     in
+     t.recovery <- Some r;
+     Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store))
+   | None -> ());
+  t
+
+(** The crash-recovery summary, when {!create} replayed a data dir. *)
+let recovery t = t.recovery
 
 let stopping t = Atomic.get t.stopping
 
@@ -288,6 +344,11 @@ let handle_repair t meta ~cancel req =
       "deadline exceeded during solve"
   | result -> Proto.ok ?id:req.Proto.id (Proto.repair_fields ~rows db result)
 
+let phase_string = function
+  | Session.Proposing _ -> "pending"
+  | Session.Converged _ -> "converged"
+  | Session.Failed _ -> "failed"
+
 (* The session summary common to open/decide/next responses. *)
 let session_fields (s : Session.t) =
   let status, extra =
@@ -326,6 +387,17 @@ let handle_session_open t ~cancel req =
    | Ok () -> ()
    | Error msg -> reply_error ?id:req.Proto.id Proto.Busy msg);
   Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+  (match t.persist with
+   | Some p ->
+     Persist.log_open p ~sid:id
+       ~scenario:
+         (Option.value ~default:"" (Proto.string_field req.Proto.body "scenario"))
+       ~format:
+         (Option.value ~default:"html"
+            (Proto.string_field req.Proto.body "format"))
+       ~document:(document_of req) ~max_iterations ~origin_trace;
+     Persist.log_phase p ~sid:id ~phase:(phase_string s.Session.phase)
+   | None -> ());
   Proto.ok ?id:req.Proto.id (session_fields s)
 
 let find_session t req =
@@ -361,7 +433,15 @@ let handle_session_decide t ~cancel req =
         ds
   in
   match Session.decide ~mapper:(Pool.solver_mapper t.pool) ~cancel s decisions with
-  | Ok _phase -> Proto.ok ?id:req.Proto.id (session_fields s)
+  | Ok phase ->
+    (match t.persist with
+     | Some p ->
+       (* Logged after the round applied: only state the client can
+          observe reaches the WAL (see {!Persist}). *)
+       Persist.log_decide p ~sid:s.Session.id decisions;
+       Persist.log_phase p ~sid:s.Session.id ~phase:(phase_string phase)
+     | None -> ());
+    Proto.ok ?id:req.Proto.id (session_fields s)
   | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg
 
 let handle_session_close t req =
@@ -370,6 +450,9 @@ let handle_session_close t req =
   | Some sid ->
     let existed = Session.Store.close t.store sid in
     Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+    (match t.persist with
+     | Some p when existed -> Persist.log_close p ~sid
+     | _ -> ());
     Proto.ok ?id:req.Proto.id [ ("closed", Json.Bool existed) ]
 
 let handle_stats t req =
@@ -485,6 +568,96 @@ let run_on_pool t meta req handler =
     in
     wait ~grace:None
 
+(* ------------------------------------------------------------------ *)
+(* Single-flight coalescing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Identical in-flight [detect]/[repair] requests — same op, scenario,
+   format and document — share one solve: the first claimant becomes the
+   leader and computes; the rest await its answer and re-address it with
+   their own request id.  Responses are a pure function of the request
+   (wire-level byte-determinism), so a coalesced answer is byte-identical
+   to a freshly computed one.  Followers whose leader fails (error
+   response or exception) fall back to their own solve, so coalescing
+   never makes an answer worse — only cheaper. *)
+let coalesce_key req =
+  match
+    ( Proto.string_field req.Proto.body "scenario",
+      Proto.string_field req.Proto.body "document" )
+  with
+  | Some scenario, Some document ->
+    let format =
+      Option.value ~default:"html" (Proto.string_field req.Proto.body "format")
+    in
+    Some
+      (Digest.string
+         (String.concat "\x00" [ req.Proto.op; scenario; format; document ]))
+  | _ -> None (* malformed request: let the handler shape the error *)
+
+let coalesced t req run =
+  match (if t.cfg.coalesce then coalesce_key req else None) with
+  | None -> run ()
+  | Some key -> (
+    let claim () =
+      Mutex.lock t.flights_mu;
+      let r =
+        match Hashtbl.find_opt t.flights key with
+        | Some cell -> `Follower cell
+        | None ->
+          let cell = { outcome = `Pending } in
+          Hashtbl.add t.flights key cell;
+          `Leader cell
+      in
+      Mutex.unlock t.flights_mu;
+      r
+    in
+    match claim () with
+    | `Leader cell ->
+      let finish outcome =
+        Mutex.lock t.flights_mu;
+        Hashtbl.remove t.flights key;
+        cell.outcome <- outcome;
+        Mutex.unlock t.flights_mu
+      in
+      (match run () with
+       | resp ->
+         finish (if Proto.response_ok resp then `Done resp else `Failed);
+         resp
+       | exception e ->
+         finish `Failed;
+         raise e)
+    | `Follower cell ->
+      Obs.Metrics.incr m_coalesced;
+      let deadline =
+        Option.map
+          (fun d -> Obs.now_ms () +. Float.max 0.0 d)
+          req.Proto.deadline_ms
+      in
+      let peek () =
+        Mutex.lock t.flights_mu;
+        let o = cell.outcome in
+        Mutex.unlock t.flights_mu;
+        o
+      in
+      let rec await () =
+        match peek () with
+        | `Done resp -> Proto.reid ?id:req.Proto.id resp
+        | `Failed ->
+          (* The leader's failure may have been specific to it (its own
+             deadline, an injected fault): compute our own answer. *)
+          run ()
+        | `Pending -> (
+          match deadline with
+          | Some d when Obs.now_ms () > d ->
+            Obs.Metrics.incr m_deadline;
+            Proto.error ?id:req.Proto.id Proto.Deadline_exceeded
+              "deadline exceeded awaiting coalesced solve"
+          | _ ->
+            Thread.delay 0.0005;
+            await ())
+      in
+      await ())
+
 let dispatch t meta req =
   match req.Proto.op with
   | "ping" -> Proto.ok ?id:req.Proto.id [ ("pong", Json.Bool true) ]
@@ -501,9 +674,11 @@ let dispatch t meta req =
   | "session/next" -> handle_session_next t req
   | "session/close" -> handle_session_close t req
   | "acquire" -> run_on_pool t meta req handle_acquire
-  | "detect" -> run_on_pool t meta req handle_detect
+  | "detect" -> coalesced t req (fun () -> run_on_pool t meta req handle_detect)
   | "repair" ->
-    run_on_pool t meta req (fun t ~cancel req -> handle_repair t meta ~cancel req)
+    coalesced t req (fun () ->
+        run_on_pool t meta req (fun t ~cancel req ->
+            handle_repair t meta ~cancel req))
   | "session/open" -> run_on_pool t meta req handle_session_open
   | "session/decide" -> run_on_pool t meta req handle_session_decide
   | other ->
@@ -836,6 +1011,12 @@ let accept_loop t fd =
       if Obs.elapsed_ms ~since:!last_sweep > 1000.0 then begin
         last_sweep := Obs.now_ms ();
         let evicted = Session.Store.sweep t.store in
+        (* TTL eviction is a close for durability purposes: without it a
+           restart would resurrect sessions the live server dropped. *)
+        (match t.persist with
+         | Some p ->
+           List.iter (fun (sid, _) -> Persist.log_close p ~sid) evicted
+         | None -> ());
         if evicted <> [] && Obs.enabled () then
           Obs.log Obs.Info "server.sessions_evicted"
             ~attrs:
@@ -976,6 +1157,7 @@ let wait t =
      t.access_oc <- None;
      (try flush oc; close_out oc with Sys_error _ -> ())
    | None -> ());
+  (match t.persist with Some p -> Persist.close p | None -> ());
   (match t.flight with Some (sink, _) -> Obs.uninstall sink | None -> ());
   if Obs.enabled () then
     Obs.log Obs.Info "server.stopped"

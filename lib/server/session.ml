@@ -237,6 +237,10 @@ module Store = struct
         st.next_id <- n + 1;
         Printf.sprintf "s%d" n)
 
+  (** Raise the id counter to at least [n] — used after crash recovery so
+      fresh ids never collide with replayed sessions.  Never lowers it. *)
+  let set_next_id st n = locked st (fun () -> st.next_id <- max st.next_id n)
+
   (** Register a freshly created session.  [Error] when the store is at
       [max_sessions] (after evicting anything expired). *)
   let put st s =

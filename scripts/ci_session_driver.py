@@ -1,0 +1,100 @@
+"""Length-prefixed JSON frame driver for the dart_server session ops.
+
+Modes:
+  run_full SOCK DOCFILE OUT     open + decide first + accept-all to
+                                convergence; dump final relations to OUT
+  phase1   SOCK DOCFILE SIDFILE open + decide first suggestion, save the
+                                session id (then the caller kills -9)
+  phase2   SOCK SIDFILE OUT     resume the saved session, accept-all to
+                                convergence; dump final relations to OUT
+"""
+import json, socket, struct, sys
+
+
+def recvn(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise SystemExit("connection closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def rpc(sock, obj):
+    payload = json.dumps(obj).encode()
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    (n,) = struct.unpack(">I", recvn(sock, 4))
+    resp = json.loads(recvn(sock, n))
+    if not resp.get("ok"):
+        raise SystemExit("rpc failed: %s" % json.dumps(resp))
+    return resp
+
+
+def connect(path):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    return s
+
+
+def open_session(sock, doc):
+    return rpc(sock, {"op": "session/open", "scenario": "cash-budget",
+                      "document": doc})["session"]
+
+
+def next_body(sock, sid):
+    return rpc(sock, {"op": "session/next", "session": sid})
+
+
+def decide(sock, sid, updates):
+    decisions = [{"tid": u["tid"], "attr": u["attr"], "decision": "accept"}
+                 for u in updates]
+    return rpc(sock, {"op": "session/decide", "session": sid,
+                      "decisions": decisions})
+
+
+def decide_first(sock, sid):
+    body = next_body(sock, sid)
+    updates = body.get("updates", [])
+    assert updates, "expected pending suggestions, got: %s" % json.dumps(body)
+    decide(sock, sid, updates[:1])
+
+
+def converge(sock, sid, out):
+    for _ in range(100):
+        body = next_body(sock, sid)
+        if body["status"] == "converged":
+            with open(out, "w") as f:
+                json.dump(body["relations"], f, sort_keys=True)
+            print("converged after %d iteration(s), %d pin(s)"
+                  % (body["iterations"], body["pins"]))
+            return
+        assert body["status"] == "pending", body["status"]
+        decide(sock, sid, body["updates"])
+    raise SystemExit("no convergence in 100 rounds")
+
+
+def main():
+    mode = sys.argv[1]
+    sock = connect(sys.argv[2])
+    if mode == "run_full":
+        doc = open(sys.argv[3]).read()
+        sid = open_session(sock, doc)
+        decide_first(sock, sid)
+        converge(sock, sid, sys.argv[4])
+    elif mode == "phase1":
+        doc = open(sys.argv[3]).read()
+        sid = open_session(sock, doc)
+        decide_first(sock, sid)
+        with open(sys.argv[4], "w") as f:
+            f.write(sid)
+        print("phase1 done: session %s advanced by one decision" % sid)
+    elif mode == "phase2":
+        sid = open(sys.argv[3]).read().strip()
+        converge(sock, sid, sys.argv[4])
+    else:
+        raise SystemExit("unknown mode %s" % mode)
+
+
+if __name__ == "__main__":
+    main()

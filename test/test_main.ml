@@ -24,4 +24,5 @@ let () =
       ("server", Test_server.suite);
       ("trace", Test_trace.suite);
       ("resilience", Test_resilience.suite);
-      ("faultsim", Test_faultsim.suite) ]
+      ("faultsim", Test_faultsim.suite);
+      ("durable", Test_durable.suite) ]
