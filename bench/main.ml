@@ -27,6 +27,7 @@ let experiments =
     ("serve", Exp_serve.run);
     ("serve2", Exp_serve2.run);
     ("fault", Exp_fault.run);
+    ("overload", Exp_overload.run);
     ("warm", Exp_warm.run);
     ("score", Exp_score.run);
     ("micro", Micro.run) ]

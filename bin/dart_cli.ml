@@ -473,7 +473,7 @@ let serve_cmd =
           ~doc:
             "Deterministic fault injection for chaos testing, as \
              $(i,key=value) pairs: e.g. \
-             $(b,seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.05,corrupt=0.05,delay=0.2,delay-ms=20).")
+             $(b,seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.05,corrupt=0.05,delay=0.2,delay-ms=20,slowloris=0.1,slowloris-ms=300,flood=0.05,flood-burst=8).")
   in
   let telemetry_port =
     Arg.(
@@ -551,9 +551,37 @@ let serve_cmd =
              across requests reuse the earlier answer.  Answers are \
              byte-identical either way.  0 disables.  Default 64.")
   in
+  let no_overload =
+    Arg.(
+      value & flag
+      & info [ "no-overload" ]
+          ~doc:
+            "Disable adaptive admission control (the token-bucket / \
+             circuit-breaker / load-controller layer that sheds doomed or \
+             over-limit work with a retryable $(b,overloaded) error).  The \
+             bounded queue's $(b,busy) backpressure still applies.")
+  in
+  let no_brownout =
+    Arg.(
+      value & flag
+      & info [ "no-brownout" ]
+          ~doc:
+            "Disable brownout: under load the server would otherwise \
+             tighten per-request solver budgets (full effort -> pruned \
+             tree -> incumbent-only -> greedy), trading repair optimality \
+             for latency and recovering when load drains.")
+  in
+  let target_queue_wait =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target-queue-wait-ms" ] ~docv:"MS"
+          ~doc:
+            "Queue wait the load controller treats as \"full but \
+             healthy\" (load factor 1.0).  Default 50.")
+  in
   let run finalize addr domains queue ttl chaos telemetry_port flight_dir
       access_log access_log_max_bytes data_dir wal_shards snapshot_every
-      solve_cache_mb =
+      solve_cache_mb no_overload no_brownout target_queue_wait =
     let cfg = Server.default_config ~scenarios:all_scenarios addr in
     let faults =
       match chaos with
@@ -578,7 +606,11 @@ let serve_cmd =
         wal_shards = Option.value ~default:cfg.Server.wal_shards wal_shards;
         snapshot_every =
           Option.value ~default:cfg.Server.snapshot_every snapshot_every;
-        solve_cache_mb }
+        solve_cache_mb;
+        overload = not no_overload; brownout = not no_brownout;
+        target_queue_wait_ms =
+          Option.value ~default:cfg.Server.target_queue_wait_ms
+            target_queue_wait }
     in
     let t = Server.create cfg in
     Server.install_signal_handlers t;
@@ -617,7 +649,8 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ addr_arg $ domains $ queue $ ttl $ chaos
       $ telemetry_port $ flight_dir $ access_log $ access_log_max_bytes
-      $ data_dir $ wal_shards $ snapshot_every $ solve_cache_mb)
+      $ data_dir $ wal_shards $ snapshot_every $ solve_cache_mb $ no_overload
+      $ no_brownout $ target_queue_wait)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -688,8 +721,8 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP"
           ~doc:
-            "One of: ping, stats, shutdown, acquire, detect, repair, validate. \
-             The last four need a $(i,FILE).")
+            "One of: ping, stats, metrics, shutdown, acquire, detect, repair, \
+             validate. The last four need a $(i,FILE).")
   in
   let file_arg =
     Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"Input document.")
@@ -739,6 +772,8 @@ let client_cmd =
         Result.map
           (fun body () -> print_endline (Dart_obs.Obs.Json.to_string body))
           (Client.stats c)
+      | "metrics" ->
+        Result.map (fun text () -> print_string text) (Client.metrics c)
       | "shutdown" ->
         Result.map (fun () () -> print_endline "server stopping") (Client.shutdown c)
       | "acquire" ->

@@ -8,6 +8,9 @@ let default_shards = 4
 let m_appends = Obs.Metrics.counter "durable.wal_appends"
 let m_bytes = Obs.Metrics.counter "durable.wal_bytes"
 let m_skipped = Obs.Metrics.counter "durable.wal_skipped_records"
+let m_errors = Obs.Metrics.counter "durable.wal_errors"
+
+exception Append_failed of string
 
 type shard_state = {
   mutable oc : out_channel option; (* opened lazily, append mode *)
@@ -99,11 +102,27 @@ let append t ~key event =
   let payload = Json.to_string event in
   locked t (fun () ->
       let shard = shard_of t key in
-      let oc = shard_oc t shard in
-      Codec.write_record oc payload;
-      t.states.(shard).count <- t.states.(shard).count + 1;
-      Obs.Metrics.incr m_appends;
-      Obs.Metrics.add m_bytes (Codec.record_bytes payload))
+      match
+        let oc = shard_oc t shard in
+        Codec.write_record oc payload
+      with
+      | () ->
+        t.states.(shard).count <- t.states.(shard).count + 1;
+        Obs.Metrics.incr m_appends;
+        Obs.Metrics.add m_bytes (Codec.record_bytes payload)
+      | exception (Sys_error msg | Unix.Unix_error (_, msg, _)) ->
+        (* ENOSPC/EIO at write or flush time.  The shard channel may hold
+           a partial record in its buffer; drop the channel so the next
+           append reopens cleanly (replay tolerates a damaged tail).  The
+           caller gets a typed failure to convert into a retryable
+           error — never a crash, never a silent drop. *)
+        Obs.Metrics.incr m_errors;
+        (match t.states.(shard).oc with
+         | Some oc ->
+           t.states.(shard).oc <- None;
+           (try close_out_noerr oc with _ -> ())
+         | None -> ());
+        raise (Append_failed (Printf.sprintf "wal shard %d: %s" shard msg)))
 
 let appended t shard = locked t (fun () -> t.states.(shard).count)
 

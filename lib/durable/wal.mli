@@ -30,8 +30,16 @@ val shards : t -> int
 val shard_of : t -> string -> int
 (** The shard a key routes to (stable across processes: FNV-1a). *)
 
+exception Append_failed of string
+(** An append hit a disk error (ENOSPC, EIO, ...).  The record was not
+    durably written; [durable.wal_errors] was incremented and the shard
+    channel reset so later appends reopen cleanly.  Callers should
+    surface a retryable error to the request that needed the append. *)
+
 val append : t -> key:string -> Json.t -> unit
-(** Append one event to the key's shard and flush it. *)
+(** Append one event to the key's shard and flush it.
+    @raise Append_failed on a disk error (the server maps this to a
+    retryable response, never a crash). *)
 
 val appended : t -> int -> int
 (** Events appended to a shard by this handle since it was opened or

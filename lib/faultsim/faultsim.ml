@@ -11,12 +11,17 @@ type config = {
   frame_corrupt : float;
   io_delay : float;
   io_delay_ms : float;
+  slowloris : float;
+  slowloris_ms : float;
+  flood : float;
+  flood_burst : int;
 }
 
 let disabled =
   { seed = 0; worker_stall = 0.0; worker_stall_ms = 20.0; worker_crash = 0.0;
     frame_truncate = 0.0; frame_corrupt = 0.0; io_delay = 0.0;
-    io_delay_ms = 10.0 }
+    io_delay_ms = 10.0; slowloris = 0.0; slowloris_ms = 200.0; flood = 0.0;
+    flood_burst = 8 }
 
 type t = {
   cfg : config;
@@ -32,7 +37,7 @@ let create cfg =
   let active =
     cfg.worker_stall > 0.0 || cfg.worker_crash > 0.0
     || cfg.frame_truncate > 0.0 || cfg.frame_corrupt > 0.0
-    || cfg.io_delay > 0.0
+    || cfg.io_delay > 0.0 || cfg.slowloris > 0.0 || cfg.flood > 0.0
   in
   { cfg; draws = Atomic.make 0; active }
 
@@ -76,6 +81,13 @@ let spec_of_string s : (config, string) result =
           | "corrupt" -> bind (fun x -> { cfg with frame_corrupt = x })
           | "delay" -> bind (fun x -> { cfg with io_delay = x })
           | "delay-ms" -> bind (fun x -> { cfg with io_delay_ms = x })
+          | "slowloris" -> bind (fun x -> { cfg with slowloris = x })
+          | "slowloris-ms" -> bind (fun x -> { cfg with slowloris_ms = x })
+          | "flood" -> bind (fun x -> { cfg with flood = x })
+          | "flood-burst" ->
+            (match int_of_string_opt v with
+             | Some n when n >= 0 -> go { cfg with flood_burst = n } rest
+             | _ -> Error (Printf.sprintf "fault spec: bad value %S for %s" v key))
           | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key)))
   in
   go disabled parts
@@ -93,7 +105,11 @@ let on_worker_job t =
       raise (Injected_fault "worker_crash")
   end
 
-type frame_fault = Pass | Truncate of int | Corrupt of string
+type frame_fault =
+  | Pass
+  | Truncate of int
+  | Corrupt of string
+  | Trickle of int * float
 
 let on_frame_write t payload =
   if not t.active then Pass
@@ -101,7 +117,13 @@ let on_frame_write t payload =
     let g = prng t in
     if Prng.bool g t.cfg.io_delay then
       Unix.sleepf (t.cfg.io_delay_ms /. 1000.0);
-    if Prng.bool g t.cfg.frame_truncate then begin
+    if Prng.bool g t.cfg.slowloris then begin
+      (* Send a nonzero prefix of the frame, then stall before the rest:
+         the peer sees a frame that starts arriving and stops. *)
+      let total = 4 + String.length payload in
+      Trickle (1 + Prng.int g (max 1 (total - 1)), t.cfg.slowloris_ms /. 1000.0)
+    end
+    else if Prng.bool g t.cfg.frame_truncate then begin
       (* Cut somewhere strictly inside the 4-byte header + payload. *)
       let total = 4 + String.length payload in
       Truncate (Prng.int g (max 1 (total - 1)))
@@ -116,4 +138,13 @@ let on_frame_write t payload =
       Corrupt (Bytes.unsafe_to_string b)
     end
     else Pass
+  end
+
+(** Call when a request is admitted: the number of synthetic no-op jobs
+    to flood into the worker queue right now (0 = no flood drawn). *)
+let on_admission t =
+  if not t.active || t.cfg.flood <= 0.0 then 0
+  else begin
+    let g = prng t in
+    if Prng.bool g t.cfg.flood then t.cfg.flood_burst else 0
   end

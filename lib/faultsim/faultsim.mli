@@ -19,7 +19,13 @@
        hang);}
     {- {e frame corruption}: outgoing payload bytes are flipped (the
        peer must fail parsing, not crash);}
-    {- {e slow I/O}: an outgoing frame is delayed by [io_delay_ms].}}
+    {- {e slow I/O}: an outgoing frame is delayed by [io_delay_ms];}
+    {- {e slowloris}: an outgoing frame is trickled — a prefix is sent,
+       then the writer stalls [slowloris_ms] before the rest (tests the
+       peer's per-frame read deadline);}
+    {- {e flood}: an admitted request drags [flood_burst] synthetic
+       no-op jobs into the worker queue with it (deterministic queue
+       pressure for overload tests).}}
 
     The [none] plan injects nothing and costs one branch per site. *)
 
@@ -35,6 +41,10 @@ type config = {
   frame_corrupt : float;    (** probability outgoing payload bytes flip *)
   io_delay : float;         (** probability an outgoing frame is delayed *)
   io_delay_ms : float;
+  slowloris : float;        (** probability an outgoing frame is trickled *)
+  slowloris_ms : float;     (** stall between the prefix and the rest *)
+  flood : float;            (** probability an admission drags a burst in *)
+  flood_burst : int;        (** synthetic no-op jobs per flood draw *)
 }
 
 val disabled : config
@@ -52,7 +62,7 @@ val enabled : t -> bool
 
 val spec_of_string : string -> (config, string) result
 (** Parse a ["key=value,..."] spec, e.g.
-    ["seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.1,corrupt=0.1,delay=0.2,delay-ms=20"].
+    ["seed=42,crash=0.1,stall=0.2,stall-ms=50,truncate=0.1,corrupt=0.1,delay=0.2,delay-ms=20,slowloris=0.1,slowloris-ms=300,flood=0.05,flood-burst=8"].
     Unknown keys are errors; omitted keys default to {!disabled}'s
     values (seed 0). *)
 
@@ -60,14 +70,24 @@ val on_worker_job : t -> unit
 (** Call at the start of a pool job: may sleep (stall) and/or raise
     {!Injected_fault} (crash). *)
 
-type frame_fault = Pass | Truncate of int | Corrupt of string
+type frame_fault =
+  | Pass
+  | Truncate of int
+  | Corrupt of string
+  | Trickle of int * float
 (** What {!on_frame_write} decided: pass the payload through, write only
     the first [n] bytes of the whole frame (then the caller must close),
-    or write this corrupted payload instead. *)
+    write this corrupted payload instead, or trickle — write the first
+    [n] bytes, sleep [s] seconds, then write the rest (slowloris). *)
 
 val on_frame_write : t -> string -> frame_fault
 (** Call before writing a frame with the payload about to be sent.  Slow
-    I/O is applied by sleeping {e inside} this call; truncation and
-    corruption are returned for the caller to apply.  [Truncate] carries
-    a byte count < 4 + payload length; [Corrupt] carries a same-length
-    payload with deterministically flipped bytes. *)
+    I/O is applied by sleeping {e inside} this call; truncation,
+    corruption and trickling are returned for the caller to apply.
+    [Truncate] and [Trickle] carry a byte count < 4 + payload length;
+    [Corrupt] carries a same-length payload with deterministically
+    flipped bytes. *)
+
+val on_admission : t -> int
+(** Call when a request is admitted: the number of synthetic no-op jobs
+    to flood into the worker queue right now (0 = no flood drawn). *)

@@ -362,8 +362,18 @@ module Cache = struct
     let idx = Hashtbl.create (Array.length cells * 2) in
     Array.iteri (fun i c -> Hashtbl.replace idx c i) cells;
     let buf = Buffer.create 512 in
-    Buffer.add_string buf "rat;";
+    (* Solver-config fingerprint, ahead of the instance itself: the
+       schema version, coefficient field, node budget, big-M retry cap
+       and the instance's starting big-M.  A config change across
+       restarts (or a brownout-tightened budget) therefore keys a
+       different entry and can never rematerialize a stale cached
+       repair computed under other solver settings. *)
+    Buffer.add_string buf "v2;rat;";
     Buffer.add_string buf (string_of_int max_nodes);
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (string_of_int max_big_m_retries);
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (Rat.to_string (Encode.default_big_m db rows));
     Buffer.add_char buf ';';
     Array.iter
       (fun c ->

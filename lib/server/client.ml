@@ -10,12 +10,16 @@ module Json = Obs.Json
 type t = {
   fd : Unix.file_descr;
   timeout_s : float;            (** per-response read timeout *)
+  client : string option;       (** identity sent with every request, for
+                                    the server's fair queue / rate limits *)
   mutable next_id : int;
 }
 
 (** Connect to a server.  [timeout_s] bounds each response wait
-    (default 60s — repairs can be slow). *)
-let connect ?(timeout_s = 60.0) (addr : Proto.addr) =
+    (default 60s — repairs can be slow).  [client] is a self-declared
+    identity attached to every request: the server fair-queues and (under
+    brownout) rate-limits per client id. *)
+let connect ?(timeout_s = 60.0) ?client (addr : Proto.addr) =
   let fd =
     match addr with
     | Proto.Unix_sock path ->
@@ -32,12 +36,12 @@ let connect ?(timeout_s = 60.0) (addr : Proto.addr) =
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
       fd
   in
-  { fd; timeout_s; next_id = 1 }
+  { fd; timeout_s; client; next_id = 1 }
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let with_connection ?timeout_s addr f =
-  let c = connect ?timeout_s addr in
+let with_connection ?timeout_s ?client addr f =
+  let c = connect ?timeout_s ?client addr in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
 
 (** One raw round trip: send a JSON document, read one JSON response. *)
@@ -74,7 +78,8 @@ let rpc ?deadline_ms c ~op params : (Json.t, string) result =
     in
     match
       roundtrip c
-        (Proto.request_to_json ~id:(Json.Int id) ?deadline_ms ?trace ~op params)
+        (Proto.request_to_json ~id:(Json.Int id) ?deadline_ms ?client:c.client
+           ?trace ~op params)
     with
     | Error _ as e -> e
     | Ok resp ->
@@ -103,7 +108,7 @@ let transient_error msg =
   let has_prefix p =
     String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
   in
-  has_prefix "busy" || has_prefix "connection closed"
+  has_prefix "busy" || has_prefix "overloaded" || has_prefix "connection closed"
   || has_prefix "malformed response" || has_prefix "send failed"
   || has_prefix "read timeout" || has_prefix "shutting_down"
 

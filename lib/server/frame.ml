@@ -21,6 +21,11 @@ let read_error_to_string = function
   | Timeout -> "read timeout"
   | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
 
+exception Write_timeout
+(** Raised by {!write} when [timeout] elapses with the frame still
+    partly unsent — a peer that stopped draining its socket.  The
+    stream cannot be resynchronized; the caller must close. *)
+
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -34,6 +39,45 @@ let rec write_all fd buf off len =
     write_all fd buf (off + n) (len - n)
   end
 
+(* Wait until [fd] accepts writes or the absolute [deadline] passes. *)
+let wait_writable fd deadline =
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then false
+    else
+      match Unix.select [] [ fd ] [] remaining with
+      | _, [], _ -> go ()
+      | _, _ :: _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Deadline-bounded write: the fd is flipped to non-blocking for the
+   duration so a peer with a full receive window cannot pin this thread
+   in a blocking [Unix.write] — the slow-client armor.  @raise
+   Write_timeout when [deadline] passes with bytes still unsent. *)
+let write_all_deadline fd buf off len deadline =
+  Unix.set_nonblock fd;
+  Fun.protect
+    ~finally:(fun () -> try Unix.clear_nonblock fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec go off len =
+        if len > 0 then begin
+          if not (wait_writable fd deadline) then raise Write_timeout;
+          match Unix.write fd buf off len with
+          | n -> go (off + n) (len - n)
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> go off len
+        end
+      in
+      go off len)
+
+let write_all ?timeout fd buf off len =
+  match timeout with
+  | None -> write_all fd buf off len
+  | Some t -> write_all_deadline fd buf off len (Unix.gettimeofday () +. t)
+
 let frame_bytes payload =
   let n = String.length payload in
   let buf = Bytes.create (4 + n) in
@@ -41,24 +85,37 @@ let frame_bytes payload =
   Bytes.blit_string payload 0 buf 4 n;
   buf
 
-(** Send one frame.  [faults] may delay the write, corrupt payload bytes,
-    or truncate the frame mid-stream — in the truncation case the partial
-    bytes are sent and {!Dart_faultsim.Faultsim.Injected_fault} is raised
-    so the caller closes the connection (the stream cannot be
-    resynchronized after a short frame).
+(** Send one frame.  [timeout] (seconds) bounds the write of the whole
+    frame; when it elapses with the peer still not draining its socket,
+    {!Write_timeout} is raised and the caller must close (slow-client
+    armor).  [faults] may delay the write, corrupt payload bytes,
+    trickle the frame (slowloris), or truncate it mid-stream — in the
+    truncation case the partial bytes are sent and
+    {!Dart_faultsim.Faultsim.Injected_fault} is raised so the caller
+    closes the connection (the stream cannot be resynchronized after a
+    short frame).
     @raise Unix.Unix_error on a broken connection. *)
-let write ?(faults = Dart_faultsim.Faultsim.none) fd payload =
+let write ?(faults = Dart_faultsim.Faultsim.none) ?timeout fd payload =
   match Dart_faultsim.Faultsim.on_frame_write faults payload with
   | Dart_faultsim.Faultsim.Pass ->
     let buf = frame_bytes payload in
-    write_all fd buf 0 (Bytes.length buf)
+    write_all ?timeout fd buf 0 (Bytes.length buf)
   | Dart_faultsim.Faultsim.Corrupt payload' ->
     let buf = frame_bytes payload' in
-    write_all fd buf 0 (Bytes.length buf)
+    write_all ?timeout fd buf 0 (Bytes.length buf)
   | Dart_faultsim.Faultsim.Truncate cut ->
     let buf = frame_bytes payload in
-    write_all fd buf 0 (min cut (Bytes.length buf));
+    write_all ?timeout fd buf 0 (min cut (Bytes.length buf));
     raise (Dart_faultsim.Faultsim.Injected_fault "frame_truncate")
+  | Dart_faultsim.Faultsim.Trickle (cut, pause_s) ->
+    (* Slowloris chaos: a prefix, a stall, then the rest.  The write
+       deadline deliberately does NOT cover the injected stall — the
+       fault models this process being slow, not the peer. *)
+    let buf = frame_bytes payload in
+    let cut = min cut (Bytes.length buf) in
+    write_all ?timeout fd buf 0 cut;
+    Unix.sleepf pause_s;
+    write_all ?timeout fd buf cut (Bytes.length buf - cut)
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)

@@ -14,6 +14,7 @@
     sequential execution instead of deadlocking. *)
 
 module Cancel = Dart_resilience.Cancel
+module Fair_queue = Dart_resilience.Overload.Fair_queue
 module Faultsim = Dart_faultsim.Faultsim
 
 type 'a state =
@@ -32,7 +33,10 @@ type 'a future = {
 type job = Job : _ future -> job
 
 type t = {
-  queue : job Queue.t;
+  queue : job Fair_queue.t;
+  (* Round-robin across client ids: one hot client cannot starve the
+     rest (see Dart_resilience.Overload.Fair_queue).  Internal work —
+     [map] fan-out, session re-solves — uses the reserved "" client. *)
   capacity : int;
   qmu : Mutex.t;
   qcond : Condition.t;            (* signalled on enqueue and on stop *)
@@ -69,17 +73,16 @@ let run_if_pending ?(faults = Faultsim.none) (Job fut) =
 let worker_loop pool () =
   let rec loop () =
     Mutex.lock pool.qmu;
-    while Queue.is_empty pool.queue && not pool.stopping do
+    while Fair_queue.is_empty pool.queue && not pool.stopping do
       Condition.wait pool.qcond pool.qmu
     done;
     (* On shutdown, drain what is already queued, then exit. *)
-    if Queue.is_empty pool.queue then Mutex.unlock pool.qmu
-    else begin
-      let job = Queue.pop pool.queue in
+    match Fair_queue.pop pool.queue with
+    | None -> Mutex.unlock pool.qmu
+    | Some job ->
       Mutex.unlock pool.qmu;
       run_if_pending ~faults:pool.faults job;
       loop ()
-    end
   in
   loop ()
 
@@ -91,7 +94,7 @@ let create ?(faults = Faultsim.none) ~domains ~queue_capacity () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
   if queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
   let pool =
-    { queue = Queue.create (); capacity = queue_capacity;
+    { queue = Fair_queue.create (); capacity = queue_capacity;
       qmu = Mutex.create (); qcond = Condition.create (); faults;
       stopping = false; workers = [||] }
   in
@@ -104,19 +107,20 @@ let size pool = Array.length pool.workers
 (** Jobs waiting in the queue right now (queued, not yet claimed). *)
 let depth pool =
   Mutex.lock pool.qmu;
-  let n = Queue.length pool.queue in
+  let n = Fair_queue.length pool.queue in
   Mutex.unlock pool.qmu;
   n
 
-(* Enqueue a job if there is room; used by both submit and map. *)
-let try_enqueue pool job =
+(* Enqueue a job if there is room; used by both submit and map.
+   [client] picks the fair-queue slot; "" is the internal lane. *)
+let try_enqueue ?(client = "") pool job =
   Mutex.lock pool.qmu;
-  if pool.stopping || Queue.length pool.queue >= pool.capacity then begin
+  if pool.stopping || Fair_queue.length pool.queue >= pool.capacity then begin
     Mutex.unlock pool.qmu;
     false
   end
   else begin
-    Queue.push job pool.queue;
+    Fair_queue.push pool.queue ~client job;
     Condition.signal pool.qcond;
     Mutex.unlock pool.qmu;
     true
@@ -124,10 +128,12 @@ let try_enqueue pool job =
 
 (** Submit a thunk; [None] when the queue is full (backpressure) or the
     pool is shutting down.  [cancel] is remembered on the future so
-    {!request_cancel} can signal the job after it starts running. *)
-let try_submit ?cancel pool thunk =
+    {!request_cancel} can signal the job after it starts running.
+    [client] is the fair-queue identity: jobs are dequeued round-robin
+    across client ids, oldest-first within one id. *)
+let try_submit ?cancel ?client pool thunk =
   let fut = future ?cancel thunk in
-  if try_enqueue pool (Job fut) then Some fut else None
+  if try_enqueue ?client pool (Job fut) then Some fut else None
 
 type 'a outcome = [ `Done of ('a, exn) result | `Cancelled | `Pending_or_running ]
 

@@ -63,8 +63,20 @@ type request = {
   (** [(trace_id, parent_span_id)] propagated from the client so the
       server's spans stitch under the client's tree.  Requests only:
       responses stay a pure function of the input (byte-determinism). *)
+  client : string option;
+  (** self-declared client identity for fair queueing and per-client
+      rate limits; absent or malformed = the connection's identity *)
   body : Json.t;               (** the whole request object *)
 }
+
+(* Client ids key fair-queue slots and per-client token buckets, so the
+   wire parse bounds them: printable ASCII, at most 64 bytes.  Anything
+   else is ignored (the request falls back to per-connection identity)
+   rather than rejected. *)
+let valid_client_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all (fun c -> c >= '!' && c <= '~') s
 
 (* Trace/span ids are [Obs.fresh_id]-style hex tokens.  The wire parse
    must enforce that shape: the trace id ends up in span records, access
@@ -98,15 +110,21 @@ let request_of_json j : (request, string) result =
     (match string_field j "op" with
      | None -> Error "request must carry a string \"op\" field"
      | Some op ->
+       let client =
+         match string_field j "client" with
+         | Some c when valid_client_id c -> Some c
+         | _ -> None
+       in
        Ok { op; id = member "id" j; deadline_ms = float_field j "deadline_ms";
-            trace = trace_of_json j; body = j })
+            trace = trace_of_json j; client; body = j })
   | _ -> Error "request must be a JSON object"
 
-let request_to_json ?id ?deadline_ms ?trace ~op params =
+let request_to_json ?id ?deadline_ms ?client ?trace ~op params =
   Json.Obj
     (("op", Json.Str op)
      :: (match id with Some i -> [ ("id", i) ] | None -> [])
      @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Float d) ] | None -> [])
+     @ (match client with Some c -> [ ("client", Json.Str c) ] | None -> [])
      @ (match trace with
         | Some (tid, psid) ->
           [ ("trace",
@@ -127,6 +145,7 @@ type error_code =
   | Unknown_scenario
   | Session_not_found    (** never opened, closed, or TTL-evicted *)
   | Busy                 (** worker queue full — retry later *)
+  | Overloaded           (** admission control shed the request — retry later *)
   | Deadline_exceeded
   | Oversized_frame
   | Shutting_down
@@ -139,6 +158,7 @@ let error_code_to_string = function
   | Unknown_scenario -> "unknown_scenario"
   | Session_not_found -> "session_not_found"
   | Busy -> "busy"
+  | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Oversized_frame -> "oversized_frame"
   | Shutting_down -> "shutting_down"
@@ -149,14 +169,18 @@ let with_id id fields =
 
 let ok ?id fields = Json.Obj (with_id id (("ok", Json.Bool true) :: fields))
 
-let error ?id code message =
+let error ?id ?retry_after_ms code message =
   Json.Obj
     (with_id id
        [ ("ok", Json.Bool false);
          ("error",
           Json.Obj
-            [ ("code", Json.Str (error_code_to_string code));
-              ("message", Json.Str message) ]) ])
+            (("code", Json.Str (error_code_to_string code))
+             :: ("message", Json.Str message)
+             ::
+             (match retry_after_ms with
+              | Some ms -> [ ("retry_after_ms", Json.Float ms) ]
+              | None -> []))) ])
 
 (** Re-address a response: replace its [id] echo (if any) with [id].
     Used by single-flight coalescing, where one computed response answers

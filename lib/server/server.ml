@@ -28,8 +28,10 @@ open Dart
 module Obs = Dart_obs.Obs
 module Json = Obs.Json
 module Cancel = Dart_resilience.Cancel
+module Overload = Dart_resilience.Overload
 module Faultsim = Dart_faultsim.Faultsim
 module Solver = Dart_repair.Solver
+module Wal = Dart_durable.Wal
 
 (* ------------------------------------------------------------------ *)
 (* Config                                                              *)
@@ -69,6 +71,23 @@ type config = {
                                       (0 disables; see {!Solver.Cache}) *)
   coalesce : bool;                (** single-flight identical in-flight
                                       [detect]/[repair] requests *)
+  overload : bool;                (** adaptive admission control: shed
+                                      doomed/over-limit work with a
+                                      retryable [overloaded] error *)
+  brownout : bool;                (** tighten per-request solver budgets
+                                      as measured load climbs (see
+                                      {!Overload.brownout_nodes}) *)
+  target_queue_wait_ms : float;   (** queue wait the load controller
+                                      treats as "full but healthy" *)
+  client_rate : float;            (** per-client admissions/s once the
+                                      server is browned out (level >= 1) *)
+  client_burst : float;           (** per-client token bucket capacity *)
+  frame_write_timeout_s : float;  (** per-frame write deadline: a peer
+                                      that stops draining its socket is
+                                      disconnected (slow-client armor) *)
+  frame_read_timeout_s : float;   (** mid-frame read deadline once the
+                                      first bytes of a frame arrived
+                                      (slowloris armor) *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -86,7 +105,10 @@ let default_config ?(scenarios = []) addr =
     (* Cache off by default: in-process callers comparing wire responses
        against fresh solves (the byte-parity suite) must not see answers
        computed by an earlier test's instance.  The CLI turns it on. *)
-    solve_cache_mb = 0; coalesce = true; scenarios }
+    solve_cache_mb = 0; coalesce = true;
+    overload = true; brownout = true; target_queue_wait_ms = 50.0;
+    client_rate = 50.0; client_burst = 100.0;
+    frame_write_timeout_s = 10.0; frame_read_timeout_s = 10.0; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -101,6 +123,10 @@ let m_bytes_in = Obs.Metrics.counter "server.bytes_in"
 let m_bytes_out = Obs.Metrics.counter "server.bytes_out"
 let m_flight_dumps = Obs.Metrics.counter "server.flight_dumps"
 let m_coalesced = Obs.Metrics.counter "server.coalesced"
+let m_shed = Obs.Metrics.counter "server.shed"
+let m_slow_closes = Obs.Metrics.counter "server.slow_client_closes"
+let g_brownout = Obs.Metrics.gauge "server.brownout_level"
+let g_retry_after = Obs.Metrics.gauge "server.retry_after_ms"
 let g_connections = Obs.Metrics.gauge "server.connections"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
 let g_sessions = Obs.Metrics.gauge "server.sessions"
@@ -156,6 +182,14 @@ type t = {
       (** populated by {!create} when [data_dir] is set *)
   flights : (string, flight_cell) Hashtbl.t;
   flights_mu : Mutex.t;
+  ctrl : Overload.Controller.t;   (* EWMA load -> brownout level *)
+  breaker : Overload.Breaker.t;   (* trips on sustained failure under load *)
+  buckets : (string, Overload.Token_bucket.t) Hashtbl.t;
+  buckets_mu : Mutex.t;           (* per-client admission buckets *)
+  svc_mu : Mutex.t;
+  mutable svc_ewma_ms : float;    (* smoothed handler service time, for the
+                                     "is this request doomed?" estimate *)
+  conn_seq : int Atomic.t;        (* fallback per-connection client ids *)
   stopping : bool Atomic.t;
   active_conns : int Atomic.t;
   inflight : int Atomic.t;        (* requests currently inside [process] *)
@@ -212,6 +246,15 @@ let create cfg =
           cfg.data_dir;
       recovery = None;
       flights = Hashtbl.create 8; flights_mu = Mutex.create ();
+      ctrl =
+        Overload.Controller.create
+          { Overload.Controller.default_config with
+            target_queue_wait_ms = cfg.target_queue_wait_ms;
+            inflight_target = 2 * max 1 cfg.domains };
+      breaker = Overload.Breaker.create ();
+      buckets = Hashtbl.create 16; buckets_mu = Mutex.create ();
+      svc_mu = Mutex.create (); svc_ewma_ms = 0.0;
+      conn_seq = Atomic.make 0;
       stopping = Atomic.make false; active_conns = Atomic.make 0;
       inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
       flight; access_mu = Mutex.create (); access_oc;
@@ -326,13 +369,25 @@ let handle_detect t ~cancel req =
                   ("groundings", Json.Int (List.length thetas)) ])
             violated)) ]
 
+(* The brownout ladder turns measured load into a per-request node
+   budget: full effort at level 0, a pruned tree at 1, incumbent-only at
+   2, straight to the greedy tier at 3+.  The quality drop is visible to
+   the client through the existing [provenance] field.  Only stateless
+   [repair] requests brown out; sessions keep the budget they were
+   opened with (an operator mid-validation sees consistent proposals). *)
+let effective_max_nodes t =
+  if t.cfg.brownout then
+    Overload.brownout_nodes ~max_nodes:t.cfg.max_nodes
+      (Overload.Controller.level t.ctrl)
+  else t.cfg.max_nodes
+
 let handle_repair t meta ~cancel req =
   let scenario, acq = acquire_db t ~cancel req in
   let db = acq.Pipeline.db in
   let rows = Ground.of_constraints db scenario.Scenario.constraints in
   let result =
-    Pipeline.repair ~mapper:(Pool.solver_mapper t.pool) ~max_nodes:t.cfg.max_nodes
-      ~cancel scenario db
+    Pipeline.repair ~mapper:(Pool.solver_mapper t.pool)
+      ~max_nodes:(effective_max_nodes t) ~cancel scenario db
   in
   Atomic.set meta.gap
     (Option.bind (Solver.result_stats result) Solver.report_gap);
@@ -388,15 +443,24 @@ let handle_session_open t ~cancel req =
    | Error msg -> reply_error ?id:req.Proto.id Proto.Busy msg);
   Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
   (match t.persist with
-   | Some p ->
-     Persist.log_open p ~sid:id
-       ~scenario:
-         (Option.value ~default:"" (Proto.string_field req.Proto.body "scenario"))
-       ~format:
-         (Option.value ~default:"html"
-            (Proto.string_field req.Proto.body "format"))
-       ~document:(document_of req) ~max_iterations ~origin_trace;
-     Persist.log_phase p ~sid:id ~phase:(phase_string s.Session.phase)
+   | Some p -> (
+     try
+       Persist.log_open p ~sid:id
+         ~scenario:
+           (Option.value ~default:""
+              (Proto.string_field req.Proto.body "scenario"))
+         ~format:
+           (Option.value ~default:"html"
+              (Proto.string_field req.Proto.body "format"))
+         ~document:(document_of req) ~max_iterations ~origin_trace;
+       Persist.log_phase p ~sid:id ~phase:(phase_string s.Session.phase)
+     with Wal.Append_failed msg ->
+       (* The session is not durable; do not hand out an id that a
+          restart would forget.  Retryable: disk pressure may clear. *)
+       ignore (Session.Store.close t.store id);
+       Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+       reply_error ?id:req.Proto.id Proto.Busy
+         (Printf.sprintf "session log unavailable (%s); retry later" msg))
    | None -> ());
   Proto.ok ?id:req.Proto.id (session_fields s)
 
@@ -435,11 +499,20 @@ let handle_session_decide t ~cancel req =
   match Session.decide ~mapper:(Pool.solver_mapper t.pool) ~cancel s decisions with
   | Ok phase ->
     (match t.persist with
-     | Some p ->
-       (* Logged after the round applied: only state the client can
-          observe reaches the WAL (see {!Persist}). *)
-       Persist.log_decide p ~sid:s.Session.id decisions;
-       Persist.log_phase p ~sid:s.Session.id ~phase:(phase_string phase)
+     | Some p -> (
+       try
+         (* Logged after the round applied: only state the client can
+            observe reaches the WAL (see {!Persist}). *)
+         Persist.log_decide p ~sid:s.Session.id decisions;
+         Persist.log_phase p ~sid:s.Session.id ~phase:(phase_string phase)
+       with Wal.Append_failed msg ->
+         (* The round applied in memory but is not durable: tell the
+            client to retry (decisions are idempotent — re-accepting or
+            re-overriding the same cells re-converges to the same
+            state) rather than silently risking its loss on restart. *)
+         reply_error ?id:req.Proto.id Proto.Busy
+           (Printf.sprintf "session log unavailable (%s); retry the round"
+              msg))
      | None -> ());
     Proto.ok ?id:req.Proto.id (session_fields s)
   | Error msg -> reply_error ?id:req.Proto.id Proto.Bad_request msg
@@ -451,7 +524,13 @@ let handle_session_close t req =
     let existed = Session.Store.close t.store sid in
     Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
     (match t.persist with
-     | Some p when existed -> Persist.log_close p ~sid
+     | Some p when existed -> (
+       try Persist.log_close p ~sid
+       with Wal.Append_failed msg ->
+         (* Closed in memory but not in the log: a restart would
+            resurrect it (and TTL-evict it later).  Retryable. *)
+         reply_error ?id:req.Proto.id Proto.Busy
+           (Printf.sprintf "session log unavailable (%s); retry close" msg))
      | _ -> ());
     Proto.ok ?id:req.Proto.id [ ("closed", Json.Bool existed) ]
 
@@ -468,7 +547,13 @@ let handle_stats t req =
            ("queue_depth", Json.Int (Pool.depth t.pool));
            ("connections", Json.Int (Atomic.get t.active_conns));
            ("inflight", Json.Int (Atomic.get t.inflight));
-           ("sessions", Json.Int (Session.Store.count t.store)) ]);
+           ("sessions", Json.Int (Session.Store.count t.store));
+           ("load", Json.Float (Overload.Controller.load t.ctrl));
+           ("brownout_level", Json.Int (Overload.Controller.level t.ctrl));
+           ("breaker",
+            Json.Str
+              (Overload.Breaker.state_to_string
+                 (Overload.Breaker.state t.breaker))) ]);
       ("metrics", Obs.Metrics.snapshot ()) ]
 
 (* ------------------------------------------------------------------ *)
@@ -486,7 +571,95 @@ let handle_stats t req =
    still queued — and only after [cancel_grace_ms] of unresponsiveness
    does it abandon the job (answering the client while the slot finishes
    in the background). *)
-let run_on_pool t meta req handler =
+(* ---- admission control ------------------------------------------- *)
+
+(* The per-client token bucket, created on first sight.  The table is
+   bounded: client ids are <= 64 bytes on the wire and the table is
+   reset past a generous cap (buckets refill to full burst, so a reset
+   only briefly over-admits). *)
+let client_bucket t client =
+  Mutex.lock t.buckets_mu;
+  if Hashtbl.length t.buckets > 4096 then Hashtbl.reset t.buckets;
+  let b =
+    match Hashtbl.find_opt t.buckets client with
+    | Some b -> b
+    | None ->
+      let b =
+        Overload.Token_bucket.create ~rate:t.cfg.client_rate
+          ~burst:t.cfg.client_burst ()
+      in
+      Hashtbl.add t.buckets client b;
+      b
+  in
+  Mutex.unlock t.buckets_mu;
+  b
+
+let observe_service_ms t ms =
+  Mutex.lock t.svc_mu;
+  t.svc_ewma_ms <-
+    (if t.svc_ewma_ms = 0.0 then ms else (0.7 *. t.svc_ewma_ms) +. (0.3 *. ms));
+  Mutex.unlock t.svc_mu
+
+(* Expected time a job admitted now would sit queued: the backlog ahead
+   of it, paced by the smoothed service time, spread over the workers. *)
+let estimated_queue_wait_ms t =
+  Mutex.lock t.svc_mu;
+  let svc = t.svc_ewma_ms in
+  Mutex.unlock t.svc_mu;
+  float_of_int (Pool.depth t.pool) *. svc /. float_of_int (Pool.size t.pool)
+
+(* Shed this request before queueing it?  [Some (reason, retry_after_ms)]
+   says yes.  Checked in order of cost: breaker first (one mutex), then
+   the load estimate, then the per-client bucket (only consulted once
+   the server is browned out — at level 0 fairness comes from the
+   round-robin queue alone and no client is ever rate-limited). *)
+let admission_verdict t req client =
+  if not t.cfg.overload then None
+  else if not (Overload.Breaker.allow t.breaker) then
+    Some
+      ( "circuit breaker open",
+        Float.max 1.0 (Overload.Breaker.retry_after_ms t.breaker) )
+  else begin
+    let est = estimated_queue_wait_ms t in
+    Overload.Controller.observe t.ctrl ~queue_wait_ms:est
+      ~inflight:(Atomic.get t.inflight);
+    Obs.Metrics.set g_brownout
+      (float_of_int (Overload.Controller.level t.ctrl));
+    match req.Proto.deadline_ms with
+    | Some d when est > Float.max 0.0 d ->
+      (* Queueing is pointless: the backlog alone outlives the deadline.
+         Shedding now frees the slot for a request that can still win. *)
+      Some
+        ( Printf.sprintf "estimated queue wait %.0fms exceeds deadline" est,
+          Overload.Controller.retry_after_ms t.ctrl )
+    | _ ->
+      if
+        Overload.Controller.level t.ctrl >= 1
+        && not (Overload.Token_bucket.try_take (client_bucket t client))
+      then
+        Some
+          ( "client rate limit (brownout)",
+            Float.max 1.0
+              (Overload.Token_bucket.wait_hint_ms (client_bucket t client)) )
+      else None
+  end
+
+let run_on_pool t meta ~client req handler =
+  match admission_verdict t req client with
+  | Some (reason, retry_after_ms) ->
+    Obs.Metrics.incr m_shed;
+    Obs.Metrics.set g_retry_after retry_after_ms;
+    Proto.error ?id:req.Proto.id ~retry_after_ms Proto.Overloaded
+      (Printf.sprintf "overloaded: %s; retry in %.0fms" reason retry_after_ms)
+  | None ->
+  (* Chaos flood: drag a burst of synthetic no-op jobs in with this
+     admission, on the internal lane, for deterministic queue pressure. *)
+  (match Faultsim.on_admission t.cfg.faults with
+   | 0 -> ()
+   | burst ->
+     for _ = 1 to burst do
+       ignore (Pool.try_submit t.pool (fun () -> Proto.ok []))
+     done);
   let cancel =
     match req.Proto.deadline_ms with
     | Some d -> Cancel.create ~deadline_ms:(Float.max 0.0 d) ()
@@ -507,13 +680,22 @@ let run_on_pool t meta req handler =
         let wait_ms = wait_us /. 1e3 in
         Atomic.set meta.queue_wait_ms (Some wait_ms);
         Obs.Metrics.observe h_queue_wait wait_ms;
+        Overload.Controller.observe t.ctrl ~queue_wait_ms:wait_ms
+          ~inflight:(Atomic.get t.inflight);
+        Obs.Metrics.set g_brownout
+          (float_of_int (Overload.Controller.level t.ctrl));
         Obs.emit_span "server.queue_wait"
           ~attrs:[ ("op", Obs.Str req.Proto.op) ]
           ~start_us:submitted_us ~dur_us:wait_us;
-        Obs.span "server.worker" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
-          (fun () -> handler t ~cancel req))
+        let t_run = Obs.now_ms () in
+        let resp =
+          Obs.span "server.worker" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
+            (fun () -> handler t ~cancel req)
+        in
+        observe_service_ms t (Obs.elapsed_ms ~since:t_run);
+        resp)
   in
-  match Pool.try_submit ~cancel t.pool job with
+  match Pool.try_submit ~cancel ~client t.pool job with
   | None ->
     Obs.Metrics.incr m_busy;
     Proto.error ?id:req.Proto.id Proto.Busy
@@ -533,6 +715,11 @@ let run_on_pool t meta req handler =
         (* The token unwound a stage with no degradation path (e.g.
            acquisition); the worker slot is already free. *)
         deadline_error "deadline exceeded during solve"
+      | `Done (Error (Wal.Append_failed msg)) ->
+        (* Disk error on a durable append that no handler converted:
+           still a retryable condition, never a crash. *)
+        Proto.error ?id:req.Proto.id Proto.Busy
+          (Printf.sprintf "busy: durable log unavailable (%s)" msg)
       | `Done (Error (Faultsim.Injected_fault what)) ->
         (* Simulated infrastructure failure: transient by construction,
            so tell the client it is safe to retry. *)
@@ -566,7 +753,22 @@ let run_on_pool t meta req handler =
            Thread.delay 0.0005;
            wait ~grace)
     in
-    wait ~grace:None
+    let resp = wait ~grace:None in
+    (* Feed the breaker.  A deadline miss only counts as a failure when
+       there was a backlog (an idle server missing a client's tight
+       deadline is the client's choice, not overload); [busy] never
+       counts (the bounded queue already answered it); [internal]
+       always does. *)
+    if t.cfg.overload then begin
+      if Proto.response_ok resp then Overload.Breaker.success t.breaker
+      else
+        match fst (Proto.response_error resp) with
+        | Some "deadline_exceeded" when Pool.depth t.pool > 0 ->
+          Overload.Breaker.failure t.breaker
+        | Some "internal" -> Overload.Breaker.failure t.breaker
+        | _ -> ()
+    end;
+    resp
 
 (* ------------------------------------------------------------------ *)
 (* Single-flight coalescing                                            *)
@@ -658,7 +860,11 @@ let coalesced t req run =
       in
       await ())
 
-let dispatch t meta req =
+let dispatch t meta ~conn_client req =
+  (* Fair-queue / rate-limit identity: the client's self-declared id
+     when it sent one, else this connection's synthetic id (one slot per
+     connection — an anonymous hot client still cannot starve others). *)
+  let client = Option.value ~default:conn_client req.Proto.client in
   match req.Proto.op with
   | "ping" -> Proto.ok ?id:req.Proto.id [ ("pong", Json.Bool true) ]
   | "stats" -> handle_stats t req
@@ -673,14 +879,15 @@ let dispatch t meta req =
     Proto.ok ?id:req.Proto.id [ ("stopping", Json.Bool true) ]
   | "session/next" -> handle_session_next t req
   | "session/close" -> handle_session_close t req
-  | "acquire" -> run_on_pool t meta req handle_acquire
-  | "detect" -> coalesced t req (fun () -> run_on_pool t meta req handle_detect)
+  | "acquire" -> run_on_pool t meta ~client req handle_acquire
+  | "detect" ->
+    coalesced t req (fun () -> run_on_pool t meta ~client req handle_detect)
   | "repair" ->
     coalesced t req (fun () ->
-        run_on_pool t meta req (fun t ~cancel req ->
+        run_on_pool t meta ~client req (fun t ~cancel req ->
             handle_repair t meta ~cancel req))
-  | "session/open" -> run_on_pool t meta req handle_session_open
-  | "session/decide" -> run_on_pool t meta req handle_session_decide
+  | "session/open" -> run_on_pool t meta ~client req handle_session_open
+  | "session/decide" -> run_on_pool t meta ~client req handle_session_decide
   | other ->
     Proto.error ?id:req.Proto.id Proto.Unknown_op
       (Printf.sprintf "unknown op %S" other)
@@ -821,7 +1028,7 @@ let maybe_dump_flight t ~trace_id ~outcome ~msg =
    (the client started the trace); a bare request gets a fresh trace id
    at admission.  Serialization happens here too so the access log can
    record exact bytes-out. *)
-let process t payload =
+let process t ~conn_client payload =
   let t0 = Obs.now_ms () in
   Obs.Metrics.add m_bytes_in (String.length payload);
   (* [g_inflight] is refreshed from [t.inflight] at read time
@@ -849,7 +1056,7 @@ let process t payload =
            Obs.Trace.with_context (Some ctx) (fun () ->
                Obs.span "server.request" ~attrs:[ ("op", Obs.Str req.Proto.op) ]
                  (fun () ->
-                   try dispatch t meta req with
+                   try dispatch t meta ~conn_client req with
                    | Reply resp -> resp
                    | e ->
                      Proto.error ?id:req.Proto.id Proto.Internal
@@ -887,10 +1094,11 @@ let process t payload =
 
 (* Wait for the next frame in short select slices, so the thread notices
    [stop] promptly (bounded drain) while honouring the idle timeout.  The
-   actual frame read only starts once bytes are available: a timeout
-   mid-frame means the peer is trickling or stuck, and since a
-   length-prefixed stream cannot be resynchronized we close rather than
-   retry on a misaligned stream. *)
+   actual frame read only starts once bytes are available, and is then
+   bounded by [frame_read_timeout_s], NOT the (much longer) idle budget:
+   a peer that starts a frame and trickles it (slowloris) pins this
+   thread only until the per-frame deadline, after which the connection
+   is closed — a length-prefixed stream cannot be resynchronized. *)
 let read_request t fd =
   let idle_deadline = Obs.now_ms () +. (t.cfg.idle_timeout_s *. 1000.0) in
   let rec go () =
@@ -900,11 +1108,16 @@ let read_request t fd =
       | [], _, _ -> if Obs.now_ms () > idle_deadline then `Idle else go ()
       | _ :: _, _, _ ->
         let budget_s =
-          Float.max 0.05 ((idle_deadline -. Obs.now_ms ()) /. 1000.0)
+          Float.min t.cfg.frame_read_timeout_s
+            (Float.max 0.05 ((idle_deadline -. Obs.now_ms ()) /. 1000.0))
         in
         (match Frame.read ~timeout:budget_s ~max_len:t.cfg.max_frame_bytes fd with
          | Ok payload -> `Request payload
-         | Error Frame.Timeout -> `Idle
+         | Error Frame.Timeout ->
+           (* Bytes arrived but the frame never completed in budget:
+              slow client, armor closes it. *)
+           Obs.Metrics.incr m_slow_closes;
+           `Idle
          | Error Frame.Eof -> `Eof
          | Error (Frame.Oversized n) -> `Oversized n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
@@ -913,14 +1126,26 @@ let read_request t fd =
 
 (* An injected truncation leaves the stream unsynchronizable, exactly
    like a real short write before a crash: report failure so the
-   connection closes. *)
+   connection closes.  The per-frame write deadline is the other half of
+   the slow-client armor: a peer that stops draining its socket gets
+   disconnected instead of pinning this thread in [write]. *)
 let send t fd payload =
-  try Frame.write ~faults:t.cfg.faults fd payload; true
-  with Unix.Unix_error _ | Sys_error _ | Faultsim.Injected_fault _ -> false
+  try
+    Frame.write ~faults:t.cfg.faults ~timeout:t.cfg.frame_write_timeout_s fd
+      payload;
+    true
+  with
+  | Frame.Write_timeout ->
+    Obs.Metrics.incr m_slow_closes;
+    false
+  | Unix.Unix_error _ | Sys_error _ | Faultsim.Injected_fault _ -> false
 
 let handle_connection t fd =
   Obs.Metrics.incr m_conn_total;
   Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+  let conn_client =
+    Printf.sprintf "conn-%d" (Atomic.fetch_and_add t.conn_seq 1)
+  in
   let rec serve () =
     match read_request t fd with
     | `Eof | `Idle -> ()
@@ -940,7 +1165,7 @@ let handle_connection t fd =
                  (Printf.sprintf "frame of %d bytes exceeds limit %d" n
                     t.cfg.max_frame_bytes))))
     | `Request payload ->
-      let resp = process t payload in
+      let resp = process t ~conn_client payload in
       (* After answering the in-flight request, a draining server closes
          instead of reading further frames. *)
       if send t fd resp && not (stopping t) then serve ()
@@ -1015,7 +1240,15 @@ let accept_loop t fd =
            restart would resurrect sessions the live server dropped. *)
         (match t.persist with
          | Some p ->
-           List.iter (fun (sid, _) -> Persist.log_close p ~sid) evicted
+           List.iter
+             (fun (sid, _) ->
+               try Persist.log_close p ~sid
+               with Wal.Append_failed msg ->
+                 (* Never kill the accept loop over disk pressure; the
+                    un-logged eviction is re-evicted after a restart. *)
+                 Obs.log Obs.Warn "server.wal_append_failed"
+                   ~attrs:[ ("sid", Obs.Str sid); ("error", Obs.Str msg) ])
+             evicted
          | None -> ());
         if evicted <> [] && Obs.enabled () then
           Obs.log Obs.Info "server.sessions_evicted"
@@ -1065,14 +1298,33 @@ let telemetry_response t =
      %s"
     (String.length body) body
 
-(* The exposition outgrows a socket buffer once per-verb histograms fill
-   in, and a partial [write] would silently truncate the scrape despite
-   the Content-Length header — so loop until every byte is out. *)
-let rec write_all fd s off len =
-  if len > 0 then begin
-    let n = Unix.write_substring fd s off len in
-    write_all fd s (off + n) (len - n)
-  end
+(* Scrapes are handled inline on the telemetry thread, so one stalled
+   scraper must never block the next: the request-read is bounded by a
+   select deadline (a half-open socket that sends nothing is dropped
+   after a second) and the response write is bounded too (a peer that
+   connects but never drains its receive buffer would otherwise pin the
+   thread in a blocking [write] once the exposition outgrows the socket
+   buffer).  The exposition does outgrow it once per-verb histograms
+   fill in — hence the deadline-looped full write, not one [write]. *)
+let telemetry_read_timeout_s = 1.0
+let telemetry_write_timeout_s = 5.0
+
+let telemetry_serve t conn =
+  (try
+     let readable =
+       match Unix.select [ conn ] [] [] telemetry_read_timeout_s with
+       | r, _, _ -> r <> []
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+     in
+     if readable then begin
+       let buf = Bytes.create 1024 in
+       ignore (try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0);
+       let resp = telemetry_response t in
+       Frame.write_all ~timeout:telemetry_write_timeout_s conn
+         (Bytes.unsafe_of_string resp) 0 (String.length resp)
+     end
+   with Unix.Unix_error _ | Frame.Write_timeout -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
 
 let telemetry_loop t fd =
   let rec loop () =
@@ -1082,15 +1334,7 @@ let telemetry_loop t fd =
        | [], _, _ -> ()
        | _ :: _, _, _ -> (
          match Unix.accept ~cloexec:true fd with
-         | conn, _ ->
-           (try
-              Unix.setsockopt_float conn Unix.SO_RCVTIMEO 1.0;
-              let buf = Bytes.create 1024 in
-              ignore (try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0);
-              let resp = telemetry_response t in
-              write_all conn resp 0 (String.length resp)
-            with Unix.Unix_error _ -> ());
-           (try Unix.close conn with Unix.Unix_error _ -> ())
+         | conn, _ -> telemetry_serve t conn
          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()

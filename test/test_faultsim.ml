@@ -100,7 +100,8 @@ let plan_tests =
               match Faultsim.on_frame_write f p with
               | Faultsim.Pass -> "pass"
               | Faultsim.Truncate n -> Printf.sprintf "trunc:%d" n
-              | Faultsim.Corrupt s -> "corrupt:" ^ s)
+              | Faultsim.Corrupt s -> "corrupt:" ^ s
+              | Faultsim.Trickle (n, p) -> Printf.sprintf "trickle:%d:%g" n p)
             payloads
         in
         Alcotest.(check (list string)) "identical" (schedule ()) (schedule ()));
@@ -296,7 +297,8 @@ let chaos_tests =
           Faultsim.create
             { Faultsim.seed = 1; worker_stall = 0.3; worker_stall_ms = 5.0;
               worker_crash = 0.3; frame_truncate = 0.2; frame_corrupt = 0.2;
-              io_delay = 0.2; io_delay_ms = 2.0 }
+              io_delay = 0.2; io_delay_ms = 2.0;
+              slowloris = 0.0; slowloris_ms = 200.0; flood = 0.0; flood_burst = 8 }
         in
         with_server ~domains:2 ~faults @@ fun addr ->
         let document = doc ~years:1 7 in

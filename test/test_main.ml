@@ -25,4 +25,5 @@ let () =
       ("trace", Test_trace.suite);
       ("resilience", Test_resilience.suite);
       ("faultsim", Test_faultsim.suite);
-      ("durable", Test_durable.suite) ]
+      ("durable", Test_durable.suite);
+      ("overload", Test_overload.suite) ]

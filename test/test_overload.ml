@@ -1,0 +1,693 @@
+(* Overload-control tests: the resilience primitives (token bucket,
+   breaker, load controller, fair queue) driven with fake clocks, then
+   the server-level behaviours they power — admission shedding, brownout
+   degradation, slow-client armor, telemetry scrape robustness, and WAL
+   append failures surfacing as retryable errors. *)
+
+open Dart_server
+module Obs = Dart_obs.Obs
+module Json = Obs.Json
+module Overload = Dart_resilience.Overload
+module Faultsim = Dart_faultsim.Faultsim
+module Wal = Dart_durable.Wal
+
+let t name f = Alcotest.test_case name `Quick f
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* An injectable clock the test advances by hand. *)
+let fake_clock start =
+  let now = ref start in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_tests =
+  [ t "a bucket serves its burst then refuses until refilled" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b = Overload.Token_bucket.create ~now ~rate:10.0 ~burst:3.0 () in
+        for i = 1 to 3 do
+          Alcotest.(check bool)
+            (Printf.sprintf "take %d of burst" i)
+            true
+            (Overload.Token_bucket.try_take b)
+        done;
+        Alcotest.(check bool) "burst exhausted" false
+          (Overload.Token_bucket.try_take b);
+        (* 10 tokens/s: 0.1s buys exactly one more admission. *)
+        advance 0.1;
+        Alcotest.(check bool) "refill admits one" true
+          (Overload.Token_bucket.try_take b);
+        Alcotest.(check bool) "but only one" false
+          (Overload.Token_bucket.try_take b));
+    t "wait_hint_ms predicts when the next token lands" (fun () ->
+        let now, advance = fake_clock 5.0 in
+        let b = Overload.Token_bucket.create ~now ~rate:2.0 ~burst:1.0 () in
+        Alcotest.(check bool) "drain" true (Overload.Token_bucket.try_take b);
+        let hint = Overload.Token_bucket.wait_hint_ms b in
+        (* 2 tokens/s -> one token in 500ms. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "hint %.0fms near 500ms" hint)
+          true
+          (hint > 400.0 && hint <= 500.0);
+        advance (hint /. 1000.0);
+        Alcotest.(check bool) "token available after the hinted wait" true
+          (Overload.Token_bucket.try_take b));
+    t "refill never exceeds burst" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b = Overload.Token_bucket.create ~now ~rate:100.0 ~burst:2.0 () in
+        advance 60.0 (* a minute idle must not bank 6000 tokens *);
+        Alcotest.(check bool) "1" true (Overload.Token_bucket.try_take b);
+        Alcotest.(check bool) "2" true (Overload.Token_bucket.try_take b);
+        Alcotest.(check bool) "3 refused" false (Overload.Token_bucket.try_take b))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_tests =
+  let open Overload.Breaker in
+  let st = Alcotest.testable
+      (fun fmt s -> Format.pp_print_string fmt (state_to_string s))
+      ( = )
+  in
+  [ t "closed -> open -> half-open -> closed" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b =
+          create ~now ~failure_threshold:3 ~cooldown_s:2.0 ~success_threshold:2
+            ~half_open_probes:2 ()
+        in
+        Alcotest.check st "starts closed" Closed (state b);
+        failure b; failure b;
+        Alcotest.check st "below threshold stays closed" Closed (state b);
+        failure b;
+        Alcotest.check st "threshold trips it" Open (state b);
+        Alcotest.(check bool) "open refuses" false (allow b);
+        Alcotest.(check bool) "retry hint while open" true
+          (retry_after_ms b > 0.0);
+        advance 2.5;
+        Alcotest.(check bool) "cooldown elapsed: probe admitted" true (allow b);
+        Alcotest.check st "now half-open" Half_open (state b);
+        success b; success b;
+        Alcotest.check st "probe successes close it" Closed (state b);
+        Alcotest.(check bool) "closed admits freely" true (allow b));
+    t "a failed probe re-opens for a fresh cooldown" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b = create ~now ~failure_threshold:1 ~cooldown_s:1.0 () in
+        failure b;
+        Alcotest.check st "open" Open (state b);
+        advance 1.5;
+        Alcotest.(check bool) "probe admitted" true (allow b);
+        failure b;
+        Alcotest.check st "failed probe re-opens" Open (state b);
+        Alcotest.(check bool) "and refuses again" false (allow b);
+        advance 1.5;
+        Alcotest.(check bool) "until a fresh cooldown passes" true (allow b));
+    t "half-open caps concurrent probes" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b =
+          create ~now ~failure_threshold:1 ~cooldown_s:1.0 ~half_open_probes:2 ()
+        in
+        failure b;
+        advance 1.5;
+        Alcotest.(check bool) "probe 1" true (allow b);
+        Alcotest.(check bool) "probe 2" true (allow b);
+        Alcotest.(check bool) "probe 3 refused" false (allow b);
+        success b; success b;
+        Alcotest.check st "closed again" Closed (state b))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Load controller + brownout ladder                                   *)
+(* ------------------------------------------------------------------ *)
+
+let controller_tests =
+  let open Overload.Controller in
+  let cfg =
+    { default_config with
+      target_queue_wait_ms = 10.0; inflight_target = 4; alpha = 0.5;
+      max_level = 3; dwell_ms = 100.0 }
+  in
+  [ t "load climbs into brownout and drains back out" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let c = create ~now cfg in
+        Alcotest.(check int) "starts at level 0" 0 (level c);
+        (* Hammer it: queue wait 20x target.  One level step per dwell
+           window, so advance past the dwell each time. *)
+        for _ = 1 to 10 do
+          observe c ~queue_wait_ms:200.0 ~inflight:0;
+          advance 0.15
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "load %.1f is overloaded" (load c))
+          true (load c > 3.0);
+        Alcotest.(check int) "deepest brownout" 3 (level c);
+        Alcotest.(check bool) "retry hint scales with load" true
+          (retry_after_ms c > default_config.base_retry_ms);
+        (* Drain: zero wait decays the EWMA; hysteresis steps back down. *)
+        for _ = 1 to 40 do
+          observe c ~queue_wait_ms:0.0 ~inflight:0;
+          advance 0.15
+        done;
+        Alcotest.(check int) "recovered to level 0" 0 (level c));
+    t "dwell time stops level flapping" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let c = create ~now cfg in
+        (* Both observations arrive inside one dwell window: at most one
+           level change can happen. *)
+        observe c ~queue_wait_ms:500.0 ~inflight:0;
+        observe c ~queue_wait_ms:500.0 ~inflight:0;
+        Alcotest.(check bool) "at most one step per dwell" true (level c <= 1);
+        advance 0.15;
+        observe c ~queue_wait_ms:500.0 ~inflight:0;
+        Alcotest.(check bool) "next dwell allows the next step" true
+          (level c >= 1));
+    t "inflight depth alone can raise the level" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let c = create ~now cfg in
+        for _ = 1 to 8 do
+          observe c ~queue_wait_ms:0.0 ~inflight:40;
+          advance 0.15
+        done;
+        Alcotest.(check bool) "browned out on inflight" true (level c >= 1));
+    t "brownout_nodes maps the ladder onto solver budgets" (fun () ->
+        let n = Overload.brownout_nodes ~max_nodes:20_000 in
+        Alcotest.(check int) "level 0: full budget" 20_000 (n 0);
+        Alcotest.(check int) "level 1: /16" 1_250 (n 1);
+        Alcotest.(check int) "level 2: incumbent-only cap" 200 (n 2);
+        Alcotest.(check int) "level 3: greedy tier" 0 (n 3);
+        Alcotest.(check int) "beyond max: still greedy" 0 (n 9);
+        Alcotest.(check int) "tiny budgets stay >= 1 until greedy"
+          1
+          (Overload.brownout_nodes ~max_nodes:5 1))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fair queue                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Starvation freedom: whatever the push pattern, once pops begin, one
+   round of [clients] pops serves every client with pending items
+   exactly once — no client can be starved by a hot neighbour. *)
+let fair_queue_starvation =
+  let open QCheck in
+  Test.make ~count:300 ~long_factor:10
+    ~name:"fair queue: every nonempty client is served within c pops"
+    (list (pair (int_bound 7) small_nat))
+    (fun pushes ->
+      let q = Overload.Fair_queue.create () in
+      (* Tag every item with its client so a pop tells us who was served. *)
+      List.iteri
+        (fun i (client, _) ->
+          let k = Printf.sprintf "c%d" client in
+          Overload.Fair_queue.push q ~client:k (k, i))
+        pushes;
+      let ok = ref true in
+      while not (Overload.Fair_queue.is_empty q) do
+        let c = Overload.Fair_queue.clients q in
+        (* One full round: c pops must serve c distinct clients. *)
+        let served = Hashtbl.create 8 in
+        for _ = 1 to c do
+          match Overload.Fair_queue.pop q with
+          | None -> ok := false
+          | Some (k, _) ->
+            if Hashtbl.mem served k then ok := false
+            else Hashtbl.add served k ()
+        done;
+        if Hashtbl.length served <> c then ok := false
+      done;
+      !ok)
+
+let fair_queue_fifo =
+  let open QCheck in
+  Test.make ~count:300 ~long_factor:10
+    ~name:"fair queue: per-client order is FIFO"
+    (list (pair (int_bound 3) small_nat))
+    (fun pushes ->
+      let q = Overload.Fair_queue.create () in
+      List.iteri
+        (fun i (client, _) ->
+          let k = Printf.sprintf "c%d" client in
+          Overload.Fair_queue.push q ~client:k (k, i))
+        pushes;
+      let last_seq = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (k, i) ->
+          (match Hashtbl.find_opt last_seq k with
+           | Some prev when prev > i -> ok := false
+           | _ -> ());
+          Hashtbl.replace last_seq k i)
+        (Overload.Fair_queue.drain q);
+      !ok && Overload.Fair_queue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Faultsim knobs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let faultsim_tests =
+  [ t "slowloris/flood spec keys parse" (fun () ->
+        match
+          Faultsim.spec_of_string
+            "seed=7,slowloris=0.5,slowloris-ms=120,flood=0.25,flood-burst=4"
+        with
+        | Error e -> Alcotest.fail e
+        | Ok cfg ->
+          Alcotest.(check (float 1e-9)) "slowloris" 0.5 cfg.Faultsim.slowloris;
+          Alcotest.(check (float 1e-9)) "slowloris-ms" 120.0
+            cfg.Faultsim.slowloris_ms;
+          Alcotest.(check (float 1e-9)) "flood" 0.25 cfg.Faultsim.flood;
+          Alcotest.(check int) "flood-burst" 4 cfg.Faultsim.flood_burst);
+    t "flood draws are deterministic per seed" (fun () ->
+        let mk () =
+          Faultsim.create
+            { Faultsim.disabled with Faultsim.seed = 3; flood = 0.5;
+              flood_burst = 6 }
+        in
+        let draw f = List.init 50 (fun _ -> Faultsim.on_admission f) in
+        Alcotest.(check (list int)) "identical schedules"
+          (draw (mk ())) (draw (mk ()));
+        Alcotest.(check bool) "bursts are 0 or flood_burst" true
+          (List.for_all (fun n -> n = 0 || n = 6) (draw (mk ())));
+        Alcotest.(check int) "disabled floods nothing" 0
+          (Faultsim.on_admission Faultsim.none))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Server integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let m_shed = Obs.Metrics.counter "server.shed"
+let m_slow_closes = Obs.Metrics.counter "server.slow_client_closes"
+let m_coalesced = Obs.Metrics.counter "server.coalesced"
+let m_wal_errors = Obs.Metrics.counter "durable.wal_errors"
+
+(* Like Test_server.with_server but hands the test the server value too,
+   so it can reach the breaker/controller for deterministic forcing. *)
+let with_srv ?(cfg_f = fun c -> c) f =
+  let path = Test_server.fresh_sock () in
+  let addr = Proto.Unix_sock path in
+  let cfg =
+    cfg_f (Server.default_config ~scenarios:Test_server.all_scenarios addr)
+  in
+  let srv = Server.create cfg in
+  Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.wait srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f srv addr)
+
+let roundtrip_raw addr req =
+  let fd = Test_server.raw_connect addr in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Frame.write fd (Json.to_string req);
+      match Frame.read ~timeout:10.0 fd with
+      | Error e -> Alcotest.fail (Frame.read_error_to_string e)
+      | Ok payload -> (
+        match Json.of_string payload with
+        | Error e -> Alcotest.fail e
+        | Ok j -> j))
+
+let shed_tests =
+  [ t "an open breaker sheds with a retryable overloaded error" (fun () ->
+        with_srv @@ fun srv addr ->
+        (* Trip the breaker directly (the state machine has its own unit
+           tests; here we care about the admission path and wire shape). *)
+        for _ = 1 to 10 do
+          Overload.Breaker.failure srv.Server.breaker
+        done;
+        let before = Obs.Metrics.value m_shed in
+        let body =
+          roundtrip_raw addr
+            (Proto.request_to_json ~id:(Json.Int 1) ~op:"repair"
+               [ ("scenario", Json.Str "cash-budget");
+                 ("document", Json.Str (Test_server.doc 1)) ])
+        in
+        Alcotest.(check string) "code" "overloaded" (Test_server.err_code body);
+        (* The error object must carry a machine-readable backoff. *)
+        let retry_after =
+          match Proto.member "error" body with
+          | None -> Alcotest.fail "no error object"
+          | Some e -> (
+            match Proto.member "retry_after_ms" e with
+            | Some (Json.Float ms) -> ms
+            | Some (Json.Int ms) -> float_of_int ms
+            | _ -> Alcotest.fail "no retry_after_ms in error")
+        in
+        Alcotest.(check bool) "retry_after_ms positive" true (retry_after > 0.0);
+        Alcotest.(check bool) "server.shed incremented" true
+          (Obs.Metrics.value m_shed > before);
+        (* ping skips the pool and must still answer: the server is
+           degraded, not down. *)
+        Client.with_connection addr @@ fun c ->
+        (match Client.ping c with
+         | Ok () -> ()
+         | Error e -> Alcotest.fail ("ping during shed: " ^ e)));
+    t "the overloaded error is transient for the retrying client" (fun () ->
+        Alcotest.(check bool) "overloaded retries" true
+          (Client.transient_error "overloaded: circuit breaker open");
+        Alcotest.(check bool) "deadline does not" false
+          (Client.transient_error "deadline_exceeded: too slow"));
+    t "--no-overload admits everything even with a tripped breaker" (fun () ->
+        with_srv ~cfg_f:(fun c -> { c with Server.overload = false })
+        @@ fun srv addr ->
+        for _ = 1 to 10 do
+          Overload.Breaker.failure srv.Server.breaker
+        done;
+        Client.with_connection addr @@ fun c ->
+        match Client.repair c ~scenario:"cash-budget"
+                ~document:(Test_server.doc 2) () with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail ("should not shed: " ^ e))
+  ]
+
+let brownout_tests =
+  [ t "deep brownout answers with the greedy tier, then recovers" (fun () ->
+        with_srv @@ fun srv addr ->
+        (* Force the controller to its deepest level: hammer it with
+           observations far past target, spaced beyond the dwell. *)
+        let pump target_level =
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          let wait_ms = if target_level > 0 then 1e6 else 0.0 in
+          while
+            Overload.Controller.level srv.Server.ctrl <> target_level
+            && Unix.gettimeofday () < deadline
+          do
+            Overload.Controller.observe srv.Server.ctrl
+              ~queue_wait_ms:wait_ms ~inflight:0;
+            Thread.delay 0.03
+          done;
+          Alcotest.(check int) "controller level" target_level
+            (Overload.Controller.level srv.Server.ctrl)
+        in
+        pump 3;
+        Alcotest.(check int) "greedy node budget at level 3" 0
+          (Server.effective_max_nodes srv);
+        (* One noisy doc (seed 1 has violations and a greedy-reachable
+           repair): a full solve answers exact; the greedy tier must
+           still answer, flagged by provenance. *)
+        let noisy = Test_server.doc 1 in
+        let body =
+          roundtrip_raw addr
+            (Proto.request_to_json ~id:(Json.Int 1) ~op:"repair"
+               [ ("scenario", Json.Str "cash-budget");
+                 ("document", Json.Str noisy) ])
+        in
+        Alcotest.(check bool) "ok under brownout" true (Proto.response_ok body);
+        Alcotest.(check string) "repaired under brownout" "repaired"
+          (Option.value ~default:"?" (Proto.string_field body "status"));
+        Alcotest.(check string) "greedy provenance" "greedy_fallback"
+          (Option.value ~default:"?" (Proto.string_field body "provenance"));
+        (* Load drains -> budgets restore -> exact answers come back.
+           (admission_verdict also observes, but drive it directly so the
+           test does not depend on traffic.) *)
+        pump 0;
+        Alcotest.(check bool) "full budget restored" true
+          (Server.effective_max_nodes srv > 0);
+        let body =
+          roundtrip_raw addr
+            (Proto.request_to_json ~id:(Json.Int 2) ~op:"repair"
+               [ ("scenario", Json.Str "cash-budget");
+                 ("document", Json.Str noisy) ])
+        in
+        Alcotest.(check string) "exact again" "exact"
+          (Option.value ~default:"?" (Proto.string_field body "provenance")));
+    t "--no-brownout keeps the full budget at any level" (fun () ->
+        with_srv ~cfg_f:(fun c -> { c with Server.brownout = false })
+        @@ fun srv _addr ->
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        while
+          Overload.Controller.level srv.Server.ctrl < 3
+          && Unix.gettimeofday () < deadline
+        do
+          Overload.Controller.observe srv.Server.ctrl ~queue_wait_ms:1e6
+            ~inflight:0;
+          Thread.delay 0.03
+        done;
+        Alcotest.(check int) "budget untouched" srv.Server.cfg.Server.max_nodes
+          (Server.effective_max_nodes srv))
+  ]
+
+let coalesce_deadline_tests =
+  [ t "a coalesced follower honours its own shorter deadline" (fun () ->
+        (* Stall every pool job so the follower reliably arrives while
+           the leader is still solving, then give the follower a deadline
+           shorter than the stall: it must time out on its own even
+           though the leader (no deadline) completes fine. *)
+        let html = Test_server.doc 777 in
+        let attempt () =
+          with_srv ~cfg_f:(fun c ->
+              { c with
+                Server.domains = 2;
+                faults =
+                  Faultsim.create
+                    { Faultsim.disabled with
+                      Faultsim.worker_stall = 1.0; worker_stall_ms = 500.0 } })
+          @@ fun _srv addr ->
+          let before = Obs.Metrics.value m_coalesced in
+          let leader = ref (Error "never ran") in
+          let follower = ref (Error "never ran") in
+          let lt =
+            Thread.create
+              (fun () ->
+                leader :=
+                  Client.with_connection addr (fun c ->
+                      Client.repair c ~scenario:"cash-budget" ~document:html ()))
+              ()
+          in
+          Thread.delay 0.15 (* let the leader claim the flight *);
+          let ft =
+            Thread.create
+              (fun () ->
+                follower :=
+                  Client.with_connection addr (fun c ->
+                      Client.repair ~deadline_ms:100.0 c ~scenario:"cash-budget"
+                        ~document:html ()))
+              ()
+          in
+          Thread.join lt;
+          Thread.join ft;
+          if Obs.Metrics.value m_coalesced = before then `No_overlap
+          else
+            match (!leader, !follower) with
+            | Ok _, Error msg
+              when contains msg "awaiting coalesced solve" ->
+              `Ok
+            | Ok _, Error msg -> `Bad ("follower: " ^ msg)
+            | Error msg, _ -> `Bad ("leader: " ^ msg)
+            | _, Ok _ -> `Bad "follower beat a 500ms stall with a 100ms deadline"
+        in
+        let rec go n =
+          match attempt () with
+          | `Ok -> ()
+          | `Bad msg -> Alcotest.fail msg
+          | `No_overlap when n > 1 -> go (n - 1)
+          | `No_overlap -> Alcotest.fail "no coalescing overlap in 3 attempts"
+        in
+        go 3)
+  ]
+
+let slow_client_tests =
+  [ t "a mid-frame stall is disconnected by the read armor" (fun () ->
+        with_srv ~cfg_f:(fun c -> { c with Server.frame_read_timeout_s = 0.3 })
+        @@ fun _srv addr ->
+        let before = Obs.Metrics.value m_slow_closes in
+        let fd = Test_server.raw_connect addr in
+        (* Half a length header, then silence: a slowloris hold. *)
+        Test_server.write_raw fd "\x00\x00";
+        let buf = Bytes.create 1 in
+        let closed =
+          (* The server must cut us off around frame_read_timeout_s; EOF
+             (or a reset) within 5s proves the connection thread freed
+             itself rather than waiting out the 60s idle timeout. *)
+          match Unix.select [ fd ] [] [] 5.0 with
+          | [], _, _ -> false
+          | _ -> (
+            match Unix.read fd buf 0 1 with
+            | 0 -> true
+            | _ -> false
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true)
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Alcotest.(check bool) "connection closed" true closed;
+        Alcotest.(check bool) "slow_client_closes incremented" true
+          (Obs.Metrics.value m_slow_closes > before);
+        (* The armor must not have taken the server with it. *)
+        Client.with_connection addr @@ fun c ->
+        match Client.ping c with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("ping after slowloris: " ^ e));
+    t "an injected Trickle write still delivers the whole frame" (fun () ->
+        (* The chaos fault models a slow *server* write; the payload must
+           survive intact (pause, not loss) so clients see byte-identical
+           responses under slowloris chaos. *)
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let faults =
+          Faultsim.create
+            { Faultsim.disabled with
+              Faultsim.seed = 5; slowloris = 1.0; slowloris_ms = 30.0 }
+        in
+        let payload = String.make 4096 'z' in
+        let writer = Thread.create (fun () -> Frame.write ~faults a payload) () in
+        let got =
+          match Frame.read ~timeout:5.0 b with
+          | Ok p -> p
+          | Error e -> Alcotest.fail (Frame.read_error_to_string e)
+        in
+        Thread.join writer;
+        Unix.close a; Unix.close b;
+        Alcotest.(check int) "length intact" (String.length payload)
+          (String.length got);
+        Alcotest.(check bool) "bytes intact" true (String.equal payload got))
+  ]
+
+let telemetry_tests =
+  [ t "a half-open telemetry connection cannot block real scrapes" (fun () ->
+        with_srv ~cfg_f:(fun c -> { c with Server.telemetry_port = Some 0 })
+        @@ fun srv _addr ->
+        match Server.telemetry_addr srv with
+        | None -> Alcotest.fail "telemetry listener did not come up"
+        | Some (host, port) ->
+          let connect () =
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+            fd
+          in
+          (* The attacker: connects and sends nothing, twice, so at least
+             one is being served (read-blocked) when the scrape lands. *)
+          let hostile1 = connect () in
+          let hostile2 = connect () in
+          let t0 = Unix.gettimeofday () in
+          let scrape () =
+            let fd = connect () in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+                ignore (Unix.write_substring fd req 0 (String.length req));
+                let buf = Buffer.create 4096 in
+                let chunk = Bytes.create 4096 in
+                let rec drain () =
+                  match Unix.select [ fd ] [] [] 10.0 with
+                  | [], _, _ -> ()
+                  | _ -> (
+                    match Unix.read fd chunk 0 4096 with
+                    | 0 -> ()
+                    | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      drain ()
+                    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ())
+                in
+                drain ();
+                Buffer.contents buf)
+          in
+          let body = scrape () in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (try Unix.close hostile1 with Unix.Unix_error _ -> ());
+          (try Unix.close hostile2 with Unix.Unix_error _ -> ());
+          Alcotest.(check bool) "scrape got the exposition" true
+            (contains body "server_requests");
+          (* Two hostile holds in front cost at most ~2 read deadlines
+             (1s each); far less than the old unbounded block. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "served in %.1fs despite half-open peers" elapsed)
+            true (elapsed < 8.0))
+  ]
+
+let wal_tests =
+  [ t "an ENOSPC append fails typed, counts, and recovers" (fun () ->
+        let dir =
+          Printf.sprintf "/tmp/dart-walfail-%d-%d" (Unix.getpid ())
+            (int_of_float (Unix.gettimeofday () *. 1e6) mod 1_000_000)
+        in
+        let wal = Wal.create ~shards:2 dir in
+        let key = "session-x" in
+        let shard = Wal.shard_of wal key in
+        (* Route the key's shard to /dev/full: every write hits ENOSPC,
+           exactly like a full disk, without filling one. *)
+        let seg = Filename.concat dir (Printf.sprintf "wal-%02d.log" shard) in
+        (try Sys.remove seg with Sys_error _ -> ());
+        Unix.symlink "/dev/full" seg;
+        let before = Obs.Metrics.value m_wal_errors in
+        (match Wal.append wal ~key (Json.Str "event-1") with
+         | () -> Alcotest.fail "append to a full disk must not succeed"
+         | exception Wal.Append_failed msg ->
+           Alcotest.(check bool)
+             (Printf.sprintf "message names the shard: %s" msg)
+             true (contains msg "wal shard"));
+        Alcotest.(check bool) "durable.wal_errors incremented" true
+          (Obs.Metrics.value m_wal_errors > before);
+        (* Space comes back: the reset channel reopens and appends fine. *)
+        Unix.unlink seg;
+        Wal.append wal ~key (Json.Str "event-2");
+        let replayed = Wal.replay_shard ~dir ~shard in
+        Alcotest.(check int) "the good append is durable" 1
+          (List.length replayed.Wal.events);
+        Wal.close wal;
+        (try Sys.remove seg with Sys_error _ -> ());
+        (try Sys.remove (Filename.concat dir "wal.meta") with Sys_error _ -> ());
+        (try
+           Sys.remove
+             (Filename.concat dir
+                (Printf.sprintf "wal-%02d.log" (1 - shard)))
+         with Sys_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    t "a full disk turns session/open into a retryable busy" (fun () ->
+        let data_dir =
+          Printf.sprintf "/tmp/dart-walfail-srv-%d-%d" (Unix.getpid ())
+            (int_of_float (Unix.gettimeofday () *. 1e6) mod 1_000_000)
+        in
+        with_srv ~cfg_f:(fun c ->
+            { c with Server.data_dir = Some data_dir; wal_shards = 2 })
+        @@ fun _srv addr ->
+        (* Point every shard at /dev/full so whichever shard the session
+           id hashes to fails. *)
+        for shard = 0 to 1 do
+          let seg =
+            Filename.concat data_dir (Printf.sprintf "wal-%02d.log" shard)
+          in
+          (try Sys.remove seg with Sys_error _ -> ());
+          Unix.symlink "/dev/full" seg
+        done;
+        Client.with_connection addr @@ fun c ->
+        (match
+           Client.session_open c ~scenario:"cash-budget"
+             ~document:(Test_server.doc ~years:1 11) ()
+         with
+         | Ok _ -> Alcotest.fail "open must fail when its log cannot persist"
+         | Error msg ->
+           Alcotest.(check bool)
+             (Printf.sprintf "busy + explanation: %s" msg)
+             true
+             (Client.transient_error msg
+             && contains msg "session log unavailable"));
+        (* No crash, no wedged worker: the server still serves compute. *)
+        (match Client.repair c ~scenario:"cash-budget"
+                 ~document:(Test_server.doc ~years:1 11) () with
+         | Ok _ -> ()
+         | Error e -> Alcotest.fail ("stateless repair after wal failure: " ^ e));
+        for shard = 0 to 1 do
+          try
+            Sys.remove
+              (Filename.concat data_dir (Printf.sprintf "wal-%02d.log" shard))
+          with Sys_error _ -> ()
+        done)
+  ]
+
+let suite =
+  bucket_tests @ breaker_tests @ controller_tests
+  @ [ Qcheck_util.to_alcotest fair_queue_starvation;
+      Qcheck_util.to_alcotest fair_queue_fifo ]
+  @ faultsim_tests @ shed_tests @ brownout_tests @ coalesce_deadline_tests
+  @ slow_client_tests @ telemetry_tests @ wal_tests
