@@ -110,19 +110,26 @@ let append t ~key event =
         t.states.(shard).count <- t.states.(shard).count + 1;
         Obs.Metrics.incr m_appends;
         Obs.Metrics.add m_bytes (Codec.record_bytes payload)
-      | exception (Sys_error msg | Unix.Unix_error (_, msg, _)) ->
+      | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
         (* ENOSPC/EIO at write or flush time.  The shard channel may hold
            a partial record in its buffer; drop the channel so the next
            append reopens cleanly (replay tolerates a damaged tail).  The
            caller gets a typed failure to convert into a retryable
            error — never a crash, never a silent drop. *)
+        let cause =
+          match e with
+          | Sys_error msg -> msg
+          | Unix.Unix_error (err, fn, _) ->
+            Printf.sprintf "%s: %s" fn (Unix.error_message err)
+          | _ -> Printexc.to_string e
+        in
         Obs.Metrics.incr m_errors;
         (match t.states.(shard).oc with
          | Some oc ->
            t.states.(shard).oc <- None;
            (try close_out_noerr oc with _ -> ())
          | None -> ());
-        raise (Append_failed (Printf.sprintf "wal shard %d: %s" shard msg)))
+        raise (Append_failed (Printf.sprintf "wal shard %d: %s" shard cause)))
 
 let appended t shard = locked t (fun () -> t.states.(shard).count)
 

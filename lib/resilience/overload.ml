@@ -154,6 +154,19 @@ module Breaker = struct
      | Open -> ());
     Mutex.unlock t.mu
 
+  (** Return an admitted probe's slot without counting it as success or
+      failure — for outcomes that say nothing about downstream health
+      (the request was shed after admission, bounced off a full queue,
+      or failed for client-shaped reasons).  Without this, each neutral
+      outcome would leak one of the [half_open_probes] slots and a
+      half-open breaker could wedge refusing everything forever. *)
+  let release t =
+    Mutex.lock t.mu;
+    (match t.st with
+     | Half_open -> t.probes <- max 0 (t.probes - 1)
+     | Closed | Open -> ());
+    Mutex.unlock t.mu
+
   (** Milliseconds left before the breaker would half-open (0 unless
       Open) — the [retry_after_ms] hint for a refused request. *)
   let retry_after_ms t =

@@ -50,10 +50,18 @@ module Breaker : sig
   val allow : t -> bool
   (** Ask to admit one request.  May transition Open → Half-open when
       the cooldown has elapsed.  A [true] from a non-Closed breaker is a
-      probe: report its outcome with {!success} or {!failure}. *)
+      probe holding one of the [half_open_probes] slots: every [true]
+      must be answered by exactly one of {!success}, {!failure} or
+      {!release}, else the slot leaks and a half-open breaker wedges. *)
 
   val success : t -> unit
   val failure : t -> unit
+
+  val release : t -> unit
+  (** Return an admitted probe's slot without counting it as success or
+      failure — for neutral outcomes (shed after admission, queue-full
+      [busy], client-shaped errors) that say nothing about downstream
+      health. *)
 
   val retry_after_ms : t -> float
   (** Cooldown remaining (0 unless Open). *)

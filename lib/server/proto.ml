@@ -70,13 +70,18 @@ type request = {
 }
 
 (* Client ids key fair-queue slots and per-client token buckets, so the
-   wire parse bounds them: printable ASCII, at most 64 bytes.  Anything
-   else is ignored (the request falls back to per-connection identity)
-   rather than rejected. *)
+   wire parse bounds them: printable ASCII, at most 64 bytes.  The
+   "conn-" prefix is reserved for the server's synthetic per-connection
+   identities (predictable "conn-<n>" counters) — accepting it on the
+   wire would let a client declare another anonymous connection's id
+   and share its fair-queue slot and brownout bucket.  Anything else is
+   ignored (the request falls back to per-connection identity) rather
+   than rejected. *)
 let valid_client_id s =
   let n = String.length s in
   n >= 1 && n <= 64
   && String.for_all (fun c -> c >= '!' && c <= '~') s
+  && not (String.starts_with ~prefix:"conn-" s)
 
 (* Trace/span ids are [Obs.fresh_id]-style hex tokens.  The wire parse
    must enforce that shape: the trace id ends up in span records, access

@@ -612,7 +612,13 @@ let estimated_queue_wait_ms t =
    says yes.  Checked in order of cost: breaker first (one mutex), then
    the load estimate, then the per-client bucket (only consulted once
    the server is browned out — at level 0 fairness comes from the
-   round-robin queue alone and no client is ever rate-limited). *)
+   round-robin queue alone and no client is ever rate-limited).
+
+   Probe accounting: a [true] from [Breaker.allow] holds a half-open
+   probe slot until exactly one of success/failure/release answers it.
+   A shed decided {e after} the breaker admitted says nothing about
+   downstream health, so those paths release the slot here; [None]
+   hands the held slot to [run_on_pool], which reports the outcome. *)
 let admission_verdict t req client =
   if not t.cfg.overload then None
   else if not (Overload.Breaker.allow t.breaker) then
@@ -620,6 +626,10 @@ let admission_verdict t req client =
       ( "circuit breaker open",
         Float.max 1.0 (Overload.Breaker.retry_after_ms t.breaker) )
   else begin
+    let shed reason retry_after_ms =
+      Overload.Breaker.release t.breaker;
+      Some (reason, retry_after_ms)
+    in
     let est = estimated_queue_wait_ms t in
     Overload.Controller.observe t.ctrl ~queue_wait_ms:est
       ~inflight:(Atomic.get t.inflight);
@@ -629,18 +639,17 @@ let admission_verdict t req client =
     | Some d when est > Float.max 0.0 d ->
       (* Queueing is pointless: the backlog alone outlives the deadline.
          Shedding now frees the slot for a request that can still win. *)
-      Some
-        ( Printf.sprintf "estimated queue wait %.0fms exceeds deadline" est,
-          Overload.Controller.retry_after_ms t.ctrl )
+      shed
+        (Printf.sprintf "estimated queue wait %.0fms exceeds deadline" est)
+        (Overload.Controller.retry_after_ms t.ctrl)
     | _ ->
       if
         Overload.Controller.level t.ctrl >= 1
         && not (Overload.Token_bucket.try_take (client_bucket t client))
       then
-        Some
-          ( "client rate limit (brownout)",
-            Float.max 1.0
-              (Overload.Token_bucket.wait_hint_ms (client_bucket t client)) )
+        shed "client rate limit (brownout)"
+          (Float.max 1.0
+             (Overload.Token_bucket.wait_hint_ms (client_bucket t client)))
       else None
   end
 
@@ -697,6 +706,9 @@ let run_on_pool t meta ~client req handler =
   in
   match Pool.try_submit ~cancel ~client t.pool job with
   | None ->
+    (* Queue full is the bounded queue talking, not downstream health:
+       give the admitted probe's slot back without a verdict. *)
+    if t.cfg.overload then Overload.Breaker.release t.breaker;
     Obs.Metrics.incr m_busy;
     Proto.error ?id:req.Proto.id Proto.Busy
       (Printf.sprintf "worker queue full (%d jobs); retry later"
@@ -756,9 +768,12 @@ let run_on_pool t meta ~client req handler =
     let resp = wait ~grace:None in
     (* Feed the breaker.  A deadline miss only counts as a failure when
        there was a backlog (an idle server missing a client's tight
-       deadline is the client's choice, not overload); [busy] never
-       counts (the bounded queue already answered it); [internal]
-       always does. *)
+       deadline is the client's choice, not overload); [internal]
+       always does.  Every other outcome — [busy] (the bounded queue
+       already answered it), client-shaped errors like [bad_request],
+       a deadline miss on an empty queue — is neutral: release the
+       probe slot so a half-open breaker can admit a replacement
+       instead of leaking the slot and wedging. *)
     if t.cfg.overload then begin
       if Proto.response_ok resp then Overload.Breaker.success t.breaker
       else
@@ -766,7 +781,7 @@ let run_on_pool t meta ~client req handler =
         | Some "deadline_exceeded" when Pool.depth t.pool > 0 ->
           Overload.Breaker.failure t.breaker
         | Some "internal" -> Overload.Breaker.failure t.breaker
-        | _ -> ()
+        | _ -> Overload.Breaker.release t.breaker
     end;
     resp
 

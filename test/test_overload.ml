@@ -120,7 +120,28 @@ let breaker_tests =
         Alcotest.(check bool) "probe 2" true (allow b);
         Alcotest.(check bool) "probe 3 refused" false (allow b);
         success b; success b;
-        Alcotest.check st "closed again" Closed (state b))
+        Alcotest.check st "closed again" Closed (state b));
+    t "neutral outcomes release probe slots instead of leaking them" (fun () ->
+        let now, advance = fake_clock 0.0 in
+        let b =
+          create ~now ~failure_threshold:1 ~cooldown_s:1.0 ~success_threshold:1
+            ~half_open_probes:1 ()
+        in
+        failure b;
+        advance 1.5;
+        Alcotest.(check bool) "probe admitted" true (allow b);
+        Alcotest.(check bool) "slot held: next refused" false (allow b);
+        (* A neutral outcome (post-admission shed, queue-full busy,
+           client-shaped error) must give the slot back... *)
+        release b;
+        Alcotest.check st "still half-open after release" Half_open (state b);
+        Alcotest.(check bool) "replacement probe admitted" true (allow b);
+        release b;
+        (* ...without ever counting toward success_threshold. *)
+        Alcotest.check st "releases alone never close it" Half_open (state b);
+        Alcotest.(check bool) "probe again" true (allow b);
+        success b;
+        Alcotest.check st "a real success closes it" Closed (state b))
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -368,7 +389,66 @@ let shed_tests =
         match Client.repair c ~scenario:"cash-budget"
                 ~document:(Test_server.doc 2) () with
         | Ok _ -> ()
-        | Error e -> Alcotest.fail ("should not shed: " ^ e))
+        | Error e -> Alcotest.fail ("should not shed: " ^ e));
+    t "neutral half-open outcomes do not wedge the breaker" (fun () ->
+        with_srv @@ fun srv addr ->
+        for _ = 1 to 10 do
+          Overload.Breaker.failure srv.Server.breaker
+        done;
+        (* Wait out the default 2s cooldown so the next admissions are
+           half-open probes (default budget: 2 concurrent). *)
+        Thread.delay 2.2;
+        (* Burn more requests than the probe budget on neutral outcomes:
+           an unknown scenario says nothing about downstream health, so
+           each probe must return its slot.  Before the release fix the
+           third request wedged on "circuit breaker open" forever. *)
+        for i = 1 to 5 do
+          let body =
+            roundtrip_raw addr
+              (Proto.request_to_json ~id:(Json.Int i) ~op:"repair"
+                 [ ("scenario", Json.Str "no-such-scenario");
+                   ("document", Json.Str (Test_server.doc 1)) ])
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "neutral request %d admitted, not shed" i)
+            "unknown_scenario" (Test_server.err_code body)
+        done;
+        (* Real successes still have slots to probe with, and close it. *)
+        for i = 1 to 2 do
+          let body =
+            roundtrip_raw addr
+              (Proto.request_to_json ~id:(Json.Int (10 + i)) ~op:"repair"
+                 [ ("scenario", Json.Str "cash-budget");
+                   ("document", Json.Str (Test_server.doc 1)) ])
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "probe success %d" i)
+            true (Proto.response_ok body)
+        done;
+        Alcotest.(check string) "real successes close the breaker" "closed"
+          (Overload.Breaker.state_to_string
+             (Overload.Breaker.state srv.Server.breaker)));
+    t "the synthetic conn- namespace is reserved on the wire" (fun () ->
+        (* A client declaring another anonymous connection's synthetic id
+           ("conn-<n>", server.ml) must not be able to share its
+           fair-queue slot and brownout bucket: the parse drops the field
+           and the request falls back to its own connection identity. *)
+        let parse client =
+          match
+            Proto.request_of_json
+              (Proto.request_to_json ~client ~op:"ping" [])
+          with
+          | Ok req -> req.Proto.client
+          | Error e -> Alcotest.fail e
+        in
+        Alcotest.(check (option string)) "conn-3 rejected" None
+          (parse "conn-3");
+        Alcotest.(check (option string)) "conn- prefix rejected" None
+          (parse "conn-anything");
+        Alcotest.(check (option string)) "ordinary ids still pass"
+          (Some "alice") (parse "alice");
+        Alcotest.(check (option string)) "conn without dash still passes"
+          (Some "connecticut") (parse "connecticut"))
   ]
 
 let brownout_tests =
