@@ -29,6 +29,7 @@ let experiments =
     ("fault", Exp_fault.run);
     ("overload", Exp_overload.run);
     ("warm", Exp_warm.run);
+    ("slo", Exp_slo.run);
     ("score", Exp_score.run);
     ("micro", Micro.run) ]
 
@@ -49,7 +50,7 @@ let () =
       | [] ->
         (* micro and score are opt-in *)
         [ "e1"; "e3"; "e4"; "e5"; "e6"; "e8"; "e9"; "e10"; "obs"; "serve";
-          "serve2"; "warm" ]
+          "serve2"; "warm"; "slo" ]
       | rs -> rs
     in
     let failures = ref [] in

@@ -1016,12 +1016,244 @@ let report_cmd =
     Term.(const run $ obs_term $ file)
 
 (* ------------------------------------------------------------------ *)
+(* top: live ops console over the telemetry endpoint                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot HTTP/1.0 GET against the telemetry listener; returns the
+   status code and body.  No keep-alive, no chunking — the server always
+   answers with Content-Length + Connection: close. *)
+let telemetry_get ~host ~port path =
+  let inet =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Buffer.create 8192 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n -> Buffer.add_subbytes buf chunk 0 n; drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let code =
+        match String.index_opt raw ' ' with
+        | Some i ->
+          (try int_of_string (String.trim (String.sub raw (i + 1) 3))
+           with _ -> 0)
+        | None -> 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 4 > n then ""
+          else if String.sub raw i 4 = "\r\n\r\n" then
+            String.sub raw (i + 4) (n - i - 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      (code, body))
+
+(* Unlabeled "name value" samples from a Prometheus exposition; labeled
+   series and comments are skipped (the console only needs scalars and
+   the derived quantile gauges). *)
+let parse_exposition text =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' && not (String.contains line '{') then
+        match String.index_opt line ' ' with
+        | Some i ->
+          let name = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          (match float_of_string_opt (String.trim v) with
+           | Some f -> Hashtbl.replace tbl name f
+           | None -> ())
+        | None -> ())
+    (String.split_on_char '\n' text);
+  tbl
+
+let top_cmd =
+  let telemetry_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"HOST:PORT"
+          ~doc:"Telemetry endpoint of a running server (see $(b,serve --telemetry-port)).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single snapshot and exit (no screen clearing).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N" ~doc:"Stop after $(docv) refreshes (0 = run until interrupted).")
+  in
+  let run _finalize target interval once count =
+    let die fmt =
+      Printf.ksprintf
+        (fun msg -> Printf.eprintf "dart-cli top: %s\n" msg; exit 2)
+        fmt
+    in
+    let host, port =
+      match String.rindex_opt target ':' with
+      | Some i ->
+        let h = String.sub target 0 i in
+        let p = String.sub target (i + 1) (String.length target - i - 1) in
+        (match int_of_string_opt p with
+         | Some p when h <> "" -> (h, p)
+         | _ -> die "bad --telemetry %S (want HOST:PORT)" target)
+      | None -> die "bad --telemetry %S (want HOST:PORT)" target
+    in
+    let get name v = Option.value ~default:0.0 (Hashtbl.find_opt v name) in
+    let fmt_count f =
+      if f >= 1_000_000.0 then Printf.sprintf "%.1fM" (f /. 1_000_000.0)
+      else if f >= 10_000.0 then Printf.sprintf "%.0fk" (f /. 1000.0)
+      else Printf.sprintf "%.0f" f
+    in
+    let prev = ref None in
+    let iter = ref 0 in
+    let continue = ref true in
+    while !continue do
+      incr iter;
+      (match
+         (try Ok (telemetry_get ~host ~port "/metrics")
+          with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+       with
+       | Error e -> die "cannot reach %s:%d: %s" host port e
+       | Ok (code, _) when code <> 200 -> die "/metrics returned HTTP %d" code
+       | Ok (_, text) ->
+         let m = parse_exposition text in
+         let ready_code, ready_body =
+           try telemetry_get ~host ~port "/readyz"
+           with Unix.Unix_error _ -> (0, "")
+         in
+         if not once then print_string "\027[H\027[2J";
+         let now = Unix.gettimeofday () in
+         let rate name =
+           match !prev with
+           | Some (t0, p) when now > t0 ->
+             Printf.sprintf "%6.1f/s" ((get name m -. get name p) /. (now -. t0))
+           | _ -> "       -"
+         in
+         Printf.printf "dart-cli top — %s:%d  up %.0fs  ready: %s\n" host port
+           (get "server_uptime_s" m)
+           (match ready_code with
+            | 200 -> "yes"
+            | 503 -> "NO"
+            | 0 -> "?"
+            | c -> Printf.sprintf "HTTP %d" c);
+         Printf.printf "\nrequests  %s total   %s   errors %s   shed %s\n"
+           (fmt_count (get "server_requests" m))
+           (rate "server_requests")
+           (rate "server_errors") (rate "server_shed");
+         Printf.printf
+           "latency   p50 %7.2fms   p95 %7.2fms   p99 %7.2fms   (n=%s)\n"
+           (get "server_latency_ms_p50" m) (get "server_latency_ms_p95" m)
+           (get "server_latency_ms_p99" m)
+           (fmt_count (get "server_latency_ms_count" m));
+         Printf.printf
+           "load      queue %3.0f   inflight %3.0f   conns %3.0f   sessions %3.0f   brownout L%.0f\n"
+           (get "server_queue_depth" m) (get "server_inflight" m)
+           (get "server_connections" m) (get "server_sessions" m)
+           (get "server_brownout_level" m);
+         Printf.printf
+           "runtime   heap %5.1fMB   gc minor %s major %s   fds %3.0f   hb-lag p99 %.1fms\n"
+           (get "runtime_gc_heap_words" m *. float_of_int (Sys.word_size / 8)
+            /. 1.0e6)
+           (fmt_count (get "runtime_gc_minor_collections" m))
+           (fmt_count (get "runtime_gc_major_collections" m))
+           (get "runtime_fds" m)
+           (get "runtime_heartbeat_lag_ms_p99" m);
+         (* Every slo.<name>.budget_remaining gauge in the scrape. *)
+         let slos =
+           Hashtbl.fold
+             (fun name _ acc ->
+               let suffix = "_budget_remaining" in
+               if String.length name > 4 + String.length suffix
+                  && String.sub name 0 4 = "slo_"
+                  && String.sub name
+                       (String.length name - String.length suffix)
+                       (String.length suffix)
+                     = suffix
+               then
+                 String.sub name 4
+                   (String.length name - 4 - String.length suffix)
+                 :: acc
+               else acc)
+             m []
+           |> List.sort compare
+         in
+         List.iter
+           (fun s ->
+             Printf.printf
+               "slo       %-16s budget %5.1f%%   burn 1m %6.2f   1h %6.2f\n" s
+               (100.0 *. get (Printf.sprintf "slo_%s_budget_remaining" s) m)
+               (get (Printf.sprintf "slo_%s_burn_rate_1m" s) m)
+               (get (Printf.sprintf "slo_%s_burn_rate_1h" s) m))
+           slos;
+         (* Health culprits from /readyz (also rendered when ready). *)
+         (match Obs.Json.of_string ready_body with
+          | Ok j ->
+            let checks =
+              Option.value ~default:[]
+                (Option.bind (Proto.member "checks" j) Proto.as_list)
+            in
+            let bad =
+              List.filter_map
+                (fun c ->
+                  match (Proto.string_field c "name", Proto.string_field c "status") with
+                  | Some n, Some s when s <> "ok" ->
+                    Some
+                      (Printf.sprintf "%s:%s%s" n s
+                         (match Proto.string_field c "detail" with
+                          | Some d -> " (" ^ d ^ ")"
+                          | None -> ""))
+                  | _ -> None)
+                checks
+            in
+            if bad <> [] then
+              Printf.printf "health    %s\n" (String.concat "  " bad)
+            else
+              Printf.printf "health    all %d checks ok\n" (List.length checks)
+          | Error _ -> ());
+         print_newline ();
+         prev := Some (now, m));
+      if once || (count > 0 && !iter >= count) then continue := false
+      else Unix.sleepf interval
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live ops console: poll a running server's telemetry endpoint \
+          ($(b,/metrics) + $(b,/readyz)) and render request rates, latency \
+          quantiles, GC/runtime stats, SLO burn rates and health.")
+    Term.(const run $ obs_term $ telemetry_arg $ interval $ once $ count)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
     (Cmd.info "dart-cli" ~version:"1.0.0"
        ~doc:"DART: data acquisition and repairing tool (EDBT 2006 reproduction).")
     [ gen_cmd; extract_cmd; check_cmd; repair_cmd; export_cmd; run_cmd;
-      serve_cmd; client_cmd; report_cmd ]
+      serve_cmd; client_cmd; report_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,73 @@
+(* Process-wide subsystem health registry; see health.mli. *)
+
+type status = Ok | Degraded of string | Failing of string
+
+let status_label = function
+  | Ok -> "ok"
+  | Degraded _ -> "degraded"
+  | Failing _ -> "failing"
+
+let detail = function Ok -> None | Degraded d | Failing d -> Some d
+
+let severity = function Ok -> 0 | Degraded _ -> 1 | Failing _ -> 2
+
+(* Registration order is presentation order, so the check list reads the
+   same in every /readyz body and stats response. *)
+let checks : (string * (unit -> status)) list ref = ref []
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let register name run =
+  locked (fun () ->
+      if List.mem_assoc name !checks then
+        checks :=
+          List.map (fun (n, r) -> if n = name then (n, run) else (n, r)) !checks
+      else checks := !checks @ [ (name, run) ])
+
+let unregister name =
+  locked (fun () -> checks := List.filter (fun (n, _) -> n <> name) !checks)
+
+let clear () = locked (fun () -> checks := [])
+
+let names () = locked (fun () -> List.map fst !checks)
+
+let run_all () =
+  (* Snapshot under the lock, run outside it: a slow check must not
+     block registration, and a check that itself consults the registry
+     must not deadlock. *)
+  let snap = locked (fun () -> !checks) in
+  List.map
+    (fun (name, run) ->
+      ( name,
+        try run ()
+        with e -> Failing (Printf.sprintf "check raised: %s" (Printexc.to_string e)) ))
+    snap
+
+let worst results =
+  List.fold_left
+    (fun acc (_, s) -> if severity s > severity acc then s else acc)
+    Ok results
+
+let culprits results =
+  List.filter_map
+    (fun (name, s) -> match s with Failing _ -> Some name | _ -> None)
+    results
+
+let to_json results =
+  Obs.Json.Obj
+    [ ("status", Obs.Json.Str (status_label (worst results)));
+      ("culprits", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) (culprits results)));
+      ("checks",
+       Obs.Json.List
+         (List.map
+            (fun (name, s) ->
+              Obs.Json.Obj
+                ([ ("name", Obs.Json.Str name);
+                   ("status", Obs.Json.Str (status_label s)) ]
+                 @ (match detail s with
+                    | Some d -> [ ("detail", Obs.Json.Str d) ]
+                    | None -> [])))
+            results)) ]

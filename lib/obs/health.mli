@@ -1,0 +1,44 @@
+(** Subsystem health checks behind [/healthz] and [/readyz].
+
+    Each subsystem registers one named check — a thunk answering
+    {!Ok}, {!Degraded} (serving, but worth a look) or {!Failing}
+    (rotate this replica out).  The registry is process-wide, like
+    {!Obs.Metrics}: re-registering a name replaces its check, so a
+    restarting subsystem simply registers again.  Checks must be cheap
+    and non-blocking — they run inline on every readiness probe.
+
+    Aggregation is by worst status; only {!Failing} checks are
+    {e culprits} (a degraded replica still takes traffic). *)
+
+type status =
+  | Ok
+  | Degraded of string  (** serving, with a reason worth surfacing *)
+  | Failing of string   (** not fit for traffic; the reason names why *)
+
+val status_label : status -> string
+(** ["ok"] / ["degraded"] / ["failing"]. *)
+
+val detail : status -> string option
+
+val register : string -> (unit -> status) -> unit
+(** Add (or replace) the named check.  Registration order is the
+    presentation order of {!run_all}. *)
+
+val unregister : string -> unit
+val clear : unit -> unit
+
+val names : unit -> string list
+
+val run_all : unit -> (string * status) list
+(** Run every check (outside the registry lock), in registration order.
+    A check that raises reports as {!Failing} with the exception text. *)
+
+val worst : (string * status) list -> status
+(** The aggregate: the most severe status in the list ({!Ok} if empty). *)
+
+val culprits : (string * status) list -> string list
+(** Names of {!Failing} checks only. *)
+
+val to_json : (string * status) list -> Obs.Json.t
+(** [{"status":"ok|degraded|failing","culprits":[...],
+     "checks":[{"name":...,"status":...,"detail":...}]}]. *)

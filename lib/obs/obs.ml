@@ -701,18 +701,35 @@ module Metrics = struct
      without locks; histograms mutate several fields per observation and
      take [mu].  Registration, snapshot and reset also take [mu] so a
      snapshot never sees a half-registered metric. *)
+  let now_ms_impl = now_ms (* the [?now_ms] labels below shadow it *)
   type counter = int Atomic.t
   type gauge = float Atomic.t
+
+  (* One retained worst-in-window observation for a histogram bucket:
+     enough to hop from a quantile to the trace that produced it. *)
+  type exemplar = {
+    ex_le : float;              (* the bucket's upper bound; +inf = overflow *)
+    ex_value : float;
+    ex_trace_id : string;
+    ex_ts_ms : float;
+  }
 
   type histogram = {
     bounds : float array;       (* inclusive upper bounds, increasing *)
     counts : int array;         (* length = Array.length bounds + 1 (overflow) *)
     mutable hsum : float;
     mutable hcount : int;
+    hexemplars : exemplar option array; (* one slot per bucket, incl. overflow *)
     hmu : Mutex.t;
   }
 
-  type metric = C of counter | G of gauge | H of histogram
+  (* Info metrics: a constant-1 sample whose labels carry build/version
+     facts ([dart_build_info{version="..."} 1] style). *)
+  type metric =
+    | C of counter
+    | G of gauge
+    | H of histogram
+    | I of (string * string) list Atomic.t
 
   let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
   let order : string list ref = ref [] (* reverse registration order *)
@@ -772,26 +789,85 @@ module Metrics = struct
             bounds;
           let h =
             { bounds; counts = Array.make (Array.length bounds + 1) 0;
-              hsum = 0.0; hcount = 0; hmu = Mutex.create () }
+              hsum = 0.0; hcount = 0;
+              hexemplars = Array.make (Array.length bounds + 1) None;
+              hmu = Mutex.create () }
           in
           register name (H h);
           h)
 
-  let observe h v =
+  let slot_of h v =
     let nb = Array.length h.bounds in
     let rec slot i = if i >= nb then nb else if v <= h.bounds.(i) then i else slot (i + 1) in
-    let i = slot 0 in
+    slot 0
+
+  let observe h v =
+    let i = slot_of h v in
     Mutex.lock h.hmu;
     h.counts.(i) <- h.counts.(i) + 1;
     h.hsum <- h.hsum +. v;
     h.hcount <- h.hcount + 1;
     Mutex.unlock h.hmu
 
+  (* Exemplars age out so a quiet histogram does not pin a stale trace id
+     forever: within the window the worst (largest) observation per
+     bucket wins; past it any fresh observation replaces the slot. *)
+  let exemplar_window = ref 60_000.0
+
+  let set_exemplar_window_ms w =
+    if w <= 0.0 then invalid_arg "Obs.Metrics.set_exemplar_window_ms: window must be > 0";
+    exemplar_window := w
+
+  let observe_ex ?now_ms ?trace_id h v =
+    let i = slot_of h v in
+    Mutex.lock h.hmu;
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.hsum <- h.hsum +. v;
+    h.hcount <- h.hcount + 1;
+    (match trace_id with
+     | Some tid when tid <> "" ->
+       let now = match now_ms with Some n -> n | None -> now_ms_impl () in
+       let fresh =
+         { ex_le =
+             (if i < Array.length h.bounds then h.bounds.(i) else Float.infinity);
+           ex_value = v; ex_trace_id = tid; ex_ts_ms = now }
+       in
+       (match h.hexemplars.(i) with
+        | None -> h.hexemplars.(i) <- Some fresh
+        | Some old ->
+          if now -. old.ex_ts_ms > !exemplar_window || v >= old.ex_value then
+            h.hexemplars.(i) <- Some fresh)
+     | _ -> ());
+    Mutex.unlock h.hmu
+
+  let exemplars ?now_ms h =
+    let now = match now_ms with Some n -> n | None -> now_ms_impl () in
+    Mutex.lock h.hmu;
+    let live =
+      Array.fold_right
+        (fun e acc ->
+          match e with
+          | Some e when now -. e.ex_ts_ms <= !exemplar_window -> e :: acc
+          | _ -> acc)
+        h.hexemplars []
+    in
+    Mutex.unlock h.hmu;
+    live
+
   let bucket_counts h =
     Mutex.lock h.hmu;
     let c = Array.copy h.counts in
     Mutex.unlock h.hmu;
     c
+
+  let histogram_bounds h = Array.copy h.bounds
+
+  let info name labels =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (I r) -> Atomic.set r labels
+        | Some _ -> kind_error name
+        | None -> register name (I (Atomic.make labels)))
 
   let histogram_sum h =
     Mutex.lock h.hmu;
@@ -854,6 +930,32 @@ module Metrics = struct
     if s = "" then "_"
     else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
 
+  (* Prometheus label-value escaping: backslash, double quote and
+     newline are the only characters the text format requires escaping. *)
+  let escape_label_value s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let render_labels labels =
+    match labels with
+    | [] -> ""
+    | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+             labels)
+      ^ "}"
+
   let pm_num f =
     if Float.is_nan f then "NaN"
     else if f = Float.infinity then "+Inf"
@@ -901,9 +1003,44 @@ module Metrics = struct
             (fun (suffix, q) ->
               p "# TYPE %s_%s gauge\n" pn suffix;
               p "%s_%s %s\n" pn suffix (pm_num (quantile h q)))
-            [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ])
+            [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+        | I r ->
+          p "# TYPE %s gauge\n" pn;
+          p "%s%s 1\n" pn (render_labels (Atomic.get r)))
       entries;
     Buffer.contents buf
+
+  let exemplars_json ?now_ms () =
+    let now = match now_ms with Some n -> n | None -> now_ms_impl () in
+    let entries =
+      locked (fun () ->
+          List.filter_map
+            (fun n ->
+              match Hashtbl.find_opt registry n with
+              | Some (H h) -> Some (n, h)
+              | _ -> None)
+            (List.rev !order))
+    in
+    Json.Obj
+      (List.filter_map
+         (fun (n, h) ->
+           match exemplars ~now_ms:now h with
+           | [] -> None
+           | live ->
+             Some
+               ( n,
+                 Json.List
+                   (List.map
+                      (fun e ->
+                        Json.Obj
+                          [ ("le",
+                             if e.ex_le = Float.infinity then Json.Str "+inf"
+                             else Json.Float e.ex_le);
+                            ("value", Json.Float e.ex_value);
+                            ("trace_id", Json.Str e.ex_trace_id);
+                            ("ts_ms", Json.Float e.ex_ts_ms) ])
+                      live) ))
+         entries)
 
   let snapshot () =
     locked @@ fun () ->
@@ -944,9 +1081,20 @@ module Metrics = struct
                    ("count", Json.Int hcount) ])
           | _ -> None)
     in
+    let infos =
+      pick (fun n ->
+          match Hashtbl.find_opt registry n with
+          | Some (I r) ->
+            Some
+              ( n,
+                Json.Obj
+                  (List.map (fun (k, v) -> (k, Json.Str v)) (Atomic.get r)) )
+          | _ -> None)
+    in
     Json.Obj
-      [ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges);
-        ("histograms", Json.Obj histograms) ]
+      ([ ("counters", Json.Obj counters); ("gauges", Json.Obj gauges);
+         ("histograms", Json.Obj histograms) ]
+       @ (if infos = [] then [] else [ ("infos", Json.Obj infos) ]))
 
   let reset () =
     locked @@ fun () ->
@@ -960,7 +1108,9 @@ module Metrics = struct
           Array.fill h.counts 0 (Array.length h.counts) 0;
           h.hsum <- 0.0;
           h.hcount <- 0;
-          Mutex.unlock h.hmu)
+          Array.fill h.hexemplars 0 (Array.length h.hexemplars) None;
+          Mutex.unlock h.hmu
+        | I _ -> ())
       registry
 end
 

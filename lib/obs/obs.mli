@@ -254,6 +254,51 @@ module Metrics : sig
   val bucket_counts : histogram -> int array
   (** Per-bucket counts; the last entry is the overflow bucket. *)
 
+  val histogram_bounds : histogram -> float array
+  (** The finite bucket upper bounds (a copy; overflow bucket omitted). *)
+
+  (** {2 Exemplars}
+
+      A histogram can retain, per bucket, the worst observation seen in
+      the current window together with the trace id that produced it —
+      one hop from a p99 number to its trace tree.  Exemplars age out
+      (default window 60 s): within the window the largest value wins;
+      a stale exemplar is replaced by any fresh observation. *)
+
+  type exemplar = {
+    ex_le : float;       (** the bucket's upper bound; [infinity] = overflow *)
+    ex_value : float;
+    ex_trace_id : string;
+    ex_ts_ms : float;
+  }
+
+  val observe_ex : ?now_ms:float -> ?trace_id:string -> histogram -> float -> unit
+  (** Like {!observe}; additionally considers the observation as an
+      exemplar for its bucket when [trace_id] is a non-empty string.
+      [now_ms] overrides the implicit timestamp (tests). *)
+
+  val exemplars : ?now_ms:float -> histogram -> exemplar list
+  (** Live (non-stale) exemplars in bucket order. *)
+
+  val exemplars_json : ?now_ms:float -> unit -> Json.t
+  (** Every histogram's live exemplars:
+      [{"hist.name":[{"le":...,"value":...,"trace_id":...,"ts_ms":...}]}].
+      Histograms with no live exemplar are omitted. *)
+
+  val set_exemplar_window_ms : float -> unit
+  (** Change the exemplar retention window (default 60_000 ms).
+      @raise Invalid_argument if the window is not positive. *)
+
+  val info : string -> (string * string) list -> unit
+  (** Register (or relabel) an {e info} metric: a constant-1 gauge whose
+      labels carry build/version facts
+      ([dart_build_info{version="..."} 1]).  Label names are sanitized
+      like metric names; label values are escaped per the text format. *)
+
+  val escape_label_value : string -> string
+  (** Escape a label value for the Prometheus text format (backslash,
+      double quote and newline). *)
+
   val histogram_sum : histogram -> float
   val histogram_count : histogram -> int
 
@@ -278,8 +323,9 @@ module Metrics : sig
 
   val snapshot : unit -> Json.t
   (** The whole registry as JSON:
-      [{"counters":{...},"gauges":{...},"histograms":{...}}], with names in
-      registration order. *)
+      [{"counters":{...},"gauges":{...},"histograms":{...}}] (plus an
+      ["infos"] object when {!info} metrics are registered), with names
+      in registration order. *)
 
   val reset : unit -> unit
   (** Zero every registered metric in place (existing handles stay

@@ -1,0 +1,155 @@
+(* OCaml runtime / GC telemetry sampler; see runtime.mli. *)
+
+type metrics = {
+  g_minor_cols : Obs.Metrics.gauge;
+  g_major_cols : Obs.Metrics.gauge;
+  g_compactions : Obs.Metrics.gauge;
+  g_forced_major : Obs.Metrics.gauge;
+  g_heap_words : Obs.Metrics.gauge;
+  g_top_heap_words : Obs.Metrics.gauge;
+  g_live_words : Obs.Metrics.gauge;
+  g_minor_words : Obs.Metrics.gauge;
+  g_promoted_words : Obs.Metrics.gauge;
+  g_major_words : Obs.Metrics.gauge;
+  g_fds : Obs.Metrics.gauge;
+  g_uptime : Obs.Metrics.gauge;
+  g_major_cycle_gap_ms : Obs.Metrics.gauge;
+  c_major_cycles : Obs.Metrics.counter;
+  h_lag : Obs.Metrics.histogram;
+  mutable last_ms : float option;  (* previous sample, for heartbeat lag *)
+  start_ms : float;
+  mutable alarm_installed : bool;
+  alarm_last_ms : float Atomic.t;  (* 0.0 until the alarm first fires *)
+  mu : Mutex.t;
+}
+
+(* Registered on first use, not at module load, so processes that never
+   sample keep their registry (and scrape) free of runtime.* series. *)
+let state =
+  lazy
+    ({ g_minor_cols = Obs.Metrics.gauge "runtime.gc.minor_collections";
+       g_major_cols = Obs.Metrics.gauge "runtime.gc.major_collections";
+       g_compactions = Obs.Metrics.gauge "runtime.gc.compactions";
+       g_forced_major = Obs.Metrics.gauge "runtime.gc.forced_major_collections";
+       g_heap_words = Obs.Metrics.gauge "runtime.gc.heap_words";
+       g_top_heap_words = Obs.Metrics.gauge "runtime.gc.top_heap_words";
+       g_live_words = Obs.Metrics.gauge "runtime.gc.live_words";
+       g_minor_words = Obs.Metrics.gauge "runtime.gc.minor_words";
+       g_promoted_words = Obs.Metrics.gauge "runtime.gc.promoted_words";
+       g_major_words = Obs.Metrics.gauge "runtime.gc.major_words";
+       g_fds = Obs.Metrics.gauge "runtime.fds";
+       g_uptime = Obs.Metrics.gauge "runtime.uptime_s";
+       g_major_cycle_gap_ms = Obs.Metrics.gauge "runtime.gc.major_cycle_gap_ms";
+       c_major_cycles = Obs.Metrics.counter "runtime.gc.major_cycles";
+       h_lag = Obs.Metrics.histogram "runtime.heartbeat_lag_ms";
+       last_ms = None; start_ms = Obs.now_ms (); alarm_installed = false;
+       alarm_last_ms = Atomic.make 0.0; mu = Mutex.create () }
+      : metrics)
+
+let set_build_info ?(version = "dev") ?(extra = []) () =
+  Obs.Metrics.info "dart_build_info"
+    ([ ("version", version); ("ocaml", Sys.ocaml_version);
+       ("word_size", string_of_int Sys.word_size); ("os", Sys.os_type);
+       ("backend", if Sys.backend_type = Sys.Native then "native" else "bytecode") ]
+     @ extra)
+
+(* End-of-major-cycle accounting.  The callback runs at the top of each
+   completed major cycle: it counts cycles and records the wall-clock gap
+   between consecutive cycle ends — a shrinking gap is the GC running
+   hot.  (A major slice's own pause is not observable from inside the
+   process; [runtime.heartbeat_lag_ms] is the pause proxy: how late the
+   ~1 Hz sampler woke, which any stop-the-world work inflates.) *)
+let install_alarm () =
+  let st = Lazy.force state in
+  Mutex.lock st.mu;
+  let fresh = not st.alarm_installed in
+  if fresh then st.alarm_installed <- true;
+  Mutex.unlock st.mu;
+  if fresh then
+    ignore
+      (Gc.create_alarm (fun () ->
+           let now = Obs.now_ms () in
+           let prev = Atomic.exchange st.alarm_last_ms now in
+           Obs.Metrics.incr st.c_major_cycles;
+           if prev > 0.0 then
+             Obs.Metrics.set st.g_major_cycle_gap_ms (now -. prev)))
+
+let fd_count () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let sample ?now_ms ?interval_ms ?(live = false) () =
+  let st = Lazy.force state in
+  let now = match now_ms with Some n -> n | None -> Obs.now_ms () in
+  Mutex.lock st.mu;
+  (match (st.last_ms, interval_ms) with
+   | Some last, Some interval ->
+     (* How late this tick ran vs. the intended cadence: scheduler delay
+        plus any stop-the-world pause that landed on the sampler. *)
+     Obs.Metrics.observe st.h_lag (Float.max 0.0 (now -. last -. interval))
+   | _ -> ());
+  st.last_ms <- Some now;
+  let start = st.start_ms in
+  Mutex.unlock st.mu;
+  let q = Gc.quick_stat () in
+  Obs.Metrics.set st.g_minor_cols (float_of_int q.Gc.minor_collections);
+  Obs.Metrics.set st.g_major_cols (float_of_int q.Gc.major_collections);
+  Obs.Metrics.set st.g_compactions (float_of_int q.Gc.compactions);
+  Obs.Metrics.set st.g_forced_major
+    (float_of_int q.Gc.forced_major_collections);
+  Obs.Metrics.set st.g_heap_words (float_of_int q.Gc.heap_words);
+  Obs.Metrics.set st.g_top_heap_words (float_of_int q.Gc.top_heap_words);
+  Obs.Metrics.set st.g_minor_words q.Gc.minor_words;
+  Obs.Metrics.set st.g_promoted_words q.Gc.promoted_words;
+  Obs.Metrics.set st.g_major_words q.Gc.major_words;
+  (* [Gc.stat] walks the heap — only on explicit request (the sampler
+     thread asks roughly once a minute). *)
+  if live then
+    (try Obs.Metrics.set st.g_live_words (float_of_int (Gc.stat ()).Gc.live_words)
+     with _ -> ());
+  (match fd_count () with
+   | Some n -> Obs.Metrics.set st.g_fds (float_of_int n)
+   | None -> ());
+  Obs.Metrics.set st.g_uptime ((now -. start) /. 1000.0)
+
+let major_cycles () =
+  Obs.Metrics.value (Lazy.force state).c_major_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Background sampler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type sampler = { stop_flag : bool Atomic.t; thread : Thread.t }
+
+let start ?(interval_s = 1.0) ?(live_every = 60) () =
+  if interval_s <= 0.0 then invalid_arg "Runtime.start: interval_s must be > 0";
+  install_alarm ();
+  set_build_info ();
+  let stop_flag = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let interval_ms = interval_s *. 1000.0 in
+        let tick = ref 0 in
+        sample ~interval_ms ();
+        while not (Atomic.get stop_flag) do
+          (* Sleep in short slices so [stop] returns promptly. *)
+          let next = Obs.now_ms () +. interval_ms in
+          while (not (Atomic.get stop_flag)) && Obs.now_ms () < next do
+            Thread.delay (Float.min 0.1 interval_s)
+          done;
+          if not (Atomic.get stop_flag) then begin
+            incr tick;
+            sample ~interval_ms
+              ~live:(live_every > 0 && !tick mod live_every = 0)
+              ()
+          end
+        done)
+      ()
+  in
+  { stop_flag; thread }
+
+let stop s =
+  Atomic.set s.stop_flag true;
+  Thread.join s.thread

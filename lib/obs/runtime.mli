@@ -1,0 +1,51 @@
+(** OCaml runtime & GC telemetry: a ~1 Hz sampler feeding the
+    {!Obs.Metrics} registry (and so Prometheus and the [stats] verb).
+
+    Series (registered on first sample, not at load):
+
+    - [runtime.gc.minor_collections] / [major_collections] /
+      [compactions] / [forced_major_collections] — cumulative counts
+      from [Gc.quick_stat], published as gauges (absolute values);
+    - [runtime.gc.heap_words] / [top_heap_words] / [live_words] —
+      heap size; live words come from [Gc.stat] (a heap walk) and are
+      refreshed only on [live] samples (~once a minute by default);
+    - [runtime.gc.minor_words] / [promoted_words] / [major_words] —
+      cumulative allocation;
+    - [runtime.gc.major_cycles] (counter) and
+      [runtime.gc.major_cycle_gap_ms] — end-of-major-cycle alarm
+      accounting: cycle count and wall-clock gap between cycle ends;
+    - [runtime.heartbeat_lag_ms] (histogram) — how late each sample ran
+      vs. the intended cadence.  This is the {e pause proxy}: a slice's
+      own stop-the-world pause is not observable from inside the
+      process, but it shows up as sampler lateness, so the p99 here
+      bounds the pauses the process actually suffered;
+    - [runtime.fds] — open file descriptors (via [/proc/self/fd];
+      absent on platforms without procfs);
+    - [runtime.uptime_s] — seconds since the first sample;
+    - [dart_build_info] — constant-1 info metric with version labels. *)
+
+val sample : ?now_ms:float -> ?interval_ms:float -> ?live:bool -> unit -> unit
+(** Take one sample.  [now_ms] injects the clock (tests); [interval_ms]
+    is the intended cadence — when given, the sample also observes
+    heartbeat lag vs. the previous sample; [live] (default false) adds
+    the expensive [Gc.stat] live-words reading. *)
+
+val install_alarm : unit -> unit
+(** Install the end-of-major-cycle [Gc.alarm] (idempotent). *)
+
+val set_build_info : ?version:string -> ?extra:(string * string) list -> unit -> unit
+(** Register/refresh [dart_build_info] with [version], OCaml version,
+    word size, OS and backend labels, plus [extra] pairs. *)
+
+val major_cycles : unit -> int
+(** Major cycles completed since {!install_alarm}. *)
+
+type sampler
+
+val start : ?interval_s:float -> ?live_every:int -> unit -> sampler
+(** Spawn a background thread sampling every [interval_s] (default 1.0)
+    seconds; every [live_every]-th sample (default 60; 0 = never) is a
+    [live] sample.  Also installs the alarm and build info. *)
+
+val stop : sampler -> unit
+(** Stop and join the sampler thread. *)

@@ -1,0 +1,183 @@
+(* Burn-rate SLO engine; see slo.mli. *)
+
+type source =
+  | Ratio of { good : unit -> float; total : unit -> float }
+  | Latency of { hist : Obs.Metrics.histogram; threshold_ms : float }
+
+type objective = { name : string; target : float; source : source }
+
+let check_target name target =
+  if not (target > 0.0 && target < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Slo: objective %S target must be in (0,1), got %g" name
+         target)
+
+let availability ~name ~target ~good ~total =
+  check_target name target;
+  { name; target; source = Ratio { good; total } }
+
+let latency ~name ~target ~threshold_ms hist =
+  check_target name target;
+  if threshold_ms <= 0.0 then
+    invalid_arg "Slo.latency: threshold_ms must be > 0";
+  { name; target; source = Latency { hist; threshold_ms } }
+
+type kind = Fast_burn | Slow_burn | Recovered
+
+let kind_label = function
+  | Fast_burn -> "fast_burn"
+  | Slow_burn -> "slow_burn"
+  | Recovered -> "recovered"
+
+type event = {
+  ev_slo : string;
+  ev_window : string;          (* "fast" | "slow" *)
+  ev_burn_rate : float;
+  ev_kind : kind;
+}
+
+(* Cumulative (good, total) samples in a ring sized for the slow window;
+   burn over a window is the bad fraction across it, scaled by the error
+   budget (1 - target).  Burn 1.0 = consuming budget exactly on pace. *)
+type obj_state = {
+  obj : objective;
+  ring : (float * float) array;
+  mutable head : int;          (* next write slot *)
+  mutable filled : int;
+  g_budget : Obs.Metrics.gauge;
+  g_burn_fast : Obs.Metrics.gauge;
+  g_burn_slow : Obs.Metrics.gauge;
+  mutable alert_fast : bool;
+  mutable alert_slow : bool;
+}
+
+type t = {
+  objs : obj_state list;
+  fast_window : int;
+  slow_window : int;
+  fast_threshold : float;
+  slow_threshold : float;
+  on_event : event -> unit;
+  mu : Mutex.t;
+}
+
+let sample_source = function
+  | Ratio { good; total } -> (good (), total ())
+  | Latency { hist; threshold_ms } ->
+    (* Good = observations at or under the threshold, read off the
+       cumulative bucket counts at the last bound <= threshold. *)
+    let bounds = Obs.Metrics.histogram_bounds hist in
+    let counts = Obs.Metrics.bucket_counts hist in
+    let good = ref 0 in
+    Array.iteri
+      (fun i b -> if b <= threshold_ms then good := !good + counts.(i))
+      bounds;
+    (float_of_int !good, float_of_int (Obs.Metrics.histogram_count hist))
+
+let create ?(fast_window = 60) ?(slow_window = 3600) ?(fast_threshold = 14.4)
+    ?(slow_threshold = 6.0) ?(on_event = fun _ -> ()) objectives =
+  if fast_window < 1 || slow_window < fast_window then
+    invalid_arg "Slo.create: need 1 <= fast_window <= slow_window";
+  if objectives = [] then invalid_arg "Slo.create: no objectives";
+  let objs =
+    List.map
+      (fun obj ->
+        let g name =
+          Obs.Metrics.gauge (Printf.sprintf "slo.%s.%s" obj.name name)
+        in
+        let st =
+          { obj;
+            ring = Array.make (slow_window + 1) (0.0, 0.0);
+            head = 0; filled = 0;
+            g_budget = g "budget_remaining";
+            g_burn_fast = g "burn_rate_1m";
+            g_burn_slow = g "burn_rate_1h";
+            alert_fast = false; alert_slow = false }
+        in
+        Obs.Metrics.set st.g_budget 1.0;
+        st)
+      objectives
+  in
+  { objs; fast_window; slow_window; fast_threshold; slow_threshold; on_event;
+    mu = Mutex.create () }
+
+(* The sample [lag] ticks back (clamped to the oldest retained). *)
+let back st lag =
+  let lag = min lag (st.filled - 1) in
+  let n = Array.length st.ring in
+  st.ring.((st.head - 1 - lag + (2 * n)) mod n)
+
+(* Bad fraction between the sample [window] ticks back and the newest
+   one.  Deltas are clamped at 0 so a counter reset (tests, restarts)
+   reads as a quiet window rather than a negative burn. *)
+let bad_fraction st window =
+  let gd_old, tot_old = back st window in
+  let gd_new, tot_new = back st 0 in
+  let d_total = Float.max 0.0 (tot_new -. tot_old) in
+  let d_bad = Float.max 0.0 ((tot_new -. gd_new) -. (tot_old -. gd_old)) in
+  if d_total <= 0.0 then 0.0 else Float.min 1.0 (d_bad /. d_total)
+
+let tick t =
+  Mutex.lock t.mu;
+  let fired =
+    List.concat_map
+      (fun st ->
+        let g, tot = sample_source st.obj.source in
+        st.ring.(st.head) <- (g, tot);
+        st.head <- (st.head + 1) mod Array.length st.ring;
+        st.filled <- min (st.filled + 1) (Array.length st.ring);
+        let budget = 1.0 -. st.obj.target in
+        let burn w = bad_fraction st w /. budget in
+        let burn_fast = burn t.fast_window in
+        let burn_slow = burn t.slow_window in
+        Obs.Metrics.set st.g_burn_fast burn_fast;
+        Obs.Metrics.set st.g_burn_slow burn_slow;
+        Obs.Metrics.set st.g_budget
+          (Float.max 0.0 (Float.min 1.0 (1.0 -. burn_slow)));
+        (* Edge-triggered alerts with half-threshold hysteresis, so a
+           burn rate dithering around the line cannot flap events. *)
+        let edges = ref [] in
+        let fire window rate kind =
+          edges :=
+            { ev_slo = st.obj.name; ev_window = window; ev_burn_rate = rate;
+              ev_kind = kind }
+            :: !edges
+        in
+        if burn_fast >= t.fast_threshold && not st.alert_fast then begin
+          st.alert_fast <- true;
+          fire "fast" burn_fast Fast_burn
+        end
+        else if st.alert_fast && burn_fast < t.fast_threshold /. 2.0 then begin
+          st.alert_fast <- false;
+          fire "fast" burn_fast Recovered
+        end;
+        if burn_slow >= t.slow_threshold && not st.alert_slow then begin
+          st.alert_slow <- true;
+          fire "slow" burn_slow Slow_burn
+        end
+        else if st.alert_slow && burn_slow < t.slow_threshold /. 2.0 then begin
+          st.alert_slow <- false;
+          fire "slow" burn_slow Recovered
+        end;
+        List.rev !edges)
+      t.objs
+  in
+  Mutex.unlock t.mu;
+  (* Callbacks run outside the lock: an event handler may read burn
+     rates or even tick another engine without deadlocking. *)
+  List.iter t.on_event fired
+
+let find t name =
+  match List.find_opt (fun st -> st.obj.name = name) t.objs with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Slo: unknown objective %S" name)
+
+let burn_rate t ~name window =
+  let st = find t name in
+  Obs.Metrics.gauge_value
+    (match window with `Fast -> st.g_burn_fast | `Slow -> st.g_burn_slow)
+
+let budget_remaining t ~name =
+  Obs.Metrics.gauge_value (find t name).g_budget
+
+let objective_names t = List.map (fun st -> st.obj.name) t.objs

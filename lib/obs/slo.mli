@@ -1,0 +1,81 @@
+(** Declarative service-level objectives with error-budget burn rates.
+
+    An {!objective} names a target fraction of {e good} events
+    (availability >= 99.9%, repairs under 500 ms >= 99%, ...) read from
+    cumulative sources — existing counters or histograms.  The engine is
+    driven by {!tick} at a steady cadence (the server ticks it at ~1 Hz);
+    each tick samples every source into a sliding ring and publishes
+    three gauges per objective:
+
+    - [slo.<name>.burn_rate_1m] — error-budget burn over the fast window,
+    - [slo.<name>.burn_rate_1h] — burn over the slow window,
+    - [slo.<name>.budget_remaining] — 1 - slow burn, clamped to [0,1].
+
+    Burn rate is the standard multi-window measure: the bad fraction
+    over the window divided by the error budget (1 - target), so 1.0
+    means consuming the budget exactly on pace and 14.4 means the whole
+    budget would be gone in 1/14.4 of the period.  Crossing the fast or
+    slow threshold fires an edge-triggered {!event} (with half-threshold
+    hysteresis) through [on_event] — the server writes these into the
+    access-log stream.
+
+    Windows are counted in {e ticks}: at the default 1 Hz cadence the
+    defaults (60 / 3600) are one minute and one hour.  Tests and benches
+    drive {!tick} directly with small windows — no wall clock inside. *)
+
+type source =
+  | Ratio of { good : unit -> float; total : unit -> float }
+    (** cumulative good / total event counts (e.g. requests - errors). *)
+  | Latency of { hist : Obs.Metrics.histogram; threshold_ms : float }
+    (** good = observations with value <= threshold, read from the
+        histogram's cumulative bucket counts; the threshold should be a
+        bucket bound (anything between two bounds rounds down). *)
+
+type objective = { name : string; target : float; source : source }
+
+val availability :
+  name:string -> target:float ->
+  good:(unit -> float) -> total:(unit -> float) -> objective
+(** @raise Invalid_argument unless [target] is in (0,1). *)
+
+val latency :
+  name:string -> target:float -> threshold_ms:float ->
+  Obs.Metrics.histogram -> objective
+(** The objective "a [target] fraction of observations stay at or under
+    [threshold_ms]".  @raise Invalid_argument unless [target] in (0,1)
+    and [threshold_ms > 0]. *)
+
+type kind = Fast_burn | Slow_burn | Recovered
+
+val kind_label : kind -> string
+
+type event = {
+  ev_slo : string;
+  ev_window : string;          (** ["fast"] or ["slow"] *)
+  ev_burn_rate : float;
+  ev_kind : kind;
+}
+
+type t
+
+val create :
+  ?fast_window:int ->
+  ?slow_window:int ->
+  ?fast_threshold:float ->
+  ?slow_threshold:float ->
+  ?on_event:(event -> unit) ->
+  objective list ->
+  t
+(** Registers the three gauges per objective (budget starts at 1.0).
+    Windows are in ticks (defaults 60 / 3600); thresholds default to
+    14.4 (fast — the whole budget gone in ~2 days at 99.9%) and 6.0
+    (slow).  @raise Invalid_argument on an empty objective list or bad
+    windows. *)
+
+val tick : t -> unit
+(** Sample every objective's source and refresh its gauges; fires
+    [on_event] for threshold crossings (outside the internal lock). *)
+
+val burn_rate : t -> name:string -> [ `Fast | `Slow ] -> float
+val budget_remaining : t -> name:string -> float
+val objective_names : t -> string list

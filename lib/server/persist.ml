@@ -50,6 +50,9 @@ type t = {
   mu : Mutex.t;
   hists : (string, hist) Hashtbl.t;
   mutable max_sid : int;           (* highest numeric "sN" ever seen *)
+  mutable last_error : string option;
+      (* the most recent append failure, cleared by the next success —
+         what the "wal" health check reports (see Server /readyz) *)
 }
 
 let locked t f =
@@ -148,10 +151,20 @@ let snapshot_shard_locked t shard =
 let append t ~sid ev =
   locked t (fun () ->
       apply_event t ev;
-      Wal.append t.wal ~key:sid ev;
+      (match Wal.append t.wal ~key:sid ev with
+       | () -> t.last_error <- None
+       | exception (Wal.Append_failed msg as e) ->
+         t.last_error <- Some msg;
+         raise e);
       let shard = Wal.shard_of t.wal sid in
       if Wal.appended t.wal shard >= t.snapshot_every then
         snapshot_shard_locked t shard)
+
+(** The most recent WAL append failure, [None] once appends succeed
+    again — drives the readiness "wal" health check. *)
+let last_append_error t = locked t (fun () -> t.last_error)
+
+let wal_shards t = Wal.shards t.wal
 
 (* ------------------------------------------------------------------ *)
 (* Public logging API                                                  *)
@@ -172,7 +185,7 @@ let log_close t ~sid = append t ~sid (ev_close ~sid ~ts_ms:(Obs.now_ms ()))
 
 let open_ ?(shards = Wal.default_shards) ?(snapshot_every = 64) dir =
   { wal = Wal.create ~shards dir; snapshot_every; mu = Mutex.create ();
-    hists = Hashtbl.create 16; max_sid = 0 }
+    hists = Hashtbl.create 16; max_sid = 0; last_error = None }
 
 let close t = locked t (fun () -> Wal.close t.wal)
 

@@ -27,6 +27,9 @@ open Dart_constraints
 open Dart
 module Obs = Dart_obs.Obs
 module Json = Obs.Json
+module Health = Dart_obs.Health
+module Slo = Dart_obs.Slo
+module Runtime = Dart_obs.Runtime
 module Cancel = Dart_resilience.Cancel
 module Overload = Dart_resilience.Overload
 module Faultsim = Dart_faultsim.Faultsim
@@ -88,6 +91,13 @@ type config = {
   frame_read_timeout_s : float;   (** mid-frame read deadline once the
                                       first bytes of a frame arrived
                                       (slowloris armor) *)
+  health_slo : bool;              (** run the ~1 Hz ops ticker: GC/runtime
+                                      sampler + SLO burn-rate engine *)
+  slo_availability_target : float; (** good-request fraction objective *)
+  slo_latency_target : float;     (** fraction of repairs that must finish
+                                      under [slo_latency_ms] *)
+  slo_latency_ms : float;         (** repair latency objective threshold;
+                                      should be a histogram bucket bound *)
   scenarios : (string * Scenario.t) list;
 }
 
@@ -108,7 +118,9 @@ let default_config ?(scenarios = []) addr =
     solve_cache_mb = 0; coalesce = true;
     overload = true; brownout = true; target_queue_wait_ms = 50.0;
     client_rate = 50.0; client_burst = 100.0;
-    frame_write_timeout_s = 10.0; frame_read_timeout_s = 10.0; scenarios }
+    frame_write_timeout_s = 10.0; frame_read_timeout_s = 10.0;
+    health_slo = true; slo_availability_target = 0.999;
+    slo_latency_target = 0.99; slo_latency_ms = 1000.0; scenarios }
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -126,6 +138,7 @@ let m_coalesced = Obs.Metrics.counter "server.coalesced"
 let m_shed = Obs.Metrics.counter "server.shed"
 let m_slow_closes = Obs.Metrics.counter "server.slow_client_closes"
 let g_brownout = Obs.Metrics.gauge "server.brownout_level"
+let g_uptime = Obs.Metrics.gauge "server.uptime_s"
 let g_retry_after = Obs.Metrics.gauge "server.retry_after_ms"
 let g_connections = Obs.Metrics.gauge "server.connections"
 let g_queue_depth = Obs.Metrics.gauge "server.queue_depth"
@@ -133,6 +146,11 @@ let g_sessions = Obs.Metrics.gauge "server.sessions"
 let g_inflight = Obs.Metrics.gauge "server.inflight"
 let h_latency = Obs.Metrics.histogram "server.latency_ms"
 let h_queue_wait = Obs.Metrics.histogram "server.queue_wait_ms"
+
+(* The same process-wide cell [Persist] bumps during recovery; fetched
+   here so the stats verb can surface it without a Persist dependency on
+   call sites that run volatile. *)
+let c_recovered = Obs.Metrics.counter "sessions.recovered"
 
 (* Per-verb latency histograms, registered lazily on first use so the
    registry only carries verbs the deployment actually serves.  Only the
@@ -193,6 +211,10 @@ type t = {
   stopping : bool Atomic.t;
   active_conns : int Atomic.t;
   inflight : int Atomic.t;        (* requests currently inside [process] *)
+  heartbeat_ms : float Atomic.t;  (* last accept-loop iteration — /healthz
+                                     liveness: is the event loop turning? *)
+  mutable slo : Slo.t option;     (* burn-rate engine, when [health_slo] *)
+  mutable ops_thread : Thread.t option; (* ~1 Hz runtime + SLO ticker *)
   started_at_ms : float;
   wake_r : Unix.file_descr;       (* self-pipe: wakes the accept select *)
   wake_w : Unix.file_descr;
@@ -256,7 +278,9 @@ let create cfg =
       svc_mu = Mutex.create (); svc_ewma_ms = 0.0;
       conn_seq = Atomic.make 0;
       stopping = Atomic.make false; active_conns = Atomic.make 0;
-      inflight = Atomic.make 0; started_at_ms = Obs.now_ms (); wake_r; wake_w;
+      inflight = Atomic.make 0; heartbeat_ms = Atomic.make (Obs.now_ms ());
+      slo = None; ops_thread = None;
+      started_at_ms = Obs.now_ms (); wake_r; wake_w;
       flight; access_mu = Mutex.create (); access_oc;
       access_bytes =
         (match access_oc with Some oc -> out_channel_length oc | None -> 0);
@@ -534,15 +558,19 @@ let handle_session_close t req =
      | _ -> ());
     Proto.ok ?id:req.Proto.id [ ("closed", Json.Bool existed) ]
 
+let uptime_s t = Obs.elapsed_ms ~since:t.started_at_ms /. 1000.0
+
 let handle_stats t req =
   Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
   Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
   Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
   Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+  Obs.Metrics.set g_uptime (uptime_s t);
   Proto.ok ?id:req.Proto.id
     [ ("server",
        Json.Obj
          [ ("uptime_ms", Json.Float (Obs.elapsed_ms ~since:t.started_at_ms));
+           ("uptime_s", Json.Float (uptime_s t));
            ("domains", Json.Int (Pool.size t.pool));
            ("queue_depth", Json.Int (Pool.depth t.pool));
            ("connections", Json.Int (Atomic.get t.active_conns));
@@ -554,6 +582,21 @@ let handle_stats t req =
             Json.Str
               (Overload.Breaker.state_to_string
                  (Overload.Breaker.state t.breaker))) ]);
+      (* Recovery state without grepping logs: the recovered-session
+         counter, WAL layout and the latest append failure (if any). *)
+      ("durable",
+       Json.Obj
+         ([ ("enabled", Json.Bool (t.persist <> None));
+            ("sessions_recovered", Json.Int (Obs.Metrics.value c_recovered)) ]
+          @ (match t.persist with
+             | None -> []
+             | Some p ->
+               [ ("wal_shards", Json.Int (Persist.wal_shards p)) ]
+               @ (match Persist.last_append_error p with
+                  | Some msg -> [ ("wal_last_error", Json.Str msg) ]
+                  | None -> []))));
+      ("health", Health.to_json (Health.run_all ()));
+      ("exemplars", Obs.Metrics.exemplars_json ());
       ("metrics", Obs.Metrics.snapshot ()) ]
 
 (* ------------------------------------------------------------------ *)
@@ -935,8 +978,26 @@ let rotate_access_log_locked t =
         with Sys_error _ -> t.access_oc <- None))
   | _ -> ()
 
-(* One JSON line per finished request.  The channel is shared by every
-   connection thread, so writes are serialized by [access_mu]. *)
+(* Append one already-serialized JSON line to the access-log stream.
+   The channel is shared by every connection thread (and the ops
+   thread, for SLO events), so writes are serialized by [access_mu]. *)
+let access_append t line =
+  Mutex.lock t.access_mu;
+  (match t.access_oc with
+   | None -> ()
+   | Some oc ->
+     (try
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        t.access_bytes <- t.access_bytes + String.length line + 1;
+        if t.cfg.access_log_max_bytes > 0
+           && t.access_bytes >= t.cfg.access_log_max_bytes
+        then rotate_access_log_locked t
+      with Sys_error _ -> ()));
+  Mutex.unlock t.access_mu
+
+(* One JSON line per finished request. *)
 let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance ~gap
     ~bytes_in ~bytes_out =
   match t.access_oc with
@@ -959,20 +1020,28 @@ let access_log_line t ~op ~trace_id ~outcome ~ms ~queue_wait ~provenance ~gap
                | Some g -> [ ("gap", Json.Float g) ]
                | None -> [])))
     in
-    Mutex.lock t.access_mu;
-    (match t.access_oc with
-     | None -> ()
-     | Some oc ->
-       (try
-          output_string oc line;
-          output_char oc '\n';
-          flush oc;
-          t.access_bytes <- t.access_bytes + String.length line + 1;
-          if t.cfg.access_log_max_bytes > 0
-             && t.access_bytes >= t.cfg.access_log_max_bytes
-          then rotate_access_log_locked t
-        with Sys_error _ -> ()));
-    Mutex.unlock t.access_mu
+    access_append t line
+
+(* Burn-rate threshold crossings land in the same stream as request
+   lines, so the on-call timeline interleaves "budget burning" with the
+   requests that burned it. *)
+let slo_event t (ev : Slo.event) =
+  let kind = Slo.kind_label ev.Slo.ev_kind in
+  Obs.log Obs.Warn "server.slo_burn"
+    ~attrs:
+      [ ("slo", Obs.Str ev.Slo.ev_slo); ("window", Obs.Str ev.Slo.ev_window);
+        ("burn_rate", Obs.Float ev.Slo.ev_burn_rate); ("kind", Obs.Str kind) ];
+  match t.access_oc with
+  | None -> ()
+  | Some _ ->
+    access_append t
+      (Json.to_string
+         (Json.Obj
+            [ ("ts_ms", Json.Float (Obs.now_ms ())); ("type", Json.Str "slo");
+              ("slo", Json.Str ev.Slo.ev_slo);
+              ("window", Json.Str ev.Slo.ev_window);
+              ("burn_rate", Json.Float ev.Slo.ev_burn_rate);
+              ("kind", Json.Str kind) ]))
 
 let contains_substring hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -997,12 +1066,29 @@ let dump_reason ~outcome ~msg =
     Some "fault"
   | _ -> None
 
+(* The reason becomes part of a filename next to the (already hex-only)
+   trace id, so hold it to the same standard: bounded length, filesystem
+   and shell-safe charset, never empty.  Today's reasons are internal
+   constants, but the bound keeps any future caller honest. *)
+let sanitize_dump_reason reason =
+  let n = min (String.length reason) 32 in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    let c = reason.[i] in
+    Bytes.set b i
+      (match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> c
+       | _ -> '_')
+  done;
+  if n = 0 then "unspecified" else Bytes.unsafe_to_string b
+
 let maybe_dump_flight t ~trace_id ~outcome ~msg =
   match (t.flight, t.cfg.flight_dir) with
   | Some (_, snapshot), Some dir -> (
     match dump_reason ~outcome ~msg with
     | None -> ()
     | Some reason ->
+      let reason = sanitize_dump_reason reason in
       let events =
         List.filter (fun e -> Obs.event_trace_id e = trace_id) (snapshot ())
       in
@@ -1082,8 +1168,11 @@ let process t ~conn_client payload =
   Obs.Metrics.incr m_requests;
   ignore (Atomic.fetch_and_add t.inflight (-1));
   let dt = Obs.elapsed_ms ~since:t0 in
-  Obs.Metrics.observe h_latency dt;
-  Obs.Metrics.observe (verb_latency op) dt;
+  (* Record with an exemplar: the worst observation per bucket keeps its
+     trace id, so a p99 on the scrape is traceable to a flight dump. *)
+  let ex = if trace_id = "" then None else Some trace_id in
+  Obs.Metrics.observe_ex ?trace_id:ex h_latency dt;
+  Obs.Metrics.observe_ex ?trace_id:ex (verb_latency op) dt;
   let ok = Proto.response_ok resp in
   if not ok then Obs.Metrics.incr m_errors;
   let out = Json.to_string resp in
@@ -1229,6 +1318,10 @@ let accept_loop t fd =
   let rec loop () =
     if stopping t then ()
     else begin
+      (* Liveness heartbeat: the select deadline is 1 s, so a healthy
+         accept loop stamps this at least once a second even when idle.
+         /healthz turns a stale stamp into a 503. *)
+      Atomic.set t.heartbeat_ms (Obs.now_ms ());
       (match Unix.select [ fd; t.wake_r ] [] [] 1.0 with
        | readable, _, _ ->
          if List.memq t.wake_r readable then begin
@@ -1291,27 +1384,161 @@ let accept_loop t fd =
    | Proto.Tcp _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Health model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One named check per subsystem, registered in {!start} and dropped in
+   {!wait}.  Checks read live state only — no I/O, no locks beyond the
+   subsystems' own — so /readyz stays cheap enough to poll every second.
+   Severity policy: [Failing] means "stop sending traffic here" (readyz
+   503); [Degraded] means "watch it" (still ready — shedding load is the
+   overload controller's job, not the load balancer's). *)
+let health_check_names =
+  [ "pool"; "breaker"; "brownout"; "sessions"; "wal"; "solve_cache";
+    "telemetry" ]
+
+let register_health t =
+  Health.register "pool" (fun () ->
+      let depth = Pool.depth t.pool in
+      if depth >= t.cfg.queue_capacity then
+        Health.Degraded (Printf.sprintf "queue full (depth %d)" depth)
+      else Health.Ok);
+  Health.register "breaker" (fun () ->
+      match Overload.Breaker.state t.breaker with
+      | Overload.Breaker.Closed -> Health.Ok
+      | Overload.Breaker.Half_open -> Health.Degraded "probing after trip"
+      | Overload.Breaker.Open ->
+        Health.Failing
+          (Printf.sprintf "open; retry in %.0f ms"
+             (Overload.Breaker.retry_after_ms t.breaker)));
+  Health.register "brownout" (fun () ->
+      let level = Overload.Controller.level t.ctrl in
+      if level > 0 then
+        Health.Degraded (Printf.sprintf "brownout level %d" level)
+      else Health.Ok);
+  Health.register "sessions" (fun () ->
+      let n = Session.Store.count t.store in
+      if n >= t.cfg.max_sessions then
+        Health.Degraded (Printf.sprintf "at capacity (%d)" n)
+      else Health.Ok);
+  Health.register "wal" (fun () ->
+      match t.persist with
+      | None -> Health.Ok (* volatile mode: nothing to fail *)
+      | Some p ->
+        (match Persist.last_append_error p with
+         | Some msg -> Health.Failing ("append failing: " ^ msg)
+         | None -> Health.Ok));
+  Health.register "solve_cache" (fun () -> Health.Ok);
+  Health.register "telemetry" (fun () ->
+      if t.cfg.telemetry_port <> None && t.telemetry_fd = None then
+        Health.Degraded "listener not running"
+      else Health.Ok)
+
+let unregister_health () = List.iter Health.unregister health_check_names
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry endpoint                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* A deliberately tiny HTTP/1.0 responder: whatever the request line
-   says, the answer is the Prometheus rendering of the metrics registry.
-   One short-lived connection per scrape, handled inline on the
-   telemetry thread — rendering is a registry walk, microseconds. *)
-let telemetry_response t =
-  Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
-  Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
-  Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
-  Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
-  let body = Obs.Metrics.prometheus () in
+(* A deliberately tiny HTTP/1.0 server with three routes:
+
+   - [/metrics]  — Prometheus exposition of the registry,
+   - [/healthz]  — liveness: is the accept loop actually looping,
+   - [/readyz]   — readiness: should a balancer send traffic here.
+
+   One short-lived connection per request, handled inline on the
+   telemetry thread — every response is a registry/health walk,
+   microseconds.  Anything else is a 404; non-GET/HEAD is a 405; HEAD
+   gets the headers (with the length the GET would have had) and no
+   body. *)
+
+let http_response ~code ~reason ~content_type ~head body =
   Printf.sprintf
-    "HTTP/1.0 200 OK\r\n\
-     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+    "HTTP/1.0 %d %s\r\n\
+     Content-Type: %s\r\n\
      Content-Length: %d\r\n\
      Connection: close\r\n\
      \r\n\
      %s"
-    (String.length body) body
+    code reason content_type (String.length body)
+    (if head then "" else body)
+
+(* How stale the accept-loop heartbeat may get before /healthz reports
+   the process wedged.  The loop stamps at least once a second, so 5 s
+   of silence means it is stuck, not slow. *)
+let healthz_stale_ms = 5000.0
+
+let healthz_body t =
+  let age_ms = Obs.elapsed_ms ~since:(Atomic.get t.heartbeat_ms) in
+  let alive = (not (stopping t)) && age_ms <= healthz_stale_ms in
+  ( alive,
+    Json.to_string
+      (Json.Obj
+         [ ("status", Json.Str (if alive then "ok" else "failing"));
+           ("heartbeat_age_ms", Json.Float age_ms);
+           ("uptime_s", Json.Float (uptime_s t)) ]) )
+
+let readyz_body t =
+  let report = Health.run_all () in
+  let ready = (not (stopping t)) && Health.culprits report = [] in
+  (ready, Json.to_string (Health.to_json report))
+
+let telemetry_respond t ~meth ~path =
+  let head = meth = "HEAD" in
+  let json = "application/json; charset=utf-8" in
+  match meth with
+  | "GET" | "HEAD" ->
+    (match path with
+     | "/metrics" ->
+       Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
+       Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+       Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns));
+       Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
+       Obs.Metrics.set g_uptime (uptime_s t);
+       http_response ~code:200 ~reason:"OK"
+         ~content_type:"text/plain; version=0.0.4; charset=utf-8" ~head
+         (Obs.Metrics.prometheus ())
+     | "/healthz" ->
+       let alive, body = healthz_body t in
+       if alive then
+         http_response ~code:200 ~reason:"OK" ~content_type:json ~head body
+       else
+         http_response ~code:503 ~reason:"Service Unavailable"
+           ~content_type:json ~head body
+     | "/readyz" ->
+       let ready, body = readyz_body t in
+       if ready then
+         http_response ~code:200 ~reason:"OK" ~content_type:json ~head body
+       else
+         http_response ~code:503 ~reason:"Service Unavailable"
+           ~content_type:json ~head body
+     | _ ->
+       http_response ~code:404 ~reason:"Not Found"
+         ~content_type:"text/plain; charset=utf-8" ~head "not found\n")
+  | _ ->
+    http_response ~code:405 ~reason:"Method Not Allowed"
+      ~content_type:"text/plain; charset=utf-8" ~head:false
+      "method not allowed\n"
+
+(* "METHOD SP PATH ..." — querystrings are stripped, the HTTP version
+   (or its absence: HTTP/0.9) is ignored.  [None] = unparseable. *)
+let parse_request_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp ->
+    let meth = String.sub line 0 sp in
+    let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let target =
+      match String.index_opt rest ' ' with
+      | Some sp2 -> String.sub rest 0 sp2
+      | None -> rest
+    in
+    let path =
+      match String.index_opt target '?' with
+      | Some q -> String.sub target 0 q
+      | None -> target
+    in
+    if meth = "" || path = "" then None else Some (meth, path)
 
 (* Scrapes are handled inline on the telemetry thread, so one stalled
    scraper must never block the next: the request-read is bounded by a
@@ -1333,8 +1560,24 @@ let telemetry_serve t conn =
      in
      if readable then begin
        let buf = Bytes.create 1024 in
-       ignore (try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0);
-       let resp = telemetry_response t in
+       let n = try Unix.read conn buf 0 1024 with Unix.Unix_error _ -> 0 in
+       let req = Bytes.sub_string buf 0 (max n 0) in
+       let line =
+         match String.index_opt req '\r' with
+         | Some i -> String.sub req 0 i
+         | None ->
+           (match String.index_opt req '\n' with
+            | Some i -> String.sub req 0 i
+            | None -> req)
+       in
+       let resp =
+         match parse_request_line line with
+         | Some (meth, path) -> telemetry_respond t ~meth ~path
+         | None ->
+           http_response ~code:400 ~reason:"Bad Request"
+             ~content_type:"text/plain; charset=utf-8" ~head:false
+             "bad request\n"
+       in
        Frame.write_all ~timeout:telemetry_write_timeout_s conn
          (Bytes.unsafe_of_string resp) 0 (String.length resp)
      end
@@ -1376,6 +1619,42 @@ let start_telemetry t port =
   t.telemetry_fd <- Some fd;
   t.telemetry_thread <- Some (Thread.create (fun () -> telemetry_loop t fd) ())
 
+(* ------------------------------------------------------------------ *)
+(* Ops loop: runtime sampling + SLO evaluation at ~1 Hz                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_slo t =
+  Slo.create ~on_event:(fun ev -> slo_event t ev)
+    [ Slo.availability ~name:"availability" ~target:t.cfg.slo_availability_target
+        ~good:(fun () ->
+          float_of_int
+            (Obs.Metrics.value m_requests - Obs.Metrics.value m_errors))
+        ~total:(fun () -> float_of_int (Obs.Metrics.value m_requests));
+      Slo.latency ~name:"repair_latency" ~target:t.cfg.slo_latency_target
+        ~threshold_ms:t.cfg.slo_latency_ms (verb_latency "repair") ]
+
+(* One thread owns the periodic work: GC/runtime sampling, SLO ticks and
+   gauge refresh.  It sleeps in 0.1 s slices so [stop] is honoured
+   within ~100 ms, but samples on 1 s boundaries.  Every 60th sample is
+   a [live] one (the Gc.stat heap walk). *)
+let ops_loop t =
+  let tick = ref 0 in
+  let next = ref (Obs.now_ms () +. 1000.0) in
+  while not (stopping t) do
+    Thread.delay 0.1;
+    if (not (stopping t)) && Obs.now_ms () >= !next then begin
+      next := !next +. 1000.0;
+      incr tick;
+      Runtime.sample ~interval_ms:1000.0 ~live:(!tick mod 60 = 0) ();
+      (match t.slo with Some s -> Slo.tick s | None -> ());
+      Obs.Metrics.set g_uptime (uptime_s t);
+      Obs.Metrics.set g_queue_depth (float_of_int (Pool.depth t.pool));
+      Obs.Metrics.set g_sessions (float_of_int (Session.Store.count t.store));
+      Obs.Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
+      Obs.Metrics.set g_connections (float_of_int (Atomic.get t.active_conns))
+    end
+  done
+
 (** Bind and start accepting (non-blocking; see {!wait}). *)
 let start t =
   if t.accept_thread <> None then invalid_arg "Server.start: already started";
@@ -1384,6 +1663,13 @@ let start t =
   (match t.cfg.telemetry_port with
    | Some port -> start_telemetry t port
    | None -> ());
+  if t.cfg.health_slo then begin
+    register_health t;
+    Runtime.install_alarm ();
+    Runtime.set_build_info ();
+    t.slo <- Some (make_slo t);
+    t.ops_thread <- Some (Thread.create (fun () -> ops_loop t) ())
+  end;
   if Obs.enabled () then
     Obs.log Obs.Info "server.listening"
       ~attrs:
@@ -1408,6 +1694,10 @@ let wait t =
     Thread.delay 0.01
   done;
   Pool.shutdown t.pool;
+  (match t.ops_thread with
+   | Some th -> Thread.join th; t.ops_thread <- None
+   | None -> ());
+  if t.cfg.health_slo then unregister_health ();
   (match t.telemetry_thread with
    | Some th -> Thread.join th; t.telemetry_thread <- None; t.telemetry_fd <- None
    | None -> ());

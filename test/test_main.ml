@@ -26,4 +26,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("faultsim", Test_faultsim.suite);
       ("durable", Test_durable.suite);
-      ("overload", Test_overload.suite) ]
+      ("overload", Test_overload.suite);
+      ("slo", Test_slo.suite);
+      ("health", Test_health.suite) ]

@@ -1,0 +1,332 @@
+(* SLO engine, latency exemplars, runtime telemetry and Prometheus
+   exposition edge cases.
+
+   The engine tests drive [Slo.tick] directly with small windows — the
+   windows are defined in ticks, so no sleeping and no wall clock.  The
+   exemplar tests inject [?now_ms] for deterministic window expiry. *)
+
+module Obs = Dart_obs.Obs
+module Slo = Dart_obs.Slo
+module Runtime = Dart_obs.Runtime
+module M = Obs.Metrics
+
+let t name f = Alcotest.test_case name `Quick f
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Unique metric names per test: the registry is process-wide and other
+   suites in this binary use it too. *)
+let uid = ref 0
+
+let fresh prefix =
+  incr uid;
+  Printf.sprintf "%s_%d" prefix !uid
+
+(* ------------------------------------------------------------------ *)
+(* Burn-rate math                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ratio_objective name good total =
+  Slo.availability ~name ~target:0.9
+    ~good:(fun () -> !good)
+    ~total:(fun () -> !total)
+
+let slo_math_tests =
+  [ t "all-good traffic burns nothing" (fun () ->
+        let good = ref 0.0 and total = ref 0.0 in
+        let name = fresh "av" in
+        let e = Slo.create ~fast_window:5 ~slow_window:10
+            [ ratio_objective name good total ] in
+        for _ = 1 to 12 do
+          good := !good +. 100.0;
+          total := !total +. 100.0;
+          Slo.tick e
+        done;
+        Alcotest.(check (float 1e-9)) "fast burn" 0.0
+          (Slo.burn_rate e ~name `Fast);
+        Alcotest.(check (float 1e-9)) "budget intact" 1.0
+          (Slo.budget_remaining e ~name));
+    t "a total outage burns at 1/(1-target)" (fun () ->
+        let good = ref 0.0 and total = ref 0.0 in
+        let name = fresh "av" in
+        let e = Slo.create ~fast_window:5 ~slow_window:10
+            [ ratio_objective name good total ] in
+        (* target 0.9: every request bad => bad fraction 1.0, burn 10x. *)
+        for _ = 1 to 12 do
+          total := !total +. 100.0;
+          Slo.tick e
+        done;
+        Alcotest.(check (float 1e-6)) "fast burn" 10.0
+          (Slo.burn_rate e ~name `Fast);
+        Alcotest.(check (float 1e-6)) "slow burn" 10.0
+          (Slo.burn_rate e ~name `Slow);
+        Alcotest.(check (float 1e-6)) "budget gone" 0.0
+          (Slo.budget_remaining e ~name));
+    t "burn gauges land in the registry" (fun () ->
+        let good = ref 10.0 and total = ref 10.0 in
+        let name = fresh "gauges" in
+        let e = Slo.create ~fast_window:2 ~slow_window:4
+            [ ratio_objective name good total ] in
+        Slo.tick e;
+        let text = M.prometheus () in
+        List.iter
+          (fun suffix ->
+            let series =
+              Printf.sprintf "slo_%s_%s" name suffix
+            in
+            Alcotest.(check bool) series true (contains text series))
+          [ "budget_remaining"; "burn_rate_1m"; "burn_rate_1h" ]);
+    t "objective validation" (fun () ->
+        let bad target () =
+          ignore
+            (Slo.availability ~name:"x" ~target ~good:(fun () -> 0.0)
+               ~total:(fun () -> 0.0))
+        in
+        let raises name f =
+          match f () with
+          | () -> Alcotest.failf "%s: no exception" name
+          | exception Invalid_argument _ -> ()
+        in
+        raises "target 0" (bad 0.0);
+        raises "target 1" (bad 1.0);
+        raises "no objectives" (fun () -> ignore (Slo.create []));
+        raises "bad windows" (fun () ->
+            ignore
+              (Slo.create ~fast_window:10 ~slow_window:5
+                 [ Slo.availability ~name:"x" ~target:0.9
+                     ~good:(fun () -> 0.0) ~total:(fun () -> 0.0) ])));
+    t "latency source counts threshold violations as bad" (fun () ->
+        let h = M.histogram ~buckets:[| 10.0; 100.0; 1000.0 |] (fresh "lat") in
+        let name = fresh "lat_slo" in
+        let e = Slo.create ~fast_window:3 ~slow_window:6
+            [ Slo.latency ~name ~target:0.9 ~threshold_ms:100.0 h ] in
+        (* 9 fast + 1 slow per tick: exactly at the 90% target => burn 1. *)
+        for _ = 1 to 8 do
+          for _ = 1 to 9 do M.observe h 5.0 done;
+          M.observe h 500.0;
+          Slo.tick e
+        done;
+        Alcotest.(check (float 1e-6)) "burn at budget pace" 1.0
+          (Slo.burn_rate e ~name `Fast)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Burn events                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let slo_event_tests =
+  [ t "fast burn fires once, then recovers with hysteresis" (fun () ->
+        let good = ref 0.0 and total = ref 0.0 in
+        let name = fresh "ev" in
+        let events = ref [] in
+        let e =
+          Slo.create ~fast_window:4 ~slow_window:8 ~fast_threshold:5.0
+            ~on_event:(fun ev -> events := ev :: !events)
+            [ ratio_objective name good total ]
+        in
+        (* Healthy start. *)
+        for _ = 1 to 8 do
+          good := !good +. 10.0; total := !total +. 10.0; Slo.tick e
+        done;
+        Alcotest.(check int) "quiet while healthy" 0 (List.length !events);
+        (* Outage: burn 10 > threshold 5.  Edge-triggered: one event even
+           though the condition holds for several ticks. *)
+        for _ = 1 to 6 do total := !total +. 10.0; Slo.tick e done;
+        let fast =
+          List.filter (fun ev -> ev.Slo.ev_kind = Slo.Fast_burn) !events
+        in
+        Alcotest.(check int) "one fast-burn event" 1 (List.length fast);
+        (match fast with
+         | [ ev ] ->
+           Alcotest.(check string) "window tag" "fast" ev.Slo.ev_window;
+           Alcotest.(check bool) "burn rate in event" true
+             (ev.Slo.ev_burn_rate >= 5.0)
+         | _ -> ());
+        (* Recovery: good traffic pushes the window burn under half the
+           threshold and fires exactly one Recovered per tripped window. *)
+        for _ = 1 to 8 do
+          good := !good +. 100.0; total := !total +. 100.0; Slo.tick e
+        done;
+        let recovered =
+          List.filter
+            (fun ev ->
+              ev.Slo.ev_kind = Slo.Recovered && ev.Slo.ev_window = "fast")
+            !events
+        in
+        Alcotest.(check int) "one fast recovery event" 1
+          (List.length recovered)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exemplars                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exemplar_tests =
+  [ t "worst observation per bucket keeps its trace id" (fun () ->
+        let h = M.histogram ~buckets:[| 10.0; 100.0 |] (fresh "ex") in
+        M.observe_ex ~now_ms:1000.0 ~trace_id:"aaaa" h 3.0;
+        M.observe_ex ~now_ms:1001.0 ~trace_id:"bbbb" h 7.0;
+        M.observe_ex ~now_ms:1002.0 ~trace_id:"cccc" h 5.0;
+        M.observe_ex ~now_ms:1003.0 ~trace_id:"dddd" h 50.0;
+        (match M.exemplars ~now_ms:1004.0 h with
+         | [ e1; e2 ] ->
+           Alcotest.(check string) "bucket 1 worst" "bbbb" e1.M.ex_trace_id;
+           Alcotest.(check (float 1e-9)) "bucket 1 value" 7.0 e1.M.ex_value;
+           Alcotest.(check (float 1e-9)) "bucket 1 le" 10.0 e1.M.ex_le;
+           Alcotest.(check string) "bucket 2" "dddd" e2.M.ex_trace_id
+         | es -> Alcotest.failf "expected 2 exemplars, got %d" (List.length es)));
+    t "stale exemplars expire and are replaced" (fun () ->
+        let h = M.histogram ~buckets:[| 10.0 |] (fresh "ex") in
+        M.observe_ex ~now_ms:0.0 ~trace_id:"old" h 9.0;
+        (* Within the 60 s window a smaller value does not displace. *)
+        M.observe_ex ~now_ms:30_000.0 ~trace_id:"small" h 1.0;
+        (match M.exemplars ~now_ms:30_001.0 h with
+         | [ e ] -> Alcotest.(check string) "kept" "old" e.M.ex_trace_id
+         | _ -> Alcotest.fail "expected 1 exemplar");
+        (* Past the window the old slot is stale: invisible to readers,
+           and any fresh observation replaces it. *)
+        Alcotest.(check int) "stale hidden" 0
+          (List.length (M.exemplars ~now_ms:70_000.0 h));
+        M.observe_ex ~now_ms:70_001.0 ~trace_id:"fresh" h 2.0;
+        (match M.exemplars ~now_ms:70_002.0 h with
+         | [ e ] -> Alcotest.(check string) "replaced" "fresh" e.M.ex_trace_id
+         | _ -> Alcotest.fail "expected 1 exemplar"));
+    t "observations without a trace id record no exemplar" (fun () ->
+        let h = M.histogram ~buckets:[| 10.0 |] (fresh "ex") in
+        M.observe_ex ~now_ms:1.0 h 5.0;
+        Alcotest.(check int) "no exemplar" 0
+          (List.length (M.exemplars ~now_ms:2.0 h));
+        Alcotest.(check int) "still counted" 1 (M.histogram_count h));
+    t "exemplars_json exposes le/value/trace_id per histogram" (fun () ->
+        let name = fresh "exj" in
+        let h = M.histogram ~buckets:[| 10.0 |] (fresh "exj_noise") in
+        ignore h;
+        let h2 = M.histogram ~buckets:[| 10.0 |] name in
+        M.observe_ex ~now_ms:5.0 ~trace_id:"feed" h2 42.0;
+        let j = M.exemplars_json ~now_ms:6.0 () in
+        (match j with
+         | Obs.Json.Obj kvs ->
+           (match List.assoc_opt name kvs with
+            | Some (Obs.Json.List [ Obs.Json.Obj e ]) ->
+              Alcotest.(check bool) "trace id" true
+                (List.assoc "trace_id" e = Obs.Json.Str "feed");
+              (* 42 overflows the only bucket: le renders as "+inf". *)
+              Alcotest.(check bool) "le +inf" true
+                (List.assoc "le" e = Obs.Json.Str "+inf")
+            | _ -> Alcotest.fail "histogram missing from exemplars_json")
+         | _ -> Alcotest.fail "exemplars_json not an object")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exposition edge cases                                               *)
+(* ------------------------------------------------------------------ *)
+
+let exposition_tests =
+  [ t "label-unsafe metric names are sanitized" (fun () ->
+        let raw = fresh "weird metric-name!" in
+        ignore (M.counter raw);
+        let text = M.prometheus () in
+        let expect =
+          String.map
+            (fun c ->
+              match c with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+              | _ -> '_')
+            raw
+        in
+        Alcotest.(check bool) "sanitized series present" true
+          (contains text (expect ^ " 0"));
+        Alcotest.(check bool) "raw name absent" false (contains text raw));
+    t "a leading digit is prefixed" (fun () ->
+        ignore (M.counter "9lives");
+        Alcotest.(check bool) "prefixed" true
+          (contains (M.prometheus ()) "_9lives 0"));
+    t "an empty histogram renders zero count and zero quantiles" (fun () ->
+        let name = fresh "empty_h" in
+        let h = M.histogram ~buckets:[| 1.0; 10.0 |] name in
+        let text = M.prometheus () in
+        Alcotest.(check bool) "count 0" true (contains text (name ^ "_count 0"));
+        Alcotest.(check bool) "sum 0" true (contains text (name ^ "_sum 0"));
+        Alcotest.(check (float 1e-9)) "p99 of nothing" 0.0 (M.quantile h 0.99));
+    t "a single-bucket histogram interpolates from zero" (fun () ->
+        let h = M.histogram ~buckets:[| 100.0 |] (fresh "single") in
+        M.observe h 50.0;
+        (* One observation in [0,100]: the p50 rank falls mid-bucket. *)
+        Alcotest.(check (float 1e-6)) "p50" 50.0 (M.quantile h 0.5);
+        (* An overflow observation clamps to the last finite bound. *)
+        M.observe h 1000.0;
+        Alcotest.(check (float 1e-6)) "p99 clamps" 100.0 (M.quantile h 0.99));
+    t "info metrics render constant-1 with escaped labels" (fun () ->
+        let name = fresh "test_build_info" in
+        M.info name
+          [ ("version", "v1\"quoted\""); ("note", "line1\nline2");
+            ("path", "a\\b"); ("weird key!", "x") ];
+        let text = M.prometheus () in
+        Alcotest.(check bool) "type gauge" true
+          (contains text (Printf.sprintf "# TYPE %s gauge" name));
+        Alcotest.(check bool) "escaped quote" true
+          (contains text "version=\"v1\\\"quoted\\\"\"");
+        Alcotest.(check bool) "escaped newline" true
+          (contains text "note=\"line1\\nline2\"");
+        Alcotest.(check bool) "escaped backslash" true
+          (contains text "path=\"a\\\\b\"");
+        Alcotest.(check bool) "label name sanitized" true
+          (contains text "weird_key_=\"x\"");
+        Alcotest.(check bool) "constant 1" true (contains text "\"} 1"));
+    t "infos survive Metrics.reset" (fun () ->
+        let name = fresh "persistent_info" in
+        M.info name [ ("k", "v") ];
+        M.reset ();
+        Alcotest.(check bool) "still exported" true
+          (contains (M.prometheus ()) (name ^ "{"))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime telemetry                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let runtime_tests =
+  [ t "a sample publishes GC and process gauges" (fun () ->
+        Runtime.sample ~live:true ();
+        let text = M.prometheus () in
+        List.iter
+          (fun series ->
+            Alcotest.(check bool) series true (contains text series))
+          [ "runtime_gc_minor_collections"; "runtime_gc_major_collections";
+            "runtime_gc_heap_words"; "runtime_gc_live_words";
+            "runtime_gc_minor_words"; "runtime_uptime_s" ];
+        (* A live OCaml program has allocated: the numbers are nonzero. *)
+        let heap = M.gauge_value (M.gauge "runtime.gc.heap_words") in
+        Alcotest.(check bool) "heap nonzero" true (heap > 0.0);
+        let live = M.gauge_value (M.gauge "runtime.gc.live_words") in
+        Alcotest.(check bool) "live nonzero" true (live > 0.0));
+    t "heartbeat lag measures sampler lateness" (fun () ->
+        Runtime.sample ~now_ms:1_000.0 ~interval_ms:100.0 ();
+        let h = M.histogram "runtime.heartbeat_lag_ms" in
+        let before = M.histogram_count h in
+        (* 350ms after a 100ms cadence: 250ms late. *)
+        Runtime.sample ~now_ms:1_350.0 ~interval_ms:100.0 ();
+        Alcotest.(check int) "one lag sample" (before + 1)
+          (M.histogram_count h);
+        (* An on-time sample observes 0 lag, never negative. *)
+        Runtime.sample ~now_ms:1_400.0 ~interval_ms:100.0 ();
+        Alcotest.(check int) "on-time sample counted" (before + 2)
+          (M.histogram_count h));
+    t "the GC alarm counts major cycles" (fun () ->
+        Runtime.install_alarm ();
+        Runtime.install_alarm () (* idempotent *);
+        let before = Runtime.major_cycles () in
+        Gc.full_major ();
+        Gc.full_major ();
+        Alcotest.(check bool) "cycles advanced" true
+          (Runtime.major_cycles () > before));
+    t "build info carries version and runtime labels" (fun () ->
+        Runtime.set_build_info ~version:"test-1.2.3" ();
+        let text = M.prometheus () in
+        Alcotest.(check bool) "series" true (contains text "dart_build_info{");
+        Alcotest.(check bool) "version label" true
+          (contains text "version=\"test-1.2.3\"");
+        Alcotest.(check bool) "ocaml label" true (contains text "ocaml=\"")) ]
+
+let suite =
+  slo_math_tests @ slo_event_tests @ exemplar_tests @ exposition_tests
+  @ runtime_tests
