@@ -29,22 +29,25 @@ let experiments =
     ("fault", Exp_fault.run);
     ("overload", Exp_overload.run);
     ("warm", Exp_warm.run);
+    ("simplex", Exp_simplex.run);
     ("slo", Exp_slo.run);
     ("score", Exp_score.run);
     ("micro", Micro.run) ]
 
 let () =
-  let args =
-    match Array.to_list Sys.argv with
-    | _ :: args -> List.map String.lowercase_ascii args
-    | [] -> []
+  let raw_args =
+    match Array.to_list Sys.argv with _ :: args -> args | [] -> []
   in
-  match args with
-  | [ "diff"; base; current ] -> exit (Report.scoreboard_diff base current)
-  | "diff" :: _ ->
+  match raw_args with
+  (* Scoreboard paths must keep their case (BENCH_scoreboard.json on a
+     case-sensitive filesystem); only experiment ids are normalized. *)
+  | [ d; base; current ] when String.lowercase_ascii d = "diff" ->
+    exit (Report.scoreboard_diff base current)
+  | d :: _ when String.lowercase_ascii d = "diff" ->
     Printf.eprintf "usage: main.exe -- diff BASE_SCOREBOARD CURRENT_SCOREBOARD\n";
     exit 2
-  | requested ->
+  | _ ->
+    let requested = List.map String.lowercase_ascii raw_args in
     let requested =
       match requested with
       | [] ->

@@ -1,0 +1,330 @@
+(** Basis factorization for the revised simplex: LU in product form (an
+    eta file), with Markowitz-style pivot selection at refactorization and
+    product-form updates between refactorizations.
+
+    A factorization is a sequence of eta operations.  Eta [k] records a
+    pivot row [er], pivot value [ep] and the off-pivot nonzeros of the
+    (partially eliminated) basis column it came from.  Applying the etas in
+    order to a vector [a] performs exactly the Gaussian elimination of
+    [B \ a] (FTRAN); applying their transposes in reverse order solves the
+    transposed system (BTRAN).  Because refactorization processes columns
+    in (near-)triangular order chosen to minimise fill, the factor etas
+    are the L and U columns of an LU decomposition stored in product form;
+    each subsequent basis change appends one more eta built from the
+    FTRAN-transformed entering column (the classic product-form update).
+
+    The structure is field-generic: with {!Field_rat} every solve is exact
+    (the residual test in the suite pins ‖B·x_B − b‖ = 0); with
+    {!Field_float} a threshold guards pivot selection and the caller
+    refactorizes on drift. *)
+
+module Make (F : Field.S) = struct
+  exception Singular
+
+  type eta = {
+    er : int;             (* pivot row *)
+    ep : F.t;             (* pivot value *)
+    idx : int array;      (* off-pivot rows *)
+    vals : F.t array;     (* off-pivot values *)
+  }
+
+  let dummy_eta = { er = 0; ep = F.one; idx = [||]; vals = [||] }
+
+  type t = {
+    mutable etas : eta array;     (* first [n_etas] entries are live *)
+    mutable n_etas : int;
+    mutable factor_etas : int;    (* etas produced by the last [factorize] *)
+    mutable factor_nnz : int;     (* off-pivot entries in the factor etas *)
+    mutable update_nnz : int;     (* off-pivot entries in update etas *)
+  }
+
+  let create () =
+    { etas = [||]; n_etas = 0; factor_etas = 0; factor_nnz = 0; update_nnz = 0 }
+
+  let eta_count t = t.n_etas
+  let update_count t = t.n_etas - t.factor_etas
+  let factor_nnz t = t.factor_nnz
+  let eta_nnz t = t.factor_nnz + t.update_nnz
+
+  let push t e =
+    if t.n_etas >= Array.length t.etas then begin
+      let cap = max 16 (2 * Array.length t.etas) in
+      let grown = Array.make cap dummy_eta in
+      Array.blit t.etas 0 grown 0 t.n_etas;
+      t.etas <- grown
+    end;
+    t.etas.(t.n_etas) <- e;
+    t.n_etas <- t.n_etas + 1
+
+  (* FTRAN step of one eta: x.(er) <- x.(er)/ep; x.(i) -= v_i * x.(er). *)
+  let apply_ftran e (x : F.t array) =
+    let xr = x.(e.er) in
+    if not (F.is_zero xr) then begin
+      let piv = F.div xr e.ep in
+      x.(e.er) <- piv;
+      for k = 0 to Array.length e.idx - 1 do
+        x.(e.idx.(k)) <- F.sub x.(e.idx.(k)) (F.mul e.vals.(k) piv)
+      done
+    end
+
+  (* BTRAN step (the transpose): x.(er) <- (x.(er) - Σ v_i·x.(i)) / ep. *)
+  let apply_btran e (x : F.t array) =
+    let acc = ref x.(e.er) in
+    for k = 0 to Array.length e.idx - 1 do
+      let xi = x.(e.idx.(k)) in
+      if not (F.is_zero xi) then acc := F.sub !acc (F.mul e.vals.(k) xi)
+    done;
+    x.(e.er) <- F.div !acc e.ep
+
+  (** In-place solve of [B y = x]: afterwards the value of the basic
+      variable sitting at row slot [r] is [x.(r)]. *)
+  let ftran t (x : F.t array) =
+    for k = 0 to t.n_etas - 1 do
+      apply_ftran t.etas.(k) x
+    done
+
+  (** In-place solve of [Bᵀ y = x] (row-space: simplex multipliers from
+      basic costs, or the pivot row from a unit vector). *)
+  let btran t (x : F.t array) =
+    for k = t.n_etas - 1 downto 0 do
+      apply_btran t.etas.(k) x
+    done
+
+  (* Build an eta from the nonzeros of a dense spike, pivoting at [row]. *)
+  let eta_of_spike ~(spike : F.t array) ~row =
+    let p = spike.(row) in
+    if F.is_zero p then raise Singular;
+    let count = ref 0 in
+    Array.iteri
+      (fun i v -> if i <> row && not (F.is_zero v) then incr count)
+      spike;
+    let idx = Array.make !count 0 in
+    let vals = Array.make !count F.zero in
+    let k = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if i <> row && not (F.is_zero v) then begin
+          idx.(!k) <- i;
+          vals.(!k) <- v;
+          incr k
+        end)
+      spike;
+    { er = row; ep = p; idx; vals }
+
+  (** Product-form update after a basis change: [spike] is the
+      FTRAN-transformed entering column, [row] the leaving row slot.
+      @raise Singular on a (numerically) zero pivot. *)
+  let push_eta t ~spike ~row =
+    let e = eta_of_spike ~spike ~row in
+    t.update_nnz <- t.update_nnz + Array.length e.idx;
+    push t e
+
+  (* Stability guard for pivot selection: only meaningful for inexact
+     fields (rationals always map a nonzero to a nonzero float unless the
+     magnitude is truly extreme, in which case any nonzero is exact
+     anyway). *)
+  let mag (v : F.t) = Float.abs (F.to_float v)
+
+  (** Refactorize from scratch: Gaussian elimination of the basis columns
+      in increasing-nnz order, pivot rows chosen Markowitz-style (fewest
+      remaining occurrences among the still-unassigned rows, tie-broken on
+      magnitude for stability).  [basis] is read as a column multiset and
+      {e reassigned}: afterwards [basis.(r)] is the column whose solution
+      value FTRAN leaves at slot [r] — callers must recompute x_B and
+      reduced costs after every refactorization.
+      @raise Singular when the columns do not span (or, for floats, when
+      no acceptable pivot survives). *)
+  let factorize t (a : F.t Sparse_mat.t) ~(basis : int array) =
+    let m = Array.length basis in
+    t.n_etas <- 0;
+    t.factor_etas <- 0;
+    t.factor_nnz <- 0;
+    t.update_nnz <- 0;
+    if m = 0 then ()
+    else begin
+      let cols = Array.copy basis in
+      (* near-triangular ordering: thin columns first *)
+      let order = Array.init m (fun i -> i) in
+      Array.sort
+        (fun i j -> compare (Sparse_mat.col_nnz a cols.(i)) (Sparse_mat.col_nnz a cols.(j)))
+        order;
+      (* Markowitz row counts over the basis columns *)
+      let rowcount = Array.make m 0 in
+      Array.iter
+        (fun c -> Sparse_mat.iter_col a c (fun r _ -> rowcount.(r) <- rowcount.(r) + 1))
+        cols;
+      let assigned = Array.make m false in
+      let work = Array.make m F.zero in
+      (* The spike's support, tracked explicitly: every per-column step
+         below (eta application, pivot scans, eta extraction, reset)
+         walks only the rows this column actually filled, so a
+         refactorization costs O(fill · log fill), not O(m) per column.
+         The reset must cover the whole support, not just the eta's
+         entries — with an inexact field, values below the is_zero
+         epsilon are excluded from the eta but still sit in the array. *)
+      let touched = Array.make m false in
+      let support = Array.make m 0 in
+      let top = ref 0 in
+      (* Each row is pivoted by at most one factor eta, so the etas that
+         can act on the spike are exactly those whose pivot row is in
+         its (growing) support.  A min-heap of eta indices replays them
+         in ascending order — sequential-ftran semantics at O(reachable)
+         cost (Gilbert–Peierls style reachability). *)
+      let eta_at_row = Array.make m (-1) in
+      let heap = Array.make m 0 in
+      let heap_n = ref 0 in
+      let heap_push k =
+        let i = ref !heap_n in
+        incr heap_n;
+        heap.(!i) <- k;
+        let continue = ref true in
+        while !continue && !i > 0 do
+          let parent = (!i - 1) / 2 in
+          if heap.(parent) > heap.(!i) then begin
+            let tmp = heap.(parent) in
+            heap.(parent) <- heap.(!i);
+            heap.(!i) <- tmp;
+            i := parent
+          end
+          else continue := false
+        done
+      in
+      let heap_pop () =
+        let top_k = heap.(0) in
+        decr heap_n;
+        heap.(0) <- heap.(!heap_n);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < !heap_n && heap.(l) < heap.(!smallest) then smallest := l;
+          if r < !heap_n && heap.(r) < heap.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = heap.(!smallest) in
+            heap.(!smallest) <- heap.(!i);
+            heap.(!i) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done;
+        top_k
+      in
+      (* Only etas we have not yet replayed can still act: fill in a row
+         whose eta index is behind the replay cursor would also be
+         skipped by a sequential ftran. *)
+      let cursor = ref (-1) in
+      let mark i =
+        if touched.(i) then ()
+        else begin
+          touched.(i) <- true;
+          support.(!top) <- i;
+          incr top;
+          if eta_at_row.(i) > !cursor then heap_push eta_at_row.(i)
+        end
+      in
+      Array.iter
+        (fun slot ->
+          let col = cols.(slot) in
+          cursor := -1;
+          Sparse_mat.iter_col a col (fun i v ->
+              work.(i) <- v;
+              mark i);
+          (* Replay reachable etas in ascending index order. *)
+          while !heap_n > 0 do
+            let k = heap_pop () in
+            cursor := k;
+            let e = t.etas.(k) in
+            let xr = work.(e.er) in
+            if not (F.is_zero xr) then begin
+              let piv = F.div xr e.ep in
+              work.(e.er) <- piv;
+              for j = 0 to Array.length e.idx - 1 do
+                let i = e.idx.(j) in
+                mark i;
+                work.(i) <- F.sub work.(i) (F.mul e.vals.(j) piv)
+              done
+            end
+          done;
+          (* choose the pivot row among unassigned nonzeros *)
+          let maxmag = ref 0.0 in
+          for s = 0 to !top - 1 do
+            let r = support.(s) in
+            if (not assigned.(r)) && not (F.is_zero work.(r)) then begin
+              let g = mag work.(r) in
+              if g > !maxmag then maxmag := g
+            end
+          done;
+          let threshold = 0.01 *. !maxmag in
+          let best = ref (-1) in
+          let best_count = ref max_int in
+          let best_mag = ref 0.0 in
+          for s = 0 to !top - 1 do
+            let r = support.(s) in
+            if (not assigned.(r)) && not (F.is_zero work.(r)) then begin
+              let g = mag work.(r) in
+              if g >= threshold then begin
+                if
+                  rowcount.(r) < !best_count
+                  || (rowcount.(r) = !best_count && g > !best_mag)
+                then begin
+                  best := r;
+                  best_count := rowcount.(r);
+                  best_mag := g
+                end
+              end
+            end
+          done;
+          if !best < 0 then raise Singular;
+          let r = !best in
+          (* Build the eta from the tracked support. *)
+          let count = ref 0 in
+          for s = 0 to !top - 1 do
+            let i = support.(s) in
+            if i <> r && not (F.is_zero work.(i)) then incr count
+          done;
+          let idx = Array.make !count 0 in
+          let vals = Array.make !count F.zero in
+          let k = ref 0 in
+          for s = 0 to !top - 1 do
+            let i = support.(s) in
+            if i <> r && not (F.is_zero work.(i)) then begin
+              idx.(!k) <- i;
+              vals.(!k) <- work.(i);
+              incr k
+            end
+          done;
+          let e = { er = r; ep = work.(r); idx; vals } in
+          t.factor_nnz <- t.factor_nnz + !count;
+          push t e;
+          eta_at_row.(r) <- t.n_etas - 1;
+          assigned.(r) <- true;
+          basis.(r) <- col;
+          Sparse_mat.iter_col a col (fun i _ -> rowcount.(i) <- rowcount.(i) - 1);
+          for s = 0 to !top - 1 do
+            let i = support.(s) in
+            work.(i) <- F.zero;
+            touched.(i) <- false
+          done;
+          top := 0)
+        order;
+      t.factor_etas <- t.n_etas
+    end
+
+  (** ‖B·x_B − b‖∞ for the basis [basis] of [a] — the drift monitor.
+      Exactly zero under {!Field_rat}. *)
+  let residual_inf (a : F.t Sparse_mat.t) ~(basis : int array) ~(rhs : F.t array)
+      ~(xb : F.t array) : F.t =
+    let m = Array.length rhs in
+    let s = Array.init m (fun i -> F.neg rhs.(i)) in
+    Array.iteri
+      (fun r col ->
+        if not (F.is_zero xb.(r)) then
+          Sparse_mat.iter_col a col (fun i v -> s.(i) <- F.add s.(i) (F.mul v xb.(r))))
+      basis;
+    Array.fold_left
+      (fun acc x ->
+        let ax = F.abs x in
+        if F.compare ax acc > 0 then ax else acc)
+      F.zero s
+end

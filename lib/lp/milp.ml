@@ -91,7 +91,8 @@ module Make (F : Field.S) = struct
   let min_compare a b = if F.compare a b <= 0 then a else b
 
   let solve ?(max_nodes = 1_000_000) ?(integral_objective = false)
-      ?(cancel = Cancel.none) ?(warm = true) ?warm_from (p : P.t) : outcome =
+      ?(cancel = Cancel.none) ?(warm = true) ?warm_from ?core (p : P.t)
+      : outcome =
     Obs.span "milp.solve"
       ~attrs:[ ("vars", Obs.Int (P.num_vars p)) ]
       (fun () ->
@@ -143,7 +144,7 @@ module Make (F : Field.S) = struct
     let q = P.copy p in
     let relax ~from ~depth =
       if warm then begin
-        let w = S.solve_warm ~cancel ?from q in
+        let w = S.solve_warm ~cancel ?from ?core q in
         pivots := !pivots + w.S.stats.S.pivots;
         dual_pivots := !dual_pivots + w.S.stats.S.dual_pivots;
         Obs.Phases.merge_into ~dst:phases w.S.stats.S.phases;
@@ -153,7 +154,7 @@ module Make (F : Field.S) = struct
         (w.S.result, w.S.snapshot)
       end
       else begin
-        let result, st = S.solve_stats ~cancel q in
+        let result, st = S.solve_stats ~cancel ?core q in
         pivots := !pivots + st.S.pivots;
         Obs.Phases.merge_into ~dst:phases st.S.phases;
         (result, None)

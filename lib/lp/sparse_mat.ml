@@ -1,0 +1,107 @@
+(** Column-wise (CSC) sparse matrices.
+
+    The revised simplex walks columns — pricing dots a row vector against
+    every nonbasic column, FTRAN scatters the entering column — so columns
+    are the contiguous axis.  Like {!Sparse_vec} the element type is a type
+    parameter; arithmetic needed during assembly is passed in. *)
+
+type 'a t = {
+  m : int;               (** rows *)
+  n : int;               (** columns *)
+  col_ptr : int array;   (** length n+1; column j occupies [col_ptr.(j), col_ptr.(j+1)) *)
+  row_idx : int array;   (** row coordinate of each stored entry *)
+  vals : 'a array;       (** entry values, parallel to [row_idx] *)
+}
+
+let nnz (t : 'a t) = Array.length t.row_idx
+let col_nnz (t : 'a t) j = t.col_ptr.(j + 1) - t.col_ptr.(j)
+
+let iter_col (t : 'a t) j f =
+  for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+    f t.row_idx.(k) t.vals.(k)
+  done
+
+(** Scatter column [j] into a dense vector (assumed zeroed at the column's
+    support). *)
+let scatter_col (t : 'a t) j (dense : 'a array) =
+  iter_col t j (fun i v -> dense.(i) <- v)
+
+(** Transpose: the result's columns are the input's rows, so
+    [iter_col (transpose t) i] walks row [i] of [t].  Pricing uses this to
+    form the pivot row alpha = A^T rho by scanning only the rows where rho
+    is nonzero instead of dotting rho against every column.  Counting
+    sort, O(nnz + m + n); entries within a result column come out in
+    ascending row (= original column) order. *)
+let transpose ~(zero : 'a) (t : 'a t) : 'a t =
+  let nnz = Array.length t.row_idx in
+  let col_ptr = Array.make (t.m + 1) 0 in
+  Array.iter (fun i -> col_ptr.(i + 1) <- col_ptr.(i + 1) + 1) t.row_idx;
+  for i = 0 to t.m - 1 do
+    col_ptr.(i + 1) <- col_ptr.(i + 1) + col_ptr.(i)
+  done;
+  let row_idx = Array.make nnz 0 in
+  let vals = Array.make nnz zero in
+  let cursor = Array.copy col_ptr in
+  for j = 0 to t.n - 1 do
+    for k = t.col_ptr.(j) to t.col_ptr.(j + 1) - 1 do
+      let i = t.row_idx.(k) in
+      let dst = cursor.(i) in
+      cursor.(i) <- dst + 1;
+      row_idx.(dst) <- j;
+      vals.(dst) <- t.vals.(k)
+    done
+  done;
+  { m = t.n; n = t.m; col_ptr; row_idx; vals }
+
+(** Assemble from row-major term lists ([(col, coef)] with duplicates
+    allowed; duplicates are combined with [add], exact zeros dropped).
+    O(nnz + m + n) time and memory — nothing row-length-dense is ever
+    allocated. *)
+let of_rows ~(zero : 'a) ~is_zero ~add ~m ~n (rows : (int * 'a) list array) : 'a t =
+  if Array.length rows <> m then invalid_arg "Sparse_mat.of_rows: row count";
+  (* 1. combine duplicates per row with a stamped accumulator *)
+  let stamp = Array.make n (-1) in
+  let acc = Array.make n zero in
+  let combined =
+    Array.mapi
+      (fun i row ->
+        let touched = ref [] in
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= n then invalid_arg "Sparse_mat.of_rows: column";
+            if stamp.(j) <> i then begin
+              stamp.(j) <- i;
+              acc.(j) <- v;
+              touched := j :: !touched
+            end
+            else acc.(j) <- add acc.(j) v)
+          row;
+        List.filter_map
+          (fun j -> if is_zero acc.(j) then None else Some (j, acc.(j)))
+          (List.rev !touched))
+      rows
+  in
+  (* 2. column counts -> offsets *)
+  let col_ptr = Array.make (n + 1) 0 in
+  Array.iter
+    (List.iter (fun (j, _) -> col_ptr.(j + 1) <- col_ptr.(j + 1) + 1))
+    combined;
+  for j = 0 to n - 1 do
+    col_ptr.(j + 1) <- col_ptr.(j + 1) + col_ptr.(j)
+  done;
+  (* 3. fill (row order within a column is ascending by construction) *)
+  let total = col_ptr.(n) in
+  let row_idx = Array.make total 0 in
+  let vals = Array.make total zero in
+  let cursor = Array.copy col_ptr in
+  Array.iteri
+    (fun i row ->
+      List.iter
+        (fun (j, v) ->
+          let k = cursor.(j) in
+          cursor.(j) <- k + 1;
+          row_idx.(k) <- i;
+          vals.(k) <- v)
+        row)
+    combined;
+  { m; n; col_ptr; row_idx; vals }

@@ -1,0 +1,73 @@
+(** Immutable sparse vectors and an accumulating row builder.
+
+    The element type is a plain type parameter rather than a functor
+    argument so the same structures serve every [Field.S] instantiation
+    (and {!Dart_repair} can build rational rows without dragging a functor
+    application around).  Operations that need arithmetic take the field
+    operations as explicit arguments. *)
+
+type 'a t = {
+  idx : int array;  (** coordinate of each stored entry, ascending unique *)
+  vals : 'a array;  (** entry values, parallel to [idx] *)
+}
+
+let nnz (v : 'a t) = Array.length v.idx
+
+let iter f (v : 'a t) = Array.iteri (fun k i -> f i v.vals.(k)) v.idx
+
+let to_list (v : 'a t) =
+  List.init (Array.length v.idx) (fun k -> (v.idx.(k), v.vals.(k)))
+
+(** Dot product against a dense vector. *)
+let dot ~zero ~add ~mul ~is_zero (v : 'a t) (dense : 'a array) =
+  let acc = ref zero in
+  iter (fun i x -> if not (is_zero dense.(i)) then acc := add !acc (mul x dense.(i))) v;
+  !acc
+
+(** Accumulating builder: [add] coefficients keyed by coordinate, combining
+    duplicates as they arrive, then read the combined row back.  Nothing is
+    ever materialized at the dimension of the ambient space — memory is
+    O(distinct coordinates touched) — which is what lets {!Dart_repair}'s
+    encoder stay O(nnz) on documents with tens of thousands of cells. *)
+module Builder = struct
+  type 'a b = {
+    add : 'a -> 'a -> 'a;
+    is_zero : 'a -> bool;
+    tbl : (int, 'a ref) Hashtbl.t;
+    mutable order : int list;  (* first-touch order, reversed *)
+  }
+
+  let create ?(size = 16) ~add ~is_zero () =
+    { add; is_zero; tbl = Hashtbl.create size; order = [] }
+
+  let add (b : 'a b) (key : int) (v : 'a) =
+    match Hashtbl.find_opt b.tbl key with
+    | Some r -> r := b.add !r v
+    | None ->
+      Hashtbl.add b.tbl key (ref v);
+      b.order <- key :: b.order
+
+  (** The combined row as [(value, key)] terms in first-touch order, exact
+      zeros dropped.  The [(value, key)] shape matches
+      {!Lp_problem.Make.add_constraint} term lists. *)
+  let terms (b : 'a b) : ('a * int) list =
+    List.fold_left
+      (fun acc key ->
+        let v = !(Hashtbl.find b.tbl key) in
+        if b.is_zero v then acc else (v, key) :: acc)
+      [] b.order
+
+  let nnz (b : 'a b) = Hashtbl.length b.tbl
+
+  let clear (b : 'a b) =
+    Hashtbl.reset b.tbl;
+    b.order <- []
+
+  (** Combined row as a {!t}, sorted by coordinate. *)
+  let to_vec (b : 'a b) : 'a t =
+    let l =
+      List.sort (fun (_, i) (_, j) -> compare i j) (terms b)
+    in
+    { idx = Array.of_list (List.map snd l);
+      vals = Array.of_list (List.map fst l) }
+end

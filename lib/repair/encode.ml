@@ -32,6 +32,7 @@ module P = Lp_problem.Make (Field_rat)
 type t = {
   problem : P.t;
   cells : Ground.cell array;
+  cell_index : (Ground.cell, int) Hashtbl.t;
   z : P.var array;
   y : P.var array;
   delta : P.var array;
@@ -103,12 +104,21 @@ let build ?(cancel = Dart_resilience.Cancel.none) ?big_m ?(forced = []) db
           ~upper:Field_rat.one ~integer:true p)
       cells
   in
-  (* A·Z ⊙ B *)
+  (* A·Z ⊙ B — accumulated through a sparse row builder: coefficients of a
+     cell mentioned several times in one aggregate combine into one term,
+     and memory stays O(row nnz) regardless of the cell count N. *)
+  let row_b =
+    Sparse_vec.Builder.create ~add:Rat.add ~is_zero:Rat.is_zero ()
+  in
   List.iteri
     (fun k (r : Ground.row) ->
       if k land 255 = 0 then Dart_resilience.Cancel.check cancel;
-      let terms = List.map (fun (c, cell) -> (c, z.(Hashtbl.find idx cell))) r.terms in
-      P.add_constraint ~label:r.origin p terms (relop_of r.op) r.rhs)
+      Sparse_vec.Builder.clear row_b;
+      List.iter
+        (fun (c, cell) -> Sparse_vec.Builder.add row_b z.(Hashtbl.find idx cell) c)
+        r.terms;
+      P.add_constraint ~label:r.origin p (Sparse_vec.Builder.terms row_b)
+        (relop_of r.op) r.rhs)
     rows;
   (* yᵢ = zᵢ - vᵢ *)
   for i = 0 to n - 1 do
@@ -135,7 +145,7 @@ let build ?(cancel = Dart_resilience.Cancel.none) ?big_m ?(forced = []) db
     forced;
   P.set_objective ~minimize:true p
     (Array.to_list (Array.map (fun d -> (Rat.one, d)) delta));
-  { problem = p; cells; z; y; delta; big_m; originals }
+  { problem = p; cells; cell_index = idx; z; y; delta; big_m; originals }
 
 (** Append an operator pin [z = v] to an existing instance — the delta API
     of the incremental validation loop.  The pin is emitted as a [<=]/[>=]
@@ -146,17 +156,14 @@ let build ?(cancel = Dart_resilience.Cancel.none) ?big_m ?(forced = []) db
     when the cell is not part of the system (nothing to pin, matching
     [build]'s treatment of unknown forced cells). *)
 let add_pin (t : t) ((cell, value) : Ground.cell * Rat.t) : bool =
-  let n = Array.length t.cells in
-  let rec find i = if i >= n then -1 else if t.cells.(i) = cell then i else find (i + 1) in
-  let i = find 0 in
-  if i < 0 then false
-  else begin
+  match Hashtbl.find_opt t.cell_index cell with
+  | None -> false
+  | Some i ->
     P.add_constraint ~label:"operator" t.problem [ (Rat.one, t.z.(i)) ]
       Lp_problem.Le value;
     P.add_constraint ~label:"operator" t.problem [ (Rat.one, t.z.(i)) ]
       Lp_problem.Ge value;
     true
-  end
 
 (** Read a repair off a MILP assignment: one atomic update per cell whose z
     differs from the original value. *)

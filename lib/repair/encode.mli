@@ -18,6 +18,8 @@ module P : module type of Lp_problem.Make (Field_rat)
 type t = {
   problem : P.t;
   cells : Ground.cell array;   (** z-variable order *)
+  cell_index : (Ground.cell, int) Hashtbl.t;
+      (** cell → index into [cells]/[z]/[y]/[delta]; O(1) pin lookup *)
   z : P.var array;
   y : P.var array;
   delta : P.var array;

@@ -368,7 +368,9 @@ module Cache = struct
        restarts (or a brownout-tightened budget) therefore keys a
        different entry and can never rematerialize a stale cached
        repair computed under other solver settings. *)
-    Buffer.add_string buf "v2;rat;";
+    Buffer.add_string buf "v3;rat;";
+    Buffer.add_string buf (Simplex.core_to_string (Simplex.default_core ()));
+    Buffer.add_char buf ';';
     Buffer.add_string buf (string_of_int max_nodes);
     Buffer.add_char buf ';';
     Buffer.add_string buf (string_of_int max_big_m_retries);

@@ -8,6 +8,7 @@ let () =
       ("simplex", Test_simplex.suite);
       ("milp", Test_milp.suite);
       ("warm", Test_warm.suite);
+      ("sparse", Test_sparse.suite);
       ("relational", Test_relational.suite);
       ("constraints", Test_constraints.suite);
       ("repair", Test_repair.suite);
